@@ -1,0 +1,127 @@
+"""Ablations — the design choices DESIGN.md calls out.
+
+1. Reversal-rule extensions the paper names but defers (stop-loss,
+   correlation reversion) against the canonical retracement/HP/EOD rules.
+2. The RT-vs-M retracement-window reading of step 5.
+3. PSD repair of pairwise-assembled robust matrices.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.backtest.data import BarProvider
+from repro.backtest.runner import SequentialBacktester
+from repro.corr.measures import corr_matrix
+from repro.corr.psd import is_psd, nearest_psd_correlation
+from repro.metrics.returns import cumulative_return
+from repro.metrics.winloss import win_loss_ratio
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+BASE = StrategyParams(m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001)
+
+VARIANTS = {
+    "canonical": BASE,
+    "stop_loss_0.5%": replace(BASE, stop_loss=0.005),
+    "corr_reversion": replace(BASE, correlation_reversion=True),
+    "both_extensions": replace(BASE, stop_loss=0.005, correlation_reversion=True),
+    "rt_equals_m": replace(BASE, rt=BASE.m),  # the step-5 literal reading
+}
+
+
+def _provider():
+    market = SyntheticMarket(
+        default_universe(6),
+        SyntheticMarketConfig(trading_seconds=23_400 // 2),
+        seed=2008,
+    )
+    return BarProvider(market, TimeGrid(30, trading_seconds=23_400 // 2))
+
+
+def test_ablation_reversal_rules(benchmark):
+    provider = _provider()
+    pairs = list(default_universe(6).pairs())
+    days = [0, 1]
+
+    def run_all():
+        out = {}
+        for name, params in VARIANTS.items():
+            out[name] = SequentialBacktester(
+                provider, share_correlation=True
+            ).run(pairs, [params], days)
+        return out
+
+    stores = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"{'variant':<18} {'trades':>7} {'mean cum ret':>13} {'win/loss':>9}"
+    ]
+    for name, store in stores.items():
+        all_returns = np.concatenate(
+            [store.period_returns(p, 0) for p in store.pairs]
+        )
+        cum = np.mean(
+            [store.total_return(p, 0) for p in store.pairs]
+        )
+        lines.append(
+            f"{name:<18} {all_returns.size:>7d} {cum:>13.5f} "
+            f"{win_loss_ratio(all_returns):>9.3f}"
+        )
+    assert stores["canonical"].n_trades > 0
+    emit("ablation_reversal", "\n".join(lines))
+
+
+def test_ablation_psd_repair(benchmark):
+    """Approach-2 assembly breaks PSD-ness; measure the repair.
+
+    Approach 2 runs each (pair, parameter set) job independently, so the
+    entries of an assembled matrix come from *different windows* (different
+    M per parameter set, different job timing).  With regime-switching
+    data those independently-estimated coefficients are mutually
+    inconsistent and the assembled matrix is indefinite — the paper's
+    caveat that pairwise Maronna "no longer assures the resulting matrix
+    is positive semi-definite".
+    """
+    from repro.corr.measures import pairwise_corr
+
+    rng = np.random.default_rng(7)
+    T = 300
+    base = rng.normal(size=T)
+    noise = lambda: 0.2 * rng.normal(size=T)  # noqa: E731
+    x = base + noise()
+    y = base + noise()
+    z = np.where(np.arange(T) < 200, base, -base) + noise()  # regime flip
+
+    # Three independent "jobs", each measuring its pair on its own window.
+    windows = {(0, 1): slice(0, 100), (1, 2): slice(100, 200), (0, 2): slice(200, 300)}
+    series = {0: x, 1: y, 2: z}
+    matrix = np.eye(3)
+    for (i, j), win in windows.items():
+        matrix[i, j] = matrix[j, i] = pairwise_corr(
+            series[i][win], series[j][win], "maronna"
+        )
+
+    eigvals = np.linalg.eigvalsh(matrix)
+    assert eigvals.min() < 0, "assembled matrix should be indefinite"
+    repaired = benchmark(nearest_psd_correlation, matrix)
+    assert is_psd(repaired)
+
+    drift = np.abs(repaired - matrix).max()
+    text = (
+        f"Pairwise Maronna coefficients assembled from independent jobs\n"
+        f"(each pair measured on its own window, as Approach 2 does):\n"
+        f"  matrix:\n{np.array2string(matrix, precision=3)}\n"
+        f"  min eigenvalue before repair: {eigvals.min():+.4f} "
+        f"(PSD: {is_psd(matrix)})\n"
+        f"  min eigenvalue after repair:  "
+        f"{np.linalg.eigvalsh(repaired).min():+.4f}\n"
+        f"  max |entry drift| from repair: {drift:.4f}\n"
+        f"Within one shared window the pairwise matrix stays PSD in "
+        f"practice; the integrated Approach 3 computes all pairs on the "
+        f"same window and sidesteps the problem."
+    )
+    emit("ablation_psd", text)

@@ -1,0 +1,52 @@
+"""Figure 2(a,b,c) — box plots of the three performance metrics.
+
+Regenerates the numeric content of the paper's box plots: median,
+quartiles, Tukey whiskers and outliers of the per-pair samples, per
+correlation treatment, for all three measures.
+"""
+
+from benchmarks.conftest import emit
+from repro.corr.measures import CorrelationType
+from repro.metrics.summary import boxplot_by_treatment
+
+PANELS = (
+    ("a", "returns", "Average cumulative monthly returns"),
+    ("b", "drawdown", "Average maximum daily drawdown"),
+    ("c", "winloss", "Average win-loss ratio"),
+)
+
+
+def _render(measure_title, boxes):
+    lines = [measure_title]
+    lines.append(
+        f"  {'treatment':<10} {'median':>9} {'q1':>9} {'q3':>9} "
+        f"{'whisk_lo':>9} {'whisk_hi':>9} {'#outliers':>9}"
+    )
+    for ctype in CorrelationType:
+        b = boxes[ctype]
+        lines.append(
+            f"  {ctype.value:<10} {b.median:>9.4f} {b.q1:>9.4f} {b.q3:>9.4f} "
+            f"{b.whisker_low:>9.4f} {b.whisker_high:>9.4f} "
+            f"{len(b.outliers):>9d}"
+        )
+    return "\n".join(lines)
+
+
+def test_figure2_boxplots(benchmark, study):
+    store, grid = study
+
+    def all_panels():
+        return {
+            measure: boxplot_by_treatment(store, grid, measure)
+            for _, measure, _ in PANELS
+        }
+
+    panels = benchmark(all_panels)
+
+    sections = []
+    for tag, measure, title in PANELS:
+        boxes = panels[measure]
+        for b in boxes.values():
+            assert b.q1 <= b.median <= b.q3
+        sections.append(_render(f"Figure 2({tag}): {title}", boxes))
+    emit("figure2_boxplots", "\n\n".join(sections))

@@ -1,0 +1,64 @@
+"""Section II — candidate-pair identification at market scale.
+
+"If there are n stocks then |Φ| = n(n-1)/2.  If our goal was to backtest
+over all US stocks, of which there are approximately 8000, this would
+require our strategy to support backtesting on over 32 million pairs!"
+The screening funnel (cluster, then screen with statistical certainty) is
+what keeps the brute-force approach honest; this benchmark measures it on
+the full 61-stock universe and prints the funnel counts.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bars.returns import log_returns
+from repro.corr.clustering import correlation_clusters, screen_candidate_pairs
+from repro.corr.measures import corr_matrix
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+
+def test_screening_funnel(benchmark):
+    universe = default_universe()  # all 61 stocks, 1830 pairs
+    config = SyntheticMarketConfig(trading_seconds=23_400 // 4)
+    market = SyntheticMarket(universe, config, seed=2008)
+    grid = TimeGrid(30, trading_seconds=config.trading_seconds)
+    returns = log_returns(market.true_bam_grid(0, grid))
+    matrix = corr_matrix(returns, "pearson")
+
+    def funnel():
+        clusters = correlation_clusters(matrix, 0.72)
+        candidates = screen_candidate_pairs(
+            matrix, n_obs=returns.shape[0], threshold=0.5
+        )
+        return clusters, candidates
+
+    clusters, candidates = benchmark(funnel)
+    n_pairs = universe.n_pairs()
+    assert n_pairs == 1830
+    assert candidates
+
+    multi = [c for c in clusters if len(c) > 1]
+    same_sector = sum(
+        1
+        for c in candidates
+        if universe.sectors[c.pair[0]] == universe.sectors[c.pair[1]]
+    )
+    lines = [
+        f"Screening funnel, 61 stocks (one synthetic quarter-day):",
+        f"  all pairs:                  {n_pairs}",
+        f"  clusters (rho >= 0.72):     {len(multi)} multi-stock clusters, "
+        f"sizes {sorted((len(c) for c in multi), reverse=True)}",
+        f"  screened candidates         {len(candidates)} "
+        f"(Fisher-z lower bound >= 0.5)",
+        f"  of which same-sector:       {same_sector}",
+        f"  top candidate:              "
+        f"{universe.symbols[candidates[0].pair[0]]}/"
+        f"{universe.symbols[candidates[0].pair[1]]} "
+        f"rho={candidates[0].correlation:.3f}",
+        "",
+        "At the paper's 8000-stock scale the same funnel reduces 32 million "
+        "pairs to the clusters' internal pairs before any backtest runs.",
+    ]
+    emit("screening_funnel", "\n".join(lines))

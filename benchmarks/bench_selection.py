@@ -1,0 +1,48 @@
+"""Section VI (future work) — optimal parameter sets and best pairs.
+
+"identification of optimal parameter sets for a given correlation
+measure" and "Identifying which pairs perform well is worthy a further
+investigation."  This benchmark ranks both over the full study.
+"""
+
+from benchmarks.conftest import STUDY_CONFIG, emit
+from repro.backtest.selection import (
+    format_selection_report,
+    rank_pairs,
+    rank_parameter_sets,
+)
+from repro.corr.measures import CorrelationType
+
+
+def test_selection_rankings(benchmark, study):
+    store, grid = study
+    symbols = STUDY_CONFIG.build_universe().symbols
+
+    def run_rankings():
+        return (
+            rank_parameter_sets(store, grid, "returns"),
+            rank_pairs(store, grid, "returns"),
+            {
+                ctype: rank_parameter_sets(store, grid, "returns", ctype)[0]
+                for ctype in CorrelationType
+            },
+        )
+
+    params_ranked, pairs_ranked, best_per_treatment = benchmark.pedantic(
+        run_rankings, rounds=1, iterations=1
+    )
+    assert len(params_ranked) == len(grid)
+    assert len(pairs_ranked) == len(store.pairs)
+
+    sections = [
+        format_selection_report(
+            params_ranked, pairs_ranked, "returns", top=5, symbols=symbols
+        ),
+        "\nBest parameter set per correlation measure:",
+    ]
+    for ctype, score in best_per_treatment.items():
+        sections.append(
+            f"  {ctype.value:<10} k={score.param_index:2d} "
+            f"score={score.score:+.5f}  {score.params.label()}"
+        )
+    emit("selection_rankings", "\n".join(sections))

@@ -1,0 +1,18 @@
+"""Table I — strategy parameter descriptions and values.
+
+Regenerates the paper's parameter table and benchmarks construction of the
+full 42-set grid (3 correlation treatments × 14 factor levels).
+"""
+
+from benchmarks.conftest import emit
+from repro.strategy.params import format_table1, paper_parameter_grid
+
+
+def test_table1_parameter_grid(benchmark):
+    grid = benchmark(paper_parameter_grid)
+    assert len(grid) == 42
+
+    lines = [format_table1(), "", "Parameter sets (3 treatments x 14 levels):"]
+    for k, params in enumerate(grid):
+        lines.append(f"  k={k:2d}  {params.label()}")
+    emit("table1_params", "\n".join(lines))

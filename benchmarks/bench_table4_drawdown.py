@@ -1,0 +1,22 @@
+"""Table IV — average maximum daily drawdown by correlation type.
+
+Regenerates the paper's risk comparison: eq (7) maximum drawdown on each
+(pair, parameter set)'s daily cumulative-return path, averaged over factor
+levels, summarised per treatment.
+"""
+
+from benchmarks.conftest import emit
+from repro.metrics.summary import format_treatment_table, treatment_summaries
+
+
+def test_table4_max_daily_drawdown(benchmark, study):
+    store, grid = study
+    summaries = benchmark(treatment_summaries, store, grid, "drawdown")
+    assert len(summaries) == 3
+    for s in summaries.values():
+        assert s.stats.mean >= 0.0  # drawdowns are non-negative
+
+    text = format_treatment_table(
+        summaries, "Table IV: average maximum daily drawdown"
+    )
+    emit("table4_drawdown", text)

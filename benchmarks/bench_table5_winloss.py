@@ -1,0 +1,20 @@
+"""Table V — average win-loss ratio by correlation type.
+
+Regenerates eq (8)'s winning/losing trade ratio per (pair, parameter set)
+over the whole period, averaged over factor levels, summarised per
+treatment.
+"""
+
+from benchmarks.conftest import emit
+from repro.metrics.summary import format_treatment_table, treatment_summaries
+
+
+def test_table5_win_loss_ratio(benchmark, study):
+    store, grid = study
+    summaries = benchmark(treatment_summaries, store, grid, "winloss")
+    assert len(summaries) == 3
+    for s in summaries.values():
+        assert s.stats.mean >= 0.0
+
+    text = format_treatment_table(summaries, "Table V: average win-loss ratio")
+    emit("table5_winloss", text)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+The central fixture is ``study``: one scaled-down-but-complete run of the
+paper's experiment — every pair of an 8-stock universe, the full 42-set
+parameter grid (3 correlation treatments × 14 factor levels), 3 synthetic
+trading days.  Tables III–V, Figure 2 and the ablations all read from it.
+
+Every benchmark writes the rows/series it reproduces to
+``benchmarks/out/<name>.txt`` (and stdout), so the paper-facing artefacts
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.backtest.sweep import SweepConfig, run_sweep
+from repro.strategy.params import StrategyParams
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: The study's shape: 8 symbols -> 28 pairs; half-length trading days keep
+#: the full 42-set grid affordable on one core.  Scale n_symbols to 61 and
+#: trading_seconds to 23400 to reproduce at paper scale.
+STUDY_CONFIG = SweepConfig(
+    n_symbols=8,
+    n_days=3,
+    trading_seconds=23_400 // 2,
+    seed=2008,
+    base_params=StrategyParams(m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001),
+    ranks=2,
+)
+
+
+@pytest.fixture(scope="session")
+def study():
+    """(ResultStore, grid) for the full Tables III-V / Figure 2 study."""
+    store, grid = run_sweep(STUDY_CONFIG)
+    return store, grid
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table/series and persist it under benchmarks/out."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}")

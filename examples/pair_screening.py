@@ -1,0 +1,89 @@
+"""Candidate-pair discovery: the step before any backtest.
+
+"The usual routine for a fundamental pair trader is to first identify a
+number of candidate pairs" (paper §II); MarketMiner's lineage includes
+real-time correlation *clustering* of high-frequency data.  This example
+runs the whole screening funnel on a synthetic day:
+
+1. compute the market-wide robust correlation matrix over the day,
+2. cluster the universe (threshold components + hierarchical view),
+3. screen candidate pairs demanding statistical certainty (Fisher-z
+   lower bound above threshold),
+4. backtest the screened pairs vs the same number of unscreened ones.
+
+Run:  python examples/pair_screening.py
+"""
+
+import numpy as np
+
+from repro.backtest.data import BarProvider
+from repro.backtest.runner import SequentialBacktester
+from repro.bars.returns import log_returns
+from repro.corr.clustering import (
+    correlation_clusters,
+    hierarchical_clusters,
+    screen_candidate_pairs,
+)
+from repro.corr.measures import corr_matrix
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+
+def main() -> None:
+    universe = default_universe(12)
+    config = SyntheticMarketConfig(trading_seconds=23_400 // 2)
+    market = SyntheticMarket(universe, config, seed=31)
+    grid = TimeGrid(30, trading_seconds=config.trading_seconds)
+    provider = BarProvider(market, grid)
+
+    returns = provider.returns(0)
+    matrix = corr_matrix(returns, "maronna")
+    print(f"Universe of {len(universe)}: {', '.join(universe.symbols)}")
+
+    print("\nCorrelation clusters (threshold 0.55):")
+    for cluster in correlation_clusters(matrix, 0.55):
+        names = ", ".join(universe.symbols[i] for i in sorted(cluster))
+        print(f"  [{names}]")
+
+    print("\nHierarchical clusters (k=4, correlation distance):")
+    for cluster in hierarchical_clusters(matrix, 4):
+        names = ", ".join(universe.symbols[i] for i in sorted(cluster))
+        print(f"  [{names}]")
+
+    candidates = screen_candidate_pairs(
+        matrix, n_obs=returns.shape[0], threshold=0.5, max_pairs=8
+    )
+    print(f"\nScreened candidates (Fisher-z lower bound >= 0.5):")
+    for c in candidates:
+        i, j = c.pair
+        same = "same-sector" if universe.sectors[i] == universe.sectors[j] else ""
+        print(
+            f"  {universe.symbols[i]}/{universe.symbols[j]:<5} "
+            f"rho={c.correlation:.3f} (lb {c.lower_bound:.3f}) {same}"
+        )
+
+    # Does screening pay? Backtest screened vs arbitrary pairs, day 1
+    # (out-of-sample relative to the day-0 screen).
+    params = StrategyParams(
+        ctype="maronna", m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001
+    )
+    screened = [c.pair for c in candidates]
+    all_pairs = list(universe.pairs())
+    unscreened = [p for p in all_pairs if p not in set(screened)][: len(screened)]
+    bt = SequentialBacktester(provider, share_correlation=True)
+
+    def mean_return(pairs):
+        store = bt.run(pairs, [params], [1])
+        return float(np.mean([store.total_return(p, 0) for p in pairs])), store.n_trades
+
+    ret_screened, n_screened = mean_return(screened)
+    ret_other, n_other = mean_return(unscreened)
+    print(f"\nOut-of-sample (day 1) backtest:")
+    print(f"  screened pairs   mean return {ret_screened:+.4%} ({n_screened} trades)")
+    print(f"  unscreened pairs mean return {ret_other:+.4%} ({n_other} trades)")
+
+
+if __name__ == "__main__":
+    main()

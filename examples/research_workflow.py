@@ -1,0 +1,108 @@
+"""The paper's "further studies", end to end.
+
+Section VI lists what comes after the preliminary results: rigorous
+significance testing of the treatment differences, identification of
+optimal parameter sets per correlation measure, finding which pairs
+trade well, and accounting for implementation shortfalls.  This script
+runs all four studies on one sweep.
+
+Run:  python examples/research_workflow.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.backtest.selection import (
+    format_selection_report,
+    rank_pairs,
+    rank_parameter_sets,
+)
+from repro.backtest.sweep import SweepConfig, run_sweep
+from repro.corr.measures import CorrelationType
+from repro.metrics.significance import (
+    format_significance_table,
+    treatment_significance,
+)
+from repro.strategy.costs import ExecutionModel
+from repro.strategy.params import StrategyParams
+
+BASE = StrategyParams(m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001)
+
+
+def main() -> None:
+    config = SweepConfig(
+        n_symbols=8,
+        n_days=3,
+        trading_seconds=23_400 // 2,
+        seed=2008,
+        base_params=BASE,
+        ranks=2,
+    )
+    symbols = config.build_universe().symbols
+    print(f"Sweeping {config.build_universe().n_pairs()} pairs x 42 sets x "
+          f"{config.n_days} days...")
+    t0 = time.time()
+    store, grid = run_sweep(config)
+    print(f"done in {time.time() - t0:.1f}s ({store.n_trades} trades)\n")
+
+    # Study 1: are the treatment differences real?
+    print("== Significance of treatment differences ==")
+    comparisons = []
+    for measure in ("returns", "drawdown", "winloss"):
+        comparisons.extend(
+            treatment_significance(store, grid, measure, seed=2008)
+        )
+    print(format_significance_table(comparisons))
+
+    # Study 2 & 3: optimal parameters, best pairs.
+    print("\n== Selection ==")
+    print(
+        format_selection_report(
+            rank_parameter_sets(store, grid, "returns"),
+            rank_pairs(store, grid, "returns"),
+            "returns",
+            top=3,
+            symbols=symbols,
+        )
+    )
+    print("\nBest parameter set per correlation measure:")
+    for ctype in CorrelationType:
+        best = rank_parameter_sets(store, grid, "returns", ctype)[0]
+        print(f"  {ctype.value:<10} k={best.param_index:2d} "
+              f"score={best.score:+.5f}")
+
+    # Study 4: implementation shortfalls.
+    print("\n== Implementation shortfall ==")
+    frictionless = float(
+        np.mean([store.total_return(p, 0) for p in store.pairs])
+    )
+    print(f"  {'friction':<28} {'mean cum return (k=0)':>22}")
+    print(f"  {'none (paper convention)':<28} {frictionless:>+22.5f}")
+    for label, model in (
+        ("0.5 bp slippage/leg", ExecutionModel(slippage_frac=0.5e-4)),
+        ("1 bp + 0.5c commission", ExecutionModel(
+            slippage_frac=1e-4, commission_per_share=0.005)),
+        ("above + 80% fill rate", ExecutionModel(
+            slippage_frac=1e-4, commission_per_share=0.005,
+            fill_probability=0.8, seed=1)),
+    ):
+        cfg = SweepConfig(
+            n_symbols=config.n_symbols,
+            n_days=config.n_days,
+            trading_seconds=config.trading_seconds,
+            seed=config.seed,
+            base_params=BASE,
+            n_levels=1,
+            ranks=2,
+            execution=model,
+        )
+        frictional_store, _ = run_sweep(cfg)
+        net = float(np.mean(
+            [frictional_store.total_return(p, 0) for p in frictional_store.pairs]
+        ))
+        print(f"  {label:<28} {net:>+22.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""TAQ data engineering: files, databases, cleaning and robust correlation.
+
+The unglamorous half of the paper: "Raw data, whether from a database or a
+live stream, needs to be cleaned before being analyzed".  This example
+
+1. synthesises a dirty quote day (decimal slips, test quotes, far-out
+   limit orders) and writes it as a Table-II-style CSV,
+2. reads it back and stores it in the quote database,
+3. cleans it with the TCP-like filter and reports the damage,
+4. shows what the outliers do to Pearson vs Maronna correlation on the
+   *uncleaned* stream — the paper's case for the robust measure.
+
+Run:  python examples/taq_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.bars.accumulator import accumulate_bam
+from repro.bars.returns import log_returns
+from repro.clean.filters import clean_quotes
+from repro.corr.measures import pairwise_corr
+from repro.marketminer.components.collectors import QuoteDatabase
+from repro.taq.io import format_table2, read_taq_csv, write_taq_csv
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+
+def main() -> None:
+    universe = default_universe(6)
+    config = SyntheticMarketConfig(
+        trading_seconds=23_400 // 4, quote_rate=0.9, outlier_prob=3e-3
+    )
+    market = SyntheticMarket(universe, config, seed=99)
+    grid = TimeGrid(30, trading_seconds=config.trading_seconds)
+
+    dirty = market.quotes(0, with_outliers=True)
+    print("Raw synthetic TAQ data (Table II format):")
+    print(format_table2(dirty, universe, limit=8))
+
+    # File round trip: the "Custom TAQ Files" adapter format.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "20080303.csv"
+        write_taq_csv(path, dirty, universe)
+        print(f"\nWrote {dirty.size} quotes to {path.name} "
+              f"({path.stat().st_size / 1e6:.1f} MB)")
+        from_file = read_taq_csv(path, universe)
+
+    # Database round trip: the "MySQL DB" adapter stand-in.
+    db = QuoteDatabase()
+    db.store(0, from_file)
+    quotes = db.load(0)
+    print(f"Stored and reloaded day 0 from the quote database "
+          f"({quotes.size} rows)")
+
+    cleaned, stats = clean_quotes(quotes, len(universe))
+    print(
+        f"\nTCP-like filter: kept {stats.accepted}/{stats.total} "
+        f"({stats.acceptance_rate:.2%}), rejected {stats.rejected_outlier} "
+        f"outliers and {stats.rejected_crossed} crossed quotes"
+    )
+
+    from repro.taq.quality import quality_report
+
+    print("\nIngest quality report:")
+    print(quality_report(quotes, universe, config.trading_seconds).format())
+
+    # The robust-correlation case: measure XOM/CVX on the DIRTY stream.
+    dirty_bars = accumulate_bam(quotes, grid, len(universe))
+    clean_bars = accumulate_bam(cleaned, grid, len(universe))
+    i, j = universe.index_of("XOM"), universe.index_of("CVX")
+    rows = {
+        "dirty bars": log_returns(dirty_bars),
+        "clean bars": log_returns(clean_bars),
+    }
+    print(f"\nXOM/CVX correlation (full day window):")
+    print(f"  {'input':<12} {'pearson':>9} {'maronna':>9} {'combined':>9}")
+    for name, r in rows.items():
+        values = [
+            pairwise_corr(r[:, i], r[:, j], ctype)
+            for ctype in ("pearson", "maronna", "combined")
+        ]
+        print(f"  {name:<12} " + " ".join(f"{v:9.4f}" for v in values))
+    print(
+        "\nOn dirty data Pearson is badly distorted (here, coincident "
+        "corruption in both symbols masquerades as co-movement and inflates "
+        "it) while Maronna barely moves — the paper's argument for "
+        "computing robust correlation market-wide."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Shared day-data provider for the backtesting engines.
+
+Every backtest architecture consumes the same inputs per trading day: the
+cleaned quote stream reduced to a rectangular grid of BAM bar closes and
+its 1-period log-returns.  :class:`BarProvider` produces those once per
+day (with caching), so engine comparisons measure architecture, not data
+preparation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bars.accumulator import accumulate_bam
+from repro.bars.returns import log_returns
+from repro.clean.filters import clean_quotes
+from repro.taq.synthetic import SyntheticMarket
+from repro.util.timeutil import TimeGrid
+
+
+class BarProvider:
+    """BAM bar closes and log-returns per day, from a synthetic market.
+
+    Parameters
+    ----------
+    market:
+        The quote source.
+    grid:
+        Interval grid (``Δs`` and session length).
+    clean:
+        Apply the TCP-like filter before bar accumulation (default True —
+        the paper always cleans raw TAQ data before analysis).
+    """
+
+    def __init__(
+        self, market: SyntheticMarket, grid: TimeGrid, clean: bool = True
+    ):
+        if grid.trading_seconds > market.config.trading_seconds:
+            raise ValueError(
+                "grid session longer than the market's trading session"
+            )
+        self.market = market
+        self.grid = grid
+        self.clean = clean
+        self._price_cache: dict[int, np.ndarray] = {}
+
+    @property
+    def n_symbols(self) -> int:
+        return len(self.market.universe)
+
+    @property
+    def smax(self) -> int:
+        return self.grid.smax
+
+    def prices(self, day: int) -> np.ndarray:
+        """BAM closes, shape ``(smax, n_symbols)``; cached per day."""
+        if day not in self._price_cache:
+            quotes = self.market.quotes(day)
+            # Quotes beyond the last complete interval never form a bar
+            # (the grid drops a trailing partial interval).
+            cutoff = self.grid.smax * self.grid.delta_s
+            quotes = quotes[quotes["t"] < cutoff]
+            if self.clean:
+                quotes, _ = clean_quotes(quotes, self.n_symbols)
+            self._price_cache[day] = accumulate_bam(
+                quotes, self.grid, self.n_symbols
+            )
+        return self._price_cache[day]
+
+    def returns(self, day: int) -> np.ndarray:
+        """1-period log-returns of the day's closes, shape (smax-1, n)."""
+        return log_returns(self.prices(day))
+
+    def clear_cache(self) -> None:
+        self._price_cache.clear()

@@ -1,0 +1,108 @@
+"""Approach 3: the integrated, MPI-parallel MarketMiner backtest.
+
+The paper's target architecture: correlation computation happens once,
+market-wide, inside the platform, and strategy evaluation is distributed.
+Per day:
+
+1. rank 0 prepares the day's bars and broadcasts them (the data-adapter
+   stage of Figure 1);
+2. for each distinct (M, Ctype) in the parameter grid, every pair's
+   correlation series is computed exactly once, with the pair blocks
+   distributed across ranks (:class:`~repro.corr.parallel.ParallelCorrelationEngine`)
+   — this removes "the main bottleneck, the computation of all pair-wise
+   correlations";
+3. the (pair, parameter set) strategy runs are partitioned by pair across
+   ranks, each rank reusing the shared correlation series for all its
+   parameter sets;
+4. per-rank partial :class:`~repro.backtest.results.ResultStore`\\ s are
+   gathered and merged at the master, which is where the paper hangs risk
+   management and basket execution.
+
+The result is identical to both Matlab-style engines (tested invariant);
+only the time and memory profiles differ.
+"""
+
+from __future__ import annotations
+
+from repro.backtest.data import BarProvider
+from repro.backtest.results import ResultStore
+from repro.corr.maronna import MaronnaConfig
+from repro.corr.parallel import ParallelCorrelationEngine, partition_pairs
+from repro.mpi.api import Comm
+from repro.strategy.costs import ExecutionModel, execution_salt
+from repro.strategy.engine import align_corr_series, run_pair_day
+from repro.strategy.params import StrategyParams
+
+
+class DistributedBacktester:
+    """SPMD backtester over the MPI substrate."""
+
+    def __init__(
+        self,
+        provider: BarProvider,
+        maronna_config: MaronnaConfig | None = None,
+        execution: ExecutionModel | None = None,
+    ):
+        self.provider = provider
+        self.maronna_config = maronna_config
+        self.execution = execution
+
+    def run(
+        self,
+        comm: Comm,
+        pairs: list[tuple[int, int]],
+        grid: list[StrategyParams],
+        days: list[int],
+    ) -> ResultStore:
+        """SPMD entry point: every rank calls this; every rank returns the
+        complete merged store (the master additionally being where basket
+        aggregation would attach)."""
+        if not pairs or not grid or not days:
+            raise ValueError("pairs, grid and days must all be non-empty")
+        pairs = [tuple(sorted(p)) for p in pairs]
+        store = ResultStore()
+        my_pairs = partition_pairs(pairs, comm.size)[comm.rank]
+        specs = sorted(
+            {(p.m, p.ctype) for p in grid}, key=lambda s: (s[0], s[1].value)
+        )
+        for day in days:
+            # Stage 1: master prepares bars, broadcasts market-wide data.
+            if comm.rank == 0:
+                bundle = (self.provider.prices(day), self.provider.returns(day))
+            else:
+                bundle = None
+            prices, returns = comm.bcast(bundle, root=0)
+            smax = prices.shape[0]
+
+            # Stage 2: each correlation series computed exactly once,
+            # pair-blocks distributed, result replicated on all ranks.
+            series_by_spec = {}
+            for m, ctype in specs:
+                engine = ParallelCorrelationEngine(ctype, self.maronna_config)
+                series_by_spec[(m, ctype)] = engine.pair_series(
+                    comm, returns, m, pairs
+                )
+
+            # Stage 3: strategy runs for this rank's pair block, all
+            # parameter sets, reusing the shared series.
+            for i, j in my_pairs:
+                pair_prices = prices[:, [i, j]]
+                for k, params in enumerate(grid):
+                    series = series_by_spec[(params.m, params.ctype)][(i, j)]
+                    corr = align_corr_series(series, smax, params.m)
+                    trades = run_pair_day(
+                        pair_prices,
+                        corr,
+                        params,
+                        execution=self.execution,
+                        salt=execution_salt((i, j), k),
+                    )
+                    store.add((i, j), k, day, [t.ret for t in trades])
+
+        # Stage 4: gather partial stores at the master, merge, share back.
+        partials = comm.gather(store, root=0)
+        if comm.rank == 0:
+            merged = ResultStore.merged(partials)
+        else:
+            merged = None
+        return comm.bcast(merged, root=0)

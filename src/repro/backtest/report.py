@@ -1,0 +1,143 @@
+"""One-stop study report: the paper's whole evaluation in a single text.
+
+:func:`study_report` takes a completed sweep and renders everything the
+paper's Section V presents plus the deferred analyses this library adds:
+
+* Tables III–V (treatment summaries for all three measures),
+* Figure-2 box-plot statistics,
+* paired significance tests between treatments,
+* optimal parameter sets and best pairs,
+* walk-forward validation of the selection (when the study spans more
+  than one day).
+
+It is the artefact a practitioner would hand around after a run; the
+``full_reproduction`` example and the EXPERIMENTS.md numbers come from
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.backtest.selection import (
+    format_selection_report,
+    rank_pairs,
+    rank_parameter_sets,
+)
+from repro.backtest.walkforward import format_walk_forward, walk_forward
+from repro.corr.measures import CorrelationType
+from repro.metrics.significance import (
+    format_significance_table,
+    treatment_significance,
+)
+from repro.metrics.summary import (
+    boxplot_by_treatment,
+    format_treatment_table,
+    treatment_summaries,
+)
+from repro.strategy.params import StrategyParams
+
+if TYPE_CHECKING:
+    from repro.backtest.results import ResultStore
+
+_MEASURE_TITLES = (
+    ("returns", "Table III: average cumulative returns (gross)"),
+    ("drawdown", "Table IV: average maximum daily drawdown"),
+    ("winloss", "Table V: average win-loss ratio"),
+)
+
+
+@dataclass(frozen=True)
+class StudyReportOptions:
+    """What to include and how hard to bootstrap."""
+
+    include_significance: bool = True
+    include_selection: bool = True
+    include_walkforward: bool = True
+    include_boxplots: bool = True
+    n_bootstrap: int = 1000
+    selection_top: int = 5
+    seed: int = 0
+    symbols: tuple[str, ...] | None = None
+
+
+def _boxplot_section(store, grid) -> str:
+    lines = ["Figure 2: box-plot statistics per treatment"]
+    for measure, _ in _MEASURE_TITLES:
+        boxes = boxplot_by_treatment(store, grid, measure)
+        lines.append(f"  {measure}:")
+        for ctype in CorrelationType:
+            if ctype not in boxes:
+                continue
+            b = boxes[ctype]
+            lines.append(
+                f"    {ctype.value:<9} median {b.median:.4f} "
+                f"[{b.q1:.4f}, {b.q3:.4f}], whiskers "
+                f"[{b.whisker_low:.4f}, {b.whisker_high:.4f}], "
+                f"{len(b.outliers)} outliers"
+            )
+    return "\n".join(lines)
+
+
+def study_report(
+    store: "ResultStore",
+    grid: list[StrategyParams],
+    options: StudyReportOptions | None = None,
+) -> str:
+    """Render the full evaluation of a completed study."""
+    opts = options if options is not None else StudyReportOptions()
+    n_pairs = len(store.pairs)
+    n_days = len(store.days)
+    sections = [
+        f"Study: {n_pairs} pairs x {len(grid)} parameter sets x "
+        f"{n_days} day(s), {store.n_trades} trades",
+        "",
+    ]
+
+    for measure, title in _MEASURE_TITLES:
+        sections.append(
+            format_treatment_table(
+                treatment_summaries(store, grid, measure), title
+            )
+        )
+        sections.append("")
+
+    if opts.include_boxplots:
+        sections.append(_boxplot_section(store, grid))
+        sections.append("")
+
+    if opts.include_significance:
+        comparisons = []
+        for measure, _ in _MEASURE_TITLES:
+            comparisons.extend(
+                treatment_significance(
+                    store,
+                    grid,
+                    measure,
+                    n_bootstrap=opts.n_bootstrap,
+                    seed=opts.seed,
+                )
+            )
+        sections.append("Significance of treatment differences:")
+        sections.append(format_significance_table(comparisons))
+        sections.append("")
+
+    if opts.include_selection:
+        sections.append(
+            format_selection_report(
+                rank_parameter_sets(store, grid, "returns"),
+                rank_pairs(store, grid, "returns"),
+                "returns",
+                top=opts.selection_top,
+                symbols=opts.symbols,
+            )
+        )
+        sections.append("")
+
+    if opts.include_walkforward and n_days > 1:
+        sections.append("Walk-forward validation (window = 1 day):")
+        sections.append(format_walk_forward(walk_forward(store, grid, window=1)))
+        sections.append("")
+
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,139 @@
+"""Result storage for backtest runs.
+
+A :class:`ResultStore` maps ``(pair, param_index, day)`` to that cell's
+trade returns — the paper's ``R_p^{t,k}`` — and provides the unions and
+compounded views of §IV: eq (1)'s period union, eq (2)'s daily cumulative
+return and eq (3)'s total cumulative return.  Stores merge losslessly,
+which is how the distributed backtester gathers per-rank partial results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.metrics.returns import cumulative_return
+
+Key = tuple[tuple[int, int], int, int]
+
+
+class ResultStore:
+    """Trade returns per (pair, parameter set, day)."""
+
+    def __init__(self) -> None:
+        self._cells: dict[Key, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ResultStore):
+            return NotImplemented
+        if set(self._cells) != set(other._cells):
+            return False
+        return all(
+            np.array_equal(self._cells[k], other._cells[k]) for k in self._cells
+        )
+
+    @staticmethod
+    def _key(pair, param_index: int, day: int) -> Key:
+        i, j = pair
+        if i == j:
+            raise ValueError(f"a pair needs two distinct symbols, got {pair}")
+        if i > j:
+            i, j = j, i
+        if param_index < 0 or day < 0:
+            raise ValueError("param_index and day must be >= 0")
+        return ((int(i), int(j)), int(param_index), int(day))
+
+    def add(self, pair, param_index: int, day: int, returns) -> None:
+        """Record one cell's trade returns; double-adds are an error."""
+        key = self._key(pair, param_index, day)
+        if key in self._cells:
+            raise ValueError(f"cell {key} already recorded")
+        arr = np.asarray(returns, dtype=float).ravel()
+        if arr.size and not np.all(np.isfinite(arr)):
+            raise ValueError("trade returns must be finite")
+        self._cells[key] = arr
+
+    def has(self, pair, param_index: int, day: int) -> bool:
+        return self._key(pair, param_index, day) in self._cells
+
+    # -- views --------------------------------------------------------------
+
+    def cell(self, pair, param_index: int, day: int) -> np.ndarray:
+        """Trade returns of one cell (eq: the set ``R_p^{t,k}``)."""
+        key = self._key(pair, param_index, day)
+        try:
+            return self._cells[key].copy()
+        except KeyError:
+            raise KeyError(f"no results recorded for {key}") from None
+
+    def period_returns(self, pair, param_index: int) -> np.ndarray:
+        """Eq (1): union of the pair's trade returns over all recorded days."""
+        key_pair, k = self._key(pair, param_index, 0)[0], int(param_index)
+        days = sorted(
+            d for (p, kk, d) in self._cells if p == key_pair and kk == k
+        )
+        if not days:
+            raise KeyError(f"no results for pair {key_pair}, param {k}")
+        return np.concatenate(
+            [self._cells[(key_pair, k, d)] for d in days]
+            or [np.empty(0)]
+        )
+
+    def daily_return(self, pair, param_index: int, day: int) -> float:
+        """Eq (2): the day's cumulative return ``r_p^{t,k}``."""
+        return cumulative_return(self.cell(pair, param_index, day))
+
+    def daily_return_path(self, pair, param_index: int) -> np.ndarray:
+        """Daily cumulative returns over all recorded days, in day order."""
+        key_pair = self._key(pair, param_index, 0)[0]
+        k = int(param_index)
+        days = sorted(
+            d for (p, kk, d) in self._cells if p == key_pair and kk == k
+        )
+        if not days:
+            raise KeyError(f"no results for pair {key_pair}, param {k}")
+        return np.array(
+            [cumulative_return(self._cells[(key_pair, k, d)]) for d in days]
+        )
+
+    def total_return(self, pair, param_index: int) -> float:
+        """Eq (3): the period's total cumulative return ``r_p^k``."""
+        return cumulative_return(self.daily_return_path(pair, param_index))
+
+    # -- enumeration --------------------------------------------------------
+
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        return sorted({p for (p, _, _) in self._cells})
+
+    @property
+    def param_indices(self) -> list[int]:
+        return sorted({k for (_, k, _) in self._cells})
+
+    @property
+    def days(self) -> list[int]:
+        return sorted({d for (_, _, d) in self._cells})
+
+    @property
+    def n_trades(self) -> int:
+        return sum(arr.size for arr in self._cells.values())
+
+    # -- combination ----------------------------------------------------------
+
+    def merge(self, other: "ResultStore") -> None:
+        """Absorb another store; overlapping cells are an error."""
+        overlap = set(self._cells) & set(other._cells)
+        if overlap:
+            raise ValueError(f"stores overlap on {len(overlap)} cell(s)")
+        self._cells.update(other._cells)
+
+    @classmethod
+    def merged(cls, stores: Iterable["ResultStore"]) -> "ResultStore":
+        out = cls()
+        for store in stores:
+            out.merge(store)
+        return out

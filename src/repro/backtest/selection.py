@@ -1,0 +1,180 @@
+"""Parameter-set and pair selection (paper §VI future work).
+
+"Further experiments will include ... identification of optimal parameter
+sets for a given correlation measure" and "Identifying which pairs perform
+well is worthy a further investigation."
+
+Both studies are rankings over the completed result store:
+
+* :func:`rank_parameter_sets` — score each parameter set by a performance
+  measure aggregated over all pairs (the paper's "summarizing the results
+  over all pairs but for a given parameter set indicates which parameters
+  are most effective");
+* :func:`rank_pairs` — score each pair aggregated over all parameter sets
+  ("summarizing over all parameter sets but with a given pair indicates
+  that the pair may be a particularly good candidate for pair trading and
+  less sensitive to choice of parameters").
+
+Scores: mean total cumulative return (higher better), mean maximum daily
+drawdown (lower better), pooled win–loss ratio (higher better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.corr.measures import CorrelationType
+from repro.metrics.drawdown import max_drawdown
+from repro.metrics.winloss import win_loss_ratio
+from repro.strategy.params import StrategyParams
+
+if TYPE_CHECKING:
+    from repro.backtest.results import ResultStore
+
+#: measure name -> (score function over (store, subject), higher_is_better)
+_MEASURES = ("returns", "drawdown", "winloss")
+
+
+@dataclass(frozen=True)
+class ParameterScore:
+    """One parameter set's aggregate performance across all pairs."""
+
+    param_index: int
+    params: StrategyParams
+    score: float
+    n_trades: int
+
+
+@dataclass(frozen=True)
+class PairScore:
+    """One pair's aggregate performance across parameter sets."""
+
+    pair: tuple[int, int]
+    score: float
+    n_trades: int
+
+
+def _param_score(store: "ResultStore", k: int, measure: str) -> float:
+    pairs = store.pairs
+    if measure == "returns":
+        return float(np.mean([store.total_return(p, k) for p in pairs]))
+    if measure == "drawdown":
+        return float(
+            np.mean([max_drawdown(store.daily_return_path(p, k)) for p in pairs])
+        )
+    if measure == "winloss":
+        pooled = np.concatenate([store.period_returns(p, k) for p in pairs])
+        return win_loss_ratio(pooled)
+    raise ValueError(f"unknown measure {measure!r}; expected one of {_MEASURES}")
+
+
+def _pair_score(
+    store: "ResultStore", pair: tuple[int, int], ks: list[int], measure: str
+) -> float:
+    if measure == "returns":
+        return float(np.mean([store.total_return(pair, k) for k in ks]))
+    if measure == "drawdown":
+        return float(
+            np.mean([max_drawdown(store.daily_return_path(pair, k)) for k in ks])
+        )
+    if measure == "winloss":
+        pooled = np.concatenate([store.period_returns(pair, k) for k in ks])
+        return win_loss_ratio(pooled)
+    raise ValueError(f"unknown measure {measure!r}; expected one of {_MEASURES}")
+
+
+def rank_parameter_sets(
+    store: "ResultStore",
+    grid: list[StrategyParams],
+    measure: str = "returns",
+    ctype: CorrelationType | str | None = None,
+) -> list[ParameterScore]:
+    """Parameter sets ordered best-first by ``measure``.
+
+    With ``ctype`` given, only that treatment's parameter sets compete —
+    the paper's "optimal parameter sets for a given correlation measure".
+    """
+    if measure not in _MEASURES:
+        raise ValueError(f"unknown measure {measure!r}; expected one of {_MEASURES}")
+    if ctype is not None:
+        ctype = CorrelationType.parse(ctype)
+    scores = []
+    for k, params in enumerate(grid):
+        if ctype is not None and params.ctype is not ctype:
+            continue
+        n_trades = sum(
+            store.period_returns(p, k).size for p in store.pairs
+        )
+        scores.append(
+            ParameterScore(
+                param_index=k,
+                params=params,
+                score=_param_score(store, k, measure),
+                n_trades=n_trades,
+            )
+        )
+    if not scores:
+        raise ValueError(f"no parameter sets for treatment {ctype}")
+    reverse = measure != "drawdown"  # lower drawdown is better
+    return sorted(scores, key=lambda s: s.score, reverse=reverse)
+
+
+def rank_pairs(
+    store: "ResultStore",
+    grid: list[StrategyParams],
+    measure: str = "returns",
+    ctype: CorrelationType | str | None = None,
+) -> list[PairScore]:
+    """Pairs ordered best-first by ``measure`` aggregated over levels."""
+    if measure not in _MEASURES:
+        raise ValueError(f"unknown measure {measure!r}; expected one of {_MEASURES}")
+    if ctype is not None:
+        ctype = CorrelationType.parse(ctype)
+    ks = [
+        k
+        for k, params in enumerate(grid)
+        if ctype is None or params.ctype is ctype
+    ]
+    if not ks:
+        raise ValueError(f"no parameter sets for treatment {ctype}")
+    scores = []
+    for pair in store.pairs:
+        n_trades = sum(store.period_returns(pair, k).size for k in ks)
+        scores.append(
+            PairScore(
+                pair=pair,
+                score=_pair_score(store, pair, ks, measure),
+                n_trades=n_trades,
+            )
+        )
+    reverse = measure != "drawdown"
+    return sorted(scores, key=lambda s: s.score, reverse=reverse)
+
+
+def format_selection_report(
+    param_scores: list[ParameterScore],
+    pair_scores: list[PairScore],
+    measure: str,
+    top: int = 5,
+    symbols: tuple[str, ...] | None = None,
+) -> str:
+    """Render the two rankings as a fixed-width report."""
+    lines = [f"Top parameter sets by {measure}:"]
+    for s in param_scores[:top]:
+        lines.append(
+            f"  k={s.param_index:2d} score={s.score:+.5f} "
+            f"trades={s.n_trades:5d}  {s.params.label()}"
+        )
+    lines.append(f"\nTop pairs by {measure}:")
+    for s in pair_scores[:top]:
+        if symbols is not None:
+            name = f"{symbols[s.pair[0]]}/{symbols[s.pair[1]]}"
+        else:
+            name = f"({s.pair[0]}, {s.pair[1]})"
+        lines.append(
+            f"  {name:<12} score={s.score:+.5f} trades={s.n_trades:5d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Walk-forward validation of parameter selection.
+
+The selection study (paper §VI future work) picks the best parameter set
+in-sample; the obvious follow-up question is whether that choice survives
+out-of-sample.  Walk-forward analysis answers it: roll a selection window
+across the trading days, pick the best parameter set on each window, and
+evaluate it on the following day.  The comparison against the (unknowable
+in advance) best-in-hindsight set and against the median set quantifies
+selection value and overfitting in one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backtest.results import ResultStore
+from repro.backtest.selection import rank_parameter_sets
+from repro.corr.measures import CorrelationType
+from repro.metrics.returns import cumulative_return
+from repro.strategy.params import StrategyParams
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class WalkForwardStep:
+    """One fold: selection window → evaluation day."""
+
+    select_days: tuple[int, ...]
+    evaluate_day: int
+    chosen_k: int
+    chosen_return: float  # mean across pairs on the evaluation day
+    best_k: int  # best-in-hindsight on the evaluation day
+    best_return: float
+    median_return: float  # median across parameter sets on the day
+
+
+@dataclass(frozen=True)
+class WalkForwardReport:
+    """All folds plus aggregate diagnostics."""
+
+    steps: tuple[WalkForwardStep, ...]
+
+    @property
+    def mean_chosen_return(self) -> float:
+        return float(np.mean([s.chosen_return for s in self.steps]))
+
+    @property
+    def mean_best_return(self) -> float:
+        return float(np.mean([s.best_return for s in self.steps]))
+
+    @property
+    def mean_median_return(self) -> float:
+        return float(np.mean([s.median_return for s in self.steps]))
+
+    @property
+    def capture_ratio(self) -> float:
+        """How much of the selection-vs-median edge survives out-of-sample.
+
+        1.0 → the in-sample choice is as good as hindsight; 0.0 → no
+        better than the median set; negative → worse than median (pure
+        overfitting).  Degenerate folds (best == median) count as full
+        capture.
+        """
+        edge_possible = self.mean_best_return - self.mean_median_return
+        edge_captured = self.mean_chosen_return - self.mean_median_return
+        if abs(edge_possible) < 1e-15:
+            return 1.0
+        return float(edge_captured / edge_possible)
+
+
+def _restricted_store(store: ResultStore, days: list[int]) -> ResultStore:
+    """A view of ``store`` containing only the given days."""
+    out = ResultStore()
+    for pair in store.pairs:
+        for k in store.param_indices:
+            for day in days:
+                if store.has(pair, k, day):
+                    out.add(pair, k, day, store.cell(pair, k, day))
+    return out
+
+
+def _day_mean_return(store: ResultStore, k: int, day: int) -> float:
+    """Mean over pairs of the day's cumulative return for parameter k."""
+    values = [
+        cumulative_return(store.cell(pair, k, day)) for pair in store.pairs
+    ]
+    return float(np.mean(values))
+
+
+def walk_forward(
+    store: ResultStore,
+    grid: list[StrategyParams],
+    window: int = 1,
+    measure: str = "returns",
+    ctype: CorrelationType | str | None = None,
+) -> WalkForwardReport:
+    """Roll selection over ``window`` days, evaluate on the next day.
+
+    ``store`` must cover consecutive days; each fold selects the best
+    parameter set on days ``[t - window, t)`` and evaluates every set on
+    day ``t``.
+    """
+    check_positive_int(window, "window")
+    days = store.days
+    if len(days) <= window:
+        raise ValueError(
+            f"need more than window={window} days, store has {len(days)}"
+        )
+    if ctype is not None:
+        ctype = CorrelationType.parse(ctype)
+    ks = [
+        k for k, p in enumerate(grid)
+        if ctype is None or p.ctype is ctype
+    ]
+    if not ks:
+        raise ValueError(f"no parameter sets for treatment {ctype}")
+
+    steps = []
+    for idx in range(window, len(days)):
+        select_days = days[idx - window : idx]
+        eval_day = days[idx]
+        in_sample = _restricted_store(store, select_days)
+        ranked = rank_parameter_sets(in_sample, grid, measure, ctype)
+        chosen_k = ranked[0].param_index
+
+        day_returns = {k: _day_mean_return(store, k, eval_day) for k in ks}
+        best_k = max(day_returns, key=day_returns.get)
+        steps.append(
+            WalkForwardStep(
+                select_days=tuple(select_days),
+                evaluate_day=eval_day,
+                chosen_k=chosen_k,
+                chosen_return=day_returns[chosen_k],
+                best_k=best_k,
+                best_return=day_returns[best_k],
+                median_return=float(np.median(list(day_returns.values()))),
+            )
+        )
+    return WalkForwardReport(steps=tuple(steps))
+
+
+def format_walk_forward(report: WalkForwardReport) -> str:
+    """Render the walk-forward table."""
+    lines = [
+        f"{'fold':<6} {'select days':<14} {'eval':>5} {'chosen k':>9} "
+        f"{'chosen ret':>11} {'best ret':>10} {'median ret':>11}"
+    ]
+    for i, s in enumerate(report.steps):
+        sel = ",".join(map(str, s.select_days))
+        lines.append(
+            f"{i:<6} {sel:<14} {s.evaluate_day:>5} {s.chosen_k:>9} "
+            f"{s.chosen_return:>+11.5f} {s.best_return:>+10.5f} "
+            f"{s.median_return:>+11.5f}"
+        )
+    lines.append(
+        f"\nmeans: chosen {report.mean_chosen_return:+.5f}, "
+        f"hindsight-best {report.mean_best_return:+.5f}, "
+        f"median {report.mean_median_return:+.5f} "
+        f"(capture ratio {report.capture_ratio:+.2f})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""OHLC bar accumulation and return computation.
+
+MarketMiner's "OHLC Bar Accumulator" component (Figure 1) reduces the raw
+quote stream to per-interval bars of the bid–ask midpoint (BAM), the
+paper's price approximation; downstream components consume 1-period
+log-returns of the bar closes.
+"""
+
+from repro.bars.accumulator import (
+    OHLC_DTYPE,
+    StreamingBarAccumulator,
+    accumulate_bam,
+    accumulate_ohlc,
+)
+from repro.bars.returns import log_returns, sliding_windows, w_period_returns
+
+__all__ = [
+    "OHLC_DTYPE",
+    "StreamingBarAccumulator",
+    "accumulate_bam",
+    "accumulate_ohlc",
+    "log_returns",
+    "sliding_windows",
+    "w_period_returns",
+]

@@ -1,0 +1,206 @@
+"""Bar accumulation: quote streams → per-interval BAM/OHLC bars.
+
+Two modes of use:
+
+* :func:`accumulate_bam` / :func:`accumulate_ohlc` — vectorised batch
+  accumulation of a whole day's quotes, used by the backtesting engines;
+* :class:`StreamingBarAccumulator` — incremental, one-quote-at-a-time
+  accumulation, used by the MarketMiner pipeline component, producing bars
+  identical to the batch functions (tested property).
+
+Empty intervals are forward-filled from the previous close (a stock that
+does not quote still has a standing price); intervals before a symbol's
+first quote are back-filled from that first quote so the output grid is
+rectangular, matching how the paper treats infrequently trading stocks via
+the BAM "approximation to the actual price level between trades".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.taq.types import validate_quote_array
+from repro.util.timeutil import TimeGrid
+
+#: Per-interval bar: open/high/low/close of the BAM plus the quote count.
+OHLC_DTYPE = np.dtype(
+    [
+        ("open", "f8"),
+        ("high", "f8"),
+        ("low", "f8"),
+        ("close", "f8"),
+        ("count", "i4"),
+    ]
+)
+
+
+def _interval_indices(t: np.ndarray, grid: TimeGrid) -> np.ndarray:
+    """Map quote timestamps to grid intervals; drop-out-of-session is an error."""
+    if t.size and (t.min() < 0 or t.max() >= grid.smax * grid.delta_s):
+        raise ValueError(
+            "quote timestamps fall outside the complete intervals of the grid"
+        )
+    return (t // grid.delta_s).astype(np.int64)
+
+
+def accumulate_bam(
+    records: np.ndarray, grid: TimeGrid, n_symbols: int
+) -> np.ndarray:
+    """Last BAM per (interval, symbol), forward/back-filled; shape (smax, n).
+
+    ``out[s, i]`` is the paper's ``P_i(s)``: the standing price of symbol
+    ``i`` at the close of interval ``s``.
+    """
+    validate_quote_array(records, n_symbols=n_symbols)
+    if records.size == 0:
+        raise ValueError("cannot accumulate bars from an empty quote stream")
+    s_idx = _interval_indices(records["t"], grid)
+    bam = 0.5 * (records["bid"] + records["ask"])
+    sym = records["symbol"]
+
+    out = np.full((grid.smax, n_symbols), np.nan)
+    # Last quote per (interval, symbol) wins.  Duplicate fancy-index
+    # assignment order is undefined in NumPy, so pick the last occurrence
+    # of each key explicitly (records are chronological).
+    key = s_idx * np.int64(n_symbols) + sym
+    _, rev_pos = np.unique(key[::-1], return_index=True)
+    last_pos = key.size - 1 - rev_pos
+    out[s_idx[last_pos], sym[last_pos]] = bam[last_pos]
+
+    for i in range(n_symbols):
+        col = out[:, i]
+        valid = np.isfinite(col)
+        if not valid.any():
+            raise ValueError(f"symbol index {i} has no quotes in the stream")
+        # Forward fill.
+        idx = np.where(valid, np.arange(grid.smax), 0)
+        np.maximum.accumulate(idx, out=idx)
+        col[:] = col[idx]
+        # Back fill the leading gap.
+        first = np.argmax(valid)
+        col[:first] = col[first]
+    return out
+
+
+def accumulate_ohlc(
+    records: np.ndarray, grid: TimeGrid, n_symbols: int
+) -> np.ndarray:
+    """Full OHLC bars of the BAM; shape (smax, n) with :data:`OHLC_DTYPE`.
+
+    Empty intervals carry the forward-filled close in all four price fields
+    and ``count == 0``.
+    """
+    validate_quote_array(records, n_symbols=n_symbols)
+    if records.size == 0:
+        raise ValueError("cannot accumulate bars from an empty quote stream")
+    s_idx = _interval_indices(records["t"], grid)
+    bam = 0.5 * (records["bid"] + records["ask"])
+    sym = records["symbol"]
+
+    out = np.zeros((grid.smax, n_symbols), dtype=OHLC_DTYPE)
+    out["high"][:] = -np.inf
+    out["low"][:] = np.inf
+    out["open"][:] = np.nan
+    out["close"][:] = np.nan
+
+    np.maximum.at(out["high"], (s_idx, sym), bam)
+    np.minimum.at(out["low"], (s_idx, sym), bam)
+    np.add.at(out["count"], (s_idx, sym), 1)
+    # First/last quote per (interval, symbol) give open/close.  Duplicate
+    # fancy-index assignment order is undefined in NumPy, so resolve the
+    # occurrences explicitly: records are chronological, so the first
+    # occurrence of each key is the open and the last is the close.
+    key = s_idx * np.int64(n_symbols) + sym
+    _, first_pos = np.unique(key, return_index=True)
+    out["open"][s_idx[first_pos], sym[first_pos]] = bam[first_pos]
+    rev_key = key[::-1]
+    _, rev_pos = np.unique(rev_key, return_index=True)
+    last_pos = key.size - 1 - rev_pos
+    out["close"][s_idx[last_pos], sym[last_pos]] = bam[last_pos]
+
+    closes = accumulate_bam(records, grid, n_symbols)
+    empty = out["count"] == 0
+    for f in ("open", "high", "low", "close"):
+        out[f][empty] = closes[empty]
+    return out
+
+
+class StreamingBarAccumulator:
+    """Incremental bar builder for the MarketMiner pipeline.
+
+    Feed quotes with :meth:`add_quote`; when the stream passes an interval
+    boundary, call :meth:`close_through` to flush every completed interval.
+    Produces exactly the rows :func:`accumulate_ohlc` would.
+    """
+
+    def __init__(self, grid: TimeGrid, n_symbols: int):
+        if n_symbols <= 0:
+            raise ValueError(f"n_symbols must be positive, got {n_symbols}")
+        self.grid = grid
+        self.n_symbols = n_symbols
+        self._current = 0  # next interval to close
+        self._last_close = np.full(n_symbols, np.nan)
+        self._reset_working()
+
+    def _reset_working(self) -> None:
+        n = self.n_symbols
+        self._open = np.full(n, np.nan)
+        self._high = np.full(n, -np.inf)
+        self._low = np.full(n, np.inf)
+        self._close = np.full(n, np.nan)
+        self._count = np.zeros(n, dtype=np.int32)
+
+    @property
+    def next_interval(self) -> int:
+        """Index of the next interval that will be closed."""
+        return self._current
+
+    def add_quote(self, t: float, symbol: int, bid: float, ask: float) -> None:
+        """Feed one quote; it must belong to an interval not yet closed."""
+        if not 0 <= symbol < self.n_symbols:
+            raise ValueError(f"symbol {symbol} outside [0, {self.n_symbols})")
+        s = self.grid.interval_of(t)
+        if s < self._current:
+            raise ValueError(
+                f"quote at t={t} belongs to interval {s}, already closed "
+                f"(next open interval is {self._current})"
+            )
+        if s > self._current:
+            raise ValueError(
+                f"quote at t={t} belongs to future interval {s}; call "
+                f"close_through({s - 1}) first"
+            )
+        bam = 0.5 * (bid + ask)
+        if self._count[symbol] == 0:
+            self._open[symbol] = bam
+        self._high[symbol] = max(self._high[symbol], bam)
+        self._low[symbol] = min(self._low[symbol], bam)
+        self._close[symbol] = bam
+        self._count[symbol] += 1
+
+    def close_through(self, s: int) -> np.ndarray:
+        """Close intervals ``current .. s``; return their bar rows.
+
+        Returns shape ``(s - current + 1, n_symbols)`` with
+        :data:`OHLC_DTYPE`.  Symbols with no quote yet (no standing price)
+        produce NaN bars until their first quote arrives, mirroring the
+        back-fill the batch accumulator performs once the whole day is
+        known.
+        """
+        if s < self._current:
+            raise ValueError(f"interval {s} already closed")
+        self.grid._check_index(s)
+        rows = []
+        while self._current <= s:
+            row = np.zeros(self.n_symbols, dtype=OHLC_DTYPE)
+            has = self._count > 0
+            row["open"] = np.where(has, self._open, self._last_close)
+            row["high"] = np.where(has, self._high, self._last_close)
+            row["low"] = np.where(has, self._low, self._last_close)
+            row["close"] = np.where(has, self._close, self._last_close)
+            row["count"] = self._count
+            self._last_close = row["close"].copy()
+            rows.append(row)
+            self._current += 1
+            self._reset_working()
+        return np.stack(rows)

@@ -1,0 +1,57 @@
+"""Return computation over bar grids.
+
+The paper's correlation inputs are vectors of the last ``M`` log-returns,
+``x_i = log(P_i(s) / P_i(s - 1))``; the over/under-performer decision uses
+the ``W``-period simple return.  All functions are vectorised over the
+whole (intervals × symbols) grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.util.validation import check_positive_int
+
+
+def log_returns(prices: np.ndarray) -> np.ndarray:
+    """1-period log-returns along axis 0; shape ``(T-1, ...)``.
+
+    ``out[s - 1] = log(P(s) / P(s - 1))`` so ``out[k]`` is the return *into*
+    interval ``k + 1``.
+    """
+    prices = np.asarray(prices, dtype=float)
+    if prices.shape[0] < 2:
+        raise ValueError("need at least two price rows for returns")
+    if np.any(prices <= 0) or not np.all(np.isfinite(prices)):
+        raise ValueError("prices must be positive and finite")
+    return np.diff(np.log(prices), axis=0)
+
+
+def sliding_windows(x: np.ndarray, m: int) -> np.ndarray:
+    """Rolling windows of length ``m`` along axis 0, as a zero-copy view.
+
+    For input shape ``(T, ...)`` returns shape ``(T - m + 1, ..., m)``:
+    ``out[k]`` contains rows ``k .. k + m - 1``.  Callers must not write
+    through the view.
+    """
+    check_positive_int(m, "m")
+    x = np.asarray(x)
+    if x.shape[0] < m:
+        raise ValueError(f"need at least {m} rows, got {x.shape[0]}")
+    return sliding_window_view(x, m, axis=0)
+
+
+def w_period_returns(prices: np.ndarray, w: int) -> np.ndarray:
+    """Simple ``W``-period returns ``P(s)/P(s-W) - 1`` along axis 0.
+
+    Output row ``k`` corresponds to price row ``k + w``; shape
+    ``(T - w, ...)``.
+    """
+    check_positive_int(w, "w")
+    prices = np.asarray(prices, dtype=float)
+    if prices.shape[0] <= w:
+        raise ValueError(f"need more than {w} price rows, got {prices.shape[0]}")
+    if np.any(prices <= 0) or not np.all(np.isfinite(prices)):
+        raise ValueError("prices must be positive and finite")
+    return prices[w:] / prices[:-w] - 1.0

@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+One executable, ``repro``, with a subcommand per common workflow::
+
+    repro table1                      # print the Table-I parameter grid
+    repro taq-sample --symbols 8      # synthesise and print Table-II rows
+    repro sweep --symbols 8 --days 3  # run the study, print Tables III-V
+    repro pipeline --symbols 6        # stream a Figure-1 live session
+    repro screen --symbols 12         # candidate-pair screening funnel
+
+Every command is deterministic given ``--seed`` and prints plain text, so
+the CLI doubles as a smoke test of the whole stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _add_market_args(parser: argparse.ArgumentParser, symbols: int) -> None:
+    parser.add_argument(
+        "--symbols", type=int, default=symbols,
+        help=f"universe size (default {symbols}, paper scale 61)",
+    )
+    parser.add_argument(
+        "--seconds", type=int, default=23_400 // 2,
+        help="trading session length in seconds (paper: 23400)",
+    )
+    parser.add_argument("--seed", type=int, default=2008)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.strategy.params import format_table1, paper_parameter_grid
+
+    print(format_table1())
+    print(f"\n{len(paper_parameter_grid())} parameter sets "
+          f"(3 treatments x 14 levels)")
+    return 0
+
+
+def _cmd_taq_sample(args: argparse.Namespace) -> int:
+    from repro.taq.io import format_table2
+    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+    from repro.taq.universe import default_universe
+
+    market = SyntheticMarket(
+        default_universe(args.symbols),
+        SyntheticMarketConfig(trading_seconds=args.seconds),
+        seed=args.seed,
+    )
+    quotes = market.quotes(0)
+    print(format_table2(quotes, market.universe, limit=args.rows))
+    print(f"\n{quotes.size} quotes, {args.symbols} symbols, "
+          f"{args.seconds} seconds")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.backtest.sweep import SweepConfig, run_sweep
+    from repro.metrics.summary import (
+        format_treatment_table,
+        treatment_summaries,
+    )
+    from repro.strategy.params import StrategyParams
+
+    config = SweepConfig(
+        n_symbols=args.symbols,
+        n_days=args.days,
+        trading_seconds=args.seconds,
+        seed=args.seed,
+        n_levels=args.levels,
+        base_params=StrategyParams(
+            m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001
+        ),
+        ranks=args.ranks,
+        engine=args.engine,
+    )
+    store, grid = run_sweep(config)
+    print(
+        f"{len(store.pairs)} pairs x {len(grid)} parameter sets x "
+        f"{args.days} days: {store.n_trades} trades\n"
+    )
+    for measure, title in (
+        ("returns", "Table III: average cumulative returns (gross)"),
+        ("drawdown", "Table IV: average maximum daily drawdown"),
+        ("winloss", "Table V: average win-loss ratio"),
+    ):
+        print(format_treatment_table(
+            treatment_summaries(store, grid, measure), title
+        ))
+        print()
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.marketminer.session import (
+        build_figure1_workflow,
+        run_figure1_session,
+    )
+    from repro.strategy.params import StrategyParams
+    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+    from repro.taq.universe import default_universe
+    from repro.util.timeutil import TimeGrid
+
+    market = SyntheticMarket(
+        default_universe(args.symbols),
+        SyntheticMarketConfig(trading_seconds=args.seconds, quote_rate=0.9),
+        seed=args.seed,
+    )
+    grid_time = TimeGrid(30, trading_seconds=args.seconds)
+    params = StrategyParams(
+        m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001
+    )
+    workflow = build_figure1_workflow(
+        market,
+        grid_time,
+        list(market.universe.pairs()),
+        [params],
+        n_corr_engines=args.engines,
+    )
+    print(workflow.describe())
+    results = run_figure1_session(
+        workflow, size=args.ranks, collect_stats=True
+    )
+    n_trades = sum(len(v) for v in results["pair_trading"]["trades"].values())
+    sink = results["order_sink"]
+    print(
+        f"\n{results['bar_accumulator']['bars_emitted']} bars, "
+        f"{n_trades} trades, {sink['accepted_orders']} orders, "
+        f"{sink['open_pairs_at_close']} open at close"
+    )
+    for rank, stats in results["_runtime"].items():
+        print(
+            f"  rank {rank}: {stats['messages_local']} local / "
+            f"{stats['messages_remote']} remote messages "
+            f"({', '.join(stats['components'])})"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.backtest.report import StudyReportOptions, study_report
+    from repro.backtest.sweep import SweepConfig, run_sweep
+    from repro.strategy.params import StrategyParams
+
+    config = SweepConfig(
+        n_symbols=args.symbols,
+        n_days=args.days,
+        trading_seconds=args.seconds,
+        seed=args.seed,
+        n_levels=args.levels,
+        base_params=StrategyParams(
+            m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001
+        ),
+        ranks=args.ranks,
+    )
+    store, grid = run_sweep(config)
+    print(
+        study_report(
+            store,
+            grid,
+            StudyReportOptions(
+                symbols=config.build_universe().symbols,
+                n_bootstrap=args.bootstrap,
+                seed=args.seed,
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    from repro.backtest.data import BarProvider
+    from repro.corr.clustering import (
+        correlation_clusters,
+        screen_candidate_pairs,
+    )
+    from repro.corr.measures import corr_matrix
+    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+    from repro.taq.universe import default_universe
+    from repro.util.timeutil import TimeGrid
+
+    market = SyntheticMarket(
+        default_universe(args.symbols),
+        SyntheticMarketConfig(trading_seconds=args.seconds),
+        seed=args.seed,
+    )
+    provider = BarProvider(
+        market, TimeGrid(30, trading_seconds=args.seconds)
+    )
+    returns = provider.returns(0)
+    matrix = corr_matrix(returns, args.measure)
+    symbols = market.universe.symbols
+
+    print(f"Clusters (rho >= {args.threshold}):")
+    for cluster in correlation_clusters(matrix, args.threshold):
+        if len(cluster) > 1:
+            print("  [" + ", ".join(symbols[i] for i in sorted(cluster)) + "]")
+    candidates = screen_candidate_pairs(
+        matrix, n_obs=returns.shape[0], threshold=args.threshold,
+        max_pairs=args.top,
+    )
+    print(f"\nTop {len(candidates)} candidates "
+          f"(Fisher-z lower bound >= {args.threshold}):")
+    for c in candidates:
+        i, j = c.pair
+        print(f"  {symbols[i]}/{symbols[j]:<6} rho={c.correlation:.3f} "
+              f"(lb {c.lower_bound:.3f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A High Performance Pair Trading "
+        "Application' (IPPS 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table-I parameter grid")
+
+    p = sub.add_parser("taq-sample", help="print Table-II style quote rows")
+    _add_market_args(p, symbols=8)
+    p.add_argument("--rows", type=int, default=12)
+
+    p = sub.add_parser("sweep", help="run the study, print Tables III-V")
+    _add_market_args(p, symbols=8)
+    p.add_argument("--days", type=int, default=2)
+    p.add_argument("--levels", type=int, default=4,
+                   help="factor levels per treatment (max 14)")
+    p.add_argument("--ranks", type=int, default=2)
+    p.add_argument("--engine", choices=("distributed", "sequential"),
+                   default="distributed")
+
+    p = sub.add_parser("pipeline", help="stream a Figure-1 live session")
+    _add_market_args(p, symbols=6)
+    p.add_argument("--ranks", type=int, default=3)
+    p.add_argument("--engines", type=int, default=1,
+                   help="parallel correlation engines")
+
+    p = sub.add_parser(
+        "report", help="run a study and print the full evaluation report"
+    )
+    _add_market_args(p, symbols=8)
+    p.add_argument("--days", type=int, default=2)
+    p.add_argument("--levels", type=int, default=4)
+    p.add_argument("--ranks", type=int, default=2)
+    p.add_argument("--bootstrap", type=int, default=500)
+
+    p = sub.add_parser("screen", help="candidate-pair screening funnel")
+    _add_market_args(p, symbols=12)
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--measure", choices=("pearson", "maronna", "combined"),
+                   default="pearson")
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "taq-sample": _cmd_taq_sample,
+    "sweep": _cmd_sweep,
+    "pipeline": _cmd_pipeline,
+    "report": _cmd_report,
+    "screen": _cmd_screen,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Correlation measures and engines.
+
+The enabling feature of MarketMiner (paper §II) is producing large
+correlation matrices over a sliding window of recent returns, in an online
+fashion, with a choice of measures:
+
+* **Pearson** — the standard product-moment coefficient, cheap but
+  outlier-sensitive (:mod:`repro.corr.pearson`);
+* **Maronna** — the robust M-estimator of bivariate scatter (Maronna 1976),
+  far less sensitive to outliers but iterative and therefore expensive
+  (:mod:`repro.corr.maronna`); the paper's platform exists largely to make
+  this affordable market-wide;
+* **Combined** — an equal blend of the two (:mod:`repro.corr.combined`;
+  the paper uses but never defines "Combined" — see DESIGN.md).
+
+Supporting machinery: sliding-window series and full-matrix computation
+(:mod:`repro.corr.measures`), an incremental online engine
+(:mod:`repro.corr.online`), PSD repair for pairwise-assembled robust
+matrices (:mod:`repro.corr.psd`) and the block-parallel matrix engine that
+runs over the MPI substrate (:mod:`repro.corr.parallel`).
+"""
+
+from repro.corr.clustering import (
+    CandidatePair,
+    correlation_clusters,
+    fisher_lower_bound,
+    hierarchical_clusters,
+    screen_candidate_pairs,
+    threshold_graph,
+)
+from repro.corr.combined import combined_corr, combined_corr_batched
+from repro.corr.eigen import (
+    MarketMode,
+    absorption_ratio,
+    market_mode,
+    residual_correlation,
+)
+from repro.corr.maronna import (
+    MaronnaConfig,
+    maronna_corr,
+    maronna_corr_batched,
+    maronna_weights,
+)
+from repro.corr.measures import (
+    CorrelationType,
+    corr_matrix,
+    corr_matrix_series,
+    corr_series,
+    pairwise_corr,
+)
+from repro.corr.online import OnlineCorrelationEngine
+from repro.corr.parallel import (
+    ParallelCorrelationEngine,
+    partition_pairs,
+)
+from repro.corr.pearson import (
+    pearson_corr,
+    pearson_corr_batched,
+    pearson_matrix,
+    pearson_series,
+)
+from repro.corr.psd import is_psd, nearest_psd_correlation
+
+__all__ = [
+    "CandidatePair",
+    "CorrelationType",
+    "MarketMode",
+    "MaronnaConfig",
+    "OnlineCorrelationEngine",
+    "ParallelCorrelationEngine",
+    "absorption_ratio",
+    "combined_corr",
+    "combined_corr_batched",
+    "correlation_clusters",
+    "corr_matrix",
+    "corr_matrix_series",
+    "corr_series",
+    "fisher_lower_bound",
+    "hierarchical_clusters",
+    "is_psd",
+    "market_mode",
+    "maronna_corr",
+    "maronna_corr_batched",
+    "maronna_weights",
+    "nearest_psd_correlation",
+    "pairwise_corr",
+    "partition_pairs",
+    "pearson_corr",
+    "pearson_corr_batched",
+    "pearson_matrix",
+    "pearson_series",
+    "residual_correlation",
+    "screen_candidate_pairs",
+    "threshold_graph",
+]

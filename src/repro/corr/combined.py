@@ -1,0 +1,37 @@
+"""The "Combined" correlation measure.
+
+The paper evaluates three treatments — Pearson, Maronna and "Combined" —
+but never defines the third.  Its reported profile (lowest dispersion and
+highest Sharpe ratio among the three, Tables III–V) is the signature of an
+averaged estimator, so this library defines Combined as the equal-weight
+blend of the other two measures on the same window:
+
+    C_combined = (C_pearson + C_maronna) / 2
+
+This interpretation is recorded as a substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corr.maronna import MaronnaConfig, maronna_corr_batched
+from repro.corr.pearson import pearson_corr_batched
+
+
+def combined_corr_batched(
+    xw: np.ndarray, yw: np.ndarray, config: MaronnaConfig | None = None
+) -> np.ndarray:
+    """Combined correlation per row of two ``(B, M)`` window batches."""
+    pearson = pearson_corr_batched(xw, yw)
+    maronna = maronna_corr_batched(xw, yw, config)
+    return 0.5 * (pearson + maronna)
+
+
+def combined_corr(x, y, config: MaronnaConfig | None = None) -> float:
+    """Combined correlation of two equal-length 1-D samples."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape:
+        raise ValueError(f"need equal-length 1-D inputs, got {x.shape} vs {y.shape}")
+    return float(combined_corr_batched(x[None, :], y[None, :], config)[0])

@@ -1,0 +1,169 @@
+"""Maronna robust M-estimator of bivariate correlation (Maronna 1976).
+
+The estimator solves the fixed-point equations
+
+    t = Σ u1(d_i) x_i / Σ u1(d_i)
+    V = (1/M) Σ u2(d_i²) (x_i - t)(x_i - t)ᵀ
+    d_i² = (x_i - t)ᵀ V⁻¹ (x_i - t)
+
+with Huber weight functions ``u1(d) = min(1, k/d)`` and
+``u2(d²) = u1(d)²``: observations inside the radius ``k`` get full weight,
+outliers are down-weighted by their squared Mahalanobis distance.  The
+correlation is read off the converged scatter ``V`` as
+``V01 / sqrt(V00 · V11)`` — any consistency constant on ``V`` cancels, so
+none is applied.
+
+The computational story matches the paper's: the estimator is iterative and
+far more expensive than Pearson, which is why MarketMiner computes robust
+matrices with a parallel algorithm (Chilson et al. 2006).  The batched
+kernel here (:func:`maronna_corr_batched`) iterates all windows of a block
+simultaneously in vectorised NumPy and is the unit the parallel engine
+distributes.
+
+Iteration starts from coordinate medians, MAD scales and the quadrant
+correlation, and stops when the scatter stabilises.  Windows with zero
+robust scale (constant series) yield correlation 0.0, consistent with
+:mod:`repro.corr.pearson`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import chi2
+
+from repro.util.validation import check_positive, check_positive_int
+
+#: Huber radius: 95% chi-square quantile for 2 dimensions, the standard
+#: tuning for bivariate Huber scatter.
+DEFAULT_HUBER_K: float = float(np.sqrt(chi2.ppf(0.95, df=2)))
+
+_EPS = 1e-18
+
+
+@dataclass(frozen=True, slots=True)
+class MaronnaConfig:
+    """Tuning of the Maronna fixed-point iteration."""
+
+    k: float = DEFAULT_HUBER_K
+    max_iter: int = 60
+    tol: float = 1e-8
+
+    def __post_init__(self) -> None:
+        check_positive(self.k, "k")
+        check_positive_int(self.max_iter, "max_iter")
+        check_positive(self.tol, "tol")
+
+
+def maronna_weights(d: np.ndarray, k: float) -> tuple[np.ndarray, np.ndarray]:
+    """Huber weight pair ``(u1, u2)`` at Mahalanobis distances ``d``."""
+    d = np.asarray(d, dtype=float)
+    if np.any(d < 0):
+        raise ValueError("distances must be >= 0")
+    with np.errstate(divide="ignore"):
+        u1 = np.minimum(1.0, k / np.maximum(d, _EPS))
+    return u1, u1 * u1
+
+
+def _mad(x: np.ndarray, med: np.ndarray) -> np.ndarray:
+    """Median absolute deviation per row of (B, M) around per-row medians."""
+    return np.median(np.abs(x - med[:, None]), axis=1)
+
+
+def maronna_corr_batched(
+    xw: np.ndarray, yw: np.ndarray, config: MaronnaConfig | None = None
+) -> np.ndarray:
+    """Maronna correlation per row of two ``(B, M)`` window batches.
+
+    All windows iterate simultaneously; convergence is per-window (the
+    iteration stops when every window's scatter has stabilised or
+    ``max_iter`` is hit).  Returns shape ``(B,)`` in ``[-1, 1]``.
+    """
+    cfg = config if config is not None else MaronnaConfig()
+    x = np.asarray(xw, dtype=float)
+    y = np.asarray(yw, dtype=float)
+    if x.ndim != 2 or x.shape != y.shape:
+        raise ValueError(f"need matching (B, M) batches, got {x.shape} vs {y.shape}")
+    B, m = x.shape
+    if m < 3:
+        raise ValueError("window length must be >= 3 for a robust fit")
+
+    # -- robust initialisation -------------------------------------------
+    tx = np.median(x, axis=1)
+    ty = np.median(y, axis=1)
+    sx = _mad(x, tx) * 1.4826  # normal-consistent MAD
+    sy = _mad(y, ty) * 1.4826
+    # MAD can be zero for heavily discretised data; fall back to std.
+    sx = np.where(sx > _EPS, sx, x.std(axis=1))
+    sy = np.where(sy > _EPS, sy, y.std(axis=1))
+    degenerate = (sx <= _EPS) | (sy <= _EPS)
+    sx = np.where(degenerate, 1.0, sx)
+    sy = np.where(degenerate, 1.0, sy)
+
+    # Quadrant correlation as the initial shape.
+    q = np.mean(np.sign(x - tx[:, None]) * np.sign(y - ty[:, None]), axis=1)
+    rho0 = np.clip(np.sin(0.5 * np.pi * q), -0.98, 0.98)
+
+    a = sx * sx  # V[0,0]
+    c = sy * sy  # V[1,1]
+    b = rho0 * sx * sy  # V[0,1]
+
+    k2 = cfg.k * cfg.k
+    # Per-window freezing: once a window's scatter has converged it stops
+    # updating, so each window's trajectory — and therefore its result —
+    # is independent of which other windows share the batch.
+    active = ~degenerate
+    for _ in range(cfg.max_iter):
+        if not np.any(active):
+            break
+        dx = x[active] - tx[active, None]
+        dy = y[active] - ty[active, None]
+        aa, bb, cc = a[active], b[active], c[active]
+        det = np.maximum(aa * cc - bb * bb, _EPS)
+        # Mahalanobis distances under the current 2x2 scatter.
+        d2 = (
+            cc[:, None] * dx * dx - 2.0 * bb[:, None] * dx * dy + aa[:, None] * dy * dy
+        ) / det[:, None]
+        d2 = np.maximum(d2, 0.0)
+        d = np.sqrt(d2)
+        with np.errstate(divide="ignore"):
+            u1 = np.minimum(1.0, cfg.k / np.maximum(d, _EPS))
+        u2 = np.minimum(1.0, k2 / np.maximum(d2, _EPS))
+
+        w1_sum = u1.sum(axis=1)
+        tx_new = (u1 * x[active]).sum(axis=1) / w1_sum
+        ty_new = (u1 * y[active]).sum(axis=1) / w1_sum
+
+        dx = x[active] - tx_new[:, None]
+        dy = y[active] - ty_new[:, None]
+        a_new = (u2 * dx * dx).mean(axis=1)
+        c_new = (u2 * dy * dy).mean(axis=1)
+        b_new = (u2 * dx * dy).mean(axis=1)
+
+        scale = np.maximum(np.maximum(aa, cc), _EPS)
+        delta = np.maximum(
+            np.maximum(np.abs(a_new - aa), np.abs(c_new - cc)), np.abs(b_new - bb)
+        )
+        tx[active], ty[active] = tx_new, ty_new
+        a[active], b[active], c[active] = a_new, b_new, c_new
+        still = delta > cfg.tol * scale
+        idx = np.nonzero(active)[0]
+        active[idx[~still]] = False
+
+    denom_sq = a * c
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.where(
+            denom_sq > _EPS, b / np.sqrt(np.maximum(denom_sq, _EPS)), 0.0
+        )
+    corr = np.where(degenerate, 0.0, corr)
+    return np.clip(corr, -1.0, 1.0)
+
+
+def maronna_corr(x, y, config: MaronnaConfig | None = None) -> float:
+    """Maronna correlation of two equal-length 1-D samples."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape:
+        raise ValueError(f"need equal-length 1-D inputs, got {x.shape} vs {y.shape}")
+    return float(maronna_corr_batched(x[None, :], y[None, :], config)[0])

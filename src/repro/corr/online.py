@@ -1,0 +1,137 @@
+"""Online sliding-window correlation engine.
+
+MarketMiner's enabling feature (paper §II) is producing "large correlation
+matrices in an online fashion" over "a sliding window of recent data
+points".  :class:`OnlineCorrelationEngine` maintains a ring buffer of the
+last ``M`` return rows and serves pair or full-matrix queries after each
+push:
+
+* **Pearson** queries are O(n²) per push via incrementally maintained
+  moment sums (add the new row's outer product, subtract the evicted
+  row's), with a periodic full refresh to cancel floating-point drift;
+* **Maronna/Combined** queries re-run the batched robust kernel on the
+  current window — the honest cost of robustness, and the reason the
+  parallel engine exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corr.maronna import MaronnaConfig
+from repro.corr.measures import CorrelationType, corr_matrix, pairwise_corr
+from repro.util.validation import check_positive_int
+
+_EPS = 1e-18
+
+
+class OnlineCorrelationEngine:
+    """Sliding-window correlation over a stream of return rows."""
+
+    def __init__(
+        self,
+        n_symbols: int,
+        m: int,
+        ctype: CorrelationType | str = CorrelationType.PEARSON,
+        config: MaronnaConfig | None = None,
+        refresh_every: int = 1024,
+    ):
+        check_positive_int(n_symbols, "n_symbols")
+        check_positive_int(m, "m")
+        if m < 2:
+            raise ValueError("window length m must be >= 2")
+        check_positive_int(refresh_every, "refresh_every")
+        self.n_symbols = n_symbols
+        self.m = m
+        self.ctype = CorrelationType.parse(ctype)
+        self.config = config
+        self.refresh_every = refresh_every
+
+        self._buffer = np.zeros((m, n_symbols))
+        self._head = 0  # slot the next push writes
+        self._count = 0  # rows seen so far
+        self._since_refresh = 0
+        # Incremental Pearson moments over the current window.
+        self._sum = np.zeros(n_symbols)
+        self._cross = np.zeros((n_symbols, n_symbols))
+
+    @property
+    def ready(self) -> bool:
+        """True once a full window of ``m`` rows has been pushed."""
+        return self._count >= self.m
+
+    def push(self, row) -> None:
+        """Append one return row (length ``n_symbols``) to the window."""
+        row = np.asarray(row, dtype=float)
+        if row.shape != (self.n_symbols,):
+            raise ValueError(
+                f"expected a row of {self.n_symbols} returns, got shape {row.shape}"
+            )
+        if not np.all(np.isfinite(row)):
+            raise ValueError("return rows must be finite")
+        evicted = self._buffer[self._head].copy()
+        self._buffer[self._head] = row
+        self._head = (self._head + 1) % self.m
+        self._count += 1
+
+        self._sum += row
+        self._cross += np.outer(row, row)
+        if self._count > self.m:
+            self._sum -= evicted
+            self._cross -= np.outer(evicted, evicted)
+
+        self._since_refresh += 1
+        if self._since_refresh >= self.refresh_every:
+            self._refresh_moments()
+
+    def _refresh_moments(self) -> None:
+        """Recompute moments from the buffer to cancel accumulated drift."""
+        rows = self._buffer if self.ready else self._buffer[: self._count]
+        self._sum = rows.sum(axis=0)
+        self._cross = rows.T @ rows
+        self._since_refresh = 0
+
+    def window(self) -> np.ndarray:
+        """Copy of the current window in chronological order, shape (m, n)."""
+        if not self.ready:
+            raise ValueError(
+                f"window not full: {self._count}/{self.m} rows pushed"
+            )
+        return np.vstack((self._buffer[self._head :], self._buffer[: self._head]))
+
+    def matrix(self) -> np.ndarray:
+        """Correlation matrix of the current window, shape (n, n)."""
+        if not self.ready:
+            raise ValueError(
+                f"window not full: {self._count}/{self.m} rows pushed"
+            )
+        if self.ctype is CorrelationType.PEARSON:
+            return self._pearson_from_moments()
+        return corr_matrix(self.window(), self.ctype, self.config)
+
+    def pair(self, i: int, j: int) -> float:
+        """Correlation of one symbol pair over the current window."""
+        if not 0 <= i < self.n_symbols or not 0 <= j < self.n_symbols:
+            raise ValueError(f"pair ({i}, {j}) outside [0, {self.n_symbols})")
+        if not self.ready:
+            raise ValueError(
+                f"window not full: {self._count}/{self.m} rows pushed"
+            )
+        if self.ctype is CorrelationType.PEARSON:
+            return float(self._pearson_from_moments()[i, j]) if i != j else 1.0
+        if i == j:
+            return 1.0
+        w = self.window()
+        return pairwise_corr(w[:, i], w[:, j], self.ctype, self.config)
+
+    def _pearson_from_moments(self) -> np.ndarray:
+        m = self.m
+        cov = self._cross - np.outer(self._sum, self._sum) / m
+        var = np.diag(cov).copy()
+        good = var > _EPS
+        scale = np.where(good, np.sqrt(np.maximum(var, _EPS)), 1.0)
+        corr = cov / np.outer(scale, scale)
+        corr[~good, :] = 0.0
+        corr[:, ~good] = 0.0
+        np.fill_diagonal(corr, 1.0)
+        return np.clip(corr, -1.0, 1.0)

@@ -1,0 +1,130 @@
+"""Pearson correlation: scalar, batched, full-matrix and rolling-series forms.
+
+The rolling series uses the O(T) cumulative-sum identity rather than
+recomputing each window, which is what makes brute-force market-wide
+sliding-window correlation affordable even before parallelisation.
+
+Degenerate windows (zero variance in either series) yield correlation 0.0
+rather than NaN: a constant price carries no co-movement signal, and the
+trading strategy treats "no signal" and "uncorrelated" identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+#: Variance floor below which a window is treated as constant.
+_EPS = 1e-18
+
+
+def _corr_from_moments(sx, sy, sxx, syy, sxy, m: int) -> np.ndarray:
+    """Correlation from raw moment sums; vectorised, 0.0 where degenerate."""
+    cov = sxy - sx * sy / m
+    vx = sxx - sx * sx / m
+    vy = syy - sy * sy / m
+    denom_sq = vx * vy
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.where(denom_sq > _EPS, cov / np.sqrt(np.maximum(denom_sq, _EPS)), 0.0)
+    return np.clip(corr, -1.0, 1.0)
+
+
+def pearson_corr(x, y) -> float:
+    """Pearson correlation of two equal-length 1-D samples."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or y.ndim != 1 or x.shape != y.shape:
+        raise ValueError(f"need equal-length 1-D inputs, got {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least 2 observations")
+    m = x.size
+    # Centring first keeps the moment identities accurate for data with
+    # large common offsets (correlation is shift-invariant).
+    x = x - x.mean()
+    y = y - y.mean()
+    return float(
+        _corr_from_moments(
+            x.sum(), y.sum(), (x * x).sum(), (y * y).sum(), (x * y).sum(), m
+        )
+    )
+
+
+def pearson_corr_batched(xw: np.ndarray, yw: np.ndarray) -> np.ndarray:
+    """Per-row correlation of two ``(B, M)`` window batches; shape ``(B,)``."""
+    xw = np.asarray(xw, dtype=float)
+    yw = np.asarray(yw, dtype=float)
+    if xw.ndim != 2 or xw.shape != yw.shape:
+        raise ValueError(f"need matching (B, M) batches, got {xw.shape} vs {yw.shape}")
+    if xw.shape[1] < 2:
+        raise ValueError("window length must be >= 2")
+    m = xw.shape[1]
+    xw = xw - xw.mean(axis=1, keepdims=True)
+    yw = yw - yw.mean(axis=1, keepdims=True)
+    return _corr_from_moments(
+        xw.sum(axis=1),
+        yw.sum(axis=1),
+        (xw * xw).sum(axis=1),
+        (yw * yw).sum(axis=1),
+        (xw * yw).sum(axis=1),
+        m,
+    )
+
+
+def pearson_matrix(returns: np.ndarray) -> np.ndarray:
+    """Full correlation matrix of an ``(M, n)`` return window; shape (n, n).
+
+    Columns with zero variance get correlation 0.0 against everything
+    (diagonal stays 1.0).
+    """
+    r = np.asarray(returns, dtype=float)
+    if r.ndim != 2:
+        raise ValueError(f"need an (M, n) window, got shape {r.shape}")
+    if r.shape[0] < 2:
+        raise ValueError("window length must be >= 2")
+    centred = r - r.mean(axis=0)
+    cov = centred.T @ centred
+    var = np.diag(cov).copy()
+    good = var > _EPS
+    scale = np.where(good, np.sqrt(np.maximum(var, _EPS)), 1.0)
+    corr = cov / np.outer(scale, scale)
+    corr[~good, :] = 0.0
+    corr[:, ~good] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return np.clip(corr, -1.0, 1.0)
+
+
+def pearson_series(x: np.ndarray, y: np.ndarray, m: int) -> np.ndarray:
+    """Rolling window-``m`` correlation of two 1-D series, O(T) total.
+
+    Output index ``k`` covers observations ``k .. k + m - 1``; length
+    ``T - m + 1``.
+    """
+    check_positive_int(m, "m")
+    if m < 2:
+        raise ValueError("window length must be >= 2")
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape:
+        raise ValueError(f"need equal-length 1-D inputs, got {x.shape} vs {y.shape}")
+    if x.size < m:
+        raise ValueError(f"need at least {m} observations, got {x.size}")
+
+    # Correlation is shift-invariant; centring each series once removes the
+    # large common offset that would otherwise cancel catastrophically in
+    # the cumulative-sum moment identities (prices ~1e6 vs moves ~1e0).
+    x = x - x.mean()
+    y = y - y.mean()
+
+    def rolling_sum(v: np.ndarray) -> np.ndarray:
+        c = np.concatenate(([0.0], np.cumsum(v)))
+        return c[m:] - c[:-m]
+
+    return _corr_from_moments(
+        rolling_sum(x),
+        rolling_sum(y),
+        rolling_sum(x * x),
+        rolling_sum(y * y),
+        rolling_sum(x * y),
+        m,
+    )

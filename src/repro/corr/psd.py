@@ -1,0 +1,54 @@
+"""Positive-semi-definite repair for pairwise-assembled correlation matrices.
+
+The paper (Approach 2) notes that "calculating the Maronna correlation
+coefficients independently no longer assures the resulting matrix is
+positive semi-definite".  Any downstream use that treats the matrix as a
+covariance shape (portfolio risk, Cholesky, simulation) needs a PSD
+correlation matrix, so this module repairs one by eigenvalue clipping
+followed by re-normalisation to unit diagonal — one pass of the standard
+Higham-style alternating projection, which empirically suffices for the
+mild indefiniteness pairwise assembly produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_square_symmetric(a: np.ndarray, tol: float) -> np.ndarray:
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"need a square matrix, got shape {a.shape}")
+    if not np.allclose(a, a.T, atol=tol):
+        raise ValueError("matrix must be symmetric")
+    return a
+
+
+def is_psd(a: np.ndarray, tol: float = 1e-10) -> bool:
+    """True if the symmetric matrix has no eigenvalue below ``-tol``."""
+    a = _check_square_symmetric(a, tol=max(tol, 1e-8))
+    eigvals = np.linalg.eigvalsh(0.5 * (a + a.T))
+    return bool(eigvals.min() >= -tol)
+
+
+def nearest_psd_correlation(
+    a: np.ndarray, eig_floor: float = 0.0, tol: float = 1e-8
+) -> np.ndarray:
+    """Return a PSD correlation matrix near ``a``.
+
+    Clips eigenvalues below ``eig_floor`` (default 0), reconstructs, and
+    re-normalises to unit diagonal.  Already-PSD inputs with unit diagonal
+    are returned unchanged (up to symmetrisation).
+    """
+    a = _check_square_symmetric(a, tol=tol)
+    sym = 0.5 * (a + a.T)
+    eigvals, eigvecs = np.linalg.eigh(sym)
+    if eigvals.min() >= eig_floor and np.allclose(np.diag(sym), 1.0, atol=tol):
+        return sym
+    clipped = np.maximum(eigvals, max(eig_floor, 0.0))
+    repaired = (eigvecs * clipped) @ eigvecs.T
+    d = np.sqrt(np.clip(np.diag(repaired), 1e-18, None))
+    repaired = repaired / np.outer(d, d)
+    repaired = 0.5 * (repaired + repaired.T)
+    np.fill_diagonal(repaired, 1.0)
+    return np.clip(repaired, -1.0, 1.0)

@@ -1,0 +1,41 @@
+"""MarketMiner: the MPI-based DAG stream-processing analytics platform.
+
+The paper's platform (Figure 1) links data adapters, analytics components
+and a pair trading strategy "together using MPI-based middleware" into a
+directed-acyclic-graph workflow.  This subpackage is that platform:
+
+* :mod:`~repro.marketminer.component` — the component model: named input/
+  output ports, event handlers, an emit-based context;
+* :mod:`~repro.marketminer.graph` — workflow construction and validation;
+* :mod:`~repro.marketminer.scheduler` — the SPMD runtime: components are
+  placed onto ranks, messages route in-process or across ranks through the
+  MPI substrate, and end-of-stream tokens propagate shutdown;
+* :mod:`~repro.marketminer.components` — the Figure-1 component library:
+  collectors (live/file/DB), OHLC bar accumulator, technical analysis,
+  correlation engine, pair trading strategy, order sink;
+* :mod:`~repro.marketminer.session` — one-call assembly of the Figure-1
+  pipeline over a synthetic market.
+"""
+
+from repro.marketminer.component import Component, Context
+from repro.marketminer.graph import Workflow
+from repro.marketminer.scheduler import WorkflowRunner
+from repro.marketminer.session import (
+    build_figure1_workflow,
+    build_multi_spec_workflow,
+    collect_multi_spec_trades,
+    run_calendar_sessions,
+    run_figure1_session,
+)
+
+__all__ = [
+    "Component",
+    "Context",
+    "Workflow",
+    "WorkflowRunner",
+    "build_figure1_workflow",
+    "build_multi_spec_workflow",
+    "collect_multi_spec_trades",
+    "run_calendar_sessions",
+    "run_figure1_session",
+]

@@ -1,0 +1,102 @@
+"""The MarketMiner component model.
+
+A component is a named processing node with declared input and output
+ports.  Three event handlers drive it:
+
+* ``generate(ctx)`` — source components only: produce the stream by
+  calling ``ctx.emit`` repeatedly; return to signal end-of-stream;
+* ``on_message(ctx, port, payload)`` — called for every message arriving
+  on an input port, in per-upstream FIFO order;
+* ``on_stop(ctx)`` — called exactly once, after end-of-stream has arrived
+  on every inbound edge (or after ``generate`` returns, for sources).
+
+Components are single-threaded by construction — the runtime never calls
+two handlers of one component concurrently — so handler code needs no
+locking.  After a run, per-component summaries are collected through
+``result()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Context:
+    """Runtime services handed to component handlers.
+
+    ``emit(port, payload)`` routes a message to every edge connected to
+    the component's output ``port`` (local edges dispatch synchronously,
+    remote edges cross ranks through the MPI substrate).
+    """
+
+    def __init__(self, component_name: str, emit_fn: Callable[[str, str, Any], None]):
+        self._component_name = component_name
+        self._emit_fn = emit_fn
+
+    @property
+    def component_name(self) -> str:
+        return self._component_name
+
+    def emit(self, port: str, payload: Any) -> None:
+        self._emit_fn(self._component_name, port, payload)
+
+
+class Component:
+    """Base class for workflow components.
+
+    Subclasses declare ports via the constructor and override the event
+    handlers they need.  A component with no input ports must override
+    :meth:`generate` (it is a source); a component with input ports must
+    override :meth:`on_message`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_ports: tuple[str, ...] = (),
+        output_ports: tuple[str, ...] = (),
+        weight: float = 1.0,
+    ):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"component name must be a non-empty string, got {name!r}")
+        if len(set(input_ports)) != len(input_ports):
+            raise ValueError(f"{name}: duplicate input ports")
+        if len(set(output_ports)) != len(output_ports):
+            raise ValueError(f"{name}: duplicate output ports")
+        if weight <= 0:
+            raise ValueError(f"{name}: weight must be positive, got {weight}")
+        self.name = name
+        self.input_ports = tuple(input_ports)
+        self.output_ports = tuple(output_ports)
+        self.weight = float(weight)
+
+    @property
+    def is_source(self) -> bool:
+        return not self.input_ports
+
+    # -- event handlers (override in subclasses) ---------------------------
+
+    def generate(self, ctx: Context) -> None:
+        """Produce the source stream; returning signals end-of-stream."""
+        raise NotImplementedError(
+            f"{self.name}: source components must implement generate()"
+        )
+
+    def on_message(self, ctx: Context, port: str, payload: Any) -> None:
+        """Handle one inbound message."""
+        raise NotImplementedError(
+            f"{self.name}: components with inputs must implement on_message()"
+        )
+
+    def on_stop(self, ctx: Context) -> None:
+        """Flush state at end-of-stream (optional)."""
+
+    def result(self) -> Any:
+        """Post-run summary returned to the driver (optional)."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"in={list(self.input_ports)} out={list(self.output_ports)}>"
+        )

@@ -1,0 +1,32 @@
+"""The Figure-1 component library.
+
+Data adapters (live/file/DB collectors), the quote cleaning filter, the
+OHLC bar accumulator, technical analysis (interval returns), the
+correlation engine, the pair trading strategy and the order-request sink.
+"""
+
+from repro.marketminer.components.bar_accumulator import BarAccumulatorComponent
+from repro.marketminer.components.cleaning import CleaningComponent
+from repro.marketminer.components.collectors import (
+    DbCollector,
+    FileCollector,
+    LiveCollector,
+    QuoteDatabase,
+)
+from repro.marketminer.components.correlation import CorrelationEngineComponent
+from repro.marketminer.components.orders import OrderSinkComponent
+from repro.marketminer.components.strategy import PairTradingComponent
+from repro.marketminer.components.technical import TechnicalAnalysisComponent
+
+__all__ = [
+    "BarAccumulatorComponent",
+    "CleaningComponent",
+    "CorrelationEngineComponent",
+    "DbCollector",
+    "FileCollector",
+    "LiveCollector",
+    "OrderSinkComponent",
+    "PairTradingComponent",
+    "QuoteDatabase",
+    "TechnicalAnalysisComponent",
+]

@@ -1,0 +1,59 @@
+"""The OHLC Bar Accumulator component (Figure 1).
+
+Consumes per-interval quote batches, closes one BAM bar row per interval,
+and emits ``(s, ohlc_row)`` on ``bars`` plus the close-price vector
+``(s, closes)`` on ``closes`` — the stream the strategy component prices
+against ("Quotes & Prices" in Figure 1).
+
+Live streams cannot back-fill: a symbol has NaN closes until its first
+quote arrives (the batch accumulator, which sees the whole day, back-fills
+instead).  Downstream components must tolerate a NaN head.
+"""
+
+from __future__ import annotations
+
+from repro.bars.accumulator import StreamingBarAccumulator
+from repro.marketminer.component import Component, Context
+from repro.util.timeutil import TimeGrid
+
+
+class BarAccumulatorComponent(Component):
+    """Streaming OHLC/BAM bar builder over a fixed interval grid."""
+
+    def __init__(
+        self,
+        grid: TimeGrid,
+        n_symbols: int,
+        name: str = "bar_accumulator",
+    ):
+        super().__init__(
+            name=name,
+            input_ports=("quotes",),
+            output_ports=("bars", "closes"),
+        )
+        self.grid = grid
+        self._acc = StreamingBarAccumulator(grid, n_symbols)
+        self._bars_emitted = 0
+
+    def on_message(self, ctx: Context, port: str, payload) -> None:
+        s, records = payload
+        if s != self._acc.next_interval:
+            raise ValueError(
+                f"{self.name}: expected interval {self._acc.next_interval}, "
+                f"got {s} (collector must emit every interval in order)"
+            )
+        for rec in records:
+            self._acc.add_quote(
+                float(rec["t"]),
+                int(rec["symbol"]),
+                float(rec["bid"]),
+                float(rec["ask"]),
+            )
+        rows = self._acc.close_through(s)
+        row = rows[0]
+        ctx.emit("bars", (s, row))
+        ctx.emit("closes", (s, row["close"].copy()))
+        self._bars_emitted += 1
+
+    def result(self) -> dict:
+        return {"bars_emitted": self._bars_emitted}

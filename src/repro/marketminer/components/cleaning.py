@@ -1,0 +1,74 @@
+"""Streaming quote cleaning: the TCP-like filter as a pipeline stage.
+
+Raw data "needs to be cleaned before being analyzed" (paper §III); in the
+pipeline this happens between the adapter and the bar accumulator, one
+:class:`~repro.clean.filters.TcpLikeFilter` per symbol, preserving the
+per-interval message shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clean.filters import TcpLikeFilter
+from repro.marketminer.component import Component, Context
+
+
+class CleaningComponent(Component):
+    """Per-symbol TCP-like filtering of interval quote batches.
+
+    Input ``quotes``: ``(s, records)``; output ``quotes``: same shape,
+    with crossed quotes and filter-rejected quotes removed.  ``result()``
+    reports the disposition counts.
+    """
+
+    def __init__(
+        self,
+        n_symbols: int,
+        name: str = "cleaning",
+        k: float = 6.0,
+        warmup: int = 20,
+    ):
+        super().__init__(
+            name=name, input_ports=("quotes",), output_ports=("quotes",)
+        )
+        if n_symbols <= 0:
+            raise ValueError(f"n_symbols must be positive, got {n_symbols}")
+        self.n_symbols = n_symbols
+        self._filters = [
+            TcpLikeFilter(k=k, warmup=warmup) for _ in range(n_symbols)
+        ]
+        self._total = 0
+        self._rejected_outlier = 0
+        self._rejected_crossed = 0
+
+    def on_message(self, ctx: Context, port: str, payload) -> None:
+        s, records = payload
+        self._total += int(records.size)
+        if records.size == 0:
+            ctx.emit("quotes", (s, records))
+            return
+        keep = np.zeros(records.size, dtype=bool)
+        bam = 0.5 * (records["bid"] + records["ask"])
+        crossed = records["bid"] >= records["ask"]
+        for idx in range(records.size):
+            if crossed[idx]:
+                self._rejected_crossed += 1
+                continue
+            symbol = int(records["symbol"][idx])
+            if not 0 <= symbol < self.n_symbols:
+                raise ValueError(
+                    f"symbol index {symbol} outside [0, {self.n_symbols})"
+                )
+            if self._filters[symbol].update(float(bam[idx])):
+                keep[idx] = True
+            else:
+                self._rejected_outlier += 1
+        ctx.emit("quotes", (s, records[keep]))
+
+    def result(self) -> dict:
+        return {
+            "total": self._total,
+            "rejected_outlier": self._rejected_outlier,
+            "rejected_crossed": self._rejected_crossed,
+        }

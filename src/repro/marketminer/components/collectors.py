@@ -1,0 +1,133 @@
+"""Data adapters: the left column of Figure 1.
+
+All three collectors emit the same stream shape on their ``quotes``
+output port: one message per grid interval, ``(s, records)`` with
+``records`` the interval's quote rows (possibly empty) in chronological
+order.  Downstream components are therefore adapter-agnostic, which is
+the point of the adapter layer.
+
+* :class:`LiveCollector` — "Live Data Feed": pulls a day from a
+  :class:`~repro.taq.synthetic.SyntheticMarket` (the stand-in for a
+  real-time feed handler);
+* :class:`FileCollector` — "Custom TAQ Files": reads a quote CSV written
+  by :func:`repro.taq.io.write_taq_csv`;
+* :class:`DbCollector` — "MySQL DB": reads from an in-memory
+  :class:`QuoteDatabase` keyed by day.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.marketminer.component import Component, Context
+from repro.taq.io import read_taq_csv
+from repro.taq.synthetic import SyntheticMarket
+from repro.taq.types import validate_quote_array
+from repro.taq.universe import Universe
+from repro.util.timeutil import TimeGrid
+
+
+def _emit_by_interval(ctx: Context, records: np.ndarray, grid: TimeGrid) -> None:
+    """Slice a chronological quote array into per-interval messages."""
+    boundaries = np.searchsorted(
+        records["t"], np.arange(1, grid.smax + 1) * grid.delta_s, side="left"
+    )
+    start = 0
+    for s, end in enumerate(boundaries):
+        ctx.emit("quotes", (s, records[start:end]))
+        start = end
+
+
+class LiveCollector(Component):
+    """Streams one synthetic trading day, interval by interval."""
+
+    def __init__(
+        self,
+        market: SyntheticMarket,
+        grid: TimeGrid,
+        day: int = 0,
+        name: str = "live_collector",
+    ):
+        super().__init__(name=name, output_ports=("quotes",))
+        if grid.trading_seconds > market.config.trading_seconds:
+            raise ValueError("grid session longer than the market session")
+        self.market = market
+        self.grid = grid
+        self.day = day
+
+    def generate(self, ctx: Context) -> None:
+        quotes = self.market.quotes(self.day)
+        # Quotes beyond the last complete interval never trade.
+        cutoff = self.grid.smax * self.grid.delta_s
+        quotes = quotes[quotes["t"] < cutoff]
+        _emit_by_interval(ctx, quotes, self.grid)
+
+
+class FileCollector(Component):
+    """Streams a quote CSV file (Table II schema)."""
+
+    def __init__(
+        self,
+        path,
+        universe: Universe,
+        grid: TimeGrid,
+        name: str = "file_collector",
+    ):
+        super().__init__(name=name, output_ports=("quotes",))
+        self.path = path
+        self.universe = universe
+        self.grid = grid
+
+    def generate(self, ctx: Context) -> None:
+        quotes = read_taq_csv(self.path, self.universe)
+        cutoff = self.grid.smax * self.grid.delta_s
+        quotes = quotes[quotes["t"] < cutoff]
+        _emit_by_interval(ctx, quotes, self.grid)
+
+
+class QuoteDatabase:
+    """In-memory stand-in for the historical quote database."""
+
+    def __init__(self) -> None:
+        self._days: dict[int, np.ndarray] = {}
+
+    def store(self, day: int, records: np.ndarray) -> None:
+        if day < 0:
+            raise ValueError(f"day must be >= 0, got {day}")
+        validate_quote_array(records)
+        self._days[day] = records.copy()
+
+    def load(self, day: int) -> np.ndarray:
+        try:
+            return self._days[day].copy()
+        except KeyError:
+            raise KeyError(f"no quotes stored for day {day}") from None
+
+    @property
+    def days(self) -> list[int]:
+        return sorted(self._days)
+
+    def __len__(self) -> int:
+        return len(self._days)
+
+
+class DbCollector(Component):
+    """Streams one stored day from a :class:`QuoteDatabase`."""
+
+    def __init__(
+        self,
+        db: QuoteDatabase,
+        grid: TimeGrid,
+        day: int = 0,
+        name: str = "db_collector",
+    ):
+        super().__init__(name=name, output_ports=("quotes",))
+        self.db = db
+        self.grid = grid
+        self.day = day
+
+    def generate(self, ctx: Context) -> None:
+        quotes = self.db.load(self.day)
+        cutoff = self.grid.smax * self.grid.delta_s
+        quotes = quotes[quotes["t"] < cutoff]
+        _emit_by_interval(ctx, quotes, self.grid)

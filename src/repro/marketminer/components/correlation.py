@@ -1,0 +1,86 @@
+"""The (Parallel) Correlation Engine as a pipeline component (Figure 1).
+
+Wraps an :class:`~repro.corr.online.OnlineCorrelationEngine`: consumes
+return rows, and once the sliding window is full emits on ``corr`` after
+every push.  Declared heavy (``weight``) so the placement heuristic gives
+it a rank of its own when ranks are available — the paper's "Parallel
+Correlation Engine (M=100)" box.
+
+Two emission modes:
+
+* **full matrix** (``pairs=None``): payload ``(s, matrix)`` — the whole
+  market-wide matrix from one engine instance;
+* **pair block** (``pairs`` given): payload ``(s, {pair: value})`` — only
+  this engine's block.  Several block engines, each fed the same return
+  stream and each owning a partition of the pairs, *are* the parallel
+  correlation engine: the strategy component joins their blocks per
+  interval.  :func:`repro.marketminer.session.build_figure1_workflow`
+  wires this with ``n_corr_engines > 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corr.maronna import MaronnaConfig
+from repro.corr.measures import CorrelationType, corr_matrix
+from repro.corr.online import OnlineCorrelationEngine
+from repro.marketminer.component import Component, Context
+
+
+class CorrelationEngineComponent(Component):
+    """Online sliding-window correlation over the return stream."""
+
+    def __init__(
+        self,
+        n_symbols: int,
+        m: int,
+        ctype: CorrelationType | str = CorrelationType.PEARSON,
+        config: MaronnaConfig | None = None,
+        name: str = "correlation",
+        weight: float = 8.0,
+        pairs: list[tuple[int, int]] | None = None,
+    ):
+        super().__init__(
+            name=name,
+            input_ports=("returns",),
+            output_ports=("corr",),
+            weight=weight,
+        )
+        self._engine = OnlineCorrelationEngine(n_symbols, m, ctype, config)
+        self._config = config
+        if pairs is not None:
+            pairs = [tuple(sorted(p)) for p in pairs]
+            for i, j in pairs:
+                if not (0 <= i < n_symbols and 0 <= j < n_symbols and i != j):
+                    raise ValueError(f"invalid pair ({i}, {j})")
+            if len(set(pairs)) != len(pairs):
+                raise ValueError("duplicate pairs")
+        self.pairs = pairs
+        self._matrices_emitted = 0
+
+    @property
+    def m(self) -> int:
+        return self._engine.m
+
+    @property
+    def ctype(self) -> CorrelationType:
+        return self._engine.ctype
+
+    def on_message(self, ctx: Context, port: str, payload) -> None:
+        s, returns_row = payload
+        self._engine.push(np.asarray(returns_row, dtype=float))
+        if not self._engine.ready:
+            return
+        if self.pairs is None:
+            ctx.emit("corr", (s, self._engine.matrix()))
+        else:
+            partial = corr_matrix(
+                self._engine.window(), self.ctype, self._config, pairs=self.pairs
+            )
+            block = {(i, j): float(partial[i, j]) for i, j in self.pairs}
+            ctx.emit("corr", (s, block))
+        self._matrices_emitted += 1
+
+    def result(self) -> dict:
+        return {"matrices_emitted": self._matrices_emitted}

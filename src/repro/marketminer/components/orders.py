@@ -1,0 +1,66 @@
+"""The order-request sink: the master side of Figure 1.
+
+Gathers every strategy's trade decisions, applies portfolio risk limits,
+and nets accepted orders into per-interval baskets — "aggregating the
+results into a single basket, as opposed to many individual trade orders"
+for list-based execution (paper §IV, Approach 3).
+"""
+
+from __future__ import annotations
+
+from repro.marketminer.component import Component, Context
+from repro.strategy.portfolio import BasketAggregator, OrderRequest, RiskLimits
+
+
+class OrderSinkComponent(Component):
+    """Risk-checks and baskets the order stream; records the trade tape."""
+
+    def __init__(
+        self,
+        limits: RiskLimits | None = None,
+        name: str = "order_sink",
+    ):
+        super().__init__(name=name, input_ports=("orders", "trades"))
+        self._aggregator = BasketAggregator(limits)
+        self._accepted: list[OrderRequest] = []
+        self._trade_tape: list[tuple] = []
+        self._entries_vetoed = 0
+        # Pair positions whose entry was vetoed: their exits are dropped too.
+        self._vetoed_keys: set[tuple] = set()
+
+    def on_message(self, ctx: Context, port: str, payload) -> None:
+        if port == "trades":
+            self._trade_tape.append(payload)
+            return
+        kind, legs = payload
+        key = (*legs[0].pair, legs[0].param_index)
+        if kind == "entry":
+            if self._aggregator.submit_entry(legs):
+                self._accepted.extend(legs)
+            else:
+                self._entries_vetoed += 1
+                self._vetoed_keys.add(key)
+        elif kind == "exit":
+            if key in self._vetoed_keys:
+                self._vetoed_keys.discard(key)
+                return
+            self._aggregator.submit_exit(legs)
+            self._accepted.extend(legs)
+        else:
+            raise ValueError(f"unknown order kind {kind!r}")
+
+    def result(self) -> dict:
+        by_interval: dict[int, list[OrderRequest]] = {}
+        for order in self._accepted:
+            by_interval.setdefault(order.s, []).append(order)
+        baskets = {
+            s: BasketAggregator.basket(orders) for s, orders in by_interval.items()
+        }
+        return {
+            "accepted_orders": len(self._accepted),
+            "entries_vetoed": self._entries_vetoed,
+            "open_pairs_at_close": self._aggregator.open_pair_count,
+            "gross_notional_at_close": self._aggregator.gross_notional,
+            "baskets": baskets,
+            "trade_tape": list(self._trade_tape),
+        }

@@ -1,0 +1,230 @@
+"""The Pair Trading Strategy component (Figure 1).
+
+Joins the two analytics streams — bar closes ("Quotes & Prices") and
+correlation matrices — and drives one
+:class:`~repro.strategy.engine.PairStrategy` state machine per
+(pair, parameter set).  Emits order requests as positions open and close
+(the stream the order sink aggregates into baskets) and trade records as
+round trips complete.
+
+Stream alignment: the close row for interval ``s`` and the correlation
+matrix for ``s`` arrive on independent paths with no ordering guarantee
+between them, so intervals are processed in order once their inputs are
+complete.  During the correlation warm-up (the first ``h + M`` intervals,
+where ``h`` is the NaN head of a live stream — symbols that have not yet
+quoted) no matrix will ever arrive and the strategies step with NaN
+correlation, exactly like the batch engine's warm-up.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.marketminer.component import Component, Context
+from repro.strategy.engine import PairStrategy, Trade
+from repro.strategy.params import StrategyParams
+from repro.strategy.portfolio import OrderRequest
+
+
+class PairTradingComponent(Component):
+    """Market-wide pair trading over closes + correlation streams."""
+
+    def __init__(
+        self,
+        pairs: list[tuple[int, int]],
+        grid: list[StrategyParams],
+        smax: int,
+        m: int,
+        name: str = "pair_trading",
+        weight: float = 4.0,
+    ):
+        super().__init__(
+            name=name,
+            input_ports=("closes", "corr"),
+            output_ports=("orders", "trades"),
+            weight=weight,
+        )
+        if not pairs or not grid:
+            raise ValueError("need at least one pair and one parameter set")
+        if smax <= 0:
+            raise ValueError(f"smax must be positive, got {smax}")
+        mset = {p.m for p in grid}
+        if mset != {m}:
+            raise ValueError(
+                f"grid must share the correlation window m={m}, found {mset}"
+            )
+        self.pairs = [tuple(sorted(p)) for p in pairs]
+        if len(set(self.pairs)) != len(self.pairs):
+            raise ValueError("duplicate pairs")
+        self.grid = list(grid)
+        self.smax = smax
+        self.m = m
+
+        #: Optional mapping from this component's local parameter indices
+        #: to a study's global ones (set by multi-spec workflow builders;
+        #: surfaced through ``result()``).
+        self.param_indices: tuple[int, ...] | None = None
+        self._closes: dict[int, np.ndarray] = {}
+        #: Per-interval correlation state: a full (n, n) matrix, or a dict
+        #: of pair blocks still being joined from several engines.
+        self._corr: dict[int, np.ndarray | dict] = {}
+        self._pair_set = set(self.pairs)
+        self._next_s = 0  # next interval to process
+        self._head: int | None = None  # first fully-priced interval
+        self._strategies: dict[tuple[tuple[int, int], int], PairStrategy] = {}
+        self._trades: dict[tuple[tuple[int, int], int], list[Trade]] = {}
+        self._orders_emitted = 0
+
+    # -- message handling ----------------------------------------------------
+
+    def on_message(self, ctx: Context, port: str, payload) -> None:
+        s, value = payload
+        if port == "closes":
+            self._closes[s] = np.asarray(value, dtype=float)
+        elif isinstance(value, dict):
+            # A pair block from one of several parallel engines: join.
+            current = self._corr.setdefault(s, {})
+            if not isinstance(current, dict):
+                raise ValueError(
+                    f"{self.name}: mixed matrix and block correlation "
+                    f"payloads at interval {s}"
+                )
+            overlap = current.keys() & value.keys()
+            if overlap:
+                raise ValueError(
+                    f"{self.name}: pair blocks overlap on {sorted(overlap)}"
+                )
+            current.update(value)
+        else:
+            self._corr[s] = np.asarray(value, dtype=float)
+        self._advance(ctx)
+
+    def on_stop(self, ctx: Context) -> None:
+        self._advance(ctx)
+        if self._head is not None and self._next_s < self.smax:
+            raise RuntimeError(
+                f"{self.name}: stream ended at interval {self._next_s} of "
+                f"{self.smax}; upstream lost data"
+            )
+
+    # -- interval processing ----------------------------------------------------
+
+    def _corr_expected_from(self) -> int | None:
+        """First interval for which a correlation matrix will arrive."""
+        if self._head is None:
+            return None
+        return self._head + self.m
+
+    def _advance(self, ctx: Context) -> None:
+        while self._next_s < self.smax:
+            s = self._next_s
+            closes = self._closes.get(s)
+            if closes is None:
+                return
+            if self._head is None:
+                if not np.all(np.isfinite(closes)):
+                    # NaN head: consume and skip.
+                    del self._closes[s]
+                    self._next_s += 1
+                    continue
+                self._head = s
+                self._build_strategies()
+            expected_from = self._corr_expected_from()
+            assert expected_from is not None
+            if s >= expected_from and not self._corr_complete(s):
+                return  # correlation for s still in flight
+            corr = self._corr.pop(s, None)
+            del self._closes[s]
+            self._next_s += 1
+            self._step_all(ctx, s, closes, corr)
+
+    def _corr_complete(self, s: int) -> bool:
+        value = self._corr.get(s)
+        if value is None:
+            return False
+        if isinstance(value, dict):
+            return self._pair_set <= value.keys()
+        return True
+
+    def _build_strategies(self) -> None:
+        assert self._head is not None
+        local_smax = self.smax - self._head
+        for pair in self.pairs:
+            for k in range(len(self.grid)):
+                self._strategies[(pair, k)] = PairStrategy(self.grid[k], local_smax)
+                self._trades[(pair, k)] = []
+
+    def _step_all(
+        self,
+        ctx: Context,
+        s: int,
+        closes: np.ndarray,
+        corr: np.ndarray | dict | None,
+    ) -> None:
+        assert self._head is not None
+        s_local = s - self._head
+        for pair in self.pairs:
+            i, j = pair
+            if corr is None:
+                c = math.nan
+            elif isinstance(corr, dict):
+                c = float(corr[pair])
+            else:
+                c = float(corr[i, j])
+            for k in range(len(self.grid)):
+                strat = self._strategies[(pair, k)]
+                before = strat.open_position
+                trade = strat.step(s_local, float(closes[i]), float(closes[j]), c)
+                after = strat.open_position
+                # Emit under the study-global parameter index so order
+                # sinks shared by several spec strategies never collide.
+                k_out = self.param_indices[k] if self.param_indices else k
+                if trade is not None:
+                    self._trades[(pair, k)].append(trade)
+                    ctx.emit("trades", (pair, k_out, trade))
+                    self._emit_close_orders(ctx, s, pair, k_out, trade, closes)
+                if before is None and after is not None:
+                    self._emit_open_orders(ctx, s, pair, k_out, after, closes)
+
+    def _emit_open_orders(self, ctx, s, pair, k, position, closes) -> None:
+        i, j = pair
+        long_sym = pair[position.long_leg]
+        short_sym = pair[1 - position.long_leg]
+        legs = (
+            OrderRequest(
+                s=s, symbol=long_sym, shares=position.n_long,
+                price=float(closes[long_sym]), pair=pair, param_index=k,
+            ),
+            OrderRequest(
+                s=s, symbol=short_sym, shares=-position.n_short,
+                price=float(closes[short_sym]), pair=pair, param_index=k,
+            ),
+        )
+        ctx.emit("orders", ("entry", legs))
+        self._orders_emitted += 2
+
+    def _emit_close_orders(self, ctx, s, pair, k, trade: Trade, closes) -> None:
+        long_sym = pair[trade.long_leg]
+        short_sym = pair[1 - trade.long_leg]
+        legs = (
+            OrderRequest(
+                s=s, symbol=long_sym, shares=-trade.n_long,
+                price=float(closes[long_sym]), pair=pair, param_index=k,
+            ),
+            OrderRequest(
+                s=s, symbol=short_sym, shares=trade.n_short,
+                price=float(closes[short_sym]), pair=pair, param_index=k,
+            ),
+        )
+        ctx.emit("orders", ("exit", legs))
+        self._orders_emitted += 2
+
+    def result(self) -> dict:
+        return {
+            "head": self._head,
+            "orders_emitted": self._orders_emitted,
+            "param_indices": self.param_indices,
+            "trades": {key: list(trades) for key, trades in self._trades.items()},
+        }

@@ -1,0 +1,42 @@
+"""Technical analysis component: interval log-returns (Figure 1).
+
+Consumes bar close vectors, emits the 1-period log-return vector once two
+consecutive fully-priced rows exist: ``(s, returns_row)`` where
+``returns_row[i] = log(P_i(s) / P_i(s-1))``.  Intervals whose row (or
+predecessor) still contains NaN closes (symbols that have not yet quoted)
+are skipped — the correlation engine only ever sees finite rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.marketminer.component import Component, Context
+
+
+class TechnicalAnalysisComponent(Component):
+    """Log-returns over consecutive fully-priced close rows."""
+
+    def __init__(self, name: str = "technical"):
+        super().__init__(
+            name=name, input_ports=("closes",), output_ports=("returns",)
+        )
+        self._prev: np.ndarray | None = None
+        self._prev_s: int | None = None
+        self._emitted = 0
+
+    def on_message(self, ctx: Context, port: str, payload) -> None:
+        s, closes = payload
+        closes = np.asarray(closes, dtype=float)
+        if not np.all(np.isfinite(closes)):
+            return  # pre-first-quote head; skip until the row is complete
+        if np.any(closes <= 0):
+            raise ValueError(f"{self.name}: non-positive close at interval {s}")
+        if self._prev is not None and self._prev_s == s - 1:
+            ctx.emit("returns", (s, np.log(closes / self._prev)))
+            self._emitted += 1
+        self._prev = closes
+        self._prev_s = s
+
+    def result(self) -> dict:
+        return {"returns_emitted": self._emitted}

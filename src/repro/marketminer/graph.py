@@ -1,0 +1,149 @@
+"""Workflow construction and validation.
+
+A :class:`Workflow` is a set of named components plus directed edges
+between output and input ports.  Validation enforces the properties the
+runtime relies on: the component graph is a DAG, every edge references
+declared ports, every non-source component is reachable from a source,
+and every input port has at least one inbound edge (a silent port would
+hold its component's end-of-stream forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.marketminer.component import Component
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """One connection: (src component, src port) → (dst component, dst port)."""
+
+    src: str
+    src_port: str
+    dst: str
+    dst_port: str
+
+
+class Workflow:
+    """A named DAG of components."""
+
+    def __init__(self, name: str = "workflow"):
+        self.name = name
+        self._components: dict[str, Component] = {}
+        self._edges: list[Edge] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        """Register a component; names must be unique."""
+        if component.name in self._components:
+            raise ValueError(f"duplicate component name {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def connect(self, src: str, src_port: str, dst: str, dst_port: str) -> None:
+        """Connect an output port to an input port."""
+        src_c = self._require(src)
+        dst_c = self._require(dst)
+        if src_port not in src_c.output_ports:
+            raise ValueError(
+                f"{src!r} has no output port {src_port!r} "
+                f"(has {list(src_c.output_ports)})"
+            )
+        if dst_port not in dst_c.input_ports:
+            raise ValueError(
+                f"{dst!r} has no input port {dst_port!r} "
+                f"(has {list(dst_c.input_ports)})"
+            )
+        edge = Edge(src, src_port, dst, dst_port)
+        if edge in self._edges:
+            raise ValueError(f"duplicate edge {edge}")
+        self._edges.append(edge)
+
+    def _require(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise KeyError(f"unknown component {name!r}") from None
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def components(self) -> dict[str, Component]:
+        return dict(self._components)
+
+    @property
+    def edges(self) -> list[Edge]:
+        return list(self._edges)
+
+    def component(self, name: str) -> Component:
+        return self._require(name)
+
+    def out_edges(self, name: str, port: str | None = None) -> list[Edge]:
+        return [
+            e
+            for e in self._edges
+            if e.src == name and (port is None or e.src_port == port)
+        ]
+
+    def in_edges(self, name: str) -> list[Edge]:
+        return [e for e in self._edges if e.dst == name]
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Component-level digraph (ports collapsed), nodes carry weights."""
+        g = nx.DiGraph()
+        for name, comp in self._components.items():
+            g.add_node(name, weight=comp.weight)
+        for e in self._edges:
+            g.add_edge(e.src, e.dst)
+        return g
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any structural defect."""
+        if not self._components:
+            raise ValueError("workflow has no components")
+        g = self.to_networkx()
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise ValueError(f"workflow contains a cycle: {cycle}")
+
+        sources = [c.name for c in self._components.values() if c.is_source]
+        if not sources:
+            raise ValueError("workflow needs at least one source component")
+
+        connected_inputs: dict[str, set[str]] = {}
+        for e in self._edges:
+            connected_inputs.setdefault(e.dst, set()).add(e.dst_port)
+        for comp in self._components.values():
+            missing = set(comp.input_ports) - connected_inputs.get(comp.name, set())
+            if missing:
+                raise ValueError(
+                    f"component {comp.name!r}: input port(s) {sorted(missing)} "
+                    f"have no inbound edge"
+                )
+
+        reachable = set(sources)
+        for src in sources:
+            reachable |= nx.descendants(g, src)
+        unreachable = set(self._components) - reachable
+        if unreachable:
+            raise ValueError(
+                f"component(s) unreachable from any source: {sorted(unreachable)}"
+            )
+
+    def describe(self) -> str:
+        """Human-readable topology listing (used by the Figure-1 bench)."""
+        lines = [f"Workflow {self.name!r}:"]
+        g = self.to_networkx()
+        for name in nx.lexicographical_topological_sort(g, key=str):
+            comp = self._components[name]
+            kind = "source" if comp.is_source else "component"
+            lines.append(f"  [{kind}] {name} (weight={comp.weight:g})")
+            for e in self.out_edges(name):
+                lines.append(f"      {e.src_port} -> {e.dst}.{e.dst_port}")
+        return "\n".join(lines)

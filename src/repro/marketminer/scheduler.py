@@ -1,0 +1,182 @@
+"""The MarketMiner runtime: place components on ranks, route, run, drain.
+
+Execution model (per SPMD rank):
+
+1. The workflow DAG is contracted onto the communicator's ranks
+   (:func:`repro.mpi.topology.contract_dag`, weighted by component
+   weights) — identically on every rank, so routing tables agree without
+   communication.
+2. Each rank drives its local *source* components to completion; every
+   ``emit`` routes either synchronously to a local component or as a
+   message through the MPI substrate to the destination's host rank.
+3. End-of-stream tokens propagate shutdown: when a source finishes, or a
+   component has received EOS on every inbound edge, it is stopped
+   (``on_stop``, which may still emit) and forwards EOS on its outbound
+   edges.  Per-(rank, rank) FIFO delivery guarantees EOS arrives after
+   the data that preceded it.
+4. A rank leaves its receive loop once all its components have stopped;
+   a final all-gather assembles every component's ``result()`` on every
+   rank.
+
+The model is deadlock-free because sends are buffered (never block) and
+every edge is guaranteed exactly one EOS.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.marketminer.component import Context
+from repro.marketminer.graph import Workflow
+from repro.mpi.api import Comm
+from repro.mpi.topology import RankMap, contract_dag
+
+#: Tag for all workflow traffic (collectives use negative tags).
+DATA_TAG = 1
+
+_DATA = "data"
+_EOS = "eos"
+
+
+class WorkflowRunner:
+    """Runs a validated workflow over a communicator, SPMD."""
+
+    def __init__(self, workflow: Workflow):
+        workflow.validate()
+        self.workflow = workflow
+
+    def rank_map(self, size: int) -> RankMap:
+        """Deterministic component→rank placement for ``size`` ranks."""
+        weights = {
+            name: comp.weight for name, comp in self.workflow.components.items()
+        }
+        return contract_dag(self.workflow.to_networkx(), size, weights=weights)
+
+    def run(self, comm: Comm, collect_stats: bool = False) -> dict[str, Any]:
+        """Execute the workflow; every rank returns all component results.
+
+        With ``collect_stats=True`` the result dict gains a ``"_runtime"``
+        entry: per-rank counts of locally-dispatched vs cross-rank
+        messages — the communication profile of the placement.
+        """
+        runtime = _RankRuntime(self.workflow, comm, self.rank_map(comm.size))
+        return runtime.run(collect_stats=collect_stats)
+
+
+class _RankRuntime:
+    """Per-rank execution state."""
+
+    def __init__(self, workflow: Workflow, comm: Comm, rank_map: RankMap):
+        self.workflow = workflow
+        self.comm = comm
+        self.rank_map = rank_map
+        self.local = {
+            name: workflow.component(name)
+            for name in rank_map.components_of(comm.rank)
+        }
+        # Routing: (component, out_port) -> [(dst, dst_port, dst_rank)].
+        self.routes: dict[tuple[str, str], list[tuple[str, str, int]]] = {}
+        for e in workflow.edges:
+            self.routes.setdefault((e.src, e.src_port), []).append(
+                (e.dst, e.dst_port, rank_map.rank_of(e.dst))
+            )
+        self.eos_needed = {
+            name: len(workflow.in_edges(name)) for name in workflow.components
+        }
+        self.eos_seen: dict[str, int] = {name: 0 for name in self.local}
+        self.stopped: set[str] = set()
+        self.contexts = {
+            name: Context(name, self._emit) for name in self.local
+        }
+        self.messages_local = 0
+        self.messages_remote = 0
+
+    # -- emission & dispatch -------------------------------------------------
+
+    def _emit(self, src: str, port: str, payload: Any) -> None:
+        if src in self.stopped:
+            raise RuntimeError(
+                f"component {src!r} emitted after it was stopped"
+            )
+        comp = self.workflow.component(src)
+        if port not in comp.output_ports:
+            raise ValueError(
+                f"{src!r} emitted on undeclared port {port!r} "
+                f"(has {list(comp.output_ports)})"
+            )
+        for dst, dst_port, dst_rank in self.routes.get((src, port), []):
+            if dst_rank == self.comm.rank:
+                self.messages_local += 1
+                self._deliver_data(dst, dst_port, payload)
+            else:
+                self.messages_remote += 1
+                self.comm.send((_DATA, dst, dst_port, payload), dst_rank, DATA_TAG)
+
+    def _deliver_data(self, dst: str, dst_port: str, payload: Any) -> None:
+        if dst in self.stopped:
+            raise RuntimeError(
+                f"data for stopped component {dst!r} on port {dst_port!r} "
+                f"(EOS protocol violation)"
+            )
+        self.local[dst].on_message(self.contexts[dst], dst_port, payload)
+
+    def _deliver_eos(self, dst: str) -> None:
+        self.eos_seen[dst] += 1
+        if self.eos_seen[dst] > self.eos_needed[dst]:
+            raise RuntimeError(f"component {dst!r} received too many EOS tokens")
+        if self.eos_seen[dst] == self.eos_needed[dst]:
+            self._stop_component(dst)
+
+    def _stop_component(self, name: str) -> None:
+        comp = self.local[name]
+        comp.on_stop(self.contexts[name])
+        self.stopped.add(name)
+        # Forward one EOS per outbound edge, after any on_stop emissions.
+        for port in comp.output_ports:
+            for dst, _dst_port, dst_rank in self.routes.get((name, port), []):
+                if dst_rank == self.comm.rank:
+                    self._deliver_eos(dst)
+                else:
+                    self.comm.send((_EOS, dst, None, None), dst_rank, DATA_TAG)
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, collect_stats: bool = False) -> dict[str, Any]:
+        # Phase 1: drive local sources (deterministic name order).
+        for name in sorted(self.local):
+            comp = self.local[name]
+            if comp.is_source:
+                comp.generate(self.contexts[name])
+                self._stop_component(name)
+
+        # Phase 2: pump remote messages until every local component stopped.
+        while len(self.stopped) < len(self.local):
+            kind, dst, dst_port, payload = self.comm.recv(tag=DATA_TAG)
+            if dst not in self.local:
+                raise RuntimeError(
+                    f"rank {self.comm.rank} received traffic for non-local "
+                    f"component {dst!r}"
+                )
+            if kind == _DATA:
+                self._deliver_data(dst, dst_port, payload)
+            elif kind == _EOS:
+                self._deliver_eos(dst)
+            else:  # pragma: no cover - protocol corruption
+                raise RuntimeError(f"unknown message kind {kind!r}")
+
+        # Phase 3: assemble results everywhere.
+        local_results = {name: comp.result() for name, comp in self.local.items()}
+        merged: dict[str, Any] = {}
+        parts = self.comm.allgather(local_results)
+        for part in parts:
+            merged.update(part)
+        if collect_stats:
+            stats = self.comm.allgather(
+                {
+                    "messages_local": self.messages_local,
+                    "messages_remote": self.messages_remote,
+                    "components": sorted(map(str, self.local)),
+                }
+            )
+            merged["_runtime"] = {rank: s for rank, s in enumerate(stats)}
+        return merged

@@ -1,0 +1,281 @@
+"""One-call assembly of the Figure-1 pipeline.
+
+``build_figure1_workflow`` wires collector → cleaning → bar accumulator →
+technical analysis → correlation engine → pair trading strategy → order
+sink, matching the paper's architecture figure; ``run_figure1_session``
+executes it SPMD over the MPI substrate and returns every component's
+results (bars emitted, matrices produced, trades, baskets, cleaning
+counts) on every rank.
+"""
+
+from __future__ import annotations
+
+from repro.corr.maronna import MaronnaConfig
+from repro.marketminer.component import Component
+from repro.marketminer.components.bar_accumulator import BarAccumulatorComponent
+from repro.marketminer.components.cleaning import CleaningComponent
+from repro.marketminer.components.collectors import LiveCollector
+from repro.marketminer.components.correlation import CorrelationEngineComponent
+from repro.marketminer.components.orders import OrderSinkComponent
+from repro.marketminer.components.strategy import PairTradingComponent
+from repro.marketminer.components.technical import TechnicalAnalysisComponent
+from repro.marketminer.graph import Workflow
+from repro.marketminer.scheduler import WorkflowRunner
+from repro.mpi.launcher import run_spmd
+from repro.strategy.params import StrategyParams
+from repro.strategy.portfolio import RiskLimits
+from repro.taq.synthetic import SyntheticMarket
+from repro.util.timeutil import TimeGrid
+
+
+def build_figure1_workflow(
+    market: SyntheticMarket,
+    grid_time: TimeGrid,
+    pairs: list[tuple[int, int]],
+    params_grid: list[StrategyParams],
+    day: int = 0,
+    collector: Component | None = None,
+    limits: RiskLimits | None = None,
+    maronna_config: MaronnaConfig | None = None,
+    clean: bool = True,
+    n_corr_engines: int = 1,
+) -> Workflow:
+    """Wire the paper's Figure-1 pipeline for one trading day.
+
+    All parameter sets must share (Δs, M, Ctype) — one correlation *spec*
+    per workflow, as drawn in the figure.  With ``n_corr_engines > 1``
+    the correlation work is split into that many pair-block engines fed
+    from the same return stream — the figure's "Parallel Correlation
+    Engine" — and the strategy component joins the blocks per interval.
+    """
+    if not params_grid:
+        raise ValueError("need at least one parameter set")
+    specs = {(p.delta_s, p.m, p.ctype) for p in params_grid}
+    if len(specs) != 1:
+        raise ValueError(
+            f"one Figure-1 pipeline hosts one correlation engine; the grid "
+            f"spans {len(specs)} (delta_s, M, Ctype) specs: {sorted(specs, key=str)}"
+        )
+    delta_s, m, ctype = specs.pop()
+    if delta_s != grid_time.delta_s:
+        raise ValueError(
+            f"grid delta_s={grid_time.delta_s} does not match parameter "
+            f"delta_s={delta_s}"
+        )
+    n_symbols = len(market.universe)
+
+    wf = Workflow(name="figure1")
+    wf.add(
+        collector
+        if collector is not None
+        else LiveCollector(market, grid_time, day=day)
+    )
+    collector_name = list(wf.components)[0]
+    if clean:
+        wf.add(CleaningComponent(n_symbols))
+    wf.add(BarAccumulatorComponent(grid_time, n_symbols))
+    wf.add(TechnicalAnalysisComponent())
+    if n_corr_engines < 1:
+        raise ValueError(f"n_corr_engines must be >= 1, got {n_corr_engines}")
+    pairs = [tuple(sorted(p)) for p in pairs]
+    if n_corr_engines == 1:
+        engine_names = ["correlation"]
+        wf.add(
+            CorrelationEngineComponent(
+                n_symbols, m, ctype, config=maronna_config
+            )
+        )
+    else:
+        from repro.corr.parallel import partition_pairs
+
+        blocks = partition_pairs(pairs, n_corr_engines)
+        engine_names = []
+        for b, block in enumerate(blocks):
+            if not block:
+                continue  # more engines than pairs: drop the idle ones
+            name = f"correlation_{b}"
+            engine_names.append(name)
+            wf.add(
+                CorrelationEngineComponent(
+                    n_symbols, m, ctype, config=maronna_config,
+                    name=name, pairs=block,
+                )
+            )
+    wf.add(
+        PairTradingComponent(
+            pairs=pairs, grid=params_grid, smax=grid_time.smax, m=m
+        )
+    )
+    wf.add(OrderSinkComponent(limits=limits))
+
+    if clean:
+        wf.connect(collector_name, "quotes", "cleaning", "quotes")
+        wf.connect("cleaning", "quotes", "bar_accumulator", "quotes")
+    else:
+        wf.connect(collector_name, "quotes", "bar_accumulator", "quotes")
+    wf.connect("bar_accumulator", "closes", "technical", "closes")
+    wf.connect("bar_accumulator", "closes", "pair_trading", "closes")
+    for name in engine_names:
+        wf.connect("technical", "returns", name, "returns")
+        wf.connect(name, "corr", "pair_trading", "corr")
+    wf.connect("pair_trading", "orders", "order_sink", "orders")
+    wf.connect("pair_trading", "trades", "order_sink", "trades")
+    wf.validate()
+    return wf
+
+
+def build_multi_spec_workflow(
+    market: SyntheticMarket,
+    grid_time: TimeGrid,
+    pairs: list[tuple[int, int]],
+    params_grid: list[StrategyParams],
+    day: int = 0,
+    limits: RiskLimits | None = None,
+    maronna_config: MaronnaConfig | None = None,
+    clean: bool = True,
+) -> Workflow:
+    """One platform, many strategies: a pipeline hosting every spec.
+
+    The Figure-1 caption shows MarketMiner "power[ing] a pair trading
+    strategy with a particular set of parameters"; a real deployment runs
+    many parameter sets at once.  This builder shares the data plumbing
+    (collector → cleaning → bars → technical analysis) and instantiates
+    one correlation engine plus one strategy component per distinct
+    (M, Ctype) spec, all feeding a single order sink — the master that
+    risk-manages the union.
+
+    All parameter sets must share Δs (one bar clock per pipeline).
+    """
+    if not params_grid:
+        raise ValueError("need at least one parameter set")
+    if {p.delta_s for p in params_grid} != {grid_time.delta_s}:
+        raise ValueError("all parameter sets must share the pipeline's delta_s")
+    pairs = [tuple(sorted(p)) for p in pairs]
+    n_symbols = len(market.universe)
+
+    specs: dict[tuple, list[tuple[int, StrategyParams]]] = {}
+    for k, params in enumerate(params_grid):
+        specs.setdefault((params.m, params.ctype), []).append((k, params))
+
+    wf = Workflow(name="figure1-multi-spec")
+    wf.add(LiveCollector(market, grid_time, day=day))
+    upstream = "live_collector"
+    if clean:
+        wf.add(CleaningComponent(n_symbols))
+        wf.connect(upstream, "quotes", "cleaning", "quotes")
+        upstream = "cleaning"
+    wf.add(BarAccumulatorComponent(grid_time, n_symbols))
+    wf.connect(upstream, "quotes", "bar_accumulator", "quotes")
+    wf.add(TechnicalAnalysisComponent())
+    wf.connect("bar_accumulator", "closes", "technical", "closes")
+    wf.add(OrderSinkComponent(limits=limits))
+
+    for idx, ((m, ctype), members) in enumerate(sorted(specs.items(), key=str)):
+        engine = f"correlation_{ctype.value}_m{m}"
+        strategy = f"pair_trading_{idx}"
+        wf.add(
+            CorrelationEngineComponent(
+                n_symbols, m, ctype, config=maronna_config, name=engine
+            )
+        )
+        # Each strategy component sees only its spec's parameter sets but
+        # keeps the *global* parameter indices via a sub-grid in order.
+        sub_grid = [params for _, params in members]
+        comp = PairTradingComponent(
+            pairs=pairs,
+            grid=sub_grid,
+            smax=grid_time.smax,
+            m=m,
+            name=strategy,
+        )
+        comp.param_indices = tuple(k for k, _ in members)  # global mapping
+        wf.add(comp)
+        wf.connect("technical", "returns", engine, "returns")
+        wf.connect(engine, "corr", strategy, "corr")
+        wf.connect("bar_accumulator", "closes", strategy, "closes")
+        wf.connect(strategy, "orders", "order_sink", "orders")
+        wf.connect(strategy, "trades", "order_sink", "trades")
+    wf.validate()
+    return wf
+
+
+def collect_multi_spec_trades(results: dict) -> dict:
+    """Merge per-spec strategy results into {(pair, global_k): trades}."""
+    merged: dict = {}
+    for name, res in results.items():
+        if not name.startswith("pair_trading"):
+            continue
+        mapping = res.get("param_indices")
+        for (pair, local_k), trades in res["trades"].items():
+            global_k = mapping[local_k] if mapping else local_k
+            key = (pair, global_k)
+            if key in merged:
+                raise ValueError(f"duplicate trades for {key}")
+            merged[key] = trades
+    return merged
+
+
+def run_figure1_session(
+    workflow: Workflow,
+    size: int = 3,
+    backend: str = "thread",
+    collect_stats: bool = False,
+) -> dict:
+    """Execute a Figure-1 workflow SPMD; returns all component results."""
+
+    runner = WorkflowRunner(workflow)
+
+    def spmd(comm):
+        return runner.run(comm, collect_stats=collect_stats)
+
+    results = run_spmd(spmd, size=size, backend=backend)
+    return results[0]
+
+
+def run_calendar_sessions(
+    market: SyntheticMarket,
+    grid_time: TimeGrid,
+    pairs: list[tuple[int, int]],
+    params_grid: list[StrategyParams],
+    n_days: int,
+    size: int = 3,
+    backend: str = "thread",
+    n_corr_engines: int = 1,
+    limits: RiskLimits | None = None,
+    maronna_config: MaronnaConfig | None = None,
+    clean: bool = True,
+):
+    """Run the live pipeline day after day — "longer time frames" (§VI).
+
+    Builds and streams one Figure-1 workflow per trading day (components
+    are stateful, so each day gets a fresh build, exactly as a live
+    deployment restarts at the open) and accumulates every day's trades
+    into a :class:`~repro.backtest.results.ResultStore`, so the paper's
+    period metrics (eqs 1–9) apply to live-pipeline output directly.
+
+    Returns ``(store, daily_results)`` where ``daily_results[day]`` is the
+    day's full component-result dict.
+    """
+    from repro.backtest.results import ResultStore
+
+    if n_days <= 0:
+        raise ValueError(f"n_days must be positive, got {n_days}")
+    store = ResultStore()
+    daily_results = {}
+    for day in range(n_days):
+        workflow = build_figure1_workflow(
+            market,
+            grid_time,
+            pairs,
+            params_grid,
+            day=day,
+            limits=limits,
+            maronna_config=maronna_config,
+            clean=clean,
+            n_corr_engines=n_corr_engines,
+        )
+        results = run_figure1_session(workflow, size=size, backend=backend)
+        daily_results[day] = results
+        for (pair, k), trades in results["pair_trading"]["trades"].items():
+            store.add(pair, k, day, [t.ret for t in trades])
+    return store, daily_results

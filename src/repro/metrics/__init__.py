@@ -1,0 +1,44 @@
+"""Trading-strategy performance metrics (paper §IV, equations (1)–(9)).
+
+Three key measures, each computable per pair, per parameter set, or
+summarised across either: cumulative returns (equity growth under full
+reinvestment), maximum drawdown (worst peak-to-valley drop) and the
+win–loss trade ratio, plus the treatment summaries behind Tables III–V
+and the Figure-2 box plots.
+"""
+
+from repro.metrics.drawdown import max_drawdown, max_drawdown_path
+from repro.metrics.returns import (
+    cumulative_return,
+    total_cumulative_return,
+)
+from repro.metrics.significance import (
+    PairedComparison,
+    format_significance_table,
+    paired_comparison,
+    treatment_significance,
+)
+from repro.metrics.summary import (
+    TreatmentSummary,
+    boxplot_by_treatment,
+    format_treatment_table,
+    treatment_summaries,
+)
+from repro.metrics.winloss import win_loss_counts, win_loss_ratio
+
+__all__ = [
+    "PairedComparison",
+    "TreatmentSummary",
+    "boxplot_by_treatment",
+    "cumulative_return",
+    "format_significance_table",
+    "format_treatment_table",
+    "paired_comparison",
+    "max_drawdown",
+    "max_drawdown_path",
+    "total_cumulative_return",
+    "treatment_significance",
+    "treatment_summaries",
+    "win_loss_counts",
+    "win_loss_ratio",
+]

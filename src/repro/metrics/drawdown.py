@@ -1,0 +1,50 @@
+"""Maximum drawdown (paper equations (6)–(7)).
+
+The paper defines drawdown on the *cumulative return path*: with
+``r_q`` the total return from trade 1 through trade ``q``,
+
+    MDD = max over q_a ≤ q_b of (r_{q_a} − r_{q_b})
+
+— the worst peak-to-valley drop.  Eq (7) is the same quantity computed on
+the daily cumulative-return path instead of the per-trade path; both call
+:func:`max_drawdown` with the appropriate return sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def max_drawdown_path(path) -> float:
+    """Worst peak-to-valley drop of an arbitrary equity/return path.
+
+    ``max(running_max − value)``; 0.0 for monotone non-decreasing paths
+    and for empty or single-point paths.
+    """
+    arr = np.asarray(path, dtype=float)
+    if arr.size <= 1:
+        return 0.0
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("path values must be finite")
+    running_max = np.maximum.accumulate(arr)
+    return float(np.max(running_max - arr))
+
+
+def max_drawdown(returns) -> float:
+    """Maximum drawdown of a return sequence's cumulative path (eq 6/7).
+
+    The path starts at 0 (no trades yet), so a losing first trade already
+    registers as drawdown — matching ``q_a ≤ q_b`` ranging over the whole
+    trade sequence.
+    """
+    arr = np.asarray(returns, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    path = np.empty(arr.size + 1)
+    path[0] = 0.0
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("returns must be finite")
+    if np.any(arr <= -1.0):
+        raise ValueError("a return of -100% or worse cannot compound")
+    path[1:] = np.cumprod(1.0 + arr) - 1.0
+    return max_drawdown_path(path)

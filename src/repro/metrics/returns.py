@@ -1,0 +1,39 @@
+"""Cumulative returns (paper equations (2)–(5)).
+
+Cumulative return assumes full reinvestment: a sequence of returns
+``r_1 .. r_n`` compounds to ``∏(1 + r_q) − 1``.  The same compounding is
+applied at every level of the paper's hierarchy — within a day over
+trades (eq 2), across days (eq 3), across pairs for a parameter set
+(eq 4) and across parameter sets for a pair (eq 5) — so a single
+function serves all four with the appropriate inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cumulative_return(returns) -> float:
+    """Compound a sequence of returns: ``∏(1 + r) − 1``; 0.0 if empty.
+
+    An empty sequence (no trades) means capital was never at risk, so the
+    cumulative return is zero.
+    """
+    arr = np.asarray(returns, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("returns must be finite")
+    if np.any(arr <= -1.0):
+        raise ValueError("a return of -100% or worse cannot compound")
+    return float(np.prod(1.0 + arr) - 1.0)
+
+
+def total_cumulative_return(daily_returns) -> float:
+    """Eq (3): compound daily cumulative returns over the trading period.
+
+    ``daily_returns[t]`` is eq (2)'s ``r_p^{t,k}``; the result is the
+    paper's ``r_p^k``.  Identical compounding to
+    :func:`cumulative_return`, named for call-site clarity.
+    """
+    return cumulative_return(daily_returns)

@@ -1,0 +1,162 @@
+"""Treatment summaries: the paper's Tables III–V and Figure 2.
+
+The paper's experimental design: the three correlation types are
+*treatments*; the 14 non-treatment parameter levels are blocking factors.
+For each pair and treatment, the per-(pair, parameter-set) performance
+measure is averaged over the factor levels, giving one sample observation
+per pair per treatment (1830 observations at full scale).  Descriptive
+statistics of those samples form the tables; their quartile structure
+forms the box plots.
+
+Measures follow the paper exactly, including its conventions:
+
+* ``returns``: sample is ``mean_k'(r_p^k) + 1`` (the paper reports
+  1.1473-style gross returns) and the Sharpe ratio is computed on that
+  shifted sample;
+* ``drawdown``: maximum *daily* drawdown, eq (7), on the daily
+  cumulative-return path, averaged over levels (reported in %);
+* ``winloss``: eq (8) per (pair, level) over the month's pooled trades,
+  averaged over levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.corr.measures import CorrelationType
+
+if TYPE_CHECKING:  # avoid a circular import; stores are duck-typed at runtime
+    from repro.backtest.results import ResultStore
+from repro.metrics.drawdown import max_drawdown
+from repro.metrics.winloss import win_loss_ratio
+from repro.strategy.params import StrategyParams
+from repro.util.stats import BoxplotStats, DescriptiveStats, boxplot_stats, describe
+
+#: Valid measure names.
+MEASURES = ("returns", "drawdown", "winloss")
+
+
+@dataclass(frozen=True)
+class TreatmentSummary:
+    """One treatment's column of a Tables-III–V style table."""
+
+    ctype: CorrelationType
+    measure: str
+    stats: DescriptiveStats
+    samples: np.ndarray
+
+
+def _pair_level_value(
+    store: ResultStore, pair, k: int, measure: str
+) -> float:
+    if measure == "returns":
+        return store.total_return(pair, k)
+    if measure == "drawdown":
+        return max_drawdown(store.daily_return_path(pair, k))
+    if measure == "winloss":
+        return win_loss_ratio(store.period_returns(pair, k))
+    raise ValueError(f"unknown measure {measure!r}; expected one of {MEASURES}")
+
+
+def treatment_samples(
+    store: ResultStore, grid: list[StrategyParams], measure: str
+) -> dict[CorrelationType, np.ndarray]:
+    """Per-pair samples (averaged over factor levels) for each treatment.
+
+    ``grid[k]`` must be the parameter set recorded under ``param_index k``.
+    Every treatment must cover the same non-treatment levels — guaranteed
+    by :func:`repro.strategy.params.paper_parameter_grid`.
+    """
+    if measure not in MEASURES:
+        raise ValueError(f"unknown measure {measure!r}; expected one of {MEASURES}")
+    by_ctype: dict[CorrelationType, list[int]] = {}
+    for k, params in enumerate(grid):
+        by_ctype.setdefault(params.ctype, []).append(k)
+    level_counts = {c: len(ks) for c, ks in by_ctype.items()}
+    if len(set(level_counts.values())) > 1:
+        raise ValueError(
+            f"treatments have unequal level counts: {level_counts}"
+        )
+
+    pairs = store.pairs
+    out: dict[CorrelationType, np.ndarray] = {}
+    for ctype, ks in by_ctype.items():
+        samples = np.empty(len(pairs))
+        for p_idx, pair in enumerate(pairs):
+            values = [_pair_level_value(store, pair, k, measure) for k in ks]
+            samples[p_idx] = float(np.mean(values))
+        if measure == "returns":
+            samples = samples + 1.0  # the paper's gross-return convention
+        out[ctype] = samples
+    return out
+
+
+def treatment_summaries(
+    store: ResultStore, grid: list[StrategyParams], measure: str
+) -> dict[CorrelationType, TreatmentSummary]:
+    """Full descriptive statistics per treatment for one measure."""
+    samples = treatment_samples(store, grid, measure)
+    return {
+        ctype: TreatmentSummary(
+            ctype=ctype, measure=measure, stats=describe(vals), samples=vals
+        )
+        for ctype, vals in samples.items()
+    }
+
+
+def boxplot_by_treatment(
+    store: ResultStore, grid: list[StrategyParams], measure: str
+) -> dict[CorrelationType, BoxplotStats]:
+    """Figure-2 box-plot statistics per treatment for one measure."""
+    samples = treatment_samples(store, grid, measure)
+    return {ctype: boxplot_stats(vals) for ctype, vals in samples.items()}
+
+
+_ROW_ORDER = ("Mean", "Median", "Standard Deviation", "Sharpe Ratio", "Skewness", "Kurtosis")
+
+
+def format_treatment_table(
+    summaries: dict[CorrelationType, TreatmentSummary], title: str
+) -> str:
+    """Render a paper-style table (Tables III–V layout).
+
+    The Sharpe-ratio row appears only for the ``returns`` measure, as in
+    the paper; drawdown values are rendered as percentages.
+    """
+    if not summaries:
+        raise ValueError("no treatment summaries to format")
+    measures = {s.measure for s in summaries.values()}
+    if len(measures) != 1:
+        raise ValueError(f"mixed measures in one table: {measures}")
+    measure = measures.pop()
+    ctypes = [c for c in CorrelationType if c in summaries]
+
+    def value(stats: DescriptiveStats, row: str) -> float:
+        return {
+            "Mean": stats.mean,
+            "Median": stats.median,
+            "Standard Deviation": stats.std,
+            "Sharpe Ratio": stats.sharpe,
+            "Skewness": stats.skewness,
+            "Kurtosis": stats.kurtosis,
+        }[row]
+
+    def render(x: float, row: str) -> str:
+        # Table IV quotes location/scale rows in percent, shape rows plain.
+        if measure == "drawdown" and row in ("Mean", "Median", "Standard Deviation"):
+            return f"{x:.4%}"
+        return f"{x:.4f}"
+
+    header = f"{'':<20} " + " ".join(f"{c.value.capitalize():>10}" for c in ctypes)
+    lines = [title, header]
+    for row in _ROW_ORDER:
+        if row == "Sharpe Ratio" and measure != "returns":
+            continue
+        cells = " ".join(
+            f"{render(value(summaries[c].stats, row), row):>10}" for c in ctypes
+        )
+        lines.append(f"{row:<20} {cells}")
+    return "\n".join(lines)

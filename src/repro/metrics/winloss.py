@@ -1,0 +1,41 @@
+"""Win–loss ratio (paper equations (8)–(9)).
+
+The ratio of winning trades (positive return) to losing trades (negative
+return); zero-return trades count as neither, exactly as the paper's set
+definitions imply.
+
+Equation (8) is per (pair, parameter set); equation (9) pools trades over
+all pairs for one parameter set.  Both reduce to counts, so one counting
+function serves both with the caller choosing what to pool.
+
+Division-by-zero policy: the paper's data never exhibits a zero-loss cell
+(its ratios are ≈1.27), but small scaled-down runs can.  ``win_loss_ratio``
+treats ``L = 0`` as ``L = 1`` ("W wins against the absence of losses") so
+that treatment averages stay finite; pass ``strict=True`` to get the
+literal ``inf``/``nan`` instead.  The choice is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def win_loss_counts(returns) -> tuple[int, int]:
+    """Count (winning, losing) trades in a return sequence."""
+    arr = np.asarray(returns, dtype=float)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError("returns must be finite")
+    return int(np.sum(arr > 0.0)), int(np.sum(arr < 0.0))
+
+
+def win_loss_ratio(returns, strict: bool = False) -> float:
+    """``W / L`` per eq (8)/(9); see module docstring for the L=0 policy.
+
+    With ``strict=True``: no trades → NaN; wins but no losses → inf.
+    """
+    wins, losses = win_loss_counts(returns)
+    if strict:
+        if losses == 0:
+            return float("nan") if wins == 0 else float("inf")
+        return wins / losses
+    return wins / max(losses, 1)

@@ -1,0 +1,72 @@
+"""MPI-style message-passing substrate.
+
+The paper's MarketMiner platform is "a modular, MPI-based infrastructure";
+its components are linked by MPI middleware (Figure 1).  mpi4py is not
+available in this environment, so this subpackage implements the programming
+model from scratch with an mpi4py-shaped API:
+
+* SPMD execution of a function across ``size`` ranks
+  (:func:`repro.mpi.run_spmd`),
+* point-to-point ``send`` / ``recv`` / ``isend`` / ``irecv`` with tag and
+  source matching (``ANY_SOURCE`` / ``ANY_TAG`` wildcards),
+* the standard collectives: ``barrier``, ``bcast``, ``scatter``, ``gather``,
+  ``allgather``, ``reduce``, ``allreduce``, ``alltoall``, ``scan``,
+* reduction operators ``SUM``, ``PROD``, ``MIN``, ``MAX``, ``LAND``, ``LOR``
+  and user-defined operators via :class:`repro.mpi.Op`.
+
+Two interchangeable backends run the same user code:
+
+``thread``
+    Every rank is a thread in the current process; deterministic, cheap,
+    the default for tests and one-core benchmark runs.
+``process``
+    Every rank is an OS process (``multiprocessing``); true parallelism,
+    the moral equivalent of ``mpiexec -n``.
+
+User code receives a :class:`~repro.mpi.api.Comm` and is oblivious to the
+backend, exactly as MPI code is oblivious to the interconnect.
+"""
+
+from repro.mpi.api import (
+    ANY_SOURCE,
+    ANY_TAG,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    Comm,
+    MpiError,
+    Op,
+    RecvTimeout,
+    Request,
+    Status,
+)
+from repro.mpi.inproc import ThreadBackend
+from repro.mpi.launcher import available_backends, run_spmd
+from repro.mpi.procs import ProcessBackend
+from repro.mpi.topology import RankMap, contract_dag
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MIN",
+    "MpiError",
+    "Op",
+    "PROD",
+    "ProcessBackend",
+    "RankMap",
+    "RecvTimeout",
+    "Request",
+    "SUM",
+    "Status",
+    "ThreadBackend",
+    "available_backends",
+    "contract_dag",
+    "run_spmd",
+]

@@ -1,0 +1,170 @@
+"""Core message-passing API: communicators, requests, reduction operators.
+
+The shapes follow mpi4py's lowercase (pickled-object) interface.  Messages
+are arbitrary Python objects; delivery is buffered ("eager" in MPI terms),
+so ``send`` never blocks waiting for a matching ``recv``.  Per-(source,
+destination) ordering is FIFO, the MPI non-overtaking guarantee that the
+collective algorithms in :mod:`repro.mpi.collectives` rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Wildcard source for ``recv``: match a message from any rank.
+ANY_SOURCE: int = -1
+
+#: Wildcard tag for ``recv``: match a message with any tag.
+ANY_TAG: int = -1
+
+
+class MpiError(RuntimeError):
+    """Base class for errors raised by the message-passing substrate."""
+
+
+class RecvTimeout(MpiError):
+    """A blocking ``recv`` exceeded its timeout without a matching message."""
+
+
+@dataclass(frozen=True, slots=True)
+class Status:
+    """Envelope metadata returned alongside a received message."""
+
+    source: int
+    tag: int
+
+
+class Op:
+    """A reduction operator for ``reduce`` / ``allreduce`` / ``scan``.
+
+    Wraps a binary callable that must be associative; commutativity is
+    assumed by the tree-reduction algorithm (all built-ins are commutative).
+    Use :meth:`create` for user-defined operators.
+    """
+
+    __slots__ = ("fn", "name")
+
+    def __init__(self, fn: Callable[[Any, Any], Any], name: str):
+        self.fn = fn
+        self.name = name
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Op({self.name})"
+
+    @classmethod
+    def create(cls, fn: Callable[[Any, Any], Any], name: str = "user") -> "Op":
+        """Wrap a binary associative callable as a reduction operator."""
+        if not callable(fn):
+            raise TypeError(f"reduction function must be callable, got {fn!r}")
+        return cls(fn, name)
+
+
+SUM = Op(lambda a, b: a + b, "SUM")
+PROD = Op(lambda a, b: a * b, "PROD")
+MAX = Op(lambda a, b: a if a >= b else b, "MAX")
+MIN = Op(lambda a, b: a if a <= b else b, "MIN")
+LAND = Op(lambda a, b: bool(a) and bool(b), "LAND")
+LOR = Op(lambda a, b: bool(a) or bool(b), "LOR")
+
+
+class Request:
+    """Handle for a non-blocking operation.
+
+    ``isend`` returns an already-complete request (delivery is eager);
+    ``irecv`` returns a request whose :meth:`wait` performs the matching
+    receive.  ``test`` never blocks.
+    """
+
+    __slots__ = ("_result", "_done", "_waiter")
+
+    def __init__(
+        self,
+        result: Any = None,
+        done: bool = True,
+        waiter: Callable[[float | None], Any] | None = None,
+    ):
+        self._result = result
+        self._done = done
+        self._waiter = waiter
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until the operation completes; return its result."""
+        if not self._done:
+            assert self._waiter is not None
+            self._result = self._waiter(timeout)
+            self._done = True
+        return self._result
+
+    def test(self) -> tuple[bool, Any]:
+        """Return ``(completed, result-or-None)`` without blocking."""
+        if self._done:
+            return True, self._result
+        return False, None
+
+
+class Comm:
+    """Abstract communicator: ``rank``/``size`` plus point-to-point sends.
+
+    Concrete communicators are created by a backend (never directly by user
+    code) and handed to the SPMD function.  Collectives are implemented once
+    over this interface in :mod:`repro.mpi.collectives` and attached to
+    :class:`repro.mpi.mailbox.MailboxComm`.
+    """
+
+    @property
+    def rank(self) -> int:
+        """This process's rank in ``[0, size)``."""
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        raise NotImplementedError
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Deliver ``obj`` to rank ``dest`` (buffered; returns immediately)."""
+        raise NotImplementedError
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+        return_status: bool = False,
+    ) -> Any:
+        """Block until a matching message arrives; return its payload.
+
+        With ``return_status=True`` returns ``(payload, Status)``.
+        Raises :class:`RecvTimeout` if ``timeout`` (seconds) elapses first.
+        """
+        raise NotImplementedError
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completes immediately (delivery is eager)."""
+        self.send(obj, dest, tag)
+        return Request(result=None, done=True)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; ``wait()`` performs the matching recv."""
+        return Request(
+            done=False,
+            waiter=lambda timeout: self.recv(source=source, tag=tag, timeout=timeout),
+        )
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Return True if a matching message could be received right now."""
+        raise NotImplementedError
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"{what} rank {peer} outside [0, {self.size})")
+
+    @staticmethod
+    def _check_user_tag(tag: int) -> None:
+        # Negative tags are reserved for the collective algorithms.
+        if tag < 0:
+            raise ValueError(f"user tags must be >= 0, got {tag}")

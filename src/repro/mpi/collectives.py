@@ -1,0 +1,167 @@
+"""Collective operations implemented over point-to-point messaging.
+
+Each collective reserves a private block of negative tags from the
+communicator's sequence counter, so back-to-back collectives never
+cross-match even when ranks drift out of phase (the per-source FIFO
+guarantee then does the rest).  All reductions fold in rank order, making
+results deterministic even for non-commutative user operators.
+
+Algorithms: dissemination barrier and binomial-tree broadcast are
+O(log size) rounds; gather/scatter/reduce are root-centred O(size), which
+is the right trade-off at the rank counts this library targets (every
+message is a pickled Python object, so constant factors dominate).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.mpi.api import SUM, Op
+
+#: Tag block reserved per collective invocation; bounds the number of
+#: distinct communication steps a single collective may use.
+MAX_TAGS_PER_COLLECTIVE = 72
+
+DEFAULT_OP: Op = SUM
+
+
+def _check_root(comm, root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise ValueError(f"root rank {root} outside [0, {comm.size})")
+
+
+def barrier(comm, timeout: float | None = None) -> None:
+    """Dissemination barrier: ceil(log2(size)) exchange rounds."""
+    base = comm._next_coll_tags()
+    size = comm.size
+    if size == 1:
+        return
+    step = 0
+    dist = 1
+    while dist < size:
+        tag = base - step
+        to = (comm.rank + dist) % size
+        frm = (comm.rank - dist) % size
+        comm._send_internal(None, to, tag)
+        comm.recv(source=frm, tag=tag, timeout=timeout)
+        dist *= 2
+        step += 1
+
+
+def bcast(comm, obj: Any = None, root: int = 0) -> Any:
+    """Binomial-tree broadcast from ``root``."""
+    _check_root(comm, root)
+    base = comm._next_coll_tags()
+    size = comm.size
+    if size == 1:
+        return obj
+    vrank = (comm.rank - root) % size
+
+    # Receive from the parent (clear lowest set bit of vrank).
+    if vrank != 0:
+        parent_v = vrank & (vrank - 1)
+        parent = (parent_v + root) % size
+        obj = comm.recv(source=parent, tag=base)
+
+    # Forward to children: set each bit above the lowest set bit of vrank.
+    lowbit = vrank & -vrank if vrank != 0 else size  # children mask ceiling
+    mask = 1
+    while mask < lowbit and vrank + mask < size:
+        child = (vrank + mask + root) % size
+        comm._send_internal(obj, child, base)
+        mask *= 2
+    return obj
+
+
+def scatter(comm, values: Sequence[Any] | None = None, root: int = 0) -> Any:
+    """Root sends ``values[r]`` to each rank ``r``; returns own element."""
+    _check_root(comm, root)
+    base = comm._next_coll_tags()
+    if comm.rank == root:
+        if values is None:
+            raise ValueError("scatter root must supply the value sequence")
+        values = list(values)
+        if len(values) != comm.size:
+            raise ValueError(
+                f"scatter needs exactly {comm.size} values, got {len(values)}"
+            )
+        for dest in range(comm.size):
+            if dest != root:
+                comm._send_internal(values[dest], dest, base)
+        return values[root]
+    return comm.recv(source=root, tag=base)
+
+
+def gather(comm, obj: Any, root: int = 0) -> list[Any] | None:
+    """Collect one value per rank at ``root``, ordered by rank."""
+    _check_root(comm, root)
+    base = comm._next_coll_tags()
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = obj
+        for src in range(comm.size):
+            if src != root:
+                out[src] = comm.recv(source=src, tag=base)
+        return out
+    comm._send_internal(obj, root, base)
+    return None
+
+
+def allgather(comm, obj: Any) -> list[Any]:
+    """gather at rank 0 followed by a broadcast of the full list."""
+    gathered = gather(comm, obj, root=0)
+    return bcast(comm, gathered, root=0)
+
+
+def reduce(comm, obj: Any, op: Op = DEFAULT_OP, root: int = 0) -> Any:
+    """Fold one value per rank with ``op`` in rank order; result at root."""
+    _check_root(comm, root)
+    if not isinstance(op, Op):
+        raise TypeError(f"op must be an mpi.Op, got {op!r}")
+    gathered = gather(comm, obj, root=root)
+    if comm.rank != root:
+        return None
+    assert gathered is not None
+    acc = gathered[0]
+    for value in gathered[1:]:
+        acc = op(acc, value)
+    return acc
+
+
+def allreduce(comm, obj: Any, op: Op = DEFAULT_OP) -> Any:
+    """reduce at rank 0 followed by a broadcast of the result."""
+    result = reduce(comm, obj, op=op, root=0)
+    return bcast(comm, result, root=0)
+
+
+def alltoall(comm, values: Sequence[Any]) -> list[Any]:
+    """Personalised exchange: rank ``r`` receives ``values[r]`` of each rank."""
+    base = comm._next_coll_tags()
+    values = list(values)
+    if len(values) != comm.size:
+        raise ValueError(
+            f"alltoall needs exactly {comm.size} values, got {len(values)}"
+        )
+    out: list[Any] = [None] * comm.size
+    out[comm.rank] = values[comm.rank]
+    for dest in range(comm.size):
+        if dest != comm.rank:
+            comm._send_internal(values[dest], dest, base)
+    for src in range(comm.size):
+        if src != comm.rank:
+            out[src] = comm.recv(source=src, tag=base)
+    return out
+
+
+def scan(comm, obj: Any, op: Op = DEFAULT_OP) -> Any:
+    """Inclusive prefix reduction along the rank chain."""
+    if not isinstance(op, Op):
+        raise TypeError(f"op must be an mpi.Op, got {op!r}")
+    base = comm._next_coll_tags()
+    acc = obj
+    if comm.rank > 0:
+        left = comm.recv(source=comm.rank - 1, tag=base)
+        acc = op(left, obj)
+    if comm.rank < comm.size - 1:
+        comm._send_internal(acc, comm.rank + 1, base)
+    return acc

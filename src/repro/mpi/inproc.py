@@ -1,0 +1,100 @@
+"""Thread backend: every rank is a thread inside the current process.
+
+This is the default backend for tests and for one-core benchmark runs: it
+has no process spawn cost, shares nothing except the mailbox queues (user
+code written in SPMD style communicates only through the communicator), and
+surfaces deadlocks as :class:`~repro.mpi.api.RecvTimeout` failures instead
+of hangs.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.mpi.api import MpiError
+from repro.mpi.mailbox import MailboxComm
+
+
+class SpmdFailure(MpiError):
+    """At least one rank raised; carries all per-rank exceptions."""
+
+    def __init__(self, errors: dict[int, BaseException]):
+        self.errors = errors
+        detail = "; ".join(
+            f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(errors.items())
+        )
+        super().__init__(f"{len(errors)} rank(s) failed: {detail}")
+
+
+class ThreadBackend:
+    """Run an SPMD function across ``size`` ranks as threads.
+
+    Parameters
+    ----------
+    default_timeout:
+        Per-``recv`` timeout installed on every communicator so a deadlock
+        in user code fails the run instead of hanging it.
+    """
+
+    name = "thread"
+
+    def __init__(self, default_timeout: float | None = 60.0):
+        self.default_timeout = default_timeout
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        size: int,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> list[Any]:
+        """Execute ``fn(comm, *args, **kwargs)`` on each rank.
+
+        Returns the per-rank return values, indexed by rank.  If any rank
+        raises, all ranks are joined and :class:`SpmdFailure` is raised with
+        every rank's exception.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        kwargs = dict(kwargs or {})
+        inboxes: list[queue.Queue] = [queue.Queue() for _ in range(size)]
+
+        def deliver(dest: int, envelope) -> None:
+            inboxes[dest].put(envelope)
+
+        comms = [
+            MailboxComm(
+                rank=r,
+                size=size,
+                inbox=inboxes[r],
+                deliver=deliver,
+                default_timeout=self.default_timeout,
+            )
+            for r in range(size)
+        ]
+
+        results: list[Any] = [None] * size
+        errors: dict[int, BaseException] = {}
+        lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = fn(comms[rank], *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with lock:
+                    errors[rank] = exc
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
+            for r in range(size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if errors:
+            raise SpmdFailure(errors)
+        return results

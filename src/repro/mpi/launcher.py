@@ -1,0 +1,61 @@
+"""Front door for SPMD execution: pick a backend, run a function on N ranks.
+
+>>> from repro import mpi
+>>> def hello(comm):
+...     return comm.allreduce(comm.rank)
+>>> mpi.run_spmd(hello, size=4)
+[6, 6, 6, 6]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.mpi.inproc import ThreadBackend
+from repro.mpi.procs import ProcessBackend
+
+_BACKENDS = {
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`run_spmd`'s ``backend`` argument."""
+    return tuple(sorted(_BACKENDS))
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    size: int,
+    backend: str = "thread",
+    args: Sequence[Any] = (),
+    kwargs: dict[str, Any] | None = None,
+    **backend_options: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` across ``size`` ranks.
+
+    Parameters
+    ----------
+    fn:
+        The SPMD function.  Its first argument is the communicator.
+    size:
+        Number of ranks.
+    backend:
+        ``"thread"`` (default; deterministic, in-process) or ``"process"``
+        (OS processes, true parallelism).
+    backend_options:
+        Forwarded to the backend constructor, e.g. ``default_timeout=5.0``.
+
+    Returns
+    -------
+    list
+        Per-rank return values indexed by rank.
+    """
+    try:
+        backend_cls = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {available_backends()}"
+        ) from None
+    return backend_cls(**backend_options).run(fn, size, args=args, kwargs=kwargs)

@@ -1,0 +1,325 @@
+"""Backend-independent communicator built on per-rank mailboxes.
+
+Both backends (threads, processes) reduce to the same primitive: every rank
+owns an inbox queue, and ``send`` enqueues an envelope onto the destination's
+inbox.  :class:`MailboxComm` layers MPI matching semantics on top:
+
+* messages are matched by ``(source, tag)`` with wildcards,
+* non-matching arrivals are parked in a pending list and re-scanned in
+  arrival order (preserving the per-source FIFO guarantee),
+* the full collective suite from :mod:`repro.mpi.collectives` is attached
+  as methods,
+* :meth:`MailboxComm.split` creates MPI_Comm_split-style sub-communicators:
+  every communicator carries a *context id* stamped into its envelopes, so
+  traffic on different communicators can never cross-match even though all
+  communicators of a rank share one physical inbox.
+
+The inbox object only needs ``put(item)`` and ``get(timeout=...)`` raising
+``queue.Empty`` — satisfied by both ``queue.Queue`` and
+``multiprocessing.Queue``.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Any, Callable
+
+from repro.mpi import collectives as _coll
+from repro.mpi.api import ANY_SOURCE, ANY_TAG, Comm, RecvTimeout, Status
+
+#: Envelope layout: (context id, source rank, tag, payload).  Source ranks
+#: are expressed in the *receiving communicator's* group numbering.
+Envelope = tuple[tuple, int, int, Any]
+
+#: Context id of every backend-created world communicator.
+WORLD_CONTEXT: tuple = ("world",)
+
+#: Granularity of the timeout-polling loop in seconds.  Waits are performed
+#: in slices so that a ``recv`` with a deadline can abort even when the
+#: underlying queue blocks indefinitely between messages.
+_POLL_SLICE = 0.05
+
+
+class _Endpoint:
+    """One rank's physical mailbox, shared by all its communicators.
+
+    Holds the inbox queue and the pending (arrived-but-unmatched) list; the
+    pending list must be shared so a message parked while one communicator
+    was receiving is still found by its real target communicator.
+    """
+
+    __slots__ = ("inbox", "pending")
+
+    def __init__(self, inbox):
+        self.inbox = inbox
+        self.pending: list[Envelope] = []
+
+
+class MailboxComm(Comm):
+    """Communicator over a shared endpoint plus a delivery function.
+
+    Parameters
+    ----------
+    rank, size:
+        This communicator's identity within its group.
+    inbox:
+        Queue this rank receives envelopes from (ignored when ``endpoint``
+        is supplied by a parent communicator's ``split``).
+    deliver:
+        ``deliver(world_dest, envelope)`` enqueues onto the *world* rank
+        ``world_dest``'s inbox.
+    default_timeout:
+        Applied to every blocking ``recv`` that does not pass an explicit
+        timeout.  Backends set a generous default so that a deadlocked test
+        run fails with :class:`RecvTimeout` instead of hanging forever.
+    context:
+        Traffic-isolation id; envelopes only match communicators with the
+        same context.
+    group:
+        Maps this communicator's ranks to world ranks (identity for the
+        world communicator).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        inbox=None,
+        deliver: Callable[[int, Envelope], None] = None,
+        default_timeout: float | None = 60.0,
+        context: tuple = WORLD_CONTEXT,
+        group: list[int] | None = None,
+        endpoint: _Endpoint | None = None,
+    ):
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} outside [0, {size})")
+        if deliver is None:
+            raise TypeError("deliver function is required")
+        self._rank = rank
+        self._size = size
+        self._deliver = deliver
+        self._context = context
+        self._group = list(group) if group is not None else list(range(size))
+        if len(self._group) != size:
+            raise ValueError("group must map every rank to a world rank")
+        if endpoint is not None:
+            self._endpoint = endpoint
+        else:
+            if inbox is None:
+                raise TypeError("either inbox or endpoint is required")
+            self._endpoint = _Endpoint(inbox)
+        self._coll_seq = 0
+        self._split_seq = 0
+        self.default_timeout = default_timeout
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def context(self) -> tuple:
+        """Traffic-isolation id of this communicator."""
+        return self._context
+
+    def world_rank_of(self, rank: int) -> int:
+        """Translate a rank in this communicator to its world rank."""
+        self._check_peer(rank, "rank")
+        return self._group[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MailboxComm rank={self._rank} size={self._size} "
+            f"context={self._context}>"
+        )
+
+    # -- point-to-point ---------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_peer(dest, "destination")
+        self._check_user_tag(tag)
+        self._send_internal(obj, dest, tag)
+
+    def _send_internal(self, obj: Any, dest: int, tag: int) -> None:
+        """Send without the user-tag check (collectives use negative tags)."""
+        self._deliver(self._group[dest], (self._context, self._rank, tag, obj))
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+        return_status: bool = False,
+    ) -> Any:
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        # First try to satisfy the receive from already-parked messages.
+        env = self._match_pending(source, tag)
+        while env is None:
+            env = self._pull_inbox(deadline, source, tag)
+        _, src, msg_tag, payload = env
+        if return_status:
+            return payload, Status(source=src, tag=msg_tag)
+        return payload
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        self._drain_inbox_nonblocking()
+        return any(
+            self._matches(env, source, tag) for env in self._endpoint.pending
+        )
+
+    # -- matching machinery -----------------------------------------------
+
+    def _matches(self, env: Envelope, source: int, tag: int) -> bool:
+        ctx, src, msg_tag, _ = env
+        return (
+            ctx == self._context
+            and (source == ANY_SOURCE or src == source)
+            and (tag == ANY_TAG or msg_tag == tag)
+        )
+
+    def _match_pending(self, source: int, tag: int) -> Envelope | None:
+        pending = self._endpoint.pending
+        for i, env in enumerate(pending):
+            if self._matches(env, source, tag):
+                return pending.pop(i)
+        return None
+
+    def _pull_inbox(
+        self, deadline: float | None, source: int, tag: int
+    ) -> Envelope | None:
+        """Block for one inbox envelope; return it if it matches, else park it.
+
+        Returns None when the pulled envelope did not match (caller loops).
+        """
+        while True:
+            if deadline is None:
+                wait = _POLL_SLICE
+            else:
+                wait = min(_POLL_SLICE, deadline - time.monotonic())
+                if wait <= 0:
+                    raise RecvTimeout(
+                        f"rank {self._rank} (context {self._context}): no "
+                        f"message matching (source={source}, tag={tag}) "
+                        f"within timeout; {len(self._endpoint.pending)} "
+                        f"unmatched message(s) pending"
+                    )
+            try:
+                env = self._endpoint.inbox.get(timeout=wait)
+            except queue.Empty:
+                continue
+            if self._matches(env, source, tag):
+                return env
+            self._endpoint.pending.append(env)
+            return None
+
+    def _drain_inbox_nonblocking(self) -> None:
+        while True:
+            try:
+                self._endpoint.pending.append(self._endpoint.inbox.get_nowait())
+            except queue.Empty:
+                return
+
+    # -- sub-communicators --------------------------------------------------
+
+    def split(self, color: int, key: int = 0) -> "MailboxComm | None":
+        """MPI_Comm_split: partition ranks by ``color`` into sub-communicators.
+
+        Collective over this communicator.  Ranks passing the same
+        ``color`` form a new communicator ordered by ``(key, rank)``;
+        ``color=None`` (MPI_UNDEFINED) opts out and returns None.  The
+        child shares the physical endpoint but carries a fresh context id,
+        so its traffic (including collectives) cannot cross-match the
+        parent's or any sibling's.
+        """
+        split_id = self._split_seq
+        self._split_seq += 1
+        entries = _coll.allgather(self, (color, key, self._rank))
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for c, k, r in entries if c == color
+        )
+        ranks = [r for _, r in members]
+        child_rank = ranks.index(self._rank)
+        child_group = [self._group[r] for r in ranks]
+        return MailboxComm(
+            rank=child_rank,
+            size=len(ranks),
+            deliver=self._deliver,
+            default_timeout=self.default_timeout,
+            context=(*self._context, split_id, color),
+            group=child_group,
+            endpoint=self._endpoint,
+        )
+
+    # -- collectives --------------------------------------------------------
+
+    def _next_coll_tags(self, steps: int = 1) -> int:
+        """Reserve a block of negative tags for one collective invocation.
+
+        All ranks invoke collectives in the same order (an MPI requirement),
+        so the per-communicator sequence counter agrees across ranks and
+        consecutive collectives never share tags.
+        """
+        # Start at -2: tag -1 is the ANY_TAG sentinel and must never be a
+        # real message tag, or an internal collective receive could match
+        # (and steal) arbitrary user traffic.
+        base = -(self._coll_seq * _coll.MAX_TAGS_PER_COLLECTIVE + 2)
+        self._coll_seq += 1
+        if steps > _coll.MAX_TAGS_PER_COLLECTIVE:
+            raise ValueError(
+                f"collective needs {steps} tags, limit is "
+                f"{_coll.MAX_TAGS_PER_COLLECTIVE}"
+            )
+        return base
+
+    def barrier(self, timeout: float | None = None) -> None:
+        """Block until every rank has entered the barrier."""
+        _coll.barrier(self, timeout=timeout)
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        return _coll.bcast(self, obj, root=root)
+
+    def scatter(self, values=None, root: int = 0) -> Any:
+        """Scatter a length-``size`` sequence from ``root``; return own item."""
+        return _coll.scatter(self, values, root=root)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank at ``root`` (rank order); None elsewhere."""
+        return _coll.gather(self, obj, root=root)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one value per rank; every rank returns the full list."""
+        return _coll.allgather(self, obj)
+
+    def reduce(self, obj: Any, op=_coll.DEFAULT_OP, root: int = 0) -> Any:
+        """Reduce values with ``op`` at ``root``; None elsewhere."""
+        return _coll.reduce(self, obj, op=op, root=root)
+
+    def allreduce(self, obj: Any, op=_coll.DEFAULT_OP) -> Any:
+        """Reduce values with ``op``; every rank returns the result."""
+        return _coll.allreduce(self, obj, op=op)
+
+    def alltoall(self, values) -> list[Any]:
+        """Personalised all-to-all: send ``values[d]`` to rank ``d``."""
+        return _coll.alltoall(self, values)
+
+    def scan(self, obj: Any, op=_coll.DEFAULT_OP) -> Any:
+        """Inclusive prefix reduction over ranks ``0..rank``."""
+        return _coll.scan(self, obj, op=op)

@@ -1,0 +1,149 @@
+"""Process backend: every rank is an OS process (``multiprocessing``).
+
+The moral equivalent of ``mpiexec -n <size> python script.py``: ranks do
+not share memory, every message crosses a process boundary pickled, and the
+operating system schedules ranks onto cores.  On fork-capable platforms the
+SPMD function may be a closure; with the ``spawn`` start method it must be
+importable at module top level, exactly like an MPI program's ``main``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.mpi.api import MpiError
+from repro.mpi.mailbox import MailboxComm
+
+
+class RemoteRankError(MpiError):
+    """A rank process raised; carries the remote traceback text."""
+
+    def __init__(self, rank: int, exc_type: str, message: str, tb: str):
+        self.rank = rank
+        self.exc_type = exc_type
+        self.remote_traceback = tb
+        super().__init__(f"rank {rank} failed: {exc_type}: {message}\n{tb}")
+
+
+def _rank_main(
+    fn: Callable[..., Any],
+    rank: int,
+    size: int,
+    inboxes,
+    args: tuple,
+    kwargs: dict,
+    result_queue,
+    default_timeout: float | None,
+) -> None:
+    def deliver(dest: int, envelope) -> None:
+        inboxes[dest].put(envelope)
+
+    comm = MailboxComm(
+        rank=rank,
+        size=size,
+        inbox=inboxes[rank],
+        deliver=deliver,
+        default_timeout=default_timeout,
+    )
+    try:
+        result = fn(comm, *args, **kwargs)
+        result_queue.put(("ok", rank, result))
+    except BaseException as exc:  # noqa: BLE001 - marshalled to the parent
+        result_queue.put(
+            ("err", rank, (type(exc).__name__, str(exc), traceback.format_exc()))
+        )
+
+
+class ProcessBackend:
+    """Run an SPMD function across ``size`` ranks as OS processes.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method; ``"fork"`` (default on Linux)
+        permits closures, ``"spawn"`` requires a module-level function.
+    join_timeout:
+        Seconds to wait for each rank process to exit after results are in.
+    default_timeout:
+        Per-``recv`` timeout installed on every communicator.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        start_method: str | None = None,
+        join_timeout: float = 30.0,
+        default_timeout: float | None = 60.0,
+    ):
+        self.start_method = start_method
+        self.join_timeout = join_timeout
+        self.default_timeout = default_timeout
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        size: int,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> list[Any]:
+        """Execute ``fn(comm, *args, **kwargs)`` on each rank process.
+
+        Returns per-rank return values indexed by rank; raises
+        :class:`RemoteRankError` for the lowest-ranked failure.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        ctx = mp.get_context(self.start_method)
+        kwargs = dict(kwargs or {})
+        inboxes = [ctx.Queue() for _ in range(size)]
+        result_queue = ctx.Queue()
+
+        procs = [
+            ctx.Process(
+                target=_rank_main,
+                args=(
+                    fn,
+                    rank,
+                    size,
+                    inboxes,
+                    tuple(args),
+                    kwargs,
+                    result_queue,
+                    self.default_timeout,
+                ),
+                name=f"spmd-rank-{rank}",
+            )
+            for rank in range(size)
+        ]
+        for p in procs:
+            p.start()
+
+        results: list[Any] = [None] * size
+        errors: dict[int, tuple[str, str, str]] = {}
+        try:
+            for _ in range(size):
+                status, rank, payload = result_queue.get()
+                if status == "ok":
+                    results[rank] = payload
+                else:
+                    errors[rank] = payload
+        finally:
+            for p in procs:
+                p.join(timeout=self.join_timeout)
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - defensive cleanup
+                    p.terminate()
+                    p.join(timeout=self.join_timeout)
+            # Drain queue feeder threads so the interpreter can exit cleanly.
+            for q in inboxes:
+                q.cancel_join_thread()
+            result_queue.cancel_join_thread()
+
+        if errors:
+            rank = min(errors)
+            exc_type, message, tb = errors[rank]
+            raise RemoteRankError(rank, exc_type, message, tb)
+        return results

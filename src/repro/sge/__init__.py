@@ -1,0 +1,13 @@
+"""Sun Grid Engine scheduler simulator.
+
+The paper's Approach 2 "reduced the computation time by creating scripts
+which sent out independent Matlab jobs to a Sun Grid Engine scheduler".
+This subpackage simulates that batch-queue architecture: independent jobs,
+a fixed number of slots, FIFO dispatch with greedy slot assignment — so
+the Section-IV scaling benchmark can report the makespan SGE distribution
+would achieve without needing a cluster.
+"""
+
+from repro.sge.scheduler import Job, JobResult, SgeScheduler
+
+__all__ = ["Job", "JobResult", "SgeScheduler"]

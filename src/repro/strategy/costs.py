@@ -1,0 +1,138 @@
+"""Implementation shortfalls (paper §VI future work).
+
+"Future studies would also benefit from considering various
+'implementation shortfalls' that occur in practice such as transaction
+costs, moving the market (on big orders) and lost opportunity (inability
+to fill an order)."
+
+:class:`ExecutionModel` implements all three:
+
+* **transaction costs** — per-share commission plus per-leg slippage (the
+  strategy prices at the bid–ask midpoint; a real fill crosses part of
+  the spread);
+* **market impact** — an additional per-leg penalty growing with order
+  size (square-root law in shares, the standard stylised impact shape);
+* **lost opportunity** — entries fail to fill with probability
+  ``1 - fill_probability``; an unfilled entry is a skipped trade.
+
+Costs are charged at the round trip's close against the position basis,
+so they compose with the paper's return definition (step 6).  Fill
+failures are deterministic given the model seed and the entry interval,
+keeping every backtest reproducible and the batch/streaming engines
+equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.strategy.positions import PairPosition
+from repro.util.validation import check_probability
+
+
+def execution_salt(pair: tuple[int, int], param_index: int) -> int:
+    """Deterministic per-(pair, parameter set) salt for the fill lottery.
+
+    All backtest engines use this same derivation, so frictional results
+    are identical across architectures (the engine-equivalence invariant
+    extends to executions with lost opportunity).
+    """
+    i, j = pair
+    return (int(i) * 1_000_003 + int(j)) * 101 + int(param_index)
+
+
+@dataclass(frozen=True)
+class ExecutionModel:
+    """Friction parameters applied to each round trip.
+
+    The zero-argument default is frictionless (matching the paper's
+    stated simplification: "not including transaction costs").
+    """
+
+    #: Commission in dollars per share, charged on every fill.
+    commission_per_share: float = 0.0
+    #: Slippage per leg in fractions of traded value (e.g. 2e-4 = 2 bps).
+    slippage_frac: float = 0.0
+    #: Impact coefficient: extra cost fraction per leg scaling with
+    #: sqrt(shares) — "moving the market (on big orders)".
+    impact_coeff: float = 0.0
+    #: Probability an entry order fills; misses are lost opportunity.
+    fill_probability: float = 1.0
+    #: Seed for the deterministic fill lottery.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.commission_per_share < 0:
+            raise ValueError("commission_per_share must be >= 0")
+        if self.slippage_frac < 0:
+            raise ValueError("slippage_frac must be >= 0")
+        if self.impact_coeff < 0:
+            raise ValueError("impact_coeff must be >= 0")
+        check_probability(self.fill_probability, "fill_probability")
+
+    @property
+    def frictionless(self) -> bool:
+        return (
+            self.commission_per_share == 0.0
+            and self.slippage_frac == 0.0
+            and self.impact_coeff == 0.0
+            and self.fill_probability == 1.0
+        )
+
+    # -- lost opportunity ---------------------------------------------------
+
+    def entry_fills(self, entry_s: int, salt: int = 0) -> bool:
+        """Deterministic fill lottery for an entry at interval ``entry_s``.
+
+        ``salt`` distinguishes concurrent strategies (e.g. a pair index)
+        so their lotteries are independent.
+        """
+        if self.fill_probability >= 1.0:
+            return True
+        if self.fill_probability <= 0.0:
+            return False
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, int(entry_s), int(salt)])
+        )
+        return bool(rng.random() < self.fill_probability)
+
+    # -- transaction costs + impact -----------------------------------------
+
+    def round_trip_cost(
+        self,
+        position: PairPosition,
+        exit_price_long: float,
+        exit_price_short: float,
+    ) -> float:
+        """Total friction dollars for the four fills of one round trip."""
+        shares = (position.n_long, position.n_short)
+        entry_values = (
+            position.entry_price_long * position.n_long,
+            position.entry_price_short * position.n_short,
+        )
+        exit_values = (
+            exit_price_long * position.n_long,
+            exit_price_short * position.n_short,
+        )
+        commission = 2.0 * self.commission_per_share * sum(shares)
+        slippage = self.slippage_frac * (sum(entry_values) + sum(exit_values))
+        impact = self.impact_coeff * sum(
+            np.sqrt(n) * v
+            for n, v in zip(shares * 2, entry_values + exit_values)
+        )
+        return commission + slippage + impact
+
+    def net_return(
+        self,
+        gross_return: float,
+        position: PairPosition,
+        exit_price_long: float,
+        exit_price_short: float,
+    ) -> float:
+        """Gross step-6 return minus friction, against the same basis."""
+        if self.frictionless:
+            return gross_return
+        cost = self.round_trip_cost(position, exit_price_long, exit_price_short)
+        return gross_return - cost / position.basis

@@ -1,0 +1,359 @@
+"""The per-pair strategy state machine (paper §III, steps 1–6).
+
+:func:`run_pair_day` executes one (pair, parameter set) combination over
+one trading day of bar closes and a correlation series, returning the
+day's trades — the paper's return set ``R_p^{t,k}``.  All window
+quantities (average correlation, divergence freshness, spread range,
+performance returns) are precomputed vectorised; the remaining state
+machine is a cheap linear scan.
+
+:class:`PairStrategy` is the streaming form used by the MarketMiner
+pipeline component: fed one interval at a time, it emits exactly the
+trades the batch function produces (an invariant under test).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.strategy.costs import ExecutionModel
+from repro.strategy.params import StrategyParams
+from repro.strategy.positions import (
+    PairPosition,
+    cash_neutral_shares,
+    position_return,
+)
+from repro.strategy.retracement import retracement_level
+from repro.strategy.signals import divergence_signals
+
+
+class TradeReason(enum.Enum):
+    """Why a position was closed."""
+
+    RETRACEMENT = "retracement"
+    MAX_HOLDING = "max_holding"
+    END_OF_DAY = "end_of_day"
+    STOP_LOSS = "stop_loss"
+    CORR_REVERSION = "corr_reversion"
+
+
+@dataclass(frozen=True, slots=True)
+class Trade:
+    """One completed round trip on a pair."""
+
+    entry_s: int
+    exit_s: int
+    ret: float
+    reason: TradeReason
+    long_leg: int
+    n_long: int
+    n_short: int
+
+    @property
+    def holding_periods(self) -> int:
+        return self.exit_s - self.entry_s
+
+
+def align_corr_series(series: np.ndarray, smax: int, m: int) -> np.ndarray:
+    """Embed a rolling-correlation series into full interval indexing.
+
+    ``series`` is the output of :func:`repro.corr.measures.corr_series`
+    computed on the day's 1-period returns (length ``smax - 1``): its
+    index ``k`` covers returns ``k .. k+m-1``, i.e. prices ``k .. k+m``,
+    so it is ``C(s)`` for ``s = k + m``.  The result has length ``smax``
+    with NaN for the warm-up intervals ``s < m``.
+    """
+    series = np.asarray(series, dtype=float)
+    expected = smax - m
+    if series.shape != (expected,):
+        raise ValueError(
+            f"series has shape {series.shape}, expected ({expected},) for "
+            f"smax={smax}, m={m}"
+        )
+    out = np.full(smax, np.nan)
+    out[m:] = series
+    return out
+
+
+def _open_position(
+    s: int,
+    prices: np.ndarray,
+    spread: np.ndarray,
+    perf: np.ndarray,
+    params: StrategyParams,
+) -> PairPosition:
+    """Steps 3–5: choose legs, size the trade, set the retracement target."""
+    # Long the under-performer: the leg with the lower W-period return.
+    long_leg = 0 if perf[s, 0] <= perf[s, 1] else 1
+    short_leg = 1 - long_leg
+    p_long = float(prices[s, long_leg])
+    p_short = float(prices[s, short_leg])
+    n_long, n_short = cash_neutral_shares(p_long, p_short)
+    level = retracement_level(
+        spread[s - params.rt + 1 : s + 1], float(spread[s]), params.l
+    )
+    return PairPosition(
+        entry_s=s,
+        long_leg=long_leg,
+        n_long=n_long,
+        n_short=n_short,
+        entry_price_long=p_long,
+        entry_price_short=p_short,
+        entry_spread=float(spread[s]),
+        retracement_level=level.level,
+        retracement_direction=level.direction,
+    )
+
+
+def _close_reason(
+    position: PairPosition,
+    s: int,
+    smax: int,
+    prices: np.ndarray,
+    spread: np.ndarray,
+    corr: np.ndarray,
+    c_bar: np.ndarray,
+    params: StrategyParams,
+) -> TradeReason | None:
+    """Exit rules in priority order: retracement, HP, extensions, EOD."""
+    if position.retracement_hit(float(spread[s])):
+        return TradeReason.RETRACEMENT
+    if s - position.entry_s >= params.hp:
+        return TradeReason.MAX_HOLDING
+    if params.stop_loss is not None:
+        p_long = float(prices[s, position.long_leg])
+        p_short = float(prices[s, 1 - position.long_leg])
+        if position_return(position, p_long, p_short) <= -params.stop_loss:
+            return TradeReason.STOP_LOSS
+    if params.correlation_reversion and np.isfinite(c_bar[s]):
+        if c_bar[s] * (1.0 - params.d) <= corr[s] < c_bar[s]:
+            return TradeReason.CORR_REVERSION
+    if s == smax - 1:
+        return TradeReason.END_OF_DAY
+    return None
+
+
+def _close(
+    position: PairPosition,
+    s: int,
+    prices: np.ndarray,
+    reason: TradeReason,
+    execution: ExecutionModel | None = None,
+) -> Trade:
+    p_long = float(prices[s, position.long_leg])
+    p_short = float(prices[s, 1 - position.long_leg])
+    ret = position_return(position, p_long, p_short)
+    if execution is not None:
+        ret = execution.net_return(ret, position, p_long, p_short)
+    return Trade(
+        entry_s=position.entry_s,
+        exit_s=s,
+        ret=ret,
+        reason=reason,
+        long_leg=position.long_leg,
+        n_long=position.n_long,
+        n_short=position.n_short,
+    )
+
+
+def run_pair_day(
+    prices: np.ndarray,
+    corr: np.ndarray,
+    params: StrategyParams,
+    execution: ExecutionModel | None = None,
+    salt: int = 0,
+) -> list[Trade]:
+    """Backtest one (pair, parameter set) over one day.
+
+    Parameters
+    ----------
+    prices:
+        ``(smax, 2)`` BAM closes of the pair's two legs.
+    corr:
+        ``(smax,)`` correlation series ``C(s)`` with NaN warm-up, as
+        produced by :func:`align_corr_series`.
+    params:
+        The parameter set ``k``.
+    execution:
+        Optional implementation-shortfall model (paper §VI future work):
+        transaction costs and impact net against each trade's return,
+        and entries may fail to fill (lost opportunity).
+    salt:
+        Distinguishes the fill lottery of concurrent strategies (pass a
+        pair/parameter identifier).
+
+    Returns the day's completed trades in entry order; any position still
+    open at the last interval is closed there (step 5: "we should reverse
+    all positions at the end of the trading day").
+    """
+    prices = np.asarray(prices, dtype=float)
+    if prices.ndim != 2 or prices.shape[1] != 2:
+        raise ValueError(f"prices must be (smax, 2), got {prices.shape}")
+    smax = prices.shape[0]
+    corr = np.asarray(corr, dtype=float)
+    if corr.shape != (smax,):
+        raise ValueError(f"corr must be ({smax},), got {corr.shape}")
+    if np.any(prices <= 0) or np.any(~np.isfinite(prices)):
+        raise ValueError("prices must be positive and finite")
+
+    start = params.first_active_interval
+    if start >= smax:
+        return []
+
+    signal, c_bar = divergence_signals(corr, params.a, params.d, params.w, params.y)
+    spread = prices[:, 0] - prices[:, 1]
+    # W-period simple returns of each leg, aligned to interval index.
+    perf = np.full((smax, 2), np.nan)
+    perf[params.w :] = prices[params.w :] / prices[: -params.w] - 1.0
+
+    trades: list[Trade] = []
+    position: PairPosition | None = None
+    for s in range(start, smax):
+        if position is not None:
+            reason = _close_reason(
+                position, s, smax, prices, spread, corr, c_bar, params
+            )
+            if reason is not None:
+                trades.append(_close(position, s, prices, reason, execution))
+                position = None
+                continue  # no same-interval re-entry
+        if (
+            position is None
+            and signal[s]
+            and (smax - 1 - s) >= params.st
+            and (execution is None or execution.entry_fills(s, salt))
+        ):
+            position = _open_position(s, prices, spread, perf, params)
+    return trades
+
+
+class PairStrategy:
+    """Streaming form of the strategy for pipeline use.
+
+    Feed intervals in order with :meth:`step`; each call may emit a
+    completed :class:`Trade`.  Produces exactly the trades of
+    :func:`run_pair_day` over the same inputs.
+    """
+
+    def __init__(
+        self,
+        params: StrategyParams,
+        smax: int,
+        execution: ExecutionModel | None = None,
+        salt: int = 0,
+    ):
+        if smax <= 0:
+            raise ValueError(f"smax must be positive, got {smax}")
+        self.params = params
+        self.smax = smax
+        self.execution = execution
+        self.salt = salt
+        self._s = 0
+        self._prices = np.full((smax, 2), np.nan)
+        self._corr = np.full(smax, np.nan)
+        self._position: PairPosition | None = None
+        self._trades: list[Trade] = []
+
+    @property
+    def trades(self) -> list[Trade]:
+        """Completed trades so far."""
+        return list(self._trades)
+
+    @property
+    def open_position(self) -> PairPosition | None:
+        return self._position
+
+    def step(self, s: int, price_0: float, price_1: float, corr_s: float) -> Trade | None:
+        """Advance one interval; returns a trade if one closed at ``s``.
+
+        ``corr_s`` may be NaN during warm-up (``s < M``).
+        """
+        if s != self._s:
+            raise ValueError(f"expected interval {self._s}, got {s}")
+        if s >= self.smax:
+            raise ValueError(f"interval {s} beyond smax={self.smax}")
+        if price_0 <= 0 or price_1 <= 0:
+            raise ValueError("prices must be positive")
+        self._prices[s] = (price_0, price_1)
+        self._corr[s] = corr_s
+        self._s += 1
+
+        params = self.params
+        if s < params.first_active_interval:
+            return None
+
+        spread = self._prices[:, 0] - self._prices[:, 1]
+        closed: Trade | None = None
+        if self._position is not None:
+            c_bar_s = self._c_bar(s)
+            reason = self._close_reason_stream(s, spread, c_bar_s)
+            if reason is not None:
+                closed = _close(
+                    self._position, s, self._prices, reason, self.execution
+                )
+                self._trades.append(closed)
+                self._position = None
+                return closed
+
+        if (
+            self._position is None
+            and (self.smax - 1 - s) >= params.st
+            and self._signal(s)
+            and (
+                self.execution is None
+                or self.execution.entry_fills(s, self.salt)
+            )
+        ):
+            perf = np.full((self.smax, 2), np.nan)
+            w = params.w
+            perf[s] = self._prices[s] / self._prices[s - w] - 1.0
+            self._position = _open_position(s, self._prices, spread, perf, params)
+        return closed
+
+    # -- streaming reimplementations of the vectorised quantities ---------
+
+    def _c_bar(self, s: int) -> float:
+        window = self._corr[s - self.params.w + 1 : s + 1]
+        if np.all(np.isfinite(window)):
+            return float(window.mean())
+        return float("nan")
+
+    def _diverged(self, s: int) -> bool:
+        c_bar = self._c_bar(s)
+        if not np.isfinite(c_bar):
+            return False
+        return bool(self._corr[s] < c_bar * (1.0 - self.params.d))
+
+    def _signal(self, s: int) -> bool:
+        params = self.params
+        c_bar = self._c_bar(s)
+        if not np.isfinite(c_bar) or not c_bar > params.a:
+            return False
+        if not self._diverged(s):
+            return False
+        if s < params.y:
+            return False
+        return not all(self._diverged(sigma) for sigma in range(s - params.y, s))
+
+    def _close_reason_stream(self, s: int, spread: np.ndarray, c_bar_s: float) -> TradeReason | None:
+        params = self.params
+        position = self._position
+        assert position is not None
+        if position.retracement_hit(float(spread[s])):
+            return TradeReason.RETRACEMENT
+        if s - position.entry_s >= params.hp:
+            return TradeReason.MAX_HOLDING
+        if params.stop_loss is not None:
+            p_long = float(self._prices[s, position.long_leg])
+            p_short = float(self._prices[s, 1 - position.long_leg])
+            if position_return(position, p_long, p_short) <= -params.stop_loss:
+                return TradeReason.STOP_LOSS
+        if params.correlation_reversion and np.isfinite(c_bar_s):
+            if c_bar_s * (1.0 - params.d) <= self._corr[s] < c_bar_s:
+                return TradeReason.CORR_REVERSION
+        if s == self.smax - 1:
+            return TradeReason.END_OF_DAY
+        return None

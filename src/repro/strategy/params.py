@@ -1,0 +1,246 @@
+"""Strategy parameters and the paper's Table I value grid.
+
+A :class:`StrategyParams` instance is one element of the paper's set ``K``:
+a unique combination of parameters that "gives rise to a unique pair
+trading strategy".  The paper's experiments use 42 parameter sets — the
+three correlation treatments crossed with 14 levels of the non-treatment
+factors ``{Δs, A, M, W, Y, d, ℓ, RT, HP, ST}`` — reproduced by
+:func:`paper_parameter_grid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from repro.corr.measures import CorrelationType
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+@dataclass(frozen=True)
+class StrategyParams:
+    """One parameter set ``k ∈ K`` (paper Table I).
+
+    Time-based parameters (``M``, ``W``, ``Y``, ``RT``, ``HP``, ``ST``) are
+    in units of the time window ``Δs``.
+
+    Attributes
+    ----------
+    delta_s:
+        Time window in seconds (paper: 30).
+    ctype:
+        Correlation measure — Pearson, Maronna or Combined.
+    a:
+        Minimum average correlation required for trading (paper ``A``).
+    m:
+        Window length for each correlation calculation (paper ``M``).
+    w:
+        Window for the average correlation — also the horizon of the
+        over/under-performer return (paper ``W``).
+    y:
+        Window within which a divergence must be fresh (paper ``Y``).
+    d:
+        Divergence level from the correlation average required to trigger
+        a trade, as a fraction (paper ``d``; 0.01% → 0.0001).
+    l:
+        Retracement level parameter, strictly in (0, 1) (paper ``ℓ``).
+    rt:
+        Window for measuring the spread level used in the retracement
+        calculation (paper ``RT``).  The paper's step-5 prose says the
+        spread high/low/average come from "the last M time intervals";
+        Table I assigns that role to RT.  We follow Table I — set
+        ``rt = m`` to recover the prose reading (ablation benchmark).
+    hp:
+        Maximum holding period for any position (paper ``HP``).
+    st:
+        Minimum number of intervals before the close required to open a
+        new position (paper ``ST``).
+    stop_loss:
+        Optional extension (paper §III step 5, "we point out, but do not
+        consider any further"): close the position if its mark-to-market
+        return drops below ``-stop_loss``.  None disables.
+    correlation_reversion:
+        Optional extension: close the position when the correlation
+        returns within the average range ``[C̄(1 - d), C̄)``.
+    """
+
+    delta_s: int = 30
+    ctype: CorrelationType = CorrelationType.PEARSON
+    a: float = 0.1
+    m: int = 100
+    w: int = 60
+    y: int = 10
+    d: float = 0.0001
+    l: float = 2.0 / 3.0
+    rt: int = 60
+    hp: int = 30
+    st: int = 20
+    stop_loss: float | None = None
+    correlation_reversion: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.delta_s, "delta_s")
+        object.__setattr__(self, "ctype", CorrelationType.parse(self.ctype))
+        check_probability(self.a, "a")
+        check_positive_int(self.m, "m")
+        if self.m < 3:
+            raise ValueError(f"m must be >= 3 (robust fits need it), got {self.m}")
+        check_positive_int(self.w, "w")
+        check_positive_int(self.y, "y")
+        check_positive(self.d, "d")
+        if self.d >= 1.0:
+            raise ValueError(f"d is a fraction of C̄ and must be < 1, got {self.d}")
+        check_fraction(self.l, "l")
+        check_positive_int(self.rt, "rt")
+        check_positive_int(self.hp, "hp")
+        check_positive_int(self.st, "st")
+        if self.stop_loss is not None:
+            check_positive(self.stop_loss, "stop_loss")
+
+    @property
+    def first_active_interval(self) -> int:
+        """Earliest interval index at which the strategy can evaluate.
+
+        Needs ``M`` returns (so ``M`` intervals of history plus interval 0's
+        price), ``W`` correlation values for the average, and ``RT`` spread
+        observations.
+        """
+        return max(self.m + self.w - 1, self.rt - 1, self.w)
+
+    def with_ctype(self, ctype: CorrelationType | str) -> "StrategyParams":
+        """Copy of this parameter set with a different correlation measure."""
+        return replace(self, ctype=CorrelationType.parse(ctype))
+
+    def non_treatment_key(self) -> tuple:
+        """Hashable identity of the non-treatment factors (everything but
+        ``ctype``) — the paper's ``k′``."""
+        return tuple(
+            getattr(self, f.name) for f in fields(self) if f.name != "ctype"
+        )
+
+    def label(self) -> str:
+        """Compact human-readable identity, e.g. for benchmark rows."""
+        return (
+            f"Δs={self.delta_s} C={self.ctype.value} A={self.a} M={self.m} "
+            f"W={self.w} Y={self.y} d={self.d:.4%} l={self.l:.3f} RT={self.rt} "
+            f"HP={self.hp} ST={self.st}"
+        )
+
+
+def table1_values() -> dict[str, list]:
+    """Parameter values of the paper's Table I, keyed by field name."""
+    return {
+        "delta_s": [30],
+        "ctype": [
+            CorrelationType.PEARSON,
+            CorrelationType.MARONNA,
+            CorrelationType.COMBINED,
+        ],
+        "a": [0.1],
+        "m": [50, 100, 200],
+        "w": [60, 120],
+        "y": [10, 20],
+        "d": [0.0001, 0.0002, 0.0003, 0.0004, 0.0005, 0.0010],
+        "l": [1.0 / 3.0, 2.0 / 3.0],
+        "rt": [60],
+        "hp": [30, 40],
+        "st": [20],
+    }
+
+
+#: The 14 non-treatment factor levels k' ∈ K'.  The paper states there are
+#: 14 levels but not their composition; this grid varies each Table-I value
+#: one-at-a-time around the canonical vector (the paper's worked example
+#: {Δs=30, A=0.1, M=100, W=60, Y=10, d=0.01%, ℓ=2/3, RT=60, HP=30, ST=20})
+#: plus two interaction levels, covering every Table-I value at least once.
+_LEVEL_OVERRIDES: tuple[dict, ...] = (
+    {},  # canonical
+    {"m": 50},
+    {"m": 200},
+    {"w": 120},
+    {"y": 20},
+    {"d": 0.0002},
+    {"d": 0.0003},
+    {"d": 0.0004},
+    {"d": 0.0005},
+    {"d": 0.0010},
+    {"l": 1.0 / 3.0},
+    {"hp": 40},
+    {"m": 50, "w": 120},
+    {"d": 0.0002, "y": 20},
+)
+
+
+def paper_parameter_grid(
+    base: StrategyParams | None = None, n_levels: int | None = None
+) -> list[StrategyParams]:
+    """The paper's 42 parameter sets: 3 treatments × 14 factor levels.
+
+    Ordered treatment-major (all Pearson levels, then Maronna, then
+    Combined).  ``n_levels`` truncates the factor levels for scaled-down
+    runs; ``base`` overrides the canonical vector (e.g. a smaller ``m``
+    for short synthetic sessions).
+    """
+    base = base if base is not None else StrategyParams()
+    overrides = _LEVEL_OVERRIDES
+    if n_levels is not None:
+        if not 1 <= n_levels <= len(_LEVEL_OVERRIDES):
+            raise ValueError(
+                f"n_levels must be in [1, {len(_LEVEL_OVERRIDES)}], got {n_levels}"
+            )
+        overrides = _LEVEL_OVERRIDES[:n_levels]
+    grid = []
+    for ctype in (
+        CorrelationType.PEARSON,
+        CorrelationType.MARONNA,
+        CorrelationType.COMBINED,
+    ):
+        for override in overrides:
+            grid.append(replace(base, ctype=ctype, **override))
+    return grid
+
+
+def small_parameter_grid(base: StrategyParams | None = None) -> list[StrategyParams]:
+    """A 12-set grid (3 treatments × 4 levels) for tests and quick runs."""
+    return paper_parameter_grid(base=base, n_levels=4)
+
+
+def format_table1() -> str:
+    """Render Table I: parameter descriptions and values."""
+    descriptions = {
+        "delta_s": "Time window (seconds)",
+        "ctype": "Type of correlation measure",
+        "a": "Minimum correlation for trading",
+        "m": "Time window for correlation calculation",
+        "w": "Time window of average correlation calculation",
+        "y": "Time window over which divergences from the correlation "
+        "average are considered",
+        "d": "Divergence level from correlation average required to "
+        "trigger a trade",
+        "l": "Retracement level for determining when to reverse a position",
+        "rt": "Time window for measuring the spread level (used in "
+        "calculating retracement level)",
+        "hp": "Maximum holding period for any position",
+        "st": "Minimum time before market close required to open a new "
+        "position",
+    }
+    names = {
+        "delta_s": "Δs", "ctype": "Ctype", "a": "A", "m": "M", "w": "W",
+        "y": "Y", "d": "d", "l": "ℓ", "rt": "RT", "hp": "HP", "st": "ST",
+    }
+    lines = [f"{'Param':<6} {'Description':<72} Values"]
+    for key, values in table1_values().items():
+        if key == "ctype":
+            rendered = ", ".join(v.value.capitalize() for v in values)
+        elif key == "d":
+            rendered = ", ".join(f"{v:.2%}" for v in values)
+        elif key == "l":
+            rendered = ", ".join(f"{v:.3f}" for v in values)
+        else:
+            rendered = ", ".join(str(v) for v in values)
+        lines.append(f"{names[key]:<6} {descriptions[key]:<72} {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Basket aggregation and risk limits (paper §IV, Approach 3).
+
+The advantage the paper claims for tight MarketMiner integration is that
+"the outputs from each strategy (trade decisions) can be gathered by a
+master process to perform additional tasks such as risk management and
+liquidity provisioning", with per-pair orders aggregated "into a single
+basket" for list-based execution.  This module is that master-side logic:
+:class:`OrderRequest` is the unit a strategy component emits,
+:class:`BasketAggregator` nets them into per-symbol baskets per interval,
+and :class:`RiskLimits` vetoes orders that would breach portfolio limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True, slots=True)
+class OrderRequest:
+    """A single-leg order emitted by a pair strategy."""
+
+    s: int
+    symbol: int
+    shares: int  # positive = buy, negative = sell/short
+    price: float
+    pair: tuple[int, int]
+    param_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.s < 0:
+            raise ValueError(f"interval must be >= 0, got {self.s}")
+        if self.shares == 0:
+            raise ValueError("orders must have non-zero share count")
+        check_positive(self.price, "price")
+
+    @property
+    def notional(self) -> float:
+        return abs(self.shares) * self.price
+
+
+@dataclass(frozen=True)
+class RiskLimits:
+    """Portfolio-level limits applied before orders join the basket.
+
+    ``max_symbol_shares`` is the liquidity-provisioning limit: many pair
+    strategies sharing one symbol can concentrate the book in it; the cap
+    bounds the absolute net share position per symbol across all open
+    pairs.
+    """
+
+    max_gross_notional: float = float("inf")
+    max_open_pairs: int = 1_000_000
+    max_order_notional: float = float("inf")
+    max_symbol_shares: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_gross_notional <= 0:
+            raise ValueError("max_gross_notional must be positive")
+        check_positive_int(self.max_open_pairs, "max_open_pairs")
+        if self.max_order_notional <= 0:
+            raise ValueError("max_order_notional must be positive")
+        if self.max_symbol_shares is not None:
+            check_positive_int(self.max_symbol_shares, "max_symbol_shares")
+
+
+class BasketAggregator:
+    """Nets per-pair order requests into per-interval symbol baskets.
+
+    Entry orders are accepted or vetoed atomically per pair (both legs or
+    neither) against the risk limits; exit orders are always accepted, so
+    a limit breach can never strand an open position.
+    """
+
+    def __init__(self, limits: RiskLimits | None = None):
+        self.limits = limits if limits is not None else RiskLimits()
+        self._open_pairs: dict[tuple[int, int, int], float] = {}
+        self._gross = 0.0
+        self._symbol_net: dict[int, int] = {}
+        self._vetoed: list[tuple[OrderRequest, ...]] = []
+
+    @property
+    def gross_notional(self) -> float:
+        """Total notional of currently open pair positions."""
+        return self._gross
+
+    @property
+    def open_pair_count(self) -> int:
+        return len(self._open_pairs)
+
+    @property
+    def vetoed(self) -> list[tuple[OrderRequest, ...]]:
+        """Entry order groups rejected by the risk limits."""
+        return list(self._vetoed)
+
+    def submit_entry(self, legs: tuple[OrderRequest, ...]) -> bool:
+        """Offer an entry (both legs of a new pair position); returns accepted.
+
+        The legs must share the pair, interval and parameter index.
+        """
+        self._check_legs(legs)
+        key = (*legs[0].pair, legs[0].param_index)
+        if key in self._open_pairs:
+            raise ValueError(f"pair {key} already has an open position")
+        notional = sum(leg.notional for leg in legs)
+        limits = self.limits
+        breaches_concentration = False
+        if limits.max_symbol_shares is not None:
+            for leg in legs:
+                new_net = self._symbol_net.get(leg.symbol, 0) + leg.shares
+                if abs(new_net) > limits.max_symbol_shares:
+                    breaches_concentration = True
+                    break
+        if (
+            any(leg.notional > limits.max_order_notional for leg in legs)
+            or self._gross + notional > limits.max_gross_notional
+            or len(self._open_pairs) + 1 > limits.max_open_pairs
+            or breaches_concentration
+        ):
+            self._vetoed.append(tuple(legs))
+            return False
+        self._open_pairs[key] = notional
+        self._gross += notional
+        for leg in legs:
+            self._symbol_net[leg.symbol] = (
+                self._symbol_net.get(leg.symbol, 0) + leg.shares
+            )
+        return True
+
+    def submit_exit(self, legs: tuple[OrderRequest, ...]) -> None:
+        """Close a previously accepted pair position (always accepted)."""
+        self._check_legs(legs)
+        key = (*legs[0].pair, legs[0].param_index)
+        notional = self._open_pairs.pop(key, None)
+        if notional is None:
+            raise ValueError(f"no open position for pair {key}")
+        self._gross -= notional
+        for leg in legs:
+            self._symbol_net[leg.symbol] = (
+                self._symbol_net.get(leg.symbol, 0) + leg.shares
+            )
+
+    def symbol_net_shares(self, symbol: int) -> int:
+        """Current net share position in ``symbol`` across open pairs."""
+        return self._symbol_net.get(symbol, 0)
+
+    @staticmethod
+    def _check_legs(legs: tuple[OrderRequest, ...]) -> None:
+        if len(legs) != 2:
+            raise ValueError(f"pair orders have exactly 2 legs, got {len(legs)}")
+        a, b = legs
+        if a.pair != b.pair or a.s != b.s or a.param_index != b.param_index:
+            raise ValueError("legs must share pair, interval and param_index")
+        if (a.shares > 0) == (b.shares > 0):
+            raise ValueError("pair legs must be one buy and one sell")
+
+    @staticmethod
+    def basket(orders: list[OrderRequest]) -> dict[int, int]:
+        """Net a list of accepted orders into {symbol: net shares}.
+
+        Zero-net symbols are dropped — the "single basket" the paper's
+        list-based execution algorithm would receive.
+        """
+        net: dict[int, int] = {}
+        for order in orders:
+            net[order.symbol] = net.get(order.symbol, 0) + order.shares
+        return {sym: sh for sym, sh in net.items() if sh != 0}

@@ -1,0 +1,90 @@
+"""Divergence detection (paper §III, steps 1–3).
+
+At each interval ``s`` the strategy computes the average correlation over
+the last ``W`` intervals,
+
+    C̄(s) = (1/W) Σ_{σ=s-W+1..s} C(σ),
+
+and triggers when three conditions hold:
+
+1. the pair is tradeable: ``C̄(s) > A``;
+2. the pair is currently diverged: the correlation has broken *down* by
+   more than ``d`` (a fraction) from its average — ``C(s) < C̄(s)(1 - d)``
+   (a correlation breakdown is a drop; the paper's strategy "exploits
+   pairs ... when the co-movement deteriorates");
+3. the divergence is fresh: it began within the last ``Y`` intervals,
+   i.e. at least one of the previous ``Y`` intervals was not diverged.
+   Without freshness a pair that broke down an hour ago would fire on
+   every interval of the day.
+
+All three are computed vectorised over the whole correlation series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_positive_int
+
+
+def average_correlation(corr: np.ndarray, w: int) -> np.ndarray:
+    """Rolling mean over the trailing ``w`` values; same length as input.
+
+    Output index ``s`` is ``C̄`` over ``corr[s - w + 1 .. s]``; the first
+    ``w - 1`` entries (incomplete windows) are NaN.
+    """
+    check_positive_int(w, "w")
+    corr = np.asarray(corr, dtype=float)
+    if corr.ndim != 1:
+        raise ValueError(f"need a 1-D correlation series, got shape {corr.shape}")
+    if corr.size < w:
+        raise ValueError(f"need at least {w} correlation values, got {corr.size}")
+    # NaN entries mark warm-up (no correlation yet); a window is valid only
+    # if every entry is finite, so NaNs are zeroed for the cumsum and the
+    # affected windows masked back to NaN.
+    valid = np.isfinite(corr)
+    c = np.concatenate(([0.0], np.cumsum(np.where(valid, corr, 0.0))))
+    v = np.concatenate(([0], np.cumsum(valid.astype(np.int64))))
+    out = np.full(corr.size, np.nan)
+    full_window = (v[w:] - v[:-w]) == w
+    sums = c[w:] - c[:-w]
+    out[w - 1 :] = np.where(full_window, sums / w, np.nan)
+    return out
+
+
+def divergence_signals(
+    corr: np.ndarray, a: float, d: float, w: int, y: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Entry signals over a correlation series.
+
+    Parameters mirror :class:`~repro.strategy.params.StrategyParams`:
+    minimum average correlation ``a``, divergence fraction ``d``, average
+    window ``w``, freshness window ``y``.
+
+    Returns ``(signal, c_bar)``, both aligned with ``corr``: ``signal[s]``
+    is True when a trade should trigger at ``s``; ``c_bar`` is the rolling
+    average correlation (NaN where the window is incomplete).  Signals are
+    False wherever ``c_bar`` is NaN and within the first ``y`` entries
+    (freshness cannot be established).
+    """
+    check_positive(d, "d")
+    check_positive_int(y, "y")
+    if not 0.0 <= a <= 1.0:
+        raise ValueError(f"a must lie in [0, 1], got {a}")
+    corr = np.asarray(corr, dtype=float)
+    c_bar = average_correlation(corr, w)
+
+    with np.errstate(invalid="ignore"):
+        tradeable = c_bar > a
+        diverged = corr < c_bar * (1.0 - d)
+
+    # Freshness: at least one of the previous y intervals not diverged.
+    div_int = diverged.astype(np.int64)
+    c = np.concatenate(([0], np.cumsum(div_int)))
+    fresh = np.zeros(corr.size, dtype=bool)
+    # count of diverged among corr[s-y .. s-1]
+    prev_count = c[y:-1] - c[:-y - 1] if corr.size > y else np.empty(0, dtype=np.int64)
+    fresh[y:] = prev_count < y
+
+    signal = tradeable & diverged & fresh
+    return signal, c_bar

@@ -1,0 +1,44 @@
+"""TAQ market-data substrate.
+
+The paper backtests on NYSE TAQ bid–ask quote data (61 liquid US stocks,
+March 2008).  That dataset is proprietary, so this subpackage provides the
+synthetic equivalent: a seeded multi-factor market simulator producing
+quote streams with the features the paper's pipeline must handle —
+cross-sectional correlation, transient correlation breakdowns, microstructure
+noise and gross outliers — plus a TAQ-style file format matching the
+paper's Table II schema, the March 2008 trading calendar and a stock
+universe of 61 liquid names.
+"""
+
+from repro.taq.calendar import TradingCalendar, march_2008
+from repro.taq.io import format_table2, read_taq_csv, write_taq_csv
+from repro.taq.quality import QualityReport, SymbolQuality, quality_report
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.types import (
+    QUOTE_DTYPE,
+    Quote,
+    quotes_from_records,
+    quotes_to_records,
+    validate_quote_array,
+)
+from repro.taq.universe import Universe, default_universe
+
+__all__ = [
+    "QUOTE_DTYPE",
+    "QualityReport",
+    "Quote",
+    "SymbolQuality",
+    "SyntheticMarket",
+    "SyntheticMarketConfig",
+    "TradingCalendar",
+    "Universe",
+    "default_universe",
+    "format_table2",
+    "march_2008",
+    "quality_report",
+    "quotes_from_records",
+    "quotes_to_records",
+    "read_taq_csv",
+    "validate_quote_array",
+    "write_taq_csv",
+]

@@ -1,0 +1,86 @@
+"""Trading calendars.
+
+The paper's dataset is "one month (March 2008) which consists of 20 trading
+days".  :func:`march_2008` reproduces exactly those dates (Good Friday,
+March 21 2008, was a market holiday).  :class:`TradingCalendar` generalises
+to arbitrary ranges for longer-horizon experiments ("longer time frames"
+is one of the paper's future-work items).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TradingCalendar:
+    """Business-day calendar between two dates with explicit holidays."""
+
+    start: dt.date
+    end: dt.date
+    holidays: frozenset[dt.date] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"end {self.end} before start {self.start}")
+        object.__setattr__(self, "holidays", frozenset(self.holidays))
+
+    def _gen_days(self) -> Iterator[dt.date]:
+        day = self.start
+        one = dt.timedelta(days=1)
+        while day <= self.end:
+            if day.weekday() < 5 and day not in self.holidays:
+                yield day
+            day += one
+
+    def __iter__(self) -> Iterator[dt.date]:
+        return self._gen_days()
+
+    @property
+    def days(self) -> tuple[dt.date, ...]:
+        """All trading days in chronological order."""
+        return tuple(self._gen_days())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._gen_days())
+
+    def is_trading_day(self, day: dt.date) -> bool:
+        return (
+            self.start <= day <= self.end
+            and day.weekday() < 5
+            and day not in self.holidays
+        )
+
+    @classmethod
+    def from_days(cls, days: Iterable[dt.date]) -> "TradingCalendar":
+        """Build a calendar whose trading days are exactly ``days``."""
+        days = sorted(set(days))
+        if not days:
+            raise ValueError("need at least one trading day")
+        for day in days:
+            if day.weekday() >= 5:
+                raise ValueError(f"{day} is a weekend, not a valid trading day")
+        start, end = days[0], days[-1]
+        wanted = set(days)
+        holidays = {
+            start + dt.timedelta(days=i)
+            for i in range((end - start).days + 1)
+            if (start + dt.timedelta(days=i)).weekday() < 5
+            and (start + dt.timedelta(days=i)) not in wanted
+        }
+        return cls(start=start, end=end, holidays=frozenset(holidays))
+
+
+#: NYSE holiday inside March 2008 (Good Friday).
+_GOOD_FRIDAY_2008 = dt.date(2008, 3, 21)
+
+
+def march_2008() -> TradingCalendar:
+    """The paper's evaluation month: 20 NYSE trading days in March 2008."""
+    return TradingCalendar(
+        start=dt.date(2008, 3, 1),
+        end=dt.date(2008, 3, 31),
+        holidays=frozenset({_GOOD_FRIDAY_2008}),
+    )

@@ -1,0 +1,105 @@
+"""TAQ-style file input/output.
+
+The paper's Table II shows the raw quote schema: Timestamp, Symbol, Bid
+Price, Ask Price, Bid Size, Ask Size.  This module reads and writes that
+schema as CSV (the "Custom TAQ Files" data source of Figure 1) and renders
+quote batches in the Table II layout for the Table-II benchmark.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.taq.types import QUOTE_DTYPE, validate_quote_array
+from repro.taq.universe import Universe
+from repro.util.timeutil import MARKET_OPEN_SECONDS, seconds_to_clock
+
+_HEADER = ["timestamp", "symbol", "bid", "ask", "bid_size", "ask_size"]
+
+
+def write_taq_csv(path, quotes: np.ndarray, universe: Universe) -> None:
+    """Write a quote array to ``path`` in the Table II column layout.
+
+    Timestamps are written as wall-clock ``HH:MM:SS`` with the fractional
+    second appended (TAQ itself is second-stamped; we keep the fraction so
+    a round-trip is lossless).
+    """
+    validate_quote_array(quotes, n_symbols=len(universe))
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for rec in quotes:
+            t = float(rec["t"])
+            frac = t - int(t)
+            writer.writerow(
+                [
+                    f"{seconds_to_clock(t)}{f'{frac:.6f}'[1:]}",
+                    universe.symbols[int(rec["symbol"])],
+                    f"{float(rec['bid']):.2f}",
+                    f"{float(rec['ask']):.2f}",
+                    int(rec["bid_size"]),
+                    int(rec["ask_size"]),
+                ]
+            )
+
+
+def _clock_to_seconds(stamp: str) -> float:
+    parts = stamp.split(":")
+    if len(parts) != 3:
+        raise ValueError(f"bad timestamp {stamp!r}, expected HH:MM:SS[.ffffff]")
+    h, m = int(parts[0]), int(parts[1])
+    s = float(parts[2])
+    total = h * 3600 + m * 60 + s
+    return total - MARKET_OPEN_SECONDS
+
+
+def read_taq_csv(path, universe: Universe) -> np.ndarray:
+    """Read a quote CSV written by :func:`write_taq_csv`.
+
+    Symbols not present in ``universe`` raise ``KeyError`` — a file/universe
+    mismatch is configuration error, not data to be silently dropped.
+    """
+    path = Path(path)
+    rows: list[tuple] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ValueError(f"unexpected header {header!r} in {path}")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(_HEADER):
+                raise ValueError(f"{path}:{line_no}: expected {len(_HEADER)} fields")
+            rows.append(
+                (
+                    _clock_to_seconds(row[0]),
+                    universe.index_of(row[1]),
+                    float(row[2]),
+                    float(row[3]),
+                    int(row[4]),
+                    int(row[5]),
+                )
+            )
+    out = np.array(rows, dtype=QUOTE_DTYPE) if rows else np.empty(0, dtype=QUOTE_DTYPE)
+    validate_quote_array(out, n_symbols=len(universe))
+    return out
+
+
+def format_table2(quotes: np.ndarray, universe: Universe, limit: int = 12) -> str:
+    """Render the first ``limit`` quotes in the paper's Table II layout."""
+    validate_quote_array(quotes, n_symbols=len(universe))
+    lines = [
+        f"{'Timestamp':<10} {'Symbol':<7} {'Bid Price':>9} {'Ask Price':>9} "
+        f"{'Bid Size':>8} {'Ask Size':>8}"
+    ]
+    for rec in quotes[:limit]:
+        lines.append(
+            f"{seconds_to_clock(float(rec['t'])):<10} "
+            f"{universe.symbols[int(rec['symbol'])]:<7} "
+            f"{float(rec['bid']):>9.2f} {float(rec['ask']):>9.2f} "
+            f"{int(rec['bid_size']):>8d} {int(rec['ask_size']):>8d}"
+        )
+    return "\n".join(lines)

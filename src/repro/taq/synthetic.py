@@ -1,0 +1,284 @@
+"""Synthetic high-frequency market generator.
+
+Substitute for the paper's proprietary NYSE TAQ dataset.  The generator
+produces, per trading day, a chronological stream of bid–ask quotes with the
+statistical structure the paper's pipeline exists to exploit and to survive:
+
+* **Cross-sectional correlation** — log mid-prices follow a three-layer
+  factor model (market factor + sector factor + idiosyncratic noise), so
+  same-sector pairs are genuinely highly correlated, like the paper's
+  Exxon/Chevron or UPS/FedEx.
+* **Transient correlation breakdowns** — Poisson-arriving "dislocation"
+  events kick one symbol's price away from its factor value and decay
+  exponentially back (an OU-style pull).  During the dislocation the pair's
+  short-window correlation collapses and the spread widens, then both
+  revert: exactly the divergence→retracement cycle the canonical strategy
+  trades (paper §III).
+* **Microstructure noise and gross outliers** — quotes arrive at random
+  times with discretised (penny) prices and stochastic spreads, and a small
+  fraction are corrupted the way the paper describes raw TAQ ticks being
+  corrupted: human typing errors (decimal slips), electronic test quotes,
+  and far-out limit orders.  These are what the TCP-like cleaning filter
+  (paper §III) and the robust Maronna correlation are for.
+
+Everything is driven by a single integer seed; (seed, day index) pairs give
+independent, reproducible daily streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.taq.types import QUOTE_DTYPE
+from repro.taq.universe import Universe, default_universe
+from repro.util.timeutil import TRADING_SECONDS_PER_DAY, TimeGrid
+from repro.util.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class SyntheticMarketConfig:
+    """Knobs of the synthetic market.
+
+    Volatilities are per-√second standard deviations of log-returns; the
+    defaults give roughly a 3% daily market move with sector and
+    idiosyncratic components of comparable order, a plausible March-2008
+    regime.
+    """
+
+    #: Length of the trading session in seconds.
+    trading_seconds: int = TRADING_SECONDS_PER_DAY
+    #: Market-factor volatility (per √second).
+    market_vol: float = 2.0e-4
+    #: Sector-factor volatility (per √second).
+    sector_vol: float = 1.5e-4
+    #: Idiosyncratic volatility (per √second).
+    idio_vol: float = 1.0e-4
+    #: Uniform range for market/sector betas.
+    beta_low: float = 0.8
+    beta_high: float = 1.2
+    #: Expected number of dislocation events per symbol per day.
+    dislocations_per_day: float = 4.0
+    #: Dislocation jump magnitude range (absolute log-price units).
+    dislocation_low: float = 0.0015
+    dislocation_high: float = 0.0050
+    #: Dislocation decay time-constant range in seconds (OU pull).
+    dislocation_tau_low: float = 120.0
+    dislocation_tau_high: float = 600.0
+    #: Typical relative bid–ask spread in basis points of the mid.
+    spread_bps: float = 6.0
+    #: Multiplicative half-normal noise on the spread.
+    spread_noise: float = 0.3
+    #: Probability that a symbol quotes within any given second.
+    quote_rate: float = 0.5
+    #: Fraction of quotes corrupted into outliers.
+    outlier_prob: float = 5.0e-4
+    #: Mean of the geometric size distribution for bid/ask lots.
+    mean_size: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.trading_seconds, "trading_seconds")
+        check_positive(self.market_vol, "market_vol")
+        check_positive(self.sector_vol, "sector_vol")
+        check_positive(self.idio_vol, "idio_vol")
+        check_positive(self.beta_low, "beta_low")
+        if self.beta_high < self.beta_low:
+            raise ValueError("beta_high must be >= beta_low")
+        if self.dislocations_per_day < 0:
+            raise ValueError("dislocations_per_day must be >= 0")
+        check_positive(self.dislocation_low, "dislocation_low")
+        if self.dislocation_high < self.dislocation_low:
+            raise ValueError("dislocation_high must be >= dislocation_low")
+        check_positive(self.dislocation_tau_low, "dislocation_tau_low")
+        if self.dislocation_tau_high < self.dislocation_tau_low:
+            raise ValueError("dislocation_tau_high must be >= dislocation_tau_low")
+        check_positive(self.spread_bps, "spread_bps")
+        if self.spread_noise < 0:
+            raise ValueError("spread_noise must be >= 0")
+        check_probability(self.quote_rate, "quote_rate")
+        if not 0 < self.quote_rate:
+            raise ValueError("quote_rate must be > 0")
+        check_probability(self.outlier_prob, "outlier_prob")
+        check_positive(self.mean_size, "mean_size")
+
+
+class SyntheticMarket:
+    """Seeded multi-day quote-stream generator over a :class:`Universe`."""
+
+    def __init__(
+        self,
+        universe: Universe | None = None,
+        config: SyntheticMarketConfig | None = None,
+        seed: int = 0,
+    ):
+        self.universe = universe if universe is not None else default_universe()
+        self.config = config if config is not None else SyntheticMarketConfig()
+        self.seed = int(seed)
+        # Stable per-symbol betas, drawn once from the seed (not per day):
+        # a symbol's factor loadings are a property of the stock.
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 0xBE7A]))
+        n = len(self.universe)
+        self._beta_market = rng.uniform(self.config.beta_low, self.config.beta_high, n)
+        self._beta_sector = rng.uniform(self.config.beta_low, self.config.beta_high, n)
+        sectors = sorted(set(self.universe.sectors))
+        self._sector_index = np.array(
+            [sectors.index(s) for s in self.universe.sectors], dtype=np.int64
+        )
+        self._n_sectors = len(sectors)
+
+    # -- per-day randomness -------------------------------------------------
+
+    def _day_rng(self, day_index: int) -> np.random.Generator:
+        if day_index < 0:
+            raise ValueError(f"day_index must be >= 0, got {day_index}")
+        return np.random.default_rng(np.random.SeedSequence([self.seed, 1 + day_index]))
+
+    # -- mid-price paths ----------------------------------------------------
+
+    def mid_prices(self, day_index: int) -> np.ndarray:
+        """True (uncorrupted) mid prices at each second boundary.
+
+        Returns shape ``(trading_seconds + 1, n_symbols)``; row ``t`` is the
+        mid at ``t`` seconds after the open.
+        """
+        cfg = self.config
+        rng = self._day_rng(day_index)
+        n = len(self.universe)
+        T = int(cfg.trading_seconds)
+
+        market = rng.normal(0.0, cfg.market_vol, size=T)
+        sector = rng.normal(0.0, cfg.sector_vol, size=(T, self._n_sectors))
+        idio = rng.normal(0.0, cfg.idio_vol, size=(T, n))
+
+        log_returns = (
+            self._beta_market[None, :] * market[:, None]
+            + self._beta_sector[None, :] * sector[:, self._sector_index]
+            + idio
+        )
+        log_path = np.empty((T + 1, n))
+        log_path[0] = np.log(np.asarray(self.universe.base_prices))
+        np.cumsum(log_returns, axis=0, out=log_path[1:])
+        log_path[1:] += log_path[0]
+
+        log_path += self._dislocation_paths(rng, T, n)
+        return np.exp(log_path)
+
+    def _dislocation_paths(
+        self, rng: np.random.Generator, T: int, n: int
+    ) -> np.ndarray:
+        """Sum of exponentially decaying jumps per symbol, shape (T+1, n)."""
+        cfg = self.config
+        z = np.zeros((T + 1, n))
+        if cfg.dislocations_per_day == 0:
+            return z
+        counts = rng.poisson(cfg.dislocations_per_day, size=n)
+        t_axis = np.arange(T + 1, dtype=float)
+        for sym in range(n):
+            for _ in range(counts[sym]):
+                t0 = rng.integers(0, T)
+                size = rng.uniform(cfg.dislocation_low, cfg.dislocation_high)
+                sign = 1.0 if rng.random() < 0.5 else -1.0
+                tau = rng.uniform(cfg.dislocation_tau_low, cfg.dislocation_tau_high)
+                decay = np.exp(-(t_axis[t0:] - t0) / tau)
+                z[t0:, sym] += sign * size * decay
+        return z
+
+    # -- quote streams --------------------------------------------------------
+
+    def quotes(self, day_index: int, with_outliers: bool = True) -> np.ndarray:
+        """Chronological quote stream for one day (structured array).
+
+        With ``with_outliers=False`` the stream is clean — useful as the
+        ground truth when testing the cleaning filter.
+        """
+        cfg = self.config
+        rng = self._day_rng(day_index)
+        mids = self.mid_prices(day_index)  # consumes the same rng draws first
+        n = len(self.universe)
+        T = int(cfg.trading_seconds)
+
+        arrival = rng.random((T, n)) < cfg.quote_rate
+        sec_idx, sym_idx = np.nonzero(arrival)
+        m = sec_idx.size
+        jitter = rng.random(m)
+        t = sec_idx + jitter
+
+        # Quote against the mid at the start of the second.
+        mid = mids[sec_idx, sym_idx]
+        half_spread = (
+            0.5
+            * mid
+            * (cfg.spread_bps * 1e-4)
+            * (1.0 + cfg.spread_noise * np.abs(rng.normal(size=m)))
+        )
+        half_spread = np.maximum(half_spread, 0.005)
+        bid = np.floor((mid - half_spread) * 100.0) / 100.0
+        ask = np.ceil((mid + half_spread) * 100.0) / 100.0
+        bid = np.maximum(bid, 0.01)
+        ask = np.maximum(ask, bid + 0.01)
+
+        sizes_bid = 1 + rng.geometric(1.0 / cfg.mean_size, size=m)
+        sizes_ask = 1 + rng.geometric(1.0 / cfg.mean_size, size=m)
+
+        if with_outliers and cfg.outlier_prob > 0:
+            bid, ask = self._corrupt(rng, bid, ask)
+
+        order = np.argsort(t, kind="stable")
+        out = np.empty(m, dtype=QUOTE_DTYPE)
+        out["t"] = t[order]
+        out["symbol"] = sym_idx[order]
+        out["bid"] = bid[order]
+        out["ask"] = ask[order]
+        out["bid_size"] = sizes_bid[order]
+        out["ask_size"] = sizes_ask[order]
+        return out
+
+    def _corrupt(
+        self, rng: np.random.Generator, bid: np.ndarray, ask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Inject the paper's three TAQ corruption modes into a quote batch."""
+        m = bid.size
+        bad = np.nonzero(rng.random(m) < self.config.outlier_prob)[0]
+        if bad.size == 0:
+            return bid, ask
+        bid = bid.copy()
+        ask = ask.copy()
+        kind = rng.integers(0, 3, size=bad.size)
+        for i, k in zip(bad, kind):
+            if k == 0:
+                # Human decimal slip: one side off by a factor of 10.
+                if rng.random() < 0.5:
+                    bid[i] = round(bid[i] * (10.0 if rng.random() < 0.5 else 0.1), 2)
+                else:
+                    ask[i] = round(ask[i] * (10.0 if rng.random() < 0.5 else 0.1), 2)
+            elif k == 1:
+                # Electronic test quote: tiny bid / huge ask.
+                bid[i] = 0.01
+                ask[i] = round(ask[i] * rng.uniform(5.0, 20.0), 2)
+            else:
+                # Far-out limit order: one side far from the market.
+                if rng.random() < 0.5:
+                    bid[i] = round(bid[i] * rng.uniform(0.3, 0.7), 2)
+                else:
+                    ask[i] = round(ask[i] * rng.uniform(1.5, 3.0), 2)
+            bid[i] = max(bid[i], 0.01)
+            ask[i] = max(ask[i], bid[i] + 0.01)
+        return bid, ask
+
+    # -- ground truth for tests ------------------------------------------------
+
+    def true_bam_grid(self, day_index: int, grid: TimeGrid) -> np.ndarray:
+        """True mid prices sampled at the *end* of each grid interval.
+
+        Shape ``(grid.smax, n_symbols)``.  This is what a perfect bar
+        accumulator would recover from an uncorrupted quote stream.
+        """
+        if grid.trading_seconds > self.config.trading_seconds:
+            raise ValueError(
+                f"grid session ({grid.trading_seconds}s) longer than market "
+                f"session ({self.config.trading_seconds}s)"
+            )
+        mids = self.mid_prices(day_index)
+        ends = (np.arange(grid.smax) + 1) * grid.delta_s
+        return mids[ends]

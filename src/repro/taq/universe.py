@@ -1,0 +1,167 @@
+"""Stock universes.
+
+The paper trades "61 highly liquid US stocks frequently traded by
+professional pair traders".  :func:`default_universe` provides 61 symbols
+with a sector label and a circa-2008 base price each; sector structure
+matters because the synthetic market generates genuine within-sector
+correlation — the raw material of pair trading (the paper's fundamental
+pairs, e.g. Exxon/Chevron, UPS/FedEx, Wal-Mart/Target, are all same-sector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator
+
+#: (symbol, sector, base price in dollars).  Includes the paper's Table II
+#: tickers (NVDA, ORCL, SLB, TWX, BK) and its named fundamental pairs.
+_DEFAULT_MEMBERS: tuple[tuple[str, str, float], ...] = (
+    ("XOM", "energy", 85.0),
+    ("CVX", "energy", 86.0),
+    ("COP", "energy", 76.0),
+    ("SLB", "energy", 83.0),
+    ("HAL", "energy", 38.0),
+    ("OXY", "energy", 73.0),
+    ("DVN", "energy", 104.0),
+    ("APA", "energy", 112.0),
+    ("VLO", "energy", 49.0),
+    ("MSFT", "tech", 28.0),
+    ("IBM", "tech", 114.0),
+    ("ORCL", "tech", 19.5),
+    ("NVDA", "tech", 18.0),
+    ("INTC", "tech", 21.0),
+    ("AMD", "tech", 6.5),
+    ("CSCO", "tech", 24.0),
+    ("HPQ", "tech", 47.0),
+    ("DELL", "tech", 20.0),
+    ("AAPL", "tech", 125.0),
+    ("TXN", "tech", 29.0),
+    ("QCOM", "tech", 41.0),
+    ("EBAY", "tech", 27.0),
+    ("YHOO", "tech", 28.0),
+    ("GOOG", "tech", 440.0),
+    ("JPM", "financial", 43.0),
+    ("C", "financial", 21.0),
+    ("BAC", "financial", 38.0),
+    ("WFC", "financial", 29.0),
+    ("GS", "financial", 165.0),
+    ("MS", "financial", 42.0),
+    ("MER", "financial", 45.0),
+    ("LEH", "financial", 46.0),
+    ("BK", "financial", 41.5),
+    ("USB", "financial", 32.0),
+    ("AXP", "financial", 43.0),
+    ("WMT", "retail", 50.0),
+    ("TGT", "retail", 51.0),
+    ("HD", "retail", 27.0),
+    ("LOW", "retail", 23.0),
+    ("COST", "retail", 62.0),
+    ("BBY", "retail", 42.0),
+    ("SHLD", "retail", 99.0),
+    ("UPS", "transport", 72.0),
+    ("FDX", "transport", 89.0),
+    ("UNP", "transport", 125.0),
+    ("BNI", "transport", 90.0),
+    ("CSX", "transport", 53.0),
+    ("LUV", "transport", 12.0),
+    ("PFE", "pharma", 21.0),
+    ("MRK", "pharma", 41.0),
+    ("JNJ", "pharma", 63.0),
+    ("ABT", "pharma", 54.0),
+    ("BMY", "pharma", 22.0),
+    ("LLY", "pharma", 50.0),
+    ("T", "telecom", 36.0),
+    ("VZ", "telecom", 35.0),
+    ("S", "telecom", 7.0),
+    ("TWX", "media", 14.1),
+    ("DIS", "media", 31.0),
+    ("CBS", "media", 22.0),
+    ("GE", "industrial", 34.0),
+)
+
+
+@dataclass(frozen=True)
+class Universe:
+    """An indexed set of symbols with sector labels and base prices."""
+
+    symbols: tuple[str, ...]
+    sectors: tuple[str, ...]
+    base_prices: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.symbols)
+        if n == 0:
+            raise ValueError("universe must contain at least one symbol")
+        if len(set(self.symbols)) != n:
+            raise ValueError("universe symbols must be unique")
+        if len(self.sectors) != n or len(self.base_prices) != n:
+            raise ValueError("symbols, sectors and base_prices must align")
+        if any(p <= 0 for p in self.base_prices):
+            raise ValueError("base prices must be positive")
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def index_of(self, symbol: str) -> int:
+        """Index of ``symbol``; raises ``KeyError`` if absent."""
+        try:
+            return self.symbols.index(symbol)
+        except ValueError:
+            raise KeyError(f"symbol {symbol!r} not in universe") from None
+
+    def sector_of(self, symbol: str) -> str:
+        return self.sectors[self.index_of(symbol)]
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """All unordered symbol-index pairs: ``n * (n - 1) / 2`` of them.
+
+        This is the paper's Φ — with the full 61-stock universe,
+        ``len(list(u.pairs())) == 1830``.
+        """
+        return combinations(range(len(self)), 2)
+
+    def n_pairs(self) -> int:
+        n = len(self)
+        return n * (n - 1) // 2
+
+    def subset(self, n: int) -> "Universe":
+        """First ``n`` symbols, preserving order (deterministic scaling knob)."""
+        if not 1 <= n <= len(self):
+            raise ValueError(f"subset size {n} outside [1, {len(self)}]")
+        return Universe(
+            symbols=self.symbols[:n],
+            sectors=self.sectors[:n],
+            base_prices=self.base_prices[:n],
+        )
+
+
+def default_universe(n: int | None = None) -> Universe:
+    """The 61-stock universe (or its first ``n`` symbols).
+
+    The member list interleaves sectors at the top so that small subsets
+    still contain correlated same-sector pairs.
+    """
+    # Interleave sectors two-at-a-time so any small subset contains
+    # same-sector (i.e. genuinely correlated) pairs: subset(8) spans 4
+    # sectors with 2 names each.
+    by_sector: dict[str, list[tuple[str, str, float]]] = {}
+    for member in _DEFAULT_MEMBERS:
+        by_sector.setdefault(member[1], []).append(member)
+    interleaved: list[tuple[str, str, float]] = []
+    buckets = list(by_sector.values())
+    depth = 0
+    while any(depth < len(b) for b in buckets):
+        for bucket in buckets:
+            interleaved.extend(bucket[depth : depth + 2])
+        depth += 2
+
+    symbols, sectors, prices = zip(*interleaved)
+    universe = Universe(
+        symbols=tuple(symbols),
+        sectors=tuple(sectors),
+        base_prices=tuple(prices),
+    )
+    if n is not None:
+        return universe.subset(n)
+    return universe

@@ -1,0 +1,38 @@
+"""Shared utilities: time grids, descriptive statistics, logging, validation.
+
+These helpers underpin every other subpackage.  They deliberately contain no
+market or strategy logic — only generic, heavily tested primitives.
+"""
+
+from repro.util.stats import (
+    BoxplotStats,
+    DescriptiveStats,
+    boxplot_stats,
+    describe,
+    kurtosis,
+    sharpe_ratio,
+    skewness,
+)
+from repro.util.timeutil import TimeGrid, seconds_to_clock
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "BoxplotStats",
+    "DescriptiveStats",
+    "TimeGrid",
+    "boxplot_stats",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "describe",
+    "kurtosis",
+    "seconds_to_clock",
+    "sharpe_ratio",
+    "skewness",
+]

@@ -1,0 +1,35 @@
+"""Library logging configuration.
+
+The library logs under the ``repro`` logger hierarchy and never configures
+the root logger.  ``configure()`` is a convenience for scripts, examples and
+benchmarks; applications embedding the library should configure logging
+themselves.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger inside the ``repro`` namespace.
+
+    ``get_logger("corr.parallel")`` and ``get_logger("repro.corr.parallel")``
+    name the same logger.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent)."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,53 @@
+"""Small argument-validation helpers shared across subpackages.
+
+Every public constructor in the library validates its inputs eagerly so that
+misconfiguration fails at build time, not mid-backtest.  These helpers keep
+those checks one-line and produce uniform error messages.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+
+def check_positive(value, name: str) -> float:
+    """Require a finite number strictly greater than zero; return as float."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not value > 0.0 or value != value or value == float("inf"):
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_positive_int(value, name: str) -> int:
+    """Require an integer strictly greater than zero; return as int."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_fraction(value, name: str) -> float:
+    """Require a number strictly inside (0, 1); return as float.
+
+    Used for the retracement parameter ``l`` (paper: ``1 > l > 0``).
+    """
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must lie strictly in (0, 1), got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Require a number inside [0, 1]; return as float."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0 or value != value:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value

@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic markets, grids and RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20080331)
+
+
+@pytest.fixture(scope="session")
+def small_market() -> SyntheticMarket:
+    """Six symbols, a 1-hour session — enough structure, fast to generate."""
+    cfg = SyntheticMarketConfig(trading_seconds=3600, quote_rate=0.8)
+    return SyntheticMarket(default_universe(6), cfg, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> TimeGrid:
+    return TimeGrid(30, trading_seconds=3600)
+
+
+@pytest.fixture(scope="session")
+def small_sweep():
+    """A complete small study: 6 symbols (15 pairs), 2 days, 6 param sets."""
+    from repro.backtest.sweep import SweepConfig, run_sweep
+
+    cfg = SweepConfig(
+        n_symbols=6, n_days=2, n_levels=2, trading_seconds=23_400 // 4, ranks=2
+    )
+    store, grid = run_sweep(cfg)
+    return store, grid
+
+
+@pytest.fixture(scope="session")
+def correlated_returns() -> np.ndarray:
+    """(400, 6) return rows with genuine cross-correlation ~0.5."""
+    gen = np.random.default_rng(99)
+    n = 6
+    shape = 0.5 * np.ones((n, n)) + 0.5 * np.eye(n)
+    chol = np.linalg.cholesky(shape)
+    return gen.normal(size=(400, n)) @ chol.T

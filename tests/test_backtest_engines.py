@@ -1,0 +1,176 @@
+"""Tests for the three backtest architectures and their equivalence.
+
+The load-bearing invariant: Approaches 1 (matrix series), 2 (sequential
+per-pair) and 3 (distributed integrated) produce byte-identical result
+stores — they are architectures, not algorithms.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.backtest.data import BarProvider
+from repro.backtest.distributed import DistributedBacktester
+from repro.backtest.matrices import MatrixSeriesBacktester
+from repro.backtest.results import ResultStore
+from repro.backtest.runner import SequentialBacktester, backtest_pair_day
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+BASE = StrategyParams(m=30, w=15, y=5, rt=15, hp=10, st=5, d=0.002)
+
+
+@pytest.fixture(scope="module")
+def provider():
+    cfg = SyntheticMarketConfig(trading_seconds=23_400 // 4, quote_rate=0.7)
+    market = SyntheticMarket(default_universe(5), cfg, seed=404)
+    grid = TimeGrid(30, trading_seconds=cfg.trading_seconds)
+    return BarProvider(market, grid)
+
+
+@pytest.fixture(scope="module")
+def small_setup(provider):
+    pairs = [(0, 1), (0, 2), (1, 3), (2, 4)]
+    grid = [
+        BASE,
+        BASE.with_ctype("maronna"),
+        BASE.with_ctype("combined"),
+    ]
+    days = [0, 1]
+    return pairs, grid, days
+
+
+class TestBarProvider:
+    def test_prices_shape_positive(self, provider):
+        prices = provider.prices(0)
+        assert prices.shape == (provider.smax, 5)
+        assert np.all(prices > 0)
+
+    def test_cached(self, provider):
+        a = provider.prices(0)
+        b = provider.prices(0)
+        assert a is b
+        provider.clear_cache()
+        c = provider.prices(0)
+        assert c is not a
+        np.testing.assert_array_equal(a, c)
+
+    def test_returns_shape(self, provider):
+        assert provider.returns(0).shape == (provider.smax - 1, 5)
+
+    def test_cleaning_changes_prices(self):
+        cfg = SyntheticMarketConfig(
+            trading_seconds=3600, quote_rate=0.9, outlier_prob=5e-3
+        )
+        market = SyntheticMarket(default_universe(4), cfg, seed=3)
+        grid = TimeGrid(30, trading_seconds=3600)
+        dirty = BarProvider(market, grid, clean=False).prices(0)
+        cleaned = BarProvider(market, grid, clean=True).prices(0)
+        assert not np.allclose(dirty, cleaned)
+        # Cleaned bars hug the true mid prices much more tightly.
+        truth = market.true_bam_grid(0, grid)
+        err_dirty = np.abs(np.log(dirty / truth)).max()
+        err_clean = np.abs(np.log(cleaned / truth)).max()
+        assert err_clean < err_dirty
+
+    def test_rejects_oversized_grid(self):
+        cfg = SyntheticMarketConfig(trading_seconds=600)
+        market = SyntheticMarket(default_universe(3), cfg, seed=1)
+        with pytest.raises(ValueError):
+            BarProvider(market, TimeGrid(30, trading_seconds=1200))
+
+
+class TestSequential:
+    def test_covers_every_cell(self, provider, small_setup):
+        pairs, grid, days = small_setup
+        store = SequentialBacktester(provider).run(pairs, grid, days)
+        assert len(store) == len(pairs) * len(grid) * len(days)
+        assert store.pairs == sorted(pairs)
+
+    def test_share_correlation_identical_results(self, provider, small_setup):
+        pairs, grid, days = small_setup
+        a = SequentialBacktester(provider, share_correlation=False).run(
+            pairs, grid, days
+        )
+        b = SequentialBacktester(provider, share_correlation=True).run(
+            pairs, grid, days
+        )
+        assert a == b
+
+    def test_job_timings_recorded(self, provider, small_setup):
+        pairs, grid, days = small_setup
+        bt = SequentialBacktester(provider)
+        bt.run(pairs, grid, days)
+        assert len(bt.last_job_seconds) == len(pairs) * len(grid) * len(days)
+        assert all(t >= 0 for t in bt.last_job_seconds)
+
+    def test_validates_inputs(self, provider):
+        bt = SequentialBacktester(provider)
+        with pytest.raises(ValueError):
+            bt.run([], [BASE], [0])
+        with pytest.raises(ValueError):
+            bt.run([(0, 9)], [BASE], [0])
+        with pytest.raises(ValueError):
+            bt.run([(0, 1)], [BASE], [0, 0])
+
+    def test_backtest_pair_day_self_contained(self, provider):
+        prices = provider.prices(0)[:, [0, 1]]
+        trades = backtest_pair_day(prices, BASE)
+        assert all(t.exit_s > t.entry_s for t in trades)
+
+
+class TestMatrixSeries:
+    def test_memory_accounting(self, provider, small_setup):
+        pairs, grid, days = small_setup
+        bt = MatrixSeriesBacktester(provider)
+        bt.run(pairs, grid, days)
+        # One shared (m=30, ctype) spec per treatment, n=5, smax windows.
+        n_windows = provider.smax - 1 - 30 + 1
+        expected = 3 * n_windows * 5 * 5 * 8
+        assert bt.peak_matrix_bytes == expected
+
+    def test_static_estimate_matches_paper_example(self):
+        # Delta_s=30 => smax=780; M=100 => "680 such matrices" of 61x61.
+        est = MatrixSeriesBacktester.matrix_series_bytes(780, 100, 61)
+        assert est == 680 * 61 * 61 * 8
+
+    def test_static_estimate_validates(self):
+        with pytest.raises(ValueError):
+            MatrixSeriesBacktester.matrix_series_bytes(50, 100, 61)
+
+
+class TestEquivalence:
+    def test_all_three_engines_agree(self, provider, small_setup):
+        pairs, grid, days = small_setup
+        seq = SequentialBacktester(provider).run(pairs, grid, days)
+        mat = MatrixSeriesBacktester(provider).run(pairs, grid, days)
+
+        def spmd(comm):
+            return DistributedBacktester(provider).run(comm, pairs, grid, days)
+
+        dist = mpi.run_spmd(spmd, size=3)[0]
+        assert seq == mat
+        assert seq == dist
+
+    @pytest.mark.parametrize("size", [1, 2, 5])
+    def test_distributed_rank_count_invariant(self, provider, small_setup, size):
+        pairs, grid, days = small_setup
+
+        def spmd(comm):
+            return DistributedBacktester(provider).run(comm, pairs, grid, days)
+
+        results = mpi.run_spmd(spmd, size=size)
+        # Every rank holds the same merged store.
+        assert all(r == results[0] for r in results)
+        assert len(results[0]) == len(pairs) * len(grid) * len(days)
+
+    def test_distributed_validates(self, provider):
+        def spmd(comm):
+            return DistributedBacktester(provider).run(comm, [], [BASE], [0])
+
+        from repro.mpi.inproc import SpmdFailure
+
+        with pytest.raises(SpmdFailure):
+            mpi.run_spmd(spmd, size=1)

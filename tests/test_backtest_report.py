@@ -1,0 +1,79 @@
+"""Tests for the one-stop study report."""
+
+import pytest
+
+from repro.backtest.report import StudyReportOptions, study_report
+
+
+class TestStudyReport:
+    def test_full_report_sections(self, small_sweep):
+        store, grid = small_sweep
+        text = study_report(
+            store, grid, StudyReportOptions(n_bootstrap=100)
+        )
+        for marker in (
+            "Table III",
+            "Table IV",
+            "Table V",
+            "Figure 2",
+            "Significance of treatment differences",
+            "Top parameter sets",
+            "Walk-forward validation",
+        ):
+            assert marker in text, marker
+
+    def test_sections_can_be_disabled(self, small_sweep):
+        store, grid = small_sweep
+        text = study_report(
+            store,
+            grid,
+            StudyReportOptions(
+                include_significance=False,
+                include_selection=False,
+                include_walkforward=False,
+                include_boxplots=False,
+            ),
+        )
+        assert "Table III" in text
+        assert "Significance" not in text
+        assert "Top parameter sets" not in text
+        assert "Walk-forward" not in text
+        assert "Figure 2" not in text
+
+    def test_symbols_render_pair_names(self, small_sweep):
+        store, grid = small_sweep
+        text = study_report(
+            store,
+            grid,
+            StudyReportOptions(
+                n_bootstrap=50, symbols=("A1", "B2", "C3", "D4", "E5", "F6")
+            ),
+        )
+        assert "A1/" in text
+
+    def test_deterministic(self, small_sweep):
+        store, grid = small_sweep
+        opts = StudyReportOptions(n_bootstrap=100, seed=5)
+        assert study_report(store, grid, opts) == study_report(store, grid, opts)
+
+    def test_single_day_skips_walkforward(self):
+        from repro.backtest.sweep import SweepConfig, run_sweep
+
+        store, grid = run_sweep(
+            SweepConfig(
+                n_symbols=4, n_days=1, n_levels=1, trading_seconds=2400
+            )
+        )
+        text = study_report(store, grid, StudyReportOptions(n_bootstrap=50))
+        assert "Walk-forward" not in text
+        assert "Table III" in text
+
+    def test_header_counts(self, small_sweep):
+        store, grid = small_sweep
+        text = study_report(
+            store, grid, StudyReportOptions(n_bootstrap=50)
+        )
+        first = text.splitlines()[0]
+        assert "15 pairs" in first
+        assert "6 parameter sets" in first
+        assert "2 day(s)" in first

@@ -1,0 +1,125 @@
+"""Tests for the ResultStore (eq 1-3 views and merging)."""
+
+import numpy as np
+import pytest
+
+from repro.backtest.results import ResultStore
+from repro.metrics.returns import cumulative_return
+
+
+def populated_store():
+    store = ResultStore()
+    store.add((0, 1), 0, 0, [0.01, -0.02])
+    store.add((0, 1), 0, 1, [0.03])
+    store.add((0, 1), 1, 0, [])
+    store.add((2, 3), 0, 0, [0.05, 0.05])
+    return store
+
+
+class TestAdd:
+    def test_normalises_pair_order(self):
+        store = ResultStore()
+        store.add((3, 1), 0, 0, [0.1])
+        assert store.has((1, 3), 0, 0)
+        np.testing.assert_array_equal(store.cell((3, 1), 0, 0), [0.1])
+
+    def test_rejects_double_add(self):
+        store = populated_store()
+        with pytest.raises(ValueError, match="already recorded"):
+            store.add((1, 0), 0, 0, [0.5])
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValueError, match="distinct"):
+            ResultStore().add((2, 2), 0, 0, [])
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            ResultStore().add((0, 1), -1, 0, [])
+        with pytest.raises(ValueError):
+            ResultStore().add((0, 1), 0, -1, [])
+
+    def test_rejects_nonfinite_returns(self):
+        with pytest.raises(ValueError, match="finite"):
+            ResultStore().add((0, 1), 0, 0, [np.nan])
+
+
+class TestViews:
+    def test_cell_returns_copy(self):
+        store = populated_store()
+        cell = store.cell((0, 1), 0, 0)
+        cell[0] = 99.0
+        assert store.cell((0, 1), 0, 0)[0] == pytest.approx(0.01)
+
+    def test_missing_cell_raises(self):
+        with pytest.raises(KeyError):
+            populated_store().cell((0, 1), 5, 0)
+
+    def test_period_returns_union_in_day_order(self):
+        store = populated_store()
+        np.testing.assert_allclose(
+            store.period_returns((0, 1), 0), [0.01, -0.02, 0.03]
+        )
+
+    def test_daily_return_eq2(self):
+        store = populated_store()
+        assert store.daily_return((0, 1), 0, 0) == pytest.approx(
+            (1.01 * 0.98) - 1
+        )
+
+    def test_daily_return_empty_cell_is_zero(self):
+        assert populated_store().daily_return((0, 1), 1, 0) == 0.0
+
+    def test_total_return_eq3(self):
+        store = populated_store()
+        d0 = store.daily_return((0, 1), 0, 0)
+        d1 = store.daily_return((0, 1), 0, 1)
+        assert store.total_return((0, 1), 0) == pytest.approx(
+            (1 + d0) * (1 + d1) - 1
+        )
+
+    def test_daily_return_path(self):
+        store = populated_store()
+        path = store.daily_return_path((0, 1), 0)
+        assert path.shape == (2,)
+        assert path[1] == pytest.approx(0.03)
+
+    def test_enumeration(self):
+        store = populated_store()
+        assert store.pairs == [(0, 1), (2, 3)]
+        assert store.param_indices == [0, 1]
+        assert store.days == [0, 1]
+        assert store.n_trades == 5
+        assert len(store) == 4
+
+
+class TestMerge:
+    def test_merge_disjoint(self):
+        a = ResultStore()
+        a.add((0, 1), 0, 0, [0.1])
+        b = ResultStore()
+        b.add((0, 1), 0, 1, [0.2])
+        a.merge(b)
+        assert a.days == [0, 1]
+
+    def test_merge_overlap_rejected(self):
+        a = ResultStore()
+        a.add((0, 1), 0, 0, [0.1])
+        b = ResultStore()
+        b.add((1, 0), 0, 0, [0.2])
+        with pytest.raises(ValueError, match="overlap"):
+            a.merge(b)
+
+    def test_merged_classmethod(self):
+        parts = []
+        for day in range(3):
+            s = ResultStore()
+            s.add((0, 1), 0, day, [0.01 * (day + 1)])
+            parts.append(s)
+        merged = ResultStore.merged(parts)
+        assert merged.days == [0, 1, 2]
+
+    def test_equality(self):
+        assert populated_store() == populated_store()
+        other = populated_store()
+        other.add((4, 5), 0, 0, [0.1])
+        assert populated_store() != other

@@ -1,0 +1,126 @@
+"""Tests for parameter-set and pair selection rankings."""
+
+import numpy as np
+import pytest
+
+from repro.backtest.results import ResultStore
+from repro.backtest.selection import (
+    format_selection_report,
+    rank_pairs,
+    rank_parameter_sets,
+)
+from repro.corr.measures import CorrelationType
+from repro.strategy.params import StrategyParams
+
+
+def rigged_study():
+    """k=1 is obviously the best parameter set; (0,1) the best pair."""
+    grid = [
+        StrategyParams(ctype="pearson", m=10, w=5, y=3, rt=8, hp=6, st=4),
+        StrategyParams(ctype="pearson", m=20, w=5, y=3, rt=8, hp=6, st=4),
+        StrategyParams(ctype="maronna", m=10, w=5, y=3, rt=8, hp=6, st=4),
+    ]
+    store = ResultStore()
+    table = {
+        ((0, 1), 0): [0.01, -0.01],
+        ((0, 1), 1): [0.05, 0.03],  # star parameter set
+        ((0, 1), 2): [0.02],
+        ((2, 3), 0): [-0.02],
+        ((2, 3), 1): [0.01],
+        ((2, 3), 2): [-0.01, -0.02],
+    }
+    for (pair, k), rs in table.items():
+        store.add(pair, k, 0, rs)
+    return store, grid
+
+
+class TestRankParameterSets:
+    def test_best_by_returns(self):
+        store, grid = rigged_study()
+        ranking = rank_parameter_sets(store, grid, "returns")
+        assert ranking[0].param_index == 1
+        assert ranking[0].score > ranking[-1].score
+
+    def test_drawdown_sorts_ascending(self):
+        store, grid = rigged_study()
+        ranking = rank_parameter_sets(store, grid, "drawdown")
+        scores = [s.score for s in ranking]
+        assert scores == sorted(scores)
+
+    def test_filter_by_treatment(self):
+        store, grid = rigged_study()
+        ranking = rank_parameter_sets(store, grid, "returns", ctype="pearson")
+        assert {s.param_index for s in ranking} == {0, 1}
+        only_maronna = rank_parameter_sets(
+            store, grid, "returns", ctype=CorrelationType.MARONNA
+        )
+        assert [s.param_index for s in only_maronna] == [2]
+
+    def test_trade_counts(self):
+        store, grid = rigged_study()
+        ranking = rank_parameter_sets(store, grid, "returns")
+        by_k = {s.param_index: s.n_trades for s in ranking}
+        assert by_k == {0: 3, 1: 3, 2: 3}
+
+    def test_unknown_measure(self):
+        store, grid = rigged_study()
+        with pytest.raises(ValueError, match="unknown measure"):
+            rank_parameter_sets(store, grid, "sortino")
+
+    def test_missing_treatment(self):
+        store, grid = rigged_study()
+        with pytest.raises(ValueError, match="no parameter sets"):
+            rank_parameter_sets(store, grid, "returns", ctype="combined")
+
+
+class TestRankPairs:
+    def test_best_pair(self):
+        store, grid = rigged_study()
+        ranking = rank_pairs(store, grid, "returns")
+        assert ranking[0].pair == (0, 1)
+
+    def test_winloss_ranking(self):
+        store, grid = rigged_study()
+        ranking = rank_pairs(store, grid, "winloss")
+        assert ranking[0].pair == (0, 1)  # 5 wins 1 loss vs 2 wins 4 losses
+
+    def test_treatment_restriction(self):
+        store, grid = rigged_study()
+        ranking = rank_pairs(store, grid, "returns", ctype="maronna")
+        # Only k=2 counts: (0,1) +0.02 beats (2,3) -0.03.
+        assert ranking[0].pair == (0, 1)
+        assert ranking[0].n_trades == 1
+
+
+class TestReport:
+    def test_renders_with_symbols(self):
+        store, grid = rigged_study()
+        text = format_selection_report(
+            rank_parameter_sets(store, grid, "returns"),
+            rank_pairs(store, grid, "returns"),
+            "returns",
+            symbols=("AAA", "BBB", "CCC", "DDD"),
+        )
+        assert "AAA/BBB" in text
+        assert "Top parameter sets" in text
+
+    def test_renders_without_symbols(self):
+        store, grid = rigged_study()
+        text = format_selection_report(
+            rank_parameter_sets(store, grid, "returns"),
+            rank_pairs(store, grid, "returns"),
+            "returns",
+        )
+        assert "(0, 1)" in text
+
+
+class TestOnRealSweep:
+    def test_rankings_cover_study(self, small_sweep):
+        store, grid = small_sweep
+        params_ranked = rank_parameter_sets(store, grid, "returns")
+        pairs_ranked = rank_pairs(store, grid, "returns")
+        assert len(params_ranked) == len(grid)
+        assert len(pairs_ranked) == len(store.pairs)
+        assert all(np.isfinite(s.score) for s in params_ranked)
+        # Ranking is a permutation, not a filter.
+        assert {s.param_index for s in params_ranked} == set(range(len(grid)))

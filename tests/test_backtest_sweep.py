@@ -1,0 +1,96 @@
+"""Tests for the sweep driver."""
+
+import pytest
+
+from repro.backtest.sweep import SweepConfig, run_sweep
+from repro.corr.measures import CorrelationType
+from repro.strategy.params import StrategyParams
+
+
+class TestSweepConfig:
+    def test_defaults_valid(self):
+        cfg = SweepConfig()
+        assert cfg.build_universe().n_pairs() == 45
+        assert len(cfg.build_grid()) == 42
+
+    def test_n_levels_scales_grid(self):
+        cfg = SweepConfig(n_levels=3)
+        assert len(cfg.build_grid()) == 9
+
+    def test_explicit_grid_wins(self):
+        grid = (StrategyParams(m=20, w=10, y=3, rt=10, hp=5, st=3),)
+        cfg = SweepConfig(grid=grid)
+        assert cfg.build_grid() == list(grid)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_symbols": 1},
+            {"n_days": 0},
+            {"engine": "quantum"},
+            {"ranks": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            SweepConfig(**kwargs)
+
+    def test_market_config_session_must_match(self):
+        from repro.taq.synthetic import SyntheticMarketConfig
+
+        with pytest.raises(ValueError, match="must match"):
+            SweepConfig(
+                trading_seconds=1200,
+                market_config=SyntheticMarketConfig(trading_seconds=600),
+            ).build_market()
+
+
+class TestRunSweep:
+    def test_complete_coverage(self, small_sweep):
+        store, grid = small_sweep
+        n_pairs = 15  # C(6, 2)
+        assert len(store) == n_pairs * len(grid) * 2
+        assert len(store.pairs) == n_pairs
+        assert store.days == [0, 1]
+
+    def test_grid_is_treatment_balanced(self, small_sweep):
+        _, grid = small_sweep
+        counts = {}
+        for p in grid:
+            counts[p.ctype] = counts.get(p.ctype, 0) + 1
+        assert counts == {
+            CorrelationType.PEARSON: 2,
+            CorrelationType.MARONNA: 2,
+            CorrelationType.COMBINED: 2,
+        }
+
+    def test_sequential_engine_equivalent(self, small_sweep):
+        store, grid = small_sweep
+        cfg = SweepConfig(
+            n_symbols=6,
+            n_days=2,
+            n_levels=2,
+            trading_seconds=23_400 // 4,
+            engine="sequential",
+        )
+        store2, grid2 = run_sweep(cfg)
+        assert store == store2
+        assert grid == grid2
+
+    def test_deterministic_across_rank_counts(self):
+        base = dict(n_symbols=4, n_days=1, n_levels=1, trading_seconds=2400)
+        a, _ = run_sweep(SweepConfig(ranks=1, **base))
+        b, _ = run_sweep(SweepConfig(ranks=3, **base))
+        assert a == b
+
+    def test_seed_changes_market(self):
+        import numpy as np
+
+        base = dict(n_symbols=4, n_days=1, n_levels=1, trading_seconds=2400)
+        a = SweepConfig(seed=1, **base).build_provider().prices(0)
+        b = SweepConfig(seed=2, **base).build_provider().prices(0)
+        assert not np.allclose(a, b)
+
+    def test_produces_some_trades(self, small_sweep):
+        store, _ = small_sweep
+        assert store.n_trades > 0

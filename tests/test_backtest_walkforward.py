@@ -1,0 +1,95 @@
+"""Tests for walk-forward validation."""
+
+import numpy as np
+import pytest
+
+from repro.backtest.results import ResultStore
+from repro.backtest.walkforward import (
+    WalkForwardReport,
+    format_walk_forward,
+    walk_forward,
+)
+from repro.strategy.params import StrategyParams
+
+GRID = [
+    StrategyParams(ctype="pearson", m=10, w=5, y=3, rt=8, hp=6, st=4),
+    StrategyParams(ctype="pearson", m=20, w=5, y=3, rt=8, hp=6, st=4),
+    StrategyParams(ctype="maronna", m=10, w=5, y=3, rt=8, hp=6, st=4),
+]
+
+
+def persistent_winner_store(n_days=4):
+    """k=1 wins every day: selection should find and hold it."""
+    store = ResultStore()
+    for day in range(n_days):
+        for pair in ((0, 1), (2, 3)):
+            store.add(pair, 0, day, [0.001])
+            store.add(pair, 1, day, [0.01])
+            store.add(pair, 2, day, [-0.002])
+    return store
+
+
+def alternating_store(n_days=4):
+    """The best set flips every day: selection always lags."""
+    store = ResultStore()
+    for day in range(n_days):
+        hot, cold = (0, 1) if day % 2 == 0 else (1, 0)
+        for pair in ((0, 1), (2, 3)):
+            store.add(pair, hot, day, [0.01])
+            store.add(pair, cold, day, [-0.01])
+            store.add(pair, 2, day, [0.0])
+    return store
+
+
+class TestWalkForward:
+    def test_persistent_winner_fully_captured(self):
+        report = walk_forward(persistent_winner_store(), GRID, window=1)
+        assert len(report.steps) == 3
+        assert all(s.chosen_k == 1 for s in report.steps)
+        assert all(s.chosen_k == s.best_k for s in report.steps)
+        assert report.capture_ratio == pytest.approx(1.0)
+
+    def test_alternating_regime_overfits(self):
+        report = walk_forward(alternating_store(), GRID, window=1)
+        # Yesterday's winner is today's loser.
+        assert all(s.chosen_return < s.median_return for s in report.steps)
+        assert report.capture_ratio < 0
+
+    def test_window_consumes_days(self):
+        report = walk_forward(persistent_winner_store(5), GRID, window=2)
+        assert len(report.steps) == 3
+        assert report.steps[0].select_days == (0, 1)
+        assert report.steps[0].evaluate_day == 2
+
+    def test_treatment_restriction(self):
+        report = walk_forward(
+            persistent_winner_store(), GRID, window=1, ctype="maronna"
+        )
+        assert all(s.chosen_k == 2 for s in report.steps)
+
+    def test_needs_enough_days(self):
+        with pytest.raises(ValueError, match="more than window"):
+            walk_forward(persistent_winner_store(2), GRID, window=2)
+
+    def test_missing_treatment(self):
+        with pytest.raises(ValueError, match="no parameter sets"):
+            walk_forward(
+                persistent_winner_store(), GRID, window=1, ctype="combined"
+            )
+
+    def test_on_real_sweep(self, small_sweep):
+        store, grid = small_sweep  # 2 days -> 1 fold
+        report = walk_forward(store, grid, window=1)
+        assert len(report.steps) == 1
+        step = report.steps[0]
+        assert step.chosen_return <= step.best_return + 1e-12
+        assert np.isfinite(report.capture_ratio)
+
+
+class TestFormatting:
+    def test_renders(self):
+        report = walk_forward(persistent_winner_store(), GRID, window=1)
+        text = format_walk_forward(report)
+        assert "capture ratio" in text
+        assert "hindsight-best" in text
+        assert text.count("\n") >= 4

@@ -1,0 +1,161 @@
+"""Tests for bar accumulation (batch and streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.bars.accumulator import (
+    StreamingBarAccumulator,
+    accumulate_bam,
+    accumulate_ohlc,
+)
+from repro.taq.types import QUOTE_DTYPE
+from repro.util.timeutil import TimeGrid
+
+
+def mk_quotes(rows):
+    """rows: (t, symbol, bid, ask)"""
+    arr = np.zeros(len(rows), dtype=QUOTE_DTYPE)
+    for i, (t, sym, bid, ask) in enumerate(rows):
+        arr[i] = (t, sym, bid, ask, 1, 1)
+    return arr
+
+
+GRID = TimeGrid(10, trading_seconds=50)  # 5 intervals
+
+
+class TestAccumulateBam:
+    def test_last_quote_wins_within_interval(self):
+        q = mk_quotes([(0.0, 0, 10.0, 10.2), (5.0, 0, 11.0, 11.2), (9.9, 0, 12.0, 12.2)])
+        out = accumulate_bam(q, GRID, 1)
+        assert out[0, 0] == pytest.approx(12.1)
+
+    def test_forward_fill_empty_intervals(self):
+        q = mk_quotes([(0.0, 0, 10.0, 10.2), (45.0, 0, 20.0, 20.2)])
+        out = accumulate_bam(q, GRID, 1)
+        np.testing.assert_allclose(out[:, 0], [10.1, 10.1, 10.1, 10.1, 20.1])
+
+    def test_back_fill_leading_gap(self):
+        q = mk_quotes([(25.0, 0, 10.0, 10.2)])
+        out = accumulate_bam(q, GRID, 1)
+        np.testing.assert_allclose(out[:, 0], [10.1] * 5)
+
+    def test_multiple_symbols_independent(self):
+        q = mk_quotes([(0.0, 0, 10.0, 10.2), (0.0, 1, 50.0, 50.4), (15.0, 1, 51.0, 51.4)])
+        out = accumulate_bam(q, GRID, 2)
+        assert out.shape == (5, 2)
+        np.testing.assert_allclose(out[:, 0], [10.1] * 5)
+        np.testing.assert_allclose(out[:, 1], [50.2, 51.2, 51.2, 51.2, 51.2])
+
+    def test_rejects_symbol_with_no_quotes(self):
+        q = mk_quotes([(0.0, 0, 10.0, 10.2)])
+        with pytest.raises(ValueError, match="no quotes"):
+            accumulate_bam(q, GRID, 2)
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError, match="empty"):
+            accumulate_bam(np.empty(0, dtype=QUOTE_DTYPE), GRID, 1)
+
+    def test_rejects_out_of_session_quote(self):
+        q = mk_quotes([(55.0, 0, 10.0, 10.2)])
+        with pytest.raises(ValueError, match="outside"):
+            accumulate_bam(q, GRID, 1)
+
+
+class TestAccumulateOhlc:
+    def test_ohlc_fields(self):
+        q = mk_quotes(
+            [(0.0, 0, 10.0, 10.2), (3.0, 0, 12.0, 12.2), (6.0, 0, 9.0, 9.2), (9.0, 0, 11.0, 11.2)]
+        )
+        out = accumulate_ohlc(q, GRID, 1)
+        bar = out[0, 0]
+        assert bar["open"] == pytest.approx(10.1)
+        assert bar["high"] == pytest.approx(12.1)
+        assert bar["low"] == pytest.approx(9.1)
+        assert bar["close"] == pytest.approx(11.1)
+        assert bar["count"] == 4
+
+    def test_empty_interval_carries_close(self):
+        q = mk_quotes([(0.0, 0, 10.0, 10.2), (45.0, 0, 20.0, 20.2)])
+        out = accumulate_ohlc(q, GRID, 1)
+        mid_bar = out[2, 0]
+        assert mid_bar["count"] == 0
+        assert mid_bar["open"] == mid_bar["close"] == pytest.approx(10.1)
+
+    def test_close_matches_bam(self):
+        rng = np.random.default_rng(4)
+        rows = []
+        t = 0.0
+        for _ in range(200):
+            t += rng.random() * 0.5
+            if t >= 50:
+                break
+            mid = 100 + rng.normal() * 0.1
+            rows.append((t, int(rng.integers(0, 2)), mid - 0.05, mid + 0.05))
+        q = mk_quotes(rows)
+        ohlc = accumulate_ohlc(q, GRID, 2)
+        bam = accumulate_bam(q, GRID, 2)
+        np.testing.assert_allclose(ohlc["close"], bam)
+
+    def test_high_ge_low(self):
+        q = mk_quotes([(0.0, 0, 10.0, 10.2), (5.0, 0, 11.0, 11.2)])
+        out = accumulate_ohlc(q, GRID, 1)
+        assert np.all(out["high"] >= out["low"])
+
+
+class TestStreamingEquivalence:
+    def _stream(self, quotes, grid, n_symbols):
+        acc = StreamingBarAccumulator(grid, n_symbols)
+        rows = []
+        for rec in quotes:
+            s = grid.interval_of(float(rec["t"]))
+            if s > acc.next_interval:
+                rows.extend(acc.close_through(s - 1))
+            acc.add_quote(
+                float(rec["t"]), int(rec["symbol"]), float(rec["bid"]), float(rec["ask"])
+            )
+        rows.extend(acc.close_through(grid.smax - 1))
+        return np.stack(rows)
+
+    def test_matches_batch_when_all_symbols_quote_early(self):
+        rng = np.random.default_rng(8)
+        rows = [(0.1, 0, 10.0, 10.2), (0.2, 1, 20.0, 20.2)]
+        t = 0.3
+        while True:
+            t += rng.random()
+            if t >= 50:
+                break
+            mid = 15 + rng.normal()
+            rows.append((t, int(rng.integers(0, 2)), mid - 0.1, mid + 0.1))
+        q = mk_quotes(rows)
+        streamed = self._stream(q, GRID, 2)
+        batch = accumulate_ohlc(q, GRID, 2)
+        for f in ("open", "high", "low", "close"):
+            np.testing.assert_allclose(streamed[f], batch[f])
+        np.testing.assert_array_equal(streamed["count"], batch["count"])
+
+    def test_nan_head_before_first_quote(self):
+        acc = StreamingBarAccumulator(GRID, 1)
+        rows = acc.close_through(1)  # close 2 intervals with no quotes
+        assert np.all(np.isnan(rows["close"]))
+
+    def test_rejects_quote_for_closed_interval(self):
+        acc = StreamingBarAccumulator(GRID, 1)
+        acc.close_through(2)
+        with pytest.raises(ValueError, match="already closed"):
+            acc.add_quote(5.0, 0, 10.0, 10.2)
+
+    def test_rejects_future_quote_without_close(self):
+        acc = StreamingBarAccumulator(GRID, 1)
+        with pytest.raises(ValueError, match="future interval"):
+            acc.add_quote(25.0, 0, 10.0, 10.2)
+
+    def test_rejects_double_close(self):
+        acc = StreamingBarAccumulator(GRID, 1)
+        acc.close_through(0)
+        with pytest.raises(ValueError, match="already closed"):
+            acc.close_through(0)
+
+    def test_rejects_bad_symbol(self):
+        acc = StreamingBarAccumulator(GRID, 1)
+        with pytest.raises(ValueError, match="symbol"):
+            acc.add_quote(0.0, 3, 10.0, 10.2)

@@ -1,0 +1,100 @@
+"""Tests for return computation and sliding windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bars.returns import log_returns, sliding_windows, w_period_returns
+
+prices_strategy = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=2, max_value=50),
+    elements=st.floats(min_value=0.5, max_value=500.0),
+)
+
+
+class TestLogReturns:
+    def test_definition(self):
+        p = np.array([[100.0], [110.0], [99.0]])
+        r = log_returns(p)
+        np.testing.assert_allclose(
+            r[:, 0], [np.log(1.1), np.log(99 / 110)], rtol=1e-12
+        )
+
+    def test_shape(self):
+        p = np.ones((10, 3))
+        assert log_returns(p).shape == (9, 3)
+
+    def test_constant_prices_zero_returns(self):
+        r = log_returns(np.full((5, 2), 42.0))
+        np.testing.assert_array_equal(r, 0.0)
+
+    @given(prices_strategy)
+    def test_exp_cumsum_recovers_prices(self, p):
+        r = log_returns(p)
+        recovered = p[0] * np.exp(np.cumsum(r))
+        np.testing.assert_allclose(recovered, p[1:], rtol=1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_returns(np.array([[1.0], [0.0]]))
+
+    def test_rejects_single_row(self):
+        with pytest.raises(ValueError):
+            log_returns(np.array([[1.0]]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            log_returns(np.array([[1.0], [np.nan]]))
+
+
+class TestSlidingWindows:
+    def test_window_contents(self):
+        x = np.arange(6, dtype=float)
+        w = sliding_windows(x, 3)
+        assert w.shape == (4, 3)
+        np.testing.assert_array_equal(w[0], [0, 1, 2])
+        np.testing.assert_array_equal(w[-1], [3, 4, 5])
+
+    def test_2d_input(self):
+        x = np.arange(12, dtype=float).reshape(6, 2)
+        w = sliding_windows(x, 4)
+        assert w.shape == (3, 2, 4)
+        np.testing.assert_array_equal(w[0, 0], [0, 2, 4, 6])
+
+    def test_zero_copy(self):
+        x = np.arange(10, dtype=float)
+        w = sliding_windows(x, 3)
+        assert w.base is not None  # a view, not a copy
+
+    def test_rejects_window_longer_than_data(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(3), 5)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(3), 0)
+
+
+class TestWPeriodReturns:
+    def test_definition(self):
+        p = np.array([100.0, 105.0, 110.0, 121.0])
+        r = w_period_returns(p, 2)
+        np.testing.assert_allclose(r, [0.10, 121 / 105 - 1])
+
+    def test_alignment(self):
+        # Output row k corresponds to price row k + w.
+        p = np.linspace(100, 200, 11)
+        r = w_period_returns(p, 3)
+        assert r.shape == (8,)
+        assert r[0] == pytest.approx(p[3] / p[0] - 1)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            w_period_returns(np.array([1.0, 2.0]), 2)
+
+    def test_rejects_nonpositive_prices(self):
+        with pytest.raises(ValueError):
+            w_period_returns(np.array([1.0, -1.0, 2.0]), 1)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+# Small/fast argument sets shared by the command tests.
+FAST = ["--symbols", "4", "--seconds", "2400", "--seed", "7"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.symbols == 8
+        assert args.levels == 4
+        assert args.engine == "distributed"
+
+
+class TestTable1:
+    def test_prints_grid(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "42 parameter sets" in out
+        assert "Ctype" in out
+
+
+class TestTaqSample:
+    def test_prints_rows(self, capsys):
+        assert main(["taq-sample", *FAST, "--rows", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Bid Price" in out
+        assert "09:30:" in out
+
+
+class TestSweep:
+    def test_prints_all_tables(self, capsys):
+        assert main(
+            ["sweep", *FAST, "--days", "1", "--levels", "1", "--ranks", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "Table IV" in out
+        assert "Table V" in out
+        assert "Sharpe Ratio" in out
+
+    def test_sequential_engine(self, capsys):
+        assert main(
+            ["sweep", *FAST, "--days", "1", "--levels", "1",
+             "--engine", "sequential"]
+        ) == 0
+        assert "Table III" in capsys.readouterr().out
+
+
+class TestPipeline:
+    def test_streams_session(self, capsys):
+        assert main(["pipeline", *FAST, "--ranks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Workflow 'figure1'" in out
+        assert "bars" in out
+        assert "rank 0:" in out
+
+    def test_multi_engine(self, capsys):
+        assert main(["pipeline", *FAST, "--ranks", "2", "--engines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "correlation_0" in out
+
+
+class TestScreen:
+    def test_prints_candidates(self, capsys):
+        assert main(["screen", *FAST, "--threshold", "0.2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates" in out
+        assert "rho=" in out
+
+    def test_measure_choice(self, capsys):
+        assert main(
+            ["screen", *FAST, "--threshold", "0.2", "--measure", "maronna"]
+        ) == 0
+        assert "Clusters" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_prints_full_report(self, capsys):
+        assert main(
+            ["report", *FAST, "--days", "2", "--levels", "1",
+             "--bootstrap", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "Significance" in out
+        assert "Walk-forward" in out

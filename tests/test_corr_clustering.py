@@ -1,0 +1,175 @@
+"""Tests for correlation clustering and candidate-pair screening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corr.clustering import (
+    correlation_clusters,
+    fisher_lower_bound,
+    hierarchical_clusters,
+    screen_candidate_pairs,
+    threshold_graph,
+)
+from repro.corr.measures import corr_matrix
+
+
+def block_matrix():
+    """Two tight blocks {0,1,2} and {3,4}, one loner {5}."""
+    m = np.eye(6)
+    for i, j in [(0, 1), (0, 2), (1, 2)]:
+        m[i, j] = m[j, i] = 0.85
+    m[3, 4] = m[4, 3] = 0.9
+    for i in (0, 1, 2):
+        for j in (3, 4, 5):
+            m[i, j] = m[j, i] = 0.1
+    m[3, 5] = m[5, 3] = 0.15
+    m[4, 5] = m[5, 4] = 0.05
+    return m
+
+
+class TestThresholdGraph:
+    def test_edges_above_threshold(self):
+        g = threshold_graph(block_matrix(), 0.5)
+        assert set(g.edges) == {(0, 1), (0, 2), (1, 2), (3, 4)}
+        assert g.number_of_nodes() == 6
+
+    def test_edge_weights_are_correlations(self):
+        g = threshold_graph(block_matrix(), 0.5)
+        assert g[3][4]["weight"] == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            threshold_graph(np.ones((2, 3)), 0.5)
+        with pytest.raises(ValueError, match="symmetric"):
+            threshold_graph(np.array([[1.0, 0.5], [0.1, 1.0]]), 0.5)
+        with pytest.raises(ValueError, match="unit diagonal"):
+            threshold_graph(np.array([[2.0, 0.5], [0.5, 1.0]]), 0.5)
+        with pytest.raises(ValueError, match="threshold"):
+            threshold_graph(np.eye(2), 1.5)
+
+
+class TestCorrelationClusters:
+    def test_blocks_recovered(self):
+        clusters = correlation_clusters(block_matrix(), 0.5)
+        assert clusters == [{0, 1, 2}, {3, 4}, {5}]
+
+    def test_partition_of_universe(self):
+        clusters = correlation_clusters(block_matrix(), 0.5)
+        union = set().union(*clusters)
+        assert union == set(range(6))
+        assert sum(len(c) for c in clusters) == 6
+
+    def test_threshold_one_gives_singletons(self):
+        clusters = correlation_clusters(block_matrix(), 1.0)
+        assert all(len(c) == 1 for c in clusters)
+
+    def test_threshold_minus_one_gives_one_cluster(self):
+        clusters = correlation_clusters(block_matrix(), -1.0)
+        assert clusters == [set(range(6))]
+
+
+class TestHierarchicalClusters:
+    def test_blocks_recovered(self):
+        clusters = hierarchical_clusters(block_matrix(), 3)
+        assert {0, 1, 2} in clusters
+        assert {3, 4} in clusters
+        assert {5} in clusters
+
+    def test_cluster_count_bounded(self):
+        # maxclust yields at most k clusters (dendrogram ties can force a
+        # coarser cut, e.g. k=4 on this matrix collapses to 3).
+        for k in (1, 2, 4, 6):
+            clusters = hierarchical_clusters(block_matrix(), k)
+            assert 1 <= len(clusters) <= k
+        assert len(hierarchical_clusters(block_matrix(), 1)) == 1
+        assert len(hierarchical_clusters(block_matrix(), 6)) == 6
+
+    def test_single_stock(self):
+        assert hierarchical_clusters(np.eye(1), 1) == [{0}]
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ValueError):
+            hierarchical_clusters(block_matrix(), 7)
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(0, 1000), k=st.integers(1, 5))
+    def test_always_partitions(self, seed, k):
+        gen = np.random.default_rng(seed)
+        r = gen.normal(size=(50, 5))
+        m = corr_matrix(r, "pearson")
+        clusters = hierarchical_clusters(m, k)
+        assert sorted(x for c in clusters for x in c) == list(range(5))
+
+
+class TestFisherLowerBound:
+    def test_below_point_estimate(self):
+        assert fisher_lower_bound(0.8, 100) < 0.8
+
+    def test_tightens_with_samples(self):
+        lb_small = fisher_lower_bound(0.8, 30)
+        lb_large = fisher_lower_bound(0.8, 3000)
+        assert lb_small < lb_large < 0.8
+
+    def test_higher_confidence_lower_bound(self):
+        assert fisher_lower_bound(0.8, 100, 0.99) < fisher_lower_bound(
+            0.8, 100, 0.90
+        )
+
+    def test_handles_extreme_rho(self):
+        assert fisher_lower_bound(1.0, 100) < 1.0
+        assert fisher_lower_bound(-1.0, 100) == pytest.approx(-1.0, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fisher_lower_bound(1.5, 100)
+        with pytest.raises(ValueError):
+            fisher_lower_bound(0.5, 3)
+        with pytest.raises(ValueError):
+            fisher_lower_bound(0.5, 100, confidence=0.0)
+
+
+class TestScreenCandidatePairs:
+    def test_finds_block_pairs(self):
+        candidates = screen_candidate_pairs(block_matrix(), n_obs=500, threshold=0.5)
+        found = {c.pair for c in candidates}
+        assert found == {(0, 1), (0, 2), (1, 2), (3, 4)}
+
+    def test_ranked_by_correlation(self):
+        candidates = screen_candidate_pairs(block_matrix(), n_obs=500, threshold=0.5)
+        assert candidates[0].pair == (3, 4)  # rho 0.9 ranks first
+        corrs = [c.correlation for c in candidates]
+        assert corrs == sorted(corrs, reverse=True)
+
+    def test_certainty_requirement_bites(self):
+        # Few observations: a 0.85 point estimate fails an 0.8 threshold.
+        few = screen_candidate_pairs(block_matrix(), n_obs=10, threshold=0.8)
+        many = screen_candidate_pairs(block_matrix(), n_obs=5000, threshold=0.8)
+        assert len(few) < len(many)
+
+    def test_max_pairs_truncates(self):
+        candidates = screen_candidate_pairs(
+            block_matrix(), n_obs=500, threshold=0.5, max_pairs=2
+        )
+        assert len(candidates) == 2
+
+    def test_lower_bound_below_correlation(self):
+        for c in screen_candidate_pairs(block_matrix(), n_obs=500, threshold=0.1):
+            assert c.lower_bound < c.correlation
+
+    def test_on_synthetic_market(self, small_market, small_grid):
+        """Screening a synthetic day finds the same-sector pairs."""
+        from repro.bars.returns import log_returns
+
+        prices = small_market.true_bam_grid(0, small_grid)
+        m = corr_matrix(log_returns(prices), "pearson")
+        candidates = screen_candidate_pairs(
+            m, n_obs=small_grid.smax - 1, threshold=0.3
+        )
+        assert candidates, "correlated universe must yield candidates"
+        sectors = small_market.universe.sectors
+        same_sector = [
+            c for c in candidates if sectors[c.pair[0]] == sectors[c.pair[1]]
+        ]
+        assert same_sector, "same-sector pairs should clear the screen"

@@ -1,0 +1,102 @@
+"""Tests for market-mode / spectral analysis of correlation matrices."""
+
+import numpy as np
+import pytest
+
+from repro.bars.returns import log_returns
+from repro.corr.eigen import absorption_ratio, market_mode, residual_correlation
+from repro.corr.measures import corr_matrix
+
+
+def one_factor_matrix(n=8, beta=0.8):
+    """Equicorrelation: a pure one-factor market."""
+    return beta * np.ones((n, n)) + (1 - beta) * np.eye(n)
+
+
+class TestMarketMode:
+    def test_equicorrelation_mode(self):
+        mode = market_mode(one_factor_matrix(8, 0.8))
+        # Top eigenvalue of equicorrelation: 1 + (n-1)*beta.
+        assert mode.eigenvalue == pytest.approx(1 + 7 * 0.8)
+        assert mode.variance_share == pytest.approx((1 + 7 * 0.8) / 8)
+        # Uniform loadings: participation ratio 1.
+        assert mode.participation_ratio == pytest.approx(1.0)
+
+    def test_sign_fixed_positive(self):
+        mode = market_mode(one_factor_matrix())
+        assert mode.vector.mean() > 0
+
+    def test_identity_matrix_no_market(self):
+        mode = market_mode(np.eye(6))
+        assert mode.eigenvalue == pytest.approx(1.0)
+        assert mode.variance_share == pytest.approx(1 / 6)
+
+    def test_unit_norm_vector(self):
+        mode = market_mode(one_factor_matrix(5, 0.5))
+        assert np.linalg.norm(mode.vector) == pytest.approx(1.0)
+
+    def test_concentrated_mode_low_participation(self):
+        m = np.eye(6)
+        m[0, 1] = m[1, 0] = 0.95  # only one tight pair
+        mode = market_mode(m)
+        assert mode.participation_ratio < 0.5
+
+
+class TestAbsorptionRatio:
+    def test_bounds(self):
+        m = one_factor_matrix()
+        ar1 = absorption_ratio(m, 1)
+        ar_all = absorption_ratio(m, 8)
+        assert 0 < ar1 < 1
+        assert ar_all == pytest.approx(1.0)
+
+    def test_monotone_in_k(self):
+        gen = np.random.default_rng(3)
+        m = corr_matrix(gen.normal(size=(100, 6)), "pearson")
+        ratios = [absorption_ratio(m, k) for k in range(1, 7)]
+        assert all(a <= b + 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            absorption_ratio(np.eye(3), 4)
+        with pytest.raises((ValueError, TypeError)):
+            absorption_ratio(np.eye(3), 0)
+
+
+class TestResidualCorrelation:
+    def test_removes_common_factor(self):
+        m = one_factor_matrix(8, 0.7)
+        residual = residual_correlation(m, 1)
+        off_diag = residual[~np.eye(8, dtype=bool)]
+        # A pure one-factor market has (almost) nothing left.
+        assert np.abs(off_diag).max() < 0.5
+        assert np.abs(off_diag).mean() < np.abs(
+            m[~np.eye(8, dtype=bool)]
+        ).mean()
+
+    def test_is_correlation_matrix(self):
+        gen = np.random.default_rng(5)
+        m = corr_matrix(gen.normal(size=(200, 6)), "pearson")
+        residual = residual_correlation(m, 2)
+        np.testing.assert_allclose(np.diag(residual), 1.0)
+        np.testing.assert_allclose(residual, residual.T)
+        assert np.abs(residual).max() <= 1.0 + 1e-12
+
+    def test_sector_pairs_survive_market_removal(self, small_market, small_grid):
+        prices = small_market.true_bam_grid(0, small_grid)
+        m = corr_matrix(log_returns(prices), "pearson")
+        residual = residual_correlation(m, 1)
+        sectors = small_market.universe.sectors
+        same, cross = [], []
+        n = len(sectors)
+        for i in range(n):
+            for j in range(i + 1, n):
+                (same if sectors[i] == sectors[j] else cross).append(
+                    residual[i, j]
+                )
+        # Sector co-movement is exactly what market-mode removal exposes.
+        assert np.mean(same) > np.mean(cross)
+
+    def test_mode_count_validation(self):
+        with pytest.raises(ValueError):
+            residual_correlation(np.eye(3), 3)

@@ -1,0 +1,112 @@
+"""Tests for the online sliding-window correlation engine."""
+
+import numpy as np
+import pytest
+
+from repro.corr.measures import CorrelationType, corr_matrix
+from repro.corr.online import OnlineCorrelationEngine
+
+
+class TestLifecycle:
+    def test_not_ready_before_m_rows(self, correlated_returns):
+        eng = OnlineCorrelationEngine(6, 20)
+        for t in range(19):
+            eng.push(correlated_returns[t])
+            assert not eng.ready
+        eng.push(correlated_returns[19])
+        assert eng.ready
+
+    def test_queries_before_ready_raise(self, correlated_returns):
+        eng = OnlineCorrelationEngine(6, 20)
+        eng.push(correlated_returns[0])
+        with pytest.raises(ValueError, match="not full"):
+            eng.matrix()
+        with pytest.raises(ValueError, match="not full"):
+            eng.window()
+        with pytest.raises(ValueError, match="not full"):
+            eng.pair(0, 1)
+
+    def test_window_is_chronological(self, correlated_returns):
+        eng = OnlineCorrelationEngine(6, 10)
+        for t in range(25):
+            eng.push(correlated_returns[t])
+        np.testing.assert_array_equal(eng.window(), correlated_returns[15:25])
+
+    def test_push_validates_row(self):
+        eng = OnlineCorrelationEngine(3, 5)
+        with pytest.raises(ValueError, match="shape"):
+            eng.push(np.ones(4))
+        with pytest.raises(ValueError, match="finite"):
+            eng.push(np.array([1.0, np.nan, 2.0]))
+
+
+class TestPearsonIncremental:
+    def test_matrix_matches_direct(self, correlated_returns):
+        m = 30
+        eng = OnlineCorrelationEngine(6, m, "pearson")
+        for t in range(200):
+            eng.push(correlated_returns[t])
+            if eng.ready:
+                direct = corr_matrix(correlated_returns[t - m + 1 : t + 1], "pearson")
+                np.testing.assert_allclose(eng.matrix(), direct, atol=1e-8)
+
+    def test_drift_refresh(self, correlated_returns):
+        # Tiny refresh interval: exercises the drift-cancel path.
+        m = 15
+        eng = OnlineCorrelationEngine(6, m, "pearson", refresh_every=7)
+        for t in range(100):
+            eng.push(correlated_returns[t])
+        direct = corr_matrix(correlated_returns[100 - m : 100], "pearson")
+        np.testing.assert_allclose(eng.matrix(), direct, atol=1e-10)
+
+    def test_pair_matches_matrix(self, correlated_returns):
+        eng = OnlineCorrelationEngine(6, 25, "pearson")
+        for t in range(60):
+            eng.push(correlated_returns[t])
+        mat = eng.matrix()
+        assert eng.pair(1, 4) == pytest.approx(mat[1, 4])
+        assert eng.pair(2, 2) == 1.0
+
+    def test_pair_bounds_checked(self, correlated_returns):
+        eng = OnlineCorrelationEngine(6, 5)
+        for t in range(5):
+            eng.push(correlated_returns[t])
+        with pytest.raises(ValueError):
+            eng.pair(0, 6)
+
+
+@pytest.mark.parametrize("ctype", ["maronna", "combined"])
+class TestRobustModes:
+    def test_matrix_matches_direct(self, ctype, correlated_returns):
+        m = 25
+        eng = OnlineCorrelationEngine(4, m, ctype)
+        data = correlated_returns[:, :4]
+        for t in range(m + 10):
+            eng.push(data[t])
+        direct = corr_matrix(data[10 : m + 10], ctype)
+        np.testing.assert_allclose(eng.matrix(), direct, atol=1e-9)
+
+    def test_pair_matches_direct(self, ctype, correlated_returns):
+        from repro.corr.measures import pairwise_corr
+
+        m = 25
+        eng = OnlineCorrelationEngine(4, m, ctype)
+        data = correlated_returns[:, :4]
+        for t in range(m):
+            eng.push(data[t])
+        direct = pairwise_corr(data[:m, 0], data[:m, 3], ctype)
+        assert eng.pair(0, 3) == pytest.approx(direct, abs=1e-9)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_symbols": 0, "m": 5},
+            {"n_symbols": 3, "m": 1},
+            {"n_symbols": 3, "m": 5, "refresh_every": 0},
+        ],
+    )
+    def test_constructor_rejects(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            OnlineCorrelationEngine(**kwargs)

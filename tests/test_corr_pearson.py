@@ -1,0 +1,129 @@
+"""Tests for Pearson correlation kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corr.pearson import (
+    pearson_corr,
+    pearson_corr_batched,
+    pearson_matrix,
+    pearson_series,
+)
+
+
+class TestPearsonCorr:
+    def test_perfect_positive(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_corr(x, 2 * x + 5) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_corr(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self, rng):
+        x, y = rng.normal(size=(2, 200))
+        assert pearson_corr(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1], abs=1e-12)
+
+    def test_constant_series_zero(self):
+        assert pearson_corr(np.ones(10), np.arange(10.0)) == 0.0
+        assert pearson_corr(np.ones(10), np.ones(10)) == 0.0
+
+    def test_shift_and_scale_invariant(self, rng):
+        x, y = rng.normal(size=(2, 100))
+        base = pearson_corr(x, y)
+        assert pearson_corr(3 * x + 10, 0.5 * y - 2) == pytest.approx(base, abs=1e-10)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            pearson_corr(np.ones(5), np.ones(6))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            pearson_corr([1.0], [1.0])
+
+    @given(st.integers(min_value=2, max_value=60), st.integers(0, 2**31 - 1))
+    def test_bounded(self, n, seed):
+        gen = np.random.default_rng(seed)
+        x, y = gen.normal(size=(2, n))
+        assert -1.0 <= pearson_corr(x, y) <= 1.0
+
+
+class TestBatched:
+    def test_matches_scalar(self, rng):
+        xw = rng.normal(size=(20, 50))
+        yw = rng.normal(size=(20, 50))
+        batched = pearson_corr_batched(xw, yw)
+        for b in range(20):
+            assert batched[b] == pytest.approx(pearson_corr(xw[b], yw[b]), abs=1e-12)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            pearson_corr_batched(np.ones((2, 5)), np.ones((3, 5)))
+        with pytest.raises(ValueError):
+            pearson_corr_batched(np.ones(5), np.ones(5))
+
+
+class TestMatrix:
+    def test_matches_numpy_corrcoef(self, correlated_returns):
+        window = correlated_returns[:100]
+        ours = pearson_matrix(window)
+        ref = np.corrcoef(window.T)
+        np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+    def test_unit_diagonal_symmetric(self, correlated_returns):
+        c = pearson_matrix(correlated_returns[:50])
+        np.testing.assert_allclose(np.diag(c), 1.0)
+        np.testing.assert_allclose(c, c.T)
+
+    def test_degenerate_column_zeroed(self):
+        window = np.random.default_rng(0).normal(size=(50, 3))
+        window[:, 1] = 7.0  # constant column
+        c = pearson_matrix(window)
+        assert c[1, 1] == 1.0
+        assert c[0, 1] == 0.0 and c[1, 2] == 0.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pearson_matrix(np.ones(10))
+
+
+class TestSeries:
+    def test_matches_windowed_scalar(self, rng):
+        x, y = rng.normal(size=(2, 300))
+        m = 50
+        series = pearson_series(x, y, m)
+        assert series.shape == (251,)
+        for k in (0, 100, 250):
+            assert series[k] == pytest.approx(
+                pearson_corr(x[k : k + m], y[k : k + m]), abs=1e-9
+            )
+
+    def test_window_equal_to_length(self, rng):
+        x, y = rng.normal(size=(2, 40))
+        series = pearson_series(x, y, 40)
+        assert series.shape == (1,)
+        assert series[0] == pytest.approx(pearson_corr(x, y), abs=1e-10)
+
+    def test_rejects_m_too_large(self, rng):
+        x, y = rng.normal(size=(2, 10))
+        with pytest.raises(ValueError):
+            pearson_series(x, y, 11)
+
+    def test_rejects_m_one(self, rng):
+        x, y = rng.normal(size=(2, 10))
+        with pytest.raises(ValueError):
+            pearson_series(x, y, 1)
+
+    def test_numerically_stable_large_offsets(self):
+        # Cumulative-sum identities cancel catastrophically if naive;
+        # large price-like offsets must not corrupt the series.
+        gen = np.random.default_rng(3)
+        x = 1e6 + gen.normal(size=500)
+        y = 1e6 + gen.normal(size=500)
+        series = pearson_series(x, y, 100)
+        direct = np.array(
+            [pearson_corr(x[k : k + 100], y[k : k + 100]) for k in range(401)]
+        )
+        np.testing.assert_allclose(series, direct, atol=1e-6)

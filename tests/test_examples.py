@@ -1,0 +1,68 @@
+"""The examples are part of the public surface: they must keep running.
+
+Each example's ``main()`` is executed in-process (fast ones every run,
+the two sweep-sized ones marked slow) and its output sanity-checked.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+
+
+def run_example(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    try:
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "trades" in out
+        assert "Day summary" in out
+
+    def test_taq_workflow(self, capsys):
+        out = run_example("taq_workflow", capsys)
+        assert "TCP-like filter" in out
+        assert "maronna" in out.lower()
+
+    def test_live_pipeline(self, capsys):
+        out = run_example("live_pipeline", capsys)
+        assert "Streaming the session" in out
+        assert "implementation shortfall" in out
+        assert "open at the close" in out
+
+    def test_pair_screening(self, capsys):
+        out = run_example("pair_screening", capsys)
+        assert "Screened candidates" in out
+        assert "Out-of-sample" in out
+
+
+@pytest.mark.slow
+class TestSweepExamples:
+    def test_correlation_study(self, capsys):
+        out = run_example("correlation_study", capsys)
+        assert "Table III" in out
+        assert "Figure 2" in out
+
+    def test_research_workflow(self, capsys):
+        out = run_example("research_workflow", capsys)
+        assert "Significance" in out
+        assert "Implementation shortfall" in out
+
+    def test_full_reproduction(self, capsys):
+        out = run_example("full_reproduction", capsys)
+        assert "Table V" in out
+        assert "Walk-forward validation" in out

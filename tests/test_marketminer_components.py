@@ -1,0 +1,213 @@
+"""Tests for the Figure-1 component library and full-pipeline session."""
+
+import numpy as np
+import pytest
+
+from repro.backtest.data import BarProvider
+from repro.backtest.runner import SequentialBacktester
+from repro.marketminer.components.collectors import (
+    DbCollector,
+    FileCollector,
+    LiveCollector,
+    QuoteDatabase,
+)
+from repro.marketminer.graph import Workflow
+from repro.marketminer.scheduler import WorkflowRunner
+from repro.marketminer.session import build_figure1_workflow, run_figure1_session
+from repro.strategy.params import StrategyParams
+from repro.strategy.portfolio import RiskLimits
+from repro.taq.io import write_taq_csv
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+from tests.test_marketminer_graph import Sink
+
+PARAMS = StrategyParams(m=30, w=15, y=5, rt=15, hp=10, st=5, d=0.002)
+
+
+@pytest.fixture(scope="module")
+def market():
+    cfg = SyntheticMarketConfig(
+        trading_seconds=23_400 // 4, quote_rate=0.95, outlier_prob=1e-3
+    )
+    return SyntheticMarket(default_universe(6), cfg, seed=21)
+
+
+@pytest.fixture(scope="module")
+def grid_time(market):
+    return TimeGrid(30, trading_seconds=market.config.trading_seconds)
+
+
+def collect_quotes(collector, grid_time):
+    """Run a collector alone and gather its emitted interval batches."""
+    wf = Workflow()
+    wf.add(collector)
+    sink = Sink()
+    wf.add(sink)
+    wf.connect(collector.name, "quotes", "sink", "in")
+    from repro import mpi
+
+    def spmd(comm):
+        return WorkflowRunner(wf).run(comm)
+
+    return mpi.run_spmd(spmd, size=1)[0]["sink"]
+
+
+class TestCollectors:
+    def test_live_collector_emits_every_interval(self, market, grid_time):
+        batches = collect_quotes(LiveCollector(market, grid_time), grid_time)
+        assert len(batches) == grid_time.smax
+        assert [s for s, _ in batches] == list(range(grid_time.smax))
+
+    def test_live_collector_batches_partition_day(self, market, grid_time):
+        batches = collect_quotes(LiveCollector(market, grid_time), grid_time)
+        total = sum(recs.size for _, recs in batches)
+        cutoff = grid_time.smax * grid_time.delta_s
+        quotes = market.quotes(0)
+        assert total == int((quotes["t"] < cutoff).sum())
+        for s, recs in batches:
+            if recs.size:
+                assert np.all(recs["t"] >= s * grid_time.delta_s)
+                assert np.all(recs["t"] < (s + 1) * grid_time.delta_s)
+
+    def test_file_collector_matches_live(self, market, grid_time, tmp_path):
+        path = tmp_path / "day0.csv"
+        write_taq_csv(path, market.quotes(0), market.universe)
+        live = collect_quotes(LiveCollector(market, grid_time), grid_time)
+        filed = collect_quotes(
+            FileCollector(path, market.universe, grid_time), grid_time
+        )
+        assert len(live) == len(filed)
+        for (s1, r1), (s2, r2) in zip(live, filed):
+            assert s1 == s2
+            np.testing.assert_array_equal(r1["symbol"], r2["symbol"])
+            np.testing.assert_allclose(r1["bid"], r2["bid"])
+
+    def test_db_collector_round_trip(self, market, grid_time):
+        db = QuoteDatabase()
+        db.store(0, market.quotes(0))
+        assert db.days == [0]
+        live = collect_quotes(LiveCollector(market, grid_time), grid_time)
+        from_db = collect_quotes(DbCollector(db, grid_time, day=0), grid_time)
+        for (s1, r1), (s2, r2) in zip(live, from_db):
+            np.testing.assert_array_equal(r1, r2)
+
+    def test_db_missing_day(self):
+        with pytest.raises(KeyError):
+            QuoteDatabase().load(3)
+
+
+class TestFigure1Workflow:
+    def test_topology_matches_figure(self, market, grid_time):
+        wf = build_figure1_workflow(
+            market, grid_time, [(0, 1)], [PARAMS], day=0
+        )
+        names = set(wf.components)
+        assert names == {
+            "live_collector",
+            "cleaning",
+            "bar_accumulator",
+            "technical",
+            "correlation",
+            "pair_trading",
+            "order_sink",
+        }
+        wf.validate()
+
+    def test_rejects_mixed_specs(self, market, grid_time):
+        with pytest.raises(ValueError, match="one correlation engine"):
+            build_figure1_workflow(
+                market,
+                grid_time,
+                [(0, 1)],
+                [PARAMS, PARAMS.with_ctype("maronna")],
+            )
+
+    def test_rejects_delta_mismatch(self, market, grid_time):
+        bad = StrategyParams(
+            delta_s=15, m=30, w=15, y=5, rt=15, hp=10, st=5, d=0.002
+        )
+        with pytest.raises(ValueError, match="delta_s"):
+            build_figure1_workflow(market, grid_time, [(0, 1)], [bad])
+
+    def test_no_clean_variant(self, market, grid_time):
+        wf = build_figure1_workflow(
+            market, grid_time, [(0, 1)], [PARAMS], clean=False
+        )
+        assert "cleaning" not in wf.components
+        wf.validate()
+
+
+class TestFullSession:
+    @pytest.fixture(scope="class")
+    def session_results(self, market, grid_time):
+        pairs = [(0, 1), (2, 3), (0, 4)]
+        wf = build_figure1_workflow(market, grid_time, pairs, [PARAMS], day=0)
+        return run_figure1_session(wf, size=3), pairs
+
+    def test_every_interval_processed(self, session_results, grid_time):
+        results, _ = session_results
+        assert results["bar_accumulator"]["bars_emitted"] == grid_time.smax
+        assert results["technical"]["returns_emitted"] == grid_time.smax - 1
+
+    def test_correlation_matrices_after_warmup(self, session_results, grid_time):
+        results, _ = session_results
+        expected = (grid_time.smax - 1) - PARAMS.m + 1
+        assert results["correlation"]["matrices_emitted"] == expected
+
+    def test_trades_recorded_per_pair(self, session_results):
+        results, pairs = session_results
+        trades = results["pair_trading"]["trades"]
+        assert set(trades) == {(p, 0) for p in pairs}
+
+    def test_order_sink_balanced(self, session_results):
+        results, _ = session_results
+        sink = results["order_sink"]
+        assert sink["open_pairs_at_close"] == 0
+        assert sink["gross_notional_at_close"] == pytest.approx(0.0, abs=1e-9)
+        n_trades = sum(
+            len(v) for v in results["pair_trading"]["trades"].values()
+        )
+        # Two legs per entry + two per exit.
+        assert sink["accepted_orders"] == 4 * n_trades
+
+    def test_trade_tape_matches_trades(self, session_results):
+        results, _ = session_results
+        tape = results["order_sink"]["trade_tape"]
+        n_trades = sum(
+            len(v) for v in results["pair_trading"]["trades"].values()
+        )
+        assert len(tape) == n_trades
+
+    def test_pipeline_matches_batch_backtester(self, market, grid_time, session_results):
+        """The live pipeline reproduces the batch engines' trades exactly
+        when every symbol quotes in interval 0 (no NaN head)."""
+        results, pairs = session_results
+        assert results["pair_trading"]["head"] == 0
+        provider = BarProvider(market, grid_time, clean=True)
+        store = SequentialBacktester(provider).run(pairs, [PARAMS], [0])
+        for pair in pairs:
+            pipeline_rets = [
+                t.ret for t in results["pair_trading"]["trades"][(pair, 0)]
+            ]
+            np.testing.assert_allclose(
+                pipeline_rets, store.cell(pair, 0, 0), atol=1e-12
+            )
+
+    def test_risk_limits_veto_entries(self, market, grid_time):
+        wf = build_figure1_workflow(
+            market,
+            grid_time,
+            [(0, 1), (2, 3), (0, 4)],
+            [PARAMS],
+            day=0,
+            limits=RiskLimits(max_open_pairs=1),
+        )
+        results = run_figure1_session(wf, size=2)
+        sink = results["order_sink"]
+        total_entries = sum(
+            len(v) for v in results["pair_trading"]["trades"].values()
+        )
+        if total_entries > 1:
+            assert sink["entries_vetoed"] >= 0
+        assert sink["open_pairs_at_close"] == 0

@@ -1,0 +1,158 @@
+"""Tests for the workflow component model and graph validation."""
+
+import pytest
+
+from repro.marketminer.component import Component, Context
+from repro.marketminer.graph import Workflow
+
+
+class Source(Component):
+    def __init__(self, name="src", items=(1, 2, 3)):
+        super().__init__(name=name, output_ports=("out",))
+        self.items = items
+
+    def generate(self, ctx):
+        for item in self.items:
+            ctx.emit("out", item)
+
+
+class Doubler(Component):
+    def __init__(self, name="doubler"):
+        super().__init__(name=name, input_ports=("in",), output_ports=("out",))
+
+    def on_message(self, ctx, port, payload):
+        ctx.emit("out", payload * 2)
+
+
+class Sink(Component):
+    def __init__(self, name="sink"):
+        super().__init__(name=name, input_ports=("in",))
+        self.seen = []
+
+    def on_message(self, ctx, port, payload):
+        self.seen.append(payload)
+
+    def result(self):
+        return list(self.seen)
+
+
+def linear_workflow():
+    wf = Workflow()
+    wf.add(Source())
+    wf.add(Doubler())
+    wf.add(Sink())
+    wf.connect("src", "out", "doubler", "in")
+    wf.connect("doubler", "out", "sink", "in")
+    return wf
+
+
+class TestComponent:
+    def test_port_declaration(self):
+        c = Doubler()
+        assert c.input_ports == ("in",)
+        assert not c.is_source
+        assert Source().is_source
+
+    def test_rejects_duplicate_ports(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Component("x", input_ports=("a", "a"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Component("")
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            Component("x", weight=0.0)
+
+    def test_default_handlers_raise(self):
+        ctx = Context("x", lambda *a: None)
+        with pytest.raises(NotImplementedError):
+            Component("x").generate(ctx)
+        with pytest.raises(NotImplementedError):
+            Component("x", input_ports=("in",)).on_message(ctx, "in", 1)
+
+
+class TestWorkflowConstruction:
+    def test_duplicate_component_name(self):
+        wf = Workflow()
+        wf.add(Source())
+        with pytest.raises(ValueError, match="duplicate"):
+            wf.add(Source())
+
+    def test_connect_unknown_component(self):
+        wf = Workflow()
+        wf.add(Source())
+        with pytest.raises(KeyError):
+            wf.connect("src", "out", "ghost", "in")
+
+    def test_connect_unknown_port(self):
+        wf = linear_workflow()
+        with pytest.raises(ValueError, match="no output port"):
+            wf.connect("src", "nope", "sink", "in")
+        with pytest.raises(ValueError, match="no input port"):
+            wf.connect("src", "out", "sink", "nope")
+
+    def test_duplicate_edge(self):
+        wf = linear_workflow()
+        with pytest.raises(ValueError, match="duplicate edge"):
+            wf.connect("src", "out", "doubler", "in")
+
+    def test_edge_queries(self):
+        wf = linear_workflow()
+        assert len(wf.out_edges("src")) == 1
+        assert len(wf.in_edges("sink")) == 1
+        assert wf.out_edges("sink") == []
+
+
+class TestValidation:
+    def test_valid_linear(self):
+        linear_workflow().validate()
+
+    def test_empty_workflow(self):
+        with pytest.raises(ValueError, match="no components"):
+            Workflow().validate()
+
+    def test_no_source(self):
+        wf = Workflow()
+        wf.add(Doubler())
+        wf.add(Sink())
+        wf.connect("doubler", "out", "sink", "in")
+        with pytest.raises(ValueError, match="at least one source"):
+            wf.validate()
+
+    def test_unconnected_input_port(self):
+        wf = Workflow()
+        wf.add(Source())
+        wf.add(Sink())
+        with pytest.raises(ValueError, match="no inbound edge"):
+            wf.validate()
+
+    def test_unreachable_component(self):
+        wf = linear_workflow()
+        other_sink = Sink(name="orphan_sink")
+        other = Doubler(name="orphan")
+        wf.add(other)
+        wf.add(other_sink)
+        wf.connect("orphan", "out", "orphan_sink", "in")
+        # orphan has an input port with no inbound edge -> flagged.
+        with pytest.raises(ValueError, match="no inbound edge"):
+            wf.validate()
+
+    def test_cycle_detected(self):
+        wf = Workflow()
+        wf.add(Source())
+        a = Doubler(name="a")
+        b = Doubler(name="b")
+        wf.add(a)
+        wf.add(b)
+        wf.connect("src", "out", "a", "in")
+        wf.connect("a", "out", "b", "in")
+        wf.connect("b", "out", "a", "in")
+        with pytest.raises(ValueError, match="cycle"):
+            wf.validate()
+
+    def test_describe_lists_components(self):
+        text = linear_workflow().describe()
+        for name in ("src", "doubler", "sink"):
+            assert name in text

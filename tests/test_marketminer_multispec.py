@@ -1,0 +1,99 @@
+"""Tests for the multi-spec pipeline (many strategies, one platform)."""
+
+import numpy as np
+import pytest
+
+from repro.backtest.data import BarProvider
+from repro.backtest.runner import SequentialBacktester
+from repro.marketminer.session import (
+    build_multi_spec_workflow,
+    collect_multi_spec_trades,
+    run_figure1_session,
+)
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+BASE = dict(w=15, y=5, rt=15, hp=10, st=5, d=0.002)
+GRID = [
+    StrategyParams(m=30, ctype="pearson", **BASE),
+    StrategyParams(m=30, ctype="maronna", **BASE),
+    StrategyParams(m=50, ctype="pearson", **BASE),
+    StrategyParams(m=50, ctype="combined", **BASE),
+]
+PAIRS = [(0, 1), (2, 3)]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = SyntheticMarketConfig(trading_seconds=23_400 // 4, quote_rate=0.95)
+    market = SyntheticMarket(default_universe(4), cfg, seed=17)
+    grid_time = TimeGrid(30, trading_seconds=cfg.trading_seconds)
+    return market, grid_time
+
+
+@pytest.fixture(scope="module")
+def session_results(setup):
+    market, grid_time = setup
+    wf = build_multi_spec_workflow(market, grid_time, PAIRS, GRID)
+    return wf, run_figure1_session(wf, size=3)
+
+
+class TestTopology:
+    def test_one_engine_and_strategy_per_spec(self, session_results):
+        wf, _ = session_results
+        engines = [n for n in wf.components if n.startswith("correlation_")]
+        strategies = [n for n in wf.components if n.startswith("pair_trading_")]
+        assert len(engines) == 4  # 4 distinct (m, ctype) specs
+        assert len(strategies) == 4
+
+    def test_shared_plumbing(self, session_results):
+        wf, _ = session_results
+        # One collector, one cleaner, one bar accumulator, one sink.
+        for single in ("live_collector", "cleaning", "bar_accumulator",
+                       "technical", "order_sink"):
+            assert single in wf.components
+
+    def test_delta_s_mismatch_rejected(self, setup):
+        market, grid_time = setup
+        bad = StrategyParams(delta_s=15, m=30, **BASE)
+        with pytest.raises(ValueError, match="delta_s"):
+            build_multi_spec_workflow(market, grid_time, PAIRS, [bad])
+
+    def test_empty_grid_rejected(self, setup):
+        market, grid_time = setup
+        with pytest.raises(ValueError):
+            build_multi_spec_workflow(market, grid_time, PAIRS, [])
+
+
+class TestResults:
+    def test_matches_batch_for_every_global_index(self, setup, session_results):
+        market, grid_time = setup
+        _, results = session_results
+        merged = collect_multi_spec_trades(results)
+        assert len(merged) == len(PAIRS) * len(GRID)
+        ref = SequentialBacktester(BarProvider(market, grid_time)).run(
+            PAIRS, GRID, [0]
+        )
+        for (pair, k), trades in merged.items():
+            np.testing.assert_allclose(
+                [t.ret for t in trades], ref.cell(pair, k, 0), atol=1e-12
+            )
+
+    def test_sink_sees_disjoint_position_keys(self, session_results):
+        _, results = session_results
+        sink = results["order_sink"]
+        assert sink["open_pairs_at_close"] == 0
+        n_trades = sum(
+            len(v) for v in collect_multi_spec_trades(results).values()
+        )
+        assert sink["accepted_orders"] == 4 * n_trades
+
+    def test_collect_detects_duplicates(self, session_results):
+        _, results = session_results
+        corrupted = dict(results)
+        # Duplicate one strategy's results under another name.
+        corrupted["pair_trading_dup"] = results["pair_trading_0"]
+        with pytest.raises(ValueError, match="duplicate"):
+            collect_multi_spec_trades(corrupted)

@@ -1,0 +1,96 @@
+"""Tests for multi-day sessions and runtime statistics."""
+
+import pytest
+
+from repro.backtest.data import BarProvider
+from repro.backtest.runner import SequentialBacktester
+from repro.marketminer.session import (
+    build_figure1_workflow,
+    run_calendar_sessions,
+    run_figure1_session,
+)
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+PARAMS = StrategyParams(m=30, w=15, y=5, rt=15, hp=10, st=5, d=0.002)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = SyntheticMarketConfig(trading_seconds=23_400 // 4, quote_rate=0.95)
+    market = SyntheticMarket(default_universe(4), cfg, seed=17)
+    grid = TimeGrid(30, trading_seconds=cfg.trading_seconds)
+    return market, grid
+
+
+class TestCalendarSessions:
+    def test_matches_batch_backtester(self, setup):
+        market, grid = setup
+        pairs = [(0, 1), (2, 3), (0, 2)]
+        store, daily = run_calendar_sessions(
+            market, grid, pairs, [PARAMS], n_days=2, size=2
+        )
+        ref = SequentialBacktester(BarProvider(market, grid)).run(
+            pairs, [PARAMS], [0, 1]
+        )
+        assert store == ref
+        assert set(daily) == {0, 1}
+
+    def test_period_metrics_apply(self, setup):
+        market, grid = setup
+        store, _ = run_calendar_sessions(
+            market, grid, [(0, 1)], [PARAMS], n_days=2, size=1
+        )
+        # Eqs (1)-(3) work directly on live-pipeline output.
+        path = store.daily_return_path((0, 1), 0)
+        assert path.shape == (2,)
+        assert store.total_return((0, 1), 0) == pytest.approx(
+            (1 + path[0]) * (1 + path[1]) - 1
+        )
+
+    def test_rejects_bad_day_count(self, setup):
+        market, grid = setup
+        with pytest.raises(ValueError):
+            run_calendar_sessions(market, grid, [(0, 1)], [PARAMS], n_days=0)
+
+    def test_multi_engine_calendar(self, setup):
+        market, grid = setup
+        pairs = [(0, 1), (2, 3), (0, 3)]
+        single, _ = run_calendar_sessions(
+            market, grid, pairs, [PARAMS], n_days=1, size=2
+        )
+        multi, _ = run_calendar_sessions(
+            market, grid, pairs, [PARAMS], n_days=1, size=3, n_corr_engines=2
+        )
+        assert single == multi
+
+
+class TestRuntimeStats:
+    def test_stats_collected(self, setup):
+        market, grid = setup
+        wf = build_figure1_workflow(market, grid, [(0, 1)], [PARAMS])
+        results = run_figure1_session(wf, size=3, collect_stats=True)
+        stats = results["_runtime"]
+        assert set(stats) == {0, 1, 2}
+        total_remote = sum(s["messages_remote"] for s in stats.values())
+        assert total_remote > 0  # the pipeline genuinely crosses ranks
+        all_components = sorted(
+            c for s in stats.values() for c in s["components"]
+        )
+        assert all_components == sorted(wf.components)
+
+    def test_single_rank_all_local(self, setup):
+        market, grid = setup
+        wf = build_figure1_workflow(market, grid, [(0, 1)], [PARAMS])
+        results = run_figure1_session(wf, size=1, collect_stats=True)
+        stats = results["_runtime"][0]
+        assert stats["messages_remote"] == 0
+        assert stats["messages_local"] > 0
+
+    def test_stats_off_by_default(self, setup):
+        market, grid = setup
+        wf = build_figure1_workflow(market, grid, [(0, 1)], [PARAMS])
+        results = run_figure1_session(wf, size=1)
+        assert "_runtime" not in results

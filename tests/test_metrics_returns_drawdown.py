@@ -1,0 +1,112 @@
+"""Tests for cumulative returns (eq 2-5) and drawdown (eq 6-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.drawdown import max_drawdown, max_drawdown_path
+from repro.metrics.returns import cumulative_return, total_cumulative_return
+
+returns_lists = st.lists(
+    st.floats(min_value=-0.5, max_value=0.5, allow_nan=False),
+    min_size=0,
+    max_size=50,
+)
+
+
+class TestCumulativeReturn:
+    def test_compounding(self):
+        # (1.10)(0.90) - 1 = -0.01
+        assert cumulative_return([0.10, -0.10]) == pytest.approx(-0.01)
+
+    def test_empty_is_zero(self):
+        assert cumulative_return([]) == 0.0
+
+    def test_single(self):
+        assert cumulative_return([0.05]) == pytest.approx(0.05)
+
+    def test_order_invariant(self, rng):
+        r = rng.uniform(-0.05, 0.05, size=20)
+        shuffled = r.copy()
+        rng.shuffle(shuffled)
+        assert cumulative_return(r) == pytest.approx(cumulative_return(shuffled))
+
+    @given(returns_lists)
+    def test_bounds(self, rs):
+        c = cumulative_return(rs)
+        assert c > -1.0
+        if all(r >= 0 for r in rs):
+            assert c >= 0.0
+
+    @given(returns_lists, returns_lists)
+    def test_composition(self, day1, day2):
+        # eq (3) over daily returns == eq (2) over the concatenation:
+        # compounding is associative.
+        total = total_cumulative_return(
+            [cumulative_return(day1), cumulative_return(day2)]
+        )
+        assert total == pytest.approx(
+            cumulative_return(list(day1) + list(day2)), rel=1e-9, abs=1e-12
+        )
+
+    def test_rejects_minus_one(self):
+        with pytest.raises(ValueError):
+            cumulative_return([-1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            cumulative_return([0.1, float("nan")])
+
+
+class TestMaxDrawdownPath:
+    def test_monotone_no_drawdown(self):
+        assert max_drawdown_path([1.0, 2.0, 3.0]) == 0.0
+
+    def test_worst_peak_to_valley(self):
+        path = [0.0, 0.10, 0.04, 0.12, 0.02, 0.08]
+        assert max_drawdown_path(path) == pytest.approx(0.10)
+
+    def test_empty_and_single(self):
+        assert max_drawdown_path([]) == 0.0
+        assert max_drawdown_path([5.0]) == 0.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            max_drawdown_path([1.0, float("nan")])
+
+
+class TestMaxDrawdown:
+    def test_no_trades(self):
+        assert max_drawdown([]) == 0.0
+
+    def test_all_wins_no_drawdown(self):
+        assert max_drawdown([0.01, 0.02, 0.03]) == 0.0
+
+    def test_first_trade_loss_counts(self):
+        # The path starts at 0, so an opening loss is already a drawdown.
+        assert max_drawdown([-0.05]) == pytest.approx(0.05)
+
+    def test_peak_to_valley_on_compounded_path(self):
+        rs = [0.10, -0.05, -0.05, 0.20]
+        path = np.concatenate([[0.0], np.cumprod(1 + np.asarray(rs)) - 1])
+        expected = max(
+            path[i] - path[j]
+            for i in range(len(path))
+            for j in range(i, len(path))
+        )
+        assert max_drawdown(rs) == pytest.approx(expected)
+
+    @given(returns_lists)
+    def test_nonnegative_and_bounded(self, rs):
+        dd = max_drawdown(rs)
+        assert dd >= 0.0
+        if rs:
+            path = np.concatenate([[0.0], np.cumprod(1 + np.asarray(rs)) - 1])
+            assert dd <= path.max() - path.min() + 1e-12
+
+    @given(returns_lists)
+    def test_zero_iff_never_below_running_max(self, rs):
+        dd = max_drawdown(rs)
+        if all(r >= 0 for r in rs):
+            assert dd == 0.0

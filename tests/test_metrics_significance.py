@@ -1,0 +1,100 @@
+"""Tests for treatment significance testing."""
+
+import numpy as np
+import pytest
+
+from repro.corr.measures import CorrelationType
+from repro.metrics.significance import (
+    format_significance_table,
+    paired_comparison,
+    treatment_significance,
+)
+
+P = CorrelationType.PEARSON
+M = CorrelationType.MARONNA
+
+
+class TestPairedComparison:
+    def test_obvious_difference_detected(self, rng):
+        a = rng.normal(loc=1.0, scale=0.1, size=200)
+        b = a - 0.5 + rng.normal(scale=0.01, size=200)  # noisy paired shift
+        c = paired_comparison(a, b, P, M, "returns", seed=1)
+        assert c.mean_diff == pytest.approx(0.5, abs=0.01)
+        assert c.t_pvalue < 1e-6
+        assert c.wilcoxon_pvalue < 1e-6
+        assert c.significant()
+        assert c.ci_low <= 0.5 <= c.ci_high
+
+    def test_no_difference_not_significant(self, rng):
+        a = rng.normal(size=100)
+        b = a + rng.normal(scale=0.5, size=100)  # noise, zero mean shift
+        c = paired_comparison(a, b, P, M, "returns", seed=1)
+        assert not c.significant(alpha=0.001)
+
+    def test_identical_samples(self, rng):
+        a = rng.normal(size=50)
+        c = paired_comparison(a, a.copy(), P, M, "returns", seed=1)
+        assert c.mean_diff == 0.0
+        assert c.t_pvalue == 1.0
+        assert not c.significant()
+        assert c.ci_low == c.ci_high == 0.0
+
+    def test_ci_contains_mean_diff(self, rng):
+        a = rng.normal(size=80)
+        b = rng.normal(size=80) * 0.5 + a
+        c = paired_comparison(a, b, P, M, "returns", seed=5)
+        assert c.ci_low <= c.mean_diff <= c.ci_high
+
+    def test_bootstrap_deterministic(self, rng):
+        a = rng.normal(size=60)
+        b = a + rng.normal(size=60)
+        c1 = paired_comparison(a, b, P, M, "returns", seed=9)
+        c2 = paired_comparison(a, b, P, M, "returns", seed=9)
+        assert (c1.ci_low, c1.ci_high) == (c2.ci_low, c2.ci_high)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0, 2.0], [1.0], P, M, "returns")
+        with pytest.raises(ValueError):
+            paired_comparison([1.0, 2.0], [1.0, 2.0], P, M, "returns")
+        with pytest.raises(ValueError):
+            paired_comparison(
+                [1.0, 2.0, 3.0], [1.0, 2.0, 4.0], P, M, "returns", ci_level=1.5
+            )
+
+
+class TestTreatmentSignificance:
+    def test_three_pairwise_comparisons(self, small_sweep):
+        store, grid = small_sweep
+        comparisons = treatment_significance(
+            store, grid, "returns", n_bootstrap=200
+        )
+        assert len(comparisons) == 3
+        names = {(c.treatment_a, c.treatment_b) for c in comparisons}
+        assert (CorrelationType.PEARSON, CorrelationType.MARONNA) in names
+
+    def test_all_measures_work(self, small_sweep):
+        store, grid = small_sweep
+        for measure in ("returns", "drawdown", "winloss"):
+            comparisons = treatment_significance(
+                store, grid, measure, n_bootstrap=100
+            )
+            for c in comparisons:
+                assert np.isfinite(c.mean_diff)
+                assert 0.0 <= c.t_pvalue <= 1.0
+                assert 0.0 <= c.wilcoxon_pvalue <= 1.0
+
+
+class TestFormatting:
+    def test_table_renders(self, small_sweep):
+        store, grid = small_sweep
+        comparisons = treatment_significance(
+            store, grid, "returns", n_bootstrap=100
+        )
+        text = format_significance_table(comparisons)
+        assert "pearson vs maronna" in text
+        assert "95% CI" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_significance_table([])

@@ -1,0 +1,166 @@
+"""Tests for treatment summaries (Tables III-V, Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.backtest.results import ResultStore
+from repro.corr.measures import CorrelationType
+from repro.metrics.summary import (
+    boxplot_by_treatment,
+    format_treatment_table,
+    treatment_samples,
+    treatment_summaries,
+)
+from repro.strategy.params import StrategyParams
+
+
+def tiny_study():
+    """Hand-built store: 2 pairs x (2 ctypes x 2 levels) x 2 days."""
+    grid = [
+        StrategyParams(ctype="pearson", m=10, w=5, y=3, rt=8, hp=6, st=4),
+        StrategyParams(ctype="pearson", m=20, w=5, y=3, rt=8, hp=6, st=4),
+        StrategyParams(ctype="maronna", m=10, w=5, y=3, rt=8, hp=6, st=4),
+        StrategyParams(ctype="maronna", m=20, w=5, y=3, rt=8, hp=6, st=4),
+    ]
+    store = ResultStore()
+    returns = {
+        # pair (0,1): pearson levels win, maronna levels lose
+        ((0, 1), 0): [0.02, 0.01],
+        ((0, 1), 1): [0.04],
+        ((0, 1), 2): [-0.01],
+        ((0, 1), 3): [-0.02, 0.01],
+        # pair (2,3): everything flat-ish
+        ((2, 3), 0): [0.00, 0.01],
+        ((2, 3), 1): [0.01],
+        ((2, 3), 2): [0.00],
+        ((2, 3), 3): [0.01, -0.01],
+    }
+    for (pair, k), rs in returns.items():
+        for day in (0, 1):
+            half = rs if day == 0 else []
+            store.add(pair, k, day, half)
+    return store, grid
+
+
+class TestTreatmentSamples:
+    def test_returns_sample_shapes(self):
+        store, grid = tiny_study()
+        samples = treatment_samples(store, grid, "returns")
+        assert set(samples) == {CorrelationType.PEARSON, CorrelationType.MARONNA}
+        for vals in samples.values():
+            assert vals.shape == (2,)  # one observation per pair
+
+    def test_returns_use_gross_convention(self):
+        # Samples are mean-over-levels of total returns, plus one.
+        store, grid = tiny_study()
+        samples = treatment_samples(store, grid, "returns")
+        k0 = store.total_return((0, 1), 0)
+        k1 = store.total_return((0, 1), 1)
+        assert samples[CorrelationType.PEARSON][0] == pytest.approx(
+            (k0 + k1) / 2 + 1.0
+        )
+
+    def test_pearson_beats_maronna_in_tiny_study(self):
+        store, grid = tiny_study()
+        samples = treatment_samples(store, grid, "returns")
+        assert (
+            samples[CorrelationType.PEARSON].mean()
+            > samples[CorrelationType.MARONNA].mean()
+        )
+
+    def test_drawdown_nonnegative(self):
+        store, grid = tiny_study()
+        samples = treatment_samples(store, grid, "drawdown")
+        for vals in samples.values():
+            assert np.all(vals >= 0)
+
+    def test_winloss_nonnegative(self):
+        store, grid = tiny_study()
+        samples = treatment_samples(store, grid, "winloss")
+        for vals in samples.values():
+            assert np.all(vals >= 0)
+
+    def test_unknown_measure(self):
+        store, grid = tiny_study()
+        with pytest.raises(ValueError, match="unknown measure"):
+            treatment_samples(store, grid, "sortino")
+
+    def test_unbalanced_grid_rejected(self):
+        store, grid = tiny_study()
+        with pytest.raises(ValueError, match="unequal level counts"):
+            treatment_samples(store, grid[:3], "returns")
+
+
+class TestSummariesAndTables:
+    def test_summary_stats_match_sample(self):
+        store, grid = tiny_study()
+        summaries = treatment_summaries(store, grid, "returns")
+        s = summaries[CorrelationType.PEARSON]
+        assert s.stats.mean == pytest.approx(s.samples.mean())
+        assert s.stats.n == 2
+
+    def test_format_returns_table_has_sharpe(self):
+        store, grid = tiny_study()
+        text = format_treatment_table(
+            treatment_summaries(store, grid, "returns"), "Table III"
+        )
+        assert "Sharpe Ratio" in text
+        assert "Pearson" in text and "Maronna" in text
+
+    def test_format_drawdown_table_no_sharpe_percent(self):
+        store, grid = tiny_study()
+        text = format_treatment_table(
+            treatment_summaries(store, grid, "drawdown"), "Table IV"
+        )
+        assert "Sharpe" not in text
+        assert "%" in text
+
+    def test_format_rejects_mixed_measures(self):
+        store, grid = tiny_study()
+        a = treatment_summaries(store, grid, "returns")
+        b = treatment_summaries(store, grid, "winloss")
+        mixed = {
+            CorrelationType.PEARSON: a[CorrelationType.PEARSON],
+            CorrelationType.MARONNA: b[CorrelationType.MARONNA],
+        }
+        with pytest.raises(ValueError, match="mixed measures"):
+            format_treatment_table(mixed, "broken")
+
+    def test_format_rejects_empty(self):
+        with pytest.raises(ValueError):
+            format_treatment_table({}, "empty")
+
+
+class TestBoxplots:
+    def test_boxplot_stats_per_treatment(self, small_sweep):
+        store, grid = small_sweep
+        boxes = boxplot_by_treatment(store, grid, "returns")
+        assert set(boxes) == {
+            CorrelationType.PEARSON,
+            CorrelationType.MARONNA,
+            CorrelationType.COMBINED,
+        }
+        for b in boxes.values():
+            assert b.q1 <= b.median <= b.q3
+
+
+class TestFullSweepTables:
+    def test_all_three_tables_render(self, small_sweep):
+        store, grid = small_sweep
+        for measure, title in (
+            ("returns", "Table III"),
+            ("drawdown", "Table IV"),
+            ("winloss", "Table V"),
+        ):
+            text = format_treatment_table(
+                treatment_summaries(store, grid, measure), title
+            )
+            assert title in text
+            assert "Combined" in text
+
+    def test_returns_centred_near_one(self, small_sweep):
+        # Gross monthly returns ~ 1.x; tiny sweeps should stay near 1.0.
+        store, grid = small_sweep
+        samples = treatment_samples(store, grid, "returns")
+        for vals in samples.values():
+            assert 0.8 < vals.mean() < 1.3

@@ -1,0 +1,44 @@
+"""Tests for the win-loss ratio (eq 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.winloss import win_loss_counts, win_loss_ratio
+
+
+class TestCounts:
+    def test_basic(self):
+        assert win_loss_counts([0.1, -0.2, 0.3, -0.1, 0.2]) == (3, 2)
+
+    def test_zero_returns_counted_as_neither(self):
+        assert win_loss_counts([0.0, 0.1, 0.0, -0.1]) == (1, 1)
+
+    def test_empty(self):
+        assert win_loss_counts([]) == (0, 0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            win_loss_counts([0.1, float("nan")])
+
+
+class TestRatio:
+    def test_paper_scale(self):
+        # Table V ratios are ~1.27: more winners than losers.
+        rs = [0.01] * 127 + [-0.01] * 100
+        assert win_loss_ratio(rs) == pytest.approx(1.27)
+
+    def test_zero_losses_default_policy(self):
+        assert win_loss_ratio([0.1, 0.2, 0.3]) == 3.0  # W / max(L, 1)
+
+    def test_no_trades_default_policy(self):
+        assert win_loss_ratio([]) == 0.0
+
+    def test_strict_inf(self):
+        assert win_loss_ratio([0.1], strict=True) == np.inf
+
+    def test_strict_nan_when_empty(self):
+        assert np.isnan(win_loss_ratio([], strict=True))
+
+    def test_strict_matches_default_when_losses_exist(self):
+        rs = [0.1, -0.1, 0.2, -0.3, 0.4]
+        assert win_loss_ratio(rs) == win_loss_ratio(rs, strict=True)

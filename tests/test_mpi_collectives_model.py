@@ -1,0 +1,83 @@
+"""Model-based tests: collectives against straight-line reference results."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpi
+from repro.mpi.api import SUM, Op
+
+values_per_rank = st.lists(
+    st.integers(-1000, 1000), min_size=1, max_size=6
+)
+
+
+class TestCollectivesModel:
+    @settings(deadline=None, max_examples=25)
+    @given(values_per_rank, st.integers(0, 5))
+    def test_allreduce_matches_python_sum(self, values, root_unused):
+        size = len(values)
+
+        def prog(comm):
+            return comm.allreduce(values[comm.rank], op=SUM)
+
+        assert mpi.run_spmd(prog, size=size, default_timeout=10.0) == [
+            sum(values)
+        ] * size
+
+    @settings(deadline=None, max_examples=25)
+    @given(values_per_rank)
+    def test_scan_matches_prefix_sums(self, values):
+        size = len(values)
+
+        def prog(comm):
+            return comm.scan(values[comm.rank], op=SUM)
+
+        expected = [sum(values[: r + 1]) for r in range(size)]
+        assert mpi.run_spmd(prog, size=size, default_timeout=10.0) == expected
+
+    @settings(deadline=None, max_examples=25)
+    @given(values_per_rank, st.data())
+    def test_bcast_from_any_root(self, values, data):
+        size = len(values)
+        root = data.draw(st.integers(0, size - 1))
+
+        def prog(comm):
+            payload = values[root] if comm.rank == root else None
+            return comm.bcast(payload, root=root)
+
+        assert mpi.run_spmd(prog, size=size, default_timeout=10.0) == [
+            values[root]
+        ] * size
+
+    @settings(deadline=None, max_examples=25)
+    @given(values_per_rank)
+    def test_reduce_with_noncommutative_op_is_rank_ordered(self, values):
+        size = len(values)
+        # f(a, b) = a concatenated-with b over tuples: associative,
+        # non-commutative — exposes any reordering in the fold.
+        op = Op.create(lambda a, b: a + b, name="concat")
+
+        def prog(comm):
+            return comm.allreduce((values[comm.rank],), op=op)
+
+        expected = tuple(values)
+        assert mpi.run_spmd(prog, size=size, default_timeout=10.0) == [
+            expected
+        ] * size
+
+    @settings(deadline=None, max_examples=20)
+    @given(values_per_rank, st.integers(1, 4))
+    def test_split_groups_partition_allreduce(self, values, n_colors):
+        size = len(values)
+
+        def prog(comm):
+            color = comm.rank % n_colors
+            sub = comm.split(color)
+            return (color, sub.allreduce(values[comm.rank], op=SUM))
+
+        results = mpi.run_spmd(prog, size=size, default_timeout=10.0)
+        for rank, (color, total) in enumerate(results):
+            expected = sum(
+                values[r] for r in range(size) if r % n_colors == color
+            )
+            assert total == expected

@@ -1,0 +1,187 @@
+"""Point-to-point messaging tests over the thread backend."""
+
+import pytest
+
+from repro import mpi
+from repro.mpi.api import ANY_SOURCE, ANY_TAG, Status
+from repro.mpi.inproc import SpmdFailure
+
+
+def run(fn, size=2, **kw):
+    return mpi.run_spmd(fn, size=size, default_timeout=10.0, **kw)
+
+
+class TestSendRecv:
+    def test_basic_roundtrip(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        assert run(prog)[1] == {"a": 7, "b": 3.14}
+
+    def test_any_source_any_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=5)
+                return None
+            return comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+
+        assert run(prog)[1] == "x"
+
+    def test_tag_matching_skips_nonmatching(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            got2 = comm.recv(source=0, tag=2)
+            got1 = comm.recv(source=0, tag=1)
+            return (got1, got2)
+
+        assert run(prog)[1] == ("first", "second")
+
+    def test_source_matching(self):
+        def prog(comm):
+            if comm.rank in (0, 1):
+                comm.send(f"from{comm.rank}", dest=2, tag=0)
+                return None
+            a = comm.recv(source=1, tag=0)
+            b = comm.recv(source=0, tag=0)
+            return (a, b)
+
+        assert run(prog, size=3)[2] == ("from1", "from0")
+
+    def test_fifo_order_per_source(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    comm.send(i, dest=1, tag=0)
+                return None
+            return [comm.recv(source=0, tag=0) for _ in range(20)]
+
+        assert run(prog)[1] == list(range(20))
+
+    def test_status_returned(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("payload", dest=1, tag=42)
+                return None
+            return comm.recv(source=ANY_SOURCE, tag=ANY_TAG, return_status=True)
+
+        payload, status = run(prog)[1]
+        assert payload == "payload"
+        assert status == Status(source=0, tag=42)
+
+    def test_send_to_self(self):
+        def prog(comm):
+            comm.send("me", dest=comm.rank, tag=0)
+            return comm.recv(source=comm.rank, tag=0)
+
+        assert run(prog, size=1)[0] == "me"
+
+    def test_invalid_destination_rejected(self):
+        def prog(comm):
+            comm.send("x", dest=99, tag=0)
+
+        with pytest.raises(SpmdFailure, match="99"):
+            run(prog)
+
+    def test_negative_user_tag_rejected(self):
+        def prog(comm):
+            comm.send("x", dest=0, tag=-1)
+
+        with pytest.raises(SpmdFailure, match="tags must be >= 0"):
+            run(prog, size=1)
+
+    def test_recv_timeout(self):
+        def prog(comm):
+            comm.recv(source=0, tag=0, timeout=0.2)
+
+        with pytest.raises(SpmdFailure, match="RecvTimeout"):
+            run(prog, size=1)
+
+
+class TestNonBlocking:
+    def test_isend_completes_immediately(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend("hello", dest=1, tag=3)
+                done, _ = req.test()
+                assert done
+                req.wait()
+                return None
+            return comm.recv(source=0, tag=3)
+
+        assert run(prog)[1] == "hello"
+
+    def test_irecv_wait(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("deferred", dest=1, tag=9)
+                return None
+            req = comm.irecv(source=0, tag=9)
+            return req.wait()
+
+        assert run(prog)[1] == "deferred"
+
+    def test_irecv_test_before_arrival(self):
+        def prog(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0, tag=9)
+                done, value = req.test()
+                assert not done and value is None
+                comm.send("ready", dest=0, tag=1)
+                return req.wait()
+            comm.recv(source=1, tag=1)
+            comm.send("late", dest=1, tag=9)
+            return None
+
+        assert run(prog)[1] == "late"
+
+
+class TestIprobe:
+    def test_iprobe_true_after_send(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=7)
+                comm.recv(source=1, tag=8)  # handshake: wait for probe result
+                return None
+            # Wait until the message has arrived.
+            while not comm.iprobe(source=0, tag=7):
+                pass
+            comm.send("probed", dest=0, tag=8)
+            return comm.recv(source=0, tag=7)
+
+        assert run(prog)[1] == "x"
+
+    def test_iprobe_false_when_empty(self):
+        def prog(comm):
+            return comm.iprobe()
+
+        assert run(prog, size=1)[0] is False
+
+
+class TestFailurePropagation:
+    def test_exception_collected_per_rank(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank one exploded")
+            return "ok"
+
+        with pytest.raises(SpmdFailure) as exc_info:
+            run(prog, size=3)
+        assert 1 in exc_info.value.errors
+        assert "rank one exploded" in str(exc_info.value)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            mpi.run_spmd(lambda comm: None, size=0)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            mpi.run_spmd(lambda comm: None, size=1, backend="smoke-signals")
+
+    def test_available_backends(self):
+        assert mpi.available_backends() == ("process", "thread")

@@ -1,0 +1,52 @@
+"""Process-backend tests: real OS processes, marshalled failures.
+
+Kept small — each test pays process spawn cost — but covering the paths
+that differ from the thread backend: cross-process pickling, remote
+exception marshalling, and result ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.procs import RemoteRankError
+
+pytestmark = pytest.mark.slow
+
+
+def _pipeline(comm):
+    """Exercises p2p + collectives + numpy payloads in one program."""
+    comm.barrier()
+    data = np.arange(8, dtype=float) * (comm.rank + 1)
+    total = comm.allreduce(data, op=mpi.SUM)
+    if comm.rank == 0:
+        comm.send("ping", dest=comm.size - 1, tag=1)
+    if comm.rank == comm.size - 1:
+        assert comm.recv(source=0, tag=1) == "ping"
+    return float(total.sum())
+
+
+def _boom(comm):
+    if comm.rank == 1:
+        raise ValueError("remote boom")
+    return comm.rank
+
+
+class TestProcessBackend:
+    def test_pipeline_three_ranks(self):
+        results = mpi.run_spmd(_pipeline, size=3, backend="process")
+        expected = float(np.arange(8).sum() * (1 + 2 + 3))
+        assert results == [expected] * 3
+
+    def test_remote_exception_carries_traceback(self):
+        with pytest.raises(RemoteRankError) as exc_info:
+            mpi.run_spmd(_boom, size=2, backend="process")
+        err = exc_info.value
+        assert err.rank == 1
+        assert err.exc_type == "ValueError"
+        assert "remote boom" in str(err)
+        assert "Traceback" in err.remote_traceback
+
+    def test_single_rank(self):
+        results = mpi.run_spmd(_pipeline, size=1, backend="process")
+        assert results == [float(np.arange(8).sum())]

@@ -1,0 +1,138 @@
+"""Tests for MPI_Comm_split-style sub-communicators."""
+
+import pytest
+
+from repro import mpi
+from repro.mpi.inproc import SpmdFailure
+
+
+def run(fn, size, **kw):
+    kw.setdefault("default_timeout", 10.0)
+    return mpi.run_spmd(fn, size=size, **kw)
+
+
+class TestSplitGrouping:
+    def test_even_odd_partition(self):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2)
+            return (sub.rank, sub.size, sub.allgather(comm.rank))
+
+        res = run(prog, 6)
+        for r, (sub_rank, sub_size, members) in enumerate(res):
+            assert sub_size == 3
+            assert members == [x for x in range(6) if x % 2 == r % 2]
+            assert members[sub_rank] == r
+
+    def test_key_reorders(self):
+        def prog(comm):
+            sub = comm.split(0, key=-comm.rank)
+            return sub.allgather(comm.rank)
+
+        res = run(prog, 4)
+        assert res[0] == [3, 2, 1, 0]
+
+    def test_ties_break_by_parent_rank(self):
+        def prog(comm):
+            sub = comm.split(0, key=0)
+            return sub.rank
+
+        assert run(prog, 4) == [0, 1, 2, 3]
+
+    def test_undefined_color_opts_out(self):
+        def prog(comm):
+            sub = comm.split(0 if comm.rank < 2 else None)
+            return sub.size if sub is not None else None
+
+        assert run(prog, 4) == [2, 2, None, None]
+
+    def test_singleton_groups(self):
+        def prog(comm):
+            sub = comm.split(comm.rank)  # everyone their own colour
+            return (sub.rank, sub.size, sub.allreduce(comm.rank))
+
+        res = run(prog, 4)
+        assert res == [(0, 1, r) for r in range(4)]
+
+
+class TestIsolation:
+    def test_parent_usable_after_split(self):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2)
+            a = sub.allreduce(1)
+            b = comm.allreduce(1)
+            c = sub.allreduce(10)
+            return (a, b, c)
+
+        for a, b, c in run(prog, 5):
+            assert b == 5
+            assert a in (2, 3) and c in (20, 30)
+
+    def test_sibling_collectives_do_not_cross_talk(self):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2)
+            # Different payloads per group, interleaved with parent traffic.
+            group_sum = sub.allreduce(comm.rank)
+            world = comm.allgather(group_sum)
+            return world
+
+        res = run(prog, 6)
+        # evens 0+2+4=6, odds 1+3+5=9.
+        assert res[0] == [6, 9, 6, 9, 6, 9]
+
+    def test_p2p_within_child_uses_child_ranks(self):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2)
+            if sub.rank == 0:
+                sub.send(f"from-world-{comm.rank}", dest=sub.size - 1, tag=1)
+                return None
+            if sub.rank == sub.size - 1:
+                return sub.recv(source=0, tag=1)
+            return None
+
+        res = run(prog, 6)
+        assert res[4] == "from-world-0"  # evens: child 0 is world 0, last is 4
+        assert res[5] == "from-world-1"
+
+    def test_nested_split(self):
+        def prog(comm):
+            half = comm.split(comm.rank // 2)  # {0,1}, {2,3}
+            solo = half.split(half.rank)  # singletons
+            return (half.size, solo.size, half.allreduce(1), solo.allreduce(5))
+
+        res = run(prog, 4)
+        assert all(r == (2, 1, 2, 5) for r in res)
+
+    def test_world_rank_translation(self):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2)
+            return [sub.world_rank_of(r) for r in range(sub.size)]
+
+        res = run(prog, 6)
+        assert res[0] == [0, 2, 4]
+        assert res[1] == [1, 3, 5]
+
+
+class TestSplitErrors:
+    def test_mismatched_split_order_times_out(self):
+        # One rank split()s, the other doesn't: the allgather inside split
+        # hangs until the recv timeout trips.
+        def prog(comm):
+            if comm.rank == 0:
+                comm.split(0)
+            return True
+
+        with pytest.raises(SpmdFailure):
+            run(prog, 2, default_timeout=0.5)
+
+
+class TestSplitOnProcessBackend:
+    pytestmark = pytest.mark.slow
+
+    def test_split_collectives(self):
+        results = mpi.run_spmd(_split_prog, size=4, backend="process")
+        assert results == [(2, 2), (2, 4), (2, 2), (2, 4)]
+
+
+def _split_prog(comm):
+    sub = comm.split(comm.rank % 2)
+    return (sub.size, sub.allreduce(comm.rank))

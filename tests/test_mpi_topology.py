@@ -1,0 +1,94 @@
+"""Tests for DAG→rank contraction (repro.mpi.topology)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.topology import RankMap, contract_dag
+
+
+def chain(n):
+    g = nx.DiGraph()
+    nx.add_path(g, [f"c{i}" for i in range(n)])
+    return g
+
+
+class TestContractDag:
+    def test_one_component_per_rank(self):
+        rank_map = contract_dag(chain(4), size=4)
+        ranks = {rank_map.rank_of(f"c{i}") for i in range(4)}
+        assert ranks == {0, 1, 2, 3}
+
+    def test_fewer_ranks_than_components(self):
+        rank_map = contract_dag(chain(6), size=2)
+        for node in ("c0", "c1", "c2", "c3", "c4", "c5"):
+            assert 0 <= rank_map.rank_of(node) < 2
+        # Balanced: 3 components per rank with unit weights.
+        assert len(rank_map.components_of(0)) == 3
+        assert len(rank_map.components_of(1)) == 3
+
+    def test_more_ranks_than_components(self):
+        rank_map = contract_dag(chain(2), size=5)
+        assert rank_map.components_of(4) == ()
+
+    def test_heavy_component_isolated(self):
+        g = chain(4)
+        weights = {"c1": 100.0}
+        rank_map = contract_dag(g, size=2, weights=weights)
+        heavy_rank = rank_map.rank_of("c1")
+        # All light components share the other rank.
+        assert rank_map.components_of(heavy_rank) == ("c1",)
+
+    def test_deterministic(self):
+        g = chain(7)
+        a = contract_dag(g, size=3)
+        b = contract_dag(g, size=3)
+        assert a.assignment == b.assignment
+
+    def test_rejects_cycle(self):
+        g = nx.DiGraph([("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError, match="cycle"):
+            contract_dag(g, size=2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            contract_dag(nx.DiGraph(), size=1)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            contract_dag(chain(2), size=0)
+
+    def test_rejects_unknown_weight_node(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            contract_dag(chain(2), size=1, weights={"ghost": 1.0})
+
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        size=st.integers(min_value=1, max_value=8),
+    )
+    def test_every_node_assigned_to_valid_rank(self, n, size):
+        rank_map = contract_dag(chain(n), size=size)
+        assert len(rank_map.components) == n
+        seen = set()
+        for r in range(size):
+            comps = rank_map.components_of(r)
+            assert seen.isdisjoint(comps)
+            seen.update(comps)
+        assert len(seen) == n
+
+
+class TestRankMap:
+    def test_rank_of_unknown_raises(self):
+        rank_map = contract_dag(chain(2), size=1)
+        with pytest.raises(KeyError):
+            rank_map.rank_of("nope")
+
+    def test_components_of_bad_rank(self):
+        rank_map = contract_dag(chain(2), size=1)
+        with pytest.raises(ValueError):
+            rank_map.components_of(1)
+
+    def test_rejects_out_of_range_assignment(self):
+        with pytest.raises(ValueError, match="outside"):
+            RankMap(assignment={"a": 5}, size=2)

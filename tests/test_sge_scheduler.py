@@ -1,0 +1,101 @@
+"""Tests for the SGE batch-scheduler simulator."""
+
+import pytest
+
+from repro.sge.scheduler import Job, SgeScheduler
+
+
+class TestJobExecution:
+    def test_jobs_run_and_return_results(self):
+        sched = SgeScheduler(n_slots=2)
+        sched.submit_many(Job(name=f"j{i}", fn=lambda i=i: i * i) for i in range(5))
+        report = sched.run()
+        assert [r.result for r in report.results] == [0, 1, 4, 9, 16]
+        assert sched.queued == 0
+
+    def test_job_exception_propagates(self):
+        sched = SgeScheduler()
+
+        def boom():
+            raise RuntimeError("job failed")
+
+        sched.submit(Job(name="bad", fn=boom))
+        with pytest.raises(RuntimeError, match="job failed"):
+            sched.run()
+
+    def test_job_validates_callable(self):
+        with pytest.raises(TypeError):
+            Job(name="x", fn="not callable")
+
+    def test_rejects_bad_slot_count(self):
+        with pytest.raises((ValueError, TypeError)):
+            SgeScheduler(n_slots=0)
+
+
+class TestPlacementSimulation:
+    def test_single_slot_serial_makespan(self):
+        report = SgeScheduler(n_slots=1).simulate(
+            {"a": 1.0, "b": 2.0, "c": 3.0}
+        )
+        assert report.makespan == pytest.approx(6.0)
+        assert report.serial_time == pytest.approx(6.0)
+        assert report.speedup == pytest.approx(1.0)
+
+    def test_equal_jobs_perfect_speedup(self):
+        report = SgeScheduler(n_slots=4).simulate(
+            {f"j{i}": 1.0 for i in range(8)}
+        )
+        assert report.makespan == pytest.approx(2.0)
+        assert report.speedup == pytest.approx(4.0)
+
+    def test_fifo_greedy_placement(self):
+        # Jobs 3,1,1: slot0 gets 3; slot1 gets 1 then 1. Makespan 3.
+        report = SgeScheduler(n_slots=2).simulate({"a": 3.0, "b": 1.0, "c": 1.0})
+        assert report.makespan == pytest.approx(3.0)
+        loads = report.slot_loads()
+        assert sorted(loads.values()) == pytest.approx([2.0, 3.0])
+
+    def test_long_tail_limits_speedup(self):
+        durations = {"long": 10.0, **{f"s{i}": 0.1 for i in range(20)}}
+        report = SgeScheduler(n_slots=8).simulate(durations)
+        assert report.makespan == pytest.approx(10.0)  # bound by the tail
+
+    def test_sim_start_end_consistent(self):
+        report = SgeScheduler(n_slots=3).simulate(
+            {f"j{i}": float(i + 1) for i in range(6)}
+        )
+        for r in report.results:
+            assert r.sim_end == pytest.approx(r.sim_start + r.duration)
+        # No two jobs overlap on the same slot.
+        by_slot = {}
+        for r in report.results:
+            by_slot.setdefault(r.slot, []).append((r.sim_start, r.sim_end))
+        for spans in by_slot.values():
+            spans.sort()
+            for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-12
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            SgeScheduler().simulate({"a": -1.0})
+
+    def test_empty_report(self):
+        report = SgeScheduler().simulate({})
+        assert report.makespan == 0.0
+        assert report.speedup == 1.0
+
+
+class TestPaperExtrapolation:
+    def test_854_hour_arithmetic(self):
+        """The paper: 1830 pairs x 20 days x 42 sets at ~2s/job ~= 854 h."""
+        n_jobs = 1830 * 20 * 42
+        serial_hours = n_jobs * 2.0 / 3600.0
+        assert serial_hours == pytest.approx(854.0, rel=0.01)
+
+    def test_sge_slots_divide_makespan(self):
+        # With equal 2s jobs, k slots give k-fold speedup; the paper's SGE
+        # runs reduced but did not eliminate the problem.
+        durations = {f"j{i}": 2.0 for i in range(1000)}
+        report = SgeScheduler(n_slots=50).simulate(durations)
+        assert report.speedup == pytest.approx(50.0)
+        assert report.makespan == pytest.approx(40.0)

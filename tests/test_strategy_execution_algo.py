@@ -1,0 +1,189 @@
+"""Tests for the list-based basket execution algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.strategy.execution_algo import (
+    ChildOrder,
+    ListExecutionScheduler,
+    simulate_fills,
+)
+
+baskets = st.dictionaries(
+    keys=st.integers(0, 5),
+    values=st.integers(-500, 500).filter(lambda x: x != 0),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestChildOrder:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChildOrder(s=-1, symbol=0, shares=1)
+        with pytest.raises(ValueError):
+            ChildOrder(s=0, symbol=0, shares=0)
+
+
+class TestScheduler:
+    def test_small_order_one_slice(self):
+        plan = ListExecutionScheduler(horizon=5, interval_volume=1000).plan(
+            {0: 10}, decision_s=3
+        )
+        assert plan.shares_of(0) == 10
+        assert plan.children[0].s == 3
+        assert not plan.unscheduled
+
+    def test_twap_spreads_evenly(self):
+        plan = ListExecutionScheduler(
+            horizon=4, max_participation=1.0, interval_volume=10_000
+        ).plan({0: 100}, decision_s=0)
+        slices = [c.shares for c in plan.children]
+        assert sum(slices) == 100
+        assert len(slices) == 4
+        assert max(slices) - min(slices) <= 1
+
+    def test_participation_cap_respected(self):
+        sched = ListExecutionScheduler(
+            horizon=10, max_participation=0.1, interval_volume=100
+        )
+        plan = sched.plan({0: 95}, decision_s=0)
+        # Cap is 10 shares per slice.
+        assert all(abs(c.shares) <= 10 for c in plan.children)
+        assert plan.shares_of(0) + plan.unscheduled.get(0, 0) == 95
+
+    def test_oversize_order_reports_unscheduled(self):
+        sched = ListExecutionScheduler(
+            horizon=3, max_participation=0.1, interval_volume=100
+        )
+        plan = sched.plan({0: 95}, decision_s=0)
+        assert plan.shares_of(0) == 30  # 3 slices x cap 10
+        assert plan.unscheduled == {0: 65}
+
+    def test_sells_mirror_buys(self):
+        sched = ListExecutionScheduler(horizon=4, interval_volume=1000)
+        buy = sched.plan({0: 77}, decision_s=0)
+        sell = sched.plan({0: -77}, decision_s=0)
+        assert [c.shares for c in sell.children] == [
+            -c.shares for c in buy.children
+        ]
+
+    def test_zero_share_symbols_dropped(self):
+        plan = ListExecutionScheduler().plan({0: 0, 1: 5}, decision_s=0)
+        assert {c.symbol for c in plan.children} == {1}
+
+    def test_per_symbol_volume(self):
+        sched = ListExecutionScheduler(
+            horizon=2, max_participation=0.5, interval_volume={0: 10, 1: 1000}
+        )
+        plan = sched.plan({0: 20, 1: 20}, decision_s=0)
+        per_symbol = {}
+        for c in plan.children:
+            per_symbol.setdefault(c.symbol, []).append(abs(c.shares))
+        assert max(per_symbol[0]) <= 5
+        assert plan.unscheduled.get(0) == 10
+        assert 1 not in plan.unscheduled
+
+    def test_unknown_symbol_without_default(self):
+        sched = ListExecutionScheduler(interval_volume={0: 100})
+        with pytest.raises(KeyError):
+            sched.plan({3: 10}, decision_s=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"horizon": 0},
+            {"max_participation": 0.0},
+            {"max_participation": 1.5},
+            {"interval_volume": 0.0},
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            ListExecutionScheduler(**kwargs)
+
+    @given(baskets, st.integers(0, 20))
+    def test_share_conservation(self, basket, decision_s):
+        sched = ListExecutionScheduler(
+            horizon=5, max_participation=0.2, interval_volume=200
+        )
+        plan = sched.plan(basket, decision_s)
+        for symbol, shares in basket.items():
+            if shares == 0:
+                continue
+            scheduled = plan.shares_of(symbol)
+            carried = plan.unscheduled.get(symbol, 0)
+            assert scheduled + carried == shares
+            # Scheduled and carried shares never flip sign.
+            assert scheduled * shares >= 0
+            assert carried * shares >= 0
+
+    @given(baskets)
+    def test_children_within_horizon(self, basket):
+        sched = ListExecutionScheduler(horizon=7, interval_volume=50)
+        plan = sched.plan(basket, decision_s=10)
+        assert all(10 <= c.s < 17 for c in plan.children)
+
+
+class TestSimulateFills:
+    def _prices(self, smax=30, n=3, start=100.0, drift=0.0):
+        t = np.arange(smax)[:, None]
+        return np.full((smax, n), start) * (1 + drift) ** t
+
+    def test_flat_market_fill_at_spread(self):
+        prices = self._prices()
+        plan = ListExecutionScheduler(horizon=4, interval_volume=1000).plan(
+            {0: 100}, decision_s=5
+        )
+        report = simulate_fills(plan, prices, half_spread_frac=1e-3)
+        e = report.of(0)
+        assert e.avg_fill_price == pytest.approx(100.0 * 1.001)
+        assert e.shortfall_per_share == pytest.approx(0.1)
+        assert report.total_cost == pytest.approx(10.0)
+
+    def test_buy_in_rising_market_costs_more(self):
+        rising = self._prices(drift=0.001)
+        plan = ListExecutionScheduler(
+            horizon=10, max_participation=0.05, interval_volume=200
+        ).plan({0: 100}, decision_s=0)
+        report = simulate_fills(plan, rising, half_spread_frac=0.0)
+        assert report.of(0).shortfall_per_share > 0
+
+    def test_sell_in_rising_market_gains(self):
+        rising = self._prices(drift=0.001)
+        plan = ListExecutionScheduler(
+            horizon=10, max_participation=0.05, interval_volume=200
+        ).plan({0: -100}, decision_s=0)
+        report = simulate_fills(plan, rising, half_spread_frac=0.0)
+        assert report.of(0).shortfall_per_share < 0  # negative cost = gain
+
+    def test_faster_schedule_less_drift_cost(self):
+        rising = self._prices(drift=0.002)
+        slow = ListExecutionScheduler(
+            horizon=10, max_participation=0.05, interval_volume=200
+        ).plan({0: 100}, decision_s=0)
+        fast = ListExecutionScheduler(
+            horizon=2, max_participation=1.0, interval_volume=10_000
+        ).plan({0: 100}, decision_s=0)
+        cost_slow = simulate_fills(slow, rising, 0.0).total_cost
+        cost_fast = simulate_fills(fast, rising, 0.0).total_cost
+        assert cost_fast < cost_slow
+
+    def test_plan_beyond_session_rejected(self):
+        prices = self._prices(smax=5)
+        plan = ListExecutionScheduler(
+            horizon=10, max_participation=0.01, interval_volume=100
+        ).plan({0: 10}, decision_s=3)
+        with pytest.raises(ValueError, match="beyond the"):
+            simulate_fills(plan, prices)
+
+    def test_missing_symbol_lookup(self):
+        prices = self._prices()
+        plan = ListExecutionScheduler(interval_volume=1000).plan(
+            {0: 10}, decision_s=0
+        )
+        report = simulate_fills(plan, prices)
+        with pytest.raises(KeyError):
+            report.of(99)

@@ -1,0 +1,153 @@
+"""Tests for strategy parameters and the Table-I grid."""
+
+import pytest
+
+from repro.corr.measures import CorrelationType
+from repro.strategy.params import (
+    StrategyParams,
+    format_table1,
+    paper_parameter_grid,
+    small_parameter_grid,
+    table1_values,
+)
+
+
+class TestStrategyParams:
+    def test_paper_canonical_defaults(self):
+        # The paper's worked example parameter set.
+        p = StrategyParams()
+        assert p.delta_s == 30
+        assert p.ctype is CorrelationType.PEARSON
+        assert p.a == 0.1
+        assert p.m == 100
+        assert p.w == 60
+        assert p.y == 10
+        assert p.d == pytest.approx(0.0001)  # 0.01%
+        assert p.l == pytest.approx(2 / 3)
+        assert p.rt == 60
+        assert p.hp == 30
+        assert p.st == 20
+
+    def test_extensions_off_by_default(self):
+        p = StrategyParams()
+        assert p.stop_loss is None
+        assert p.correlation_reversion is False
+
+    def test_ctype_parsed_from_string(self):
+        assert StrategyParams(ctype="maronna").ctype is CorrelationType.MARONNA
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"delta_s": 0},
+            {"a": 1.5},
+            {"m": 2},
+            {"w": 0},
+            {"y": -1},
+            {"d": 0.0},
+            {"d": 1.0},
+            {"l": 0.0},
+            {"l": 1.0},
+            {"rt": 0},
+            {"hp": 0},
+            {"st": 0},
+            {"stop_loss": -0.01},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            StrategyParams(**kwargs)
+
+    def test_first_active_interval(self):
+        p = StrategyParams(m=100, w=60, rt=60)
+        assert p.first_active_interval == 159  # M + W - 1
+        p2 = StrategyParams(m=10, w=5, rt=200)
+        assert p2.first_active_interval == 199  # RT - 1 dominates
+
+    def test_with_ctype(self):
+        p = StrategyParams()
+        q = p.with_ctype("combined")
+        assert q.ctype is CorrelationType.COMBINED
+        assert q.non_treatment_key() == p.non_treatment_key()
+
+    def test_non_treatment_key_excludes_ctype(self):
+        a = StrategyParams(ctype="pearson")
+        b = StrategyParams(ctype="maronna")
+        assert a.non_treatment_key() == b.non_treatment_key()
+        c = StrategyParams(m=50)
+        assert a.non_treatment_key() != c.non_treatment_key()
+
+    def test_label_mentions_all_factors(self):
+        label = StrategyParams().label()
+        for token in ("Δs=30", "M=100", "W=60", "Y=10", "HP=30", "ST=20"):
+            assert token in label
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            StrategyParams().m = 50
+
+
+class TestPaperGrid:
+    def test_forty_two_parameter_sets(self):
+        # "42 (number of parameter sets)" = 3 treatments x 14 levels
+        grid = paper_parameter_grid()
+        assert len(grid) == 42
+
+    def test_three_treatments_fourteen_levels_each(self):
+        grid = paper_parameter_grid()
+        by_ctype = {}
+        for p in grid:
+            by_ctype.setdefault(p.ctype, []).append(p)
+        assert {len(v) for v in by_ctype.values()} == {14}
+        assert len(by_ctype) == 3
+
+    def test_levels_identical_across_treatments(self):
+        grid = paper_parameter_grid()
+        keys_by_ctype = {}
+        for p in grid:
+            keys_by_ctype.setdefault(p.ctype, []).append(p.non_treatment_key())
+        keys = list(keys_by_ctype.values())
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_levels_are_distinct(self):
+        grid = paper_parameter_grid()
+        pearson_keys = [
+            p.non_treatment_key() for p in grid if p.ctype is CorrelationType.PEARSON
+        ]
+        assert len(set(pearson_keys)) == 14
+
+    def test_n_levels_truncation(self):
+        assert len(paper_parameter_grid(n_levels=5)) == 15
+        with pytest.raises(ValueError):
+            paper_parameter_grid(n_levels=0)
+        with pytest.raises(ValueError):
+            paper_parameter_grid(n_levels=15)
+
+    def test_base_override_propagates(self):
+        base = StrategyParams(m=40, w=20, y=5, rt=20, hp=10, st=5)
+        grid = paper_parameter_grid(base=base)
+        canonical = grid[0]
+        assert canonical.w == 20 and canonical.rt == 20
+
+    def test_small_grid(self):
+        assert len(small_parameter_grid()) == 12
+
+
+class TestTable1:
+    def test_values_cover_paper_lists(self):
+        values = table1_values()
+        assert values["m"] == [50, 100, 200]
+        assert values["w"] == [60, 120]
+        assert values["y"] == [10, 20]
+        assert 0.0001 in values["d"] and 0.0010 in values["d"]
+        assert values["hp"] == [30, 40]
+
+    def test_format_table1_mentions_every_parameter(self):
+        text = format_table1()
+        for name in ("Δs", "Ctype", "A", "M", "W", "Y", "d", "ℓ", "RT", "HP", "ST"):
+            assert any(line.startswith(name + " ") for line in text.splitlines()), name
+
+    def test_format_table1_mentions_treatments(self):
+        text = format_table1()
+        for t in ("Pearson", "Maronna", "Combined"):
+            assert t in text

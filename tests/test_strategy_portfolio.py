@@ -1,0 +1,193 @@
+"""Tests for basket aggregation and risk limits."""
+
+import pytest
+
+from repro.strategy.portfolio import BasketAggregator, OrderRequest, RiskLimits
+
+
+def legs(pair=(0, 1), s=10, k=0, long_price=30.0, short_price=130.0, n_long=5):
+    return (
+        OrderRequest(s=s, symbol=pair[0], shares=n_long, price=long_price,
+                     pair=pair, param_index=k),
+        OrderRequest(s=s, symbol=pair[1], shares=-1, price=short_price,
+                     pair=pair, param_index=k),
+    )
+
+
+def exit_legs(pair=(0, 1), s=20, k=0):
+    return (
+        OrderRequest(s=s, symbol=pair[0], shares=-5, price=31.0, pair=pair,
+                     param_index=k),
+        OrderRequest(s=s, symbol=pair[1], shares=1, price=128.0, pair=pair,
+                     param_index=k),
+    )
+
+
+class TestOrderRequest:
+    def test_notional(self):
+        o = OrderRequest(s=0, symbol=1, shares=-4, price=25.0, pair=(0, 1))
+        assert o.notional == pytest.approx(100.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"s": -1, "symbol": 0, "shares": 1, "price": 1.0, "pair": (0, 1)},
+            {"s": 0, "symbol": 0, "shares": 0, "price": 1.0, "pair": (0, 1)},
+            {"s": 0, "symbol": 0, "shares": 1, "price": 0.0, "pair": (0, 1)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            OrderRequest(**kwargs)
+
+
+class TestRiskLimits:
+    def test_defaults_unbounded(self):
+        limits = RiskLimits()
+        assert limits.max_gross_notional == float("inf")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_gross_notional": 0.0},
+            {"max_open_pairs": 0},
+            {"max_order_notional": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            RiskLimits(**kwargs)
+
+
+class TestBasketAggregator:
+    def test_entry_exit_lifecycle(self):
+        agg = BasketAggregator()
+        assert agg.submit_entry(legs())
+        assert agg.open_pair_count == 1
+        assert agg.gross_notional == pytest.approx(5 * 30 + 130)
+        agg.submit_exit(exit_legs())
+        assert agg.open_pair_count == 0
+        assert agg.gross_notional == pytest.approx(0.0)
+
+    def test_gross_limit_vetoes(self):
+        agg = BasketAggregator(RiskLimits(max_gross_notional=300.0))
+        assert agg.submit_entry(legs(pair=(0, 1)))  # 280 notional
+        assert not agg.submit_entry(legs(pair=(2, 3)))  # would exceed
+        assert agg.open_pair_count == 1
+        assert len(agg.vetoed) == 1
+
+    def test_max_open_pairs(self):
+        agg = BasketAggregator(RiskLimits(max_open_pairs=1))
+        assert agg.submit_entry(legs(pair=(0, 1)))
+        assert not agg.submit_entry(legs(pair=(2, 3)))
+        agg.submit_exit(exit_legs(pair=(0, 1)))
+        assert agg.submit_entry(legs(pair=(2, 3)))
+
+    def test_order_notional_limit(self):
+        agg = BasketAggregator(RiskLimits(max_order_notional=100.0))
+        assert not agg.submit_entry(legs())  # short leg 130 > 100
+
+    def test_duplicate_entry_rejected(self):
+        agg = BasketAggregator()
+        agg.submit_entry(legs())
+        with pytest.raises(ValueError, match="already has an open position"):
+            agg.submit_entry(legs())
+
+    def test_same_pair_different_params_independent(self):
+        agg = BasketAggregator()
+        assert agg.submit_entry(legs(k=0))
+        assert agg.submit_entry(legs(k=1))
+        assert agg.open_pair_count == 2
+
+    def test_exit_without_entry_rejected(self):
+        agg = BasketAggregator()
+        with pytest.raises(ValueError, match="no open position"):
+            agg.submit_exit(exit_legs())
+
+    def test_legs_must_be_buy_and_sell(self):
+        agg = BasketAggregator()
+        bad = (
+            OrderRequest(s=0, symbol=0, shares=1, price=1.0, pair=(0, 1)),
+            OrderRequest(s=0, symbol=1, shares=1, price=1.0, pair=(0, 1)),
+        )
+        with pytest.raises(ValueError, match="one buy and one sell"):
+            agg.submit_entry(bad)
+
+    def test_legs_must_match(self):
+        agg = BasketAggregator()
+        bad = (
+            OrderRequest(s=0, symbol=0, shares=1, price=1.0, pair=(0, 1)),
+            OrderRequest(s=1, symbol=1, shares=-1, price=1.0, pair=(0, 1)),
+        )
+        with pytest.raises(ValueError, match="share pair"):
+            agg.submit_entry(bad)
+
+
+class TestBasketNetting:
+    def test_nets_across_pairs(self):
+        orders = [
+            OrderRequest(s=5, symbol=0, shares=10, price=1.0, pair=(0, 1)),
+            OrderRequest(s=5, symbol=1, shares=-3, price=1.0, pair=(0, 1)),
+            OrderRequest(s=5, symbol=0, shares=-4, price=1.0, pair=(0, 2)),
+            OrderRequest(s=5, symbol=2, shares=2, price=1.0, pair=(0, 2)),
+        ]
+        basket = BasketAggregator.basket(orders)
+        assert basket == {0: 6, 1: -3, 2: 2}
+
+    def test_zero_net_dropped(self):
+        orders = [
+            OrderRequest(s=5, symbol=0, shares=4, price=1.0, pair=(0, 1)),
+            OrderRequest(s=5, symbol=0, shares=-4, price=1.0, pair=(0, 2)),
+        ]
+        assert BasketAggregator.basket(orders) == {}
+
+    def test_empty(self):
+        assert BasketAggregator.basket([]) == {}
+
+
+class TestConcentrationLimit:
+    def test_symbol_cap_vetoes(self):
+        limits = RiskLimits(max_symbol_shares=8)
+        agg = BasketAggregator(limits)
+        assert agg.submit_entry(legs(pair=(0, 1), n_long=5))
+        assert agg.symbol_net_shares(0) == 5
+        # Second pair also longs symbol 0 with 5 shares: 10 > 8 -> veto.
+        assert not agg.submit_entry(legs(pair=(0, 2), n_long=5))
+        assert agg.symbol_net_shares(0) == 5
+
+    def test_exit_releases_concentration(self):
+        limits = RiskLimits(max_symbol_shares=8)
+        agg = BasketAggregator(limits)
+        assert agg.submit_entry(legs(pair=(0, 1), n_long=5))
+        agg.submit_exit(exit_legs(pair=(0, 1)))
+        assert agg.symbol_net_shares(0) == 0
+        assert agg.submit_entry(legs(pair=(0, 2), n_long=5))
+
+    def test_short_side_counts_absolute(self):
+        limits = RiskLimits(max_symbol_shares=2)
+        agg = BasketAggregator(limits)
+        # Short leg of 3 shares on symbol 1 would breach |net| > 2.
+        bad = (
+            OrderRequest(s=0, symbol=0, shares=1, price=100.0, pair=(0, 1)),
+            OrderRequest(s=0, symbol=1, shares=-3, price=30.0, pair=(0, 1)),
+        )
+        assert not agg.submit_entry(bad)
+
+    def test_offsetting_positions_net_out(self):
+        limits = RiskLimits(max_symbol_shares=5)
+        agg = BasketAggregator(limits)
+        # Long 5 of symbol 0 via pair (0,1); short 5 of symbol 0 via
+        # pair (0,2) nets to zero -> allowed.
+        assert agg.submit_entry(legs(pair=(0, 1), n_long=5))
+        offset = (
+            OrderRequest(s=0, symbol=2, shares=2, price=60.0, pair=(0, 2)),
+            OrderRequest(s=0, symbol=0, shares=-5, price=30.0, pair=(0, 2)),
+        )
+        assert agg.submit_entry(offset)
+        assert agg.symbol_net_shares(0) == 0
+
+    def test_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises((ValueError, TypeError)):
+            RiskLimits(max_symbol_shares=0)

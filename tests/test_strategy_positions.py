@@ -1,0 +1,149 @@
+"""Tests for position sizing and trade returns (paper steps 4 and 6)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.strategy.positions import (
+    PairPosition,
+    cash_neutral_shares,
+    position_return,
+)
+
+price = st.floats(min_value=0.5, max_value=2000.0, allow_nan=False)
+
+
+class TestCashNeutralShares:
+    def test_paper_msft_ibm_example(self):
+        # "buying MSFT at $30 and selling IBM at $130, a ratio of 5:1 would
+        # give us an allocation of $150 long and $130 short"
+        n_long, n_short = cash_neutral_shares(30.0, 130.0)
+        assert (n_long, n_short) == (5, 1)
+        assert n_long * 30.0 == pytest.approx(150.0)
+
+    def test_long_expensive_uses_floor(self):
+        # Pi > Pj, long i short j: ratio 1 : floor(Pi/Pj)
+        n_long, n_short = cash_neutral_shares(130.0, 30.0)
+        assert (n_long, n_short) == (1, math.floor(130 / 30))
+
+    def test_short_expensive_uses_ceil(self):
+        n_long, n_short = cash_neutral_shares(30.0, 130.0)
+        assert n_long == math.ceil(130 / 30)
+
+    def test_equal_prices(self):
+        assert cash_neutral_shares(50.0, 50.0) == (1, 1)
+
+    @given(price, price)
+    def test_always_slightly_long(self, p_long, p_short):
+        n_long, n_short = cash_neutral_shares(p_long, p_short)
+        assert n_long >= 1 and n_short >= 1
+        long_value = n_long * p_long
+        short_value = n_short * p_short
+        assert long_value >= short_value - 1e-9
+
+    @given(price, price)
+    def test_imbalance_bounded_by_one_cheap_share(self, p_long, p_short):
+        n_long, n_short = cash_neutral_shares(p_long, p_short)
+        imbalance = n_long * p_long - n_short * p_short
+        assert imbalance <= min(p_long, p_short) + 1e-9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cash_neutral_shares(0.0, 10.0)
+        with pytest.raises(ValueError):
+            cash_neutral_shares(10.0, -1.0)
+
+
+def mk_position(**overrides):
+    defaults = dict(
+        entry_s=10,
+        long_leg=0,
+        n_long=5,
+        n_short=1,
+        entry_price_long=30.0,
+        entry_price_short=130.0,
+        entry_spread=-100.0,
+        retracement_level=-95.0,
+        retracement_direction=+1,
+    )
+    defaults.update(overrides)
+    return PairPosition(**defaults)
+
+
+class TestPairPosition:
+    def test_basis(self):
+        # Paper example: total cost 5*$30 + 1*$130 = $280.
+        assert mk_position().basis == pytest.approx(280.0)
+
+    def test_retracement_hit_up(self):
+        p = mk_position(retracement_level=-95.0, retracement_direction=+1)
+        assert not p.retracement_hit(-96.0)
+        assert p.retracement_hit(-95.0)
+        assert p.retracement_hit(-90.0)
+
+    def test_retracement_hit_down(self):
+        p = mk_position(retracement_level=-95.0, retracement_direction=-1)
+        assert not p.retracement_hit(-94.0)
+        assert p.retracement_hit(-95.0)
+        assert p.retracement_hit(-99.0)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"long_leg": 2},
+            {"n_long": 0},
+            {"n_short": -1},
+            {"entry_price_long": 0.0},
+            {"retracement_direction": 0},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises((ValueError, TypeError)):
+            mk_position(**overrides)
+
+
+class TestPositionReturn:
+    def test_paper_example_profit(self):
+        # Long 5 MSFT @30, short 1 IBM @130; exit MSFT 29, IBM 120:
+        # pi = (29-30)*5 + (130-120)*1 = $5; formula return = 5/280.
+        p = mk_position()
+        r = position_return(p, exit_price_long=29.0, exit_price_short=120.0)
+        assert r == pytest.approx(5.0 / 280.0)
+
+    def test_flat_exit_zero_return(self):
+        p = mk_position()
+        assert position_return(p, 30.0, 130.0) == 0.0
+
+    def test_long_up_short_down_both_profit(self):
+        p = mk_position()
+        r = position_return(p, 31.0, 125.0)
+        assert r == pytest.approx((1.0 * 5 + 5.0 * 1) / 280.0)
+
+    def test_symmetric_loss(self):
+        p = mk_position()
+        gain = position_return(p, 31.0, 130.0)
+        loss = position_return(p, 29.0, 130.0)
+        assert gain == pytest.approx(-loss)
+
+    def test_rejects_nonpositive_exit(self):
+        with pytest.raises(ValueError):
+            position_return(mk_position(), 0.0, 100.0)
+
+    @given(
+        p_long=price, p_short=price,
+        move_long=st.floats(-0.05, 0.05), move_short=st.floats(-0.05, 0.05),
+    )
+    def test_return_bounded_by_gross_move(self, p_long, p_short, move_long, move_short):
+        n_long, n_short = cash_neutral_shares(p_long, p_short)
+        pos = PairPosition(
+            entry_s=0, long_leg=0, n_long=n_long, n_short=n_short,
+            entry_price_long=p_long, entry_price_short=p_short,
+            entry_spread=p_long - p_short, retracement_level=0.0,
+            retracement_direction=1,
+        )
+        r = position_return(
+            pos, p_long * (1 + move_long), p_short * (1 + move_short)
+        )
+        assert abs(r) <= abs(move_long) + abs(move_short) + 1e-9

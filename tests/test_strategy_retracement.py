@@ -1,0 +1,93 @@
+"""Tests for retracement levels (paper step 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.strategy.retracement import RetracementLevel, retracement_level
+
+
+class TestPaperExample:
+    def test_entry_near_low(self):
+        # High $100, low $80, entered around $80, l = 1/3:
+        # L = 80 + (1/3)(100-80) = 86.67, reverse when spread rises to L.
+        window = np.array([80.0, 100.0, 90.0, 85.0])
+        level = retracement_level(window, entry_spread=80.0, l=1 / 3)
+        assert level.level == pytest.approx(80 + 20 / 3)
+        assert level.direction == +1
+        assert not level.hit(85.0)
+        assert level.hit(87.0)
+
+    def test_entry_near_high(self):
+        # Entered around $100: L = 100 - (1/3)(20) = 93.33, reverse down.
+        window = np.array([80.0, 100.0, 90.0, 95.0])
+        level = retracement_level(window, entry_spread=100.0, l=1 / 3)
+        assert level.level == pytest.approx(100 - 20 / 3)
+        assert level.direction == -1
+        assert not level.hit(95.0)
+        assert level.hit(93.0)
+
+
+class TestProperties:
+    windows = hnp.arrays(
+        dtype=float,
+        shape=st.integers(min_value=1, max_value=40),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+
+    @given(windows, st.floats(-100, 100), st.floats(0.01, 0.99))
+    def test_level_inside_range(self, window, entry, l):
+        level = retracement_level(window, entry, l)
+        assert window.min() - 1e-9 <= level.level <= window.max() + 1e-9
+
+    @given(windows, st.floats(-100, 100))
+    def test_direction_consistent_with_entry_side(self, window, entry):
+        level = retracement_level(window, entry, 0.5)
+        if entry < window.mean():
+            assert level.direction == +1
+        elif entry > window.mean():
+            assert level.direction == -1
+
+    @given(windows, st.floats(0.01, 0.99))
+    def test_larger_l_means_deeper_target(self, window, l):
+        entry = float(window.min()) - 1.0
+        shallow = retracement_level(window, entry, min(l, 0.98))
+        deeper = retracement_level(window, entry, min(l + 0.01, 0.99))
+        assert deeper.level >= shallow.level - 1e-12
+
+    def test_constant_window_level_is_that_value(self):
+        level = retracement_level(np.full(5, 7.0), 7.0, 0.5)
+        assert level.level == pytest.approx(7.0)
+        assert level.hit(7.0)
+
+    def test_boundary_entry_equal_to_mean_goes_up(self):
+        window = np.array([1.0, 3.0])
+        level = retracement_level(window, entry_spread=2.0, l=0.5)
+        assert level.direction == +1
+
+
+class TestValidation:
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            retracement_level(np.array([]), 0.0, 0.5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            retracement_level(np.array([1.0, np.nan]), 0.0, 0.5)
+        with pytest.raises(ValueError):
+            retracement_level(np.array([1.0, 2.0]), float("nan"), 0.5)
+
+    @pytest.mark.parametrize("l", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_bad_l(self, l):
+        with pytest.raises(ValueError):
+            retracement_level(np.array([1.0, 2.0]), 1.5, l)
+
+
+class TestRetracementLevel:
+    def test_hit_semantics(self):
+        up = RetracementLevel(level=5.0, direction=+1)
+        assert up.hit(5.0) and up.hit(6.0) and not up.hit(4.9)
+        down = RetracementLevel(level=5.0, direction=-1)
+        assert down.hit(5.0) and down.hit(4.0) and not down.hit(5.1)

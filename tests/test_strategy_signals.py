@@ -1,0 +1,112 @@
+"""Tests for divergence detection (repro.strategy.signals)."""
+
+import numpy as np
+import pytest
+
+from repro.strategy.signals import average_correlation, divergence_signals
+
+
+class TestAverageCorrelation:
+    def test_rolling_mean(self):
+        corr = np.array([0.2, 0.4, 0.6, 0.8])
+        out = average_correlation(corr, 2)
+        assert np.isnan(out[0])
+        np.testing.assert_allclose(out[1:], [0.3, 0.5, 0.7])
+
+    def test_window_one_is_identity(self):
+        corr = np.array([0.1, 0.2, 0.3])
+        np.testing.assert_allclose(average_correlation(corr, 1), corr)
+
+    def test_nan_warmup_propagates_only_locally(self):
+        corr = np.array([np.nan, np.nan, 0.6, 0.6, 0.6, 0.6])
+        out = average_correlation(corr, 2)
+        assert np.isnan(out[:3]).all()  # windows touching the NaN head
+        np.testing.assert_allclose(out[3:], 0.6)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            average_correlation(np.ones(3), 4)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            average_correlation(np.ones((3, 2)), 2)
+
+
+def build_series(smax=50, level=0.8):
+    """Flat correlation at `level` with a NaN head of 5."""
+    corr = np.full(smax, level)
+    corr[:5] = np.nan
+    return corr
+
+
+class TestDivergenceSignals:
+    def test_no_divergence_no_signal(self):
+        corr = build_series()
+        signal, c_bar = divergence_signals(corr, a=0.1, d=0.01, w=5, y=3)
+        assert not signal.any()
+
+    def test_fresh_drop_triggers(self):
+        corr = build_series()
+        corr[30] = 0.5  # sharp fresh drop, > 1% below average
+        signal, c_bar = divergence_signals(corr, a=0.1, d=0.01, w=5, y=3)
+        assert signal[30]
+
+    def test_drop_below_threshold_a_blocks_trade(self):
+        corr = build_series(level=0.3)
+        corr[30] = 0.05
+        # Average (~0.3) must exceed A for the pair to be tradeable.
+        signal, _ = divergence_signals(corr, a=0.5, d=0.01, w=5, y=3)
+        assert not signal.any()
+
+    def test_tiny_drop_below_d_not_a_divergence(self):
+        corr = build_series(level=0.8)
+        corr[30] = 0.799  # ~0.1% drop
+        signal, _ = divergence_signals(corr, a=0.1, d=0.01, w=5, y=3)
+        assert not signal[30]
+
+    def test_stale_divergence_suppressed(self):
+        corr = build_series(smax=60)
+        corr[30:] = 0.5  # persistent breakdown
+        signal, _ = divergence_signals(corr, a=0.1, d=0.01, w=5, y=4)
+        # Fires while fresh...
+        assert signal[30:34].any()
+        # ...but once every one of the previous y intervals is diverged,
+        # the signal must stop. (c_bar itself decays toward the new level,
+        # eventually un-diverging the pair anyway.)
+        fresh_horizon = 30 + 4
+        # After the divergence is older than y AND the window is saturated:
+        saturated = signal[fresh_horizon + 1 :]
+        assert not saturated[:3].any()
+
+    def test_rise_is_not_divergence(self):
+        # Canonical strategy trades correlation breakdowns (drops) only.
+        corr = build_series()
+        corr[30] = 0.99
+        signal, _ = divergence_signals(corr, a=0.1, d=0.01, w=5, y=3)
+        assert not signal[30]
+
+    def test_no_signal_during_warmup(self):
+        corr = build_series()
+        corr[7] = 0.1  # drop inside the c_bar warm-up window
+        signal, c_bar = divergence_signals(corr, a=0.1, d=0.01, w=5, y=3)
+        assert not signal[:10].any()
+
+    def test_c_bar_alignment(self):
+        corr = build_series()
+        signal, c_bar = divergence_signals(corr, a=0.1, d=0.01, w=5, y=3)
+        assert c_bar.shape == corr.shape
+        assert np.isnan(c_bar[8])  # window still touches NaN head
+        assert c_bar[9] == pytest.approx(0.8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"a": -0.1, "d": 0.01, "w": 5, "y": 3},
+            {"a": 0.1, "d": 0.0, "w": 5, "y": 3},
+            {"a": 0.1, "d": 0.01, "w": 0, "y": 3},
+            {"a": 0.1, "d": 0.01, "w": 5, "y": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            divergence_signals(build_series(), **kwargs)

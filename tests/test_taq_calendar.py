@@ -1,0 +1,79 @@
+"""Tests for repro.taq.calendar."""
+
+import datetime as dt
+
+import pytest
+
+from repro.taq.calendar import TradingCalendar, march_2008
+
+
+class TestMarch2008:
+    def test_exactly_twenty_trading_days(self):
+        # "one month (March 2008) which consists of 20 trading days"
+        assert len(march_2008()) == 20
+
+    def test_good_friday_excluded(self):
+        cal = march_2008()
+        assert not cal.is_trading_day(dt.date(2008, 3, 21))
+        assert dt.date(2008, 3, 21) not in cal.days
+
+    def test_first_and_last(self):
+        days = march_2008().days
+        assert days[0] == dt.date(2008, 3, 3)  # Mar 1-2 were a weekend
+        assert days[-1] == dt.date(2008, 3, 31)
+
+    def test_no_weekends(self):
+        assert all(d.weekday() < 5 for d in march_2008())
+
+
+class TestTradingCalendar:
+    def test_weekdays_only(self):
+        cal = TradingCalendar(dt.date(2008, 3, 3), dt.date(2008, 3, 9))
+        assert len(cal) == 5
+
+    def test_holiday_removed(self):
+        cal = TradingCalendar(
+            dt.date(2008, 3, 3),
+            dt.date(2008, 3, 7),
+            holidays=frozenset({dt.date(2008, 3, 5)}),
+        )
+        assert len(cal) == 4
+        assert not cal.is_trading_day(dt.date(2008, 3, 5))
+
+    def test_is_trading_day_outside_range(self):
+        cal = march_2008()
+        assert not cal.is_trading_day(dt.date(2008, 4, 1))
+
+    def test_rejects_reversed_range(self):
+        with pytest.raises(ValueError):
+            TradingCalendar(dt.date(2008, 3, 31), dt.date(2008, 3, 1))
+
+    def test_iteration_is_chronological(self):
+        days = list(march_2008())
+        assert days == sorted(days)
+
+    def test_single_day_calendar(self):
+        d = dt.date(2008, 3, 3)
+        cal = TradingCalendar(d, d)
+        assert cal.days == (d,)
+
+
+class TestFromDays:
+    def test_round_trip(self):
+        original = march_2008()
+        rebuilt = TradingCalendar.from_days(original.days)
+        assert rebuilt.days == original.days
+
+    def test_gap_becomes_holiday(self):
+        days = [dt.date(2008, 3, 3), dt.date(2008, 3, 5)]
+        cal = TradingCalendar.from_days(days)
+        assert cal.days == tuple(days)
+        assert dt.date(2008, 3, 4) in cal.holidays
+
+    def test_rejects_weekend_day(self):
+        with pytest.raises(ValueError, match="weekend"):
+            TradingCalendar.from_days([dt.date(2008, 3, 1)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TradingCalendar.from_days([])

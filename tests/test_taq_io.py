@@ -1,0 +1,90 @@
+"""Tests for TAQ file IO (repro.taq.io)."""
+
+import numpy as np
+import pytest
+
+from repro.taq.io import format_table2, read_taq_csv, write_taq_csv
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.types import QUOTE_DTYPE
+from repro.taq.universe import default_universe
+
+
+@pytest.fixture(scope="module")
+def quotes_and_universe():
+    cfg = SyntheticMarketConfig(trading_seconds=600, quote_rate=0.5)
+    mkt = SyntheticMarket(default_universe(5), cfg, seed=55)
+    return mkt.quotes(0), mkt.universe
+
+
+class TestRoundTrip:
+    def test_lossless_prices_and_symbols(self, tmp_path, quotes_and_universe):
+        quotes, universe = quotes_and_universe
+        path = tmp_path / "day0.csv"
+        write_taq_csv(path, quotes, universe)
+        back = read_taq_csv(path, universe)
+        assert back.size == quotes.size
+        np.testing.assert_array_equal(back["symbol"], quotes["symbol"])
+        np.testing.assert_allclose(back["bid"], quotes["bid"], atol=1e-9)
+        np.testing.assert_allclose(back["ask"], quotes["ask"], atol=1e-9)
+        np.testing.assert_array_equal(back["bid_size"], quotes["bid_size"])
+        np.testing.assert_allclose(back["t"], quotes["t"], atol=1e-5)
+
+    def test_empty_file_round_trip(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        path = tmp_path / "empty.csv"
+        write_taq_csv(path, np.empty(0, dtype=QUOTE_DTYPE), universe)
+        back = read_taq_csv(path, universe)
+        assert back.size == 0
+
+
+class TestReadErrors:
+    def test_unknown_symbol(self, tmp_path, quotes_and_universe):
+        quotes, universe = quotes_and_universe
+        path = tmp_path / "day.csv"
+        write_taq_csv(path, quotes, universe)
+        smaller = default_universe(2)
+        with pytest.raises(KeyError):
+            read_taq_csv(path, smaller)
+
+    def test_bad_header(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n")
+        with pytest.raises(ValueError, match="header"):
+            read_taq_csv(path, universe)
+
+    def test_bad_field_count(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        path = tmp_path / "short.csv"
+        path.write_text(
+            "timestamp,symbol,bid,ask,bid_size,ask_size\n09:30:00,XOM,1.0\n"
+        )
+        with pytest.raises(ValueError, match="expected 6 fields"):
+            read_taq_csv(path, universe)
+
+    def test_bad_timestamp(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        path = tmp_path / "ts.csv"
+        path.write_text(
+            "timestamp,symbol,bid,ask,bid_size,ask_size\nnoon,XOM,1.0,1.1,1,1\n"
+        )
+        with pytest.raises(ValueError, match="timestamp"):
+            read_taq_csv(path, universe)
+
+
+class TestFormatTable2:
+    def test_header_matches_paper_columns(self, quotes_and_universe):
+        quotes, universe = quotes_and_universe
+        text = format_table2(quotes, universe, limit=3)
+        header = text.splitlines()[0]
+        for col in ("Timestamp", "Symbol", "Bid Price", "Ask Price", "Bid Size", "Ask Size"):
+            assert col in header
+
+    def test_row_count_respects_limit(self, quotes_and_universe):
+        quotes, universe = quotes_and_universe
+        assert len(format_table2(quotes, universe, limit=5).splitlines()) == 6
+
+    def test_timestamps_are_wall_clock(self, quotes_and_universe):
+        quotes, universe = quotes_and_universe
+        first_row = format_table2(quotes, universe, limit=1).splitlines()[1]
+        assert first_row.startswith("09:30:")

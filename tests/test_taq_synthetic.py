@@ -1,0 +1,186 @@
+"""Tests for the synthetic market generator."""
+
+import numpy as np
+import pytest
+
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.types import validate_quote_array
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+
+@pytest.fixture(scope="module")
+def market():
+    cfg = SyntheticMarketConfig(trading_seconds=1800, quote_rate=0.7)
+    return SyntheticMarket(default_universe(8), cfg, seed=123)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SyntheticMarketConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("trading_seconds", 0),
+            ("market_vol", -1.0),
+            ("quote_rate", 1.5),
+            ("outlier_prob", -0.1),
+            ("spread_bps", 0.0),
+            ("mean_size", 0.0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises((ValueError, TypeError)):
+            SyntheticMarketConfig(**{field: value})
+
+    def test_rejects_inverted_beta_range(self):
+        with pytest.raises(ValueError):
+            SyntheticMarketConfig(beta_low=1.2, beta_high=0.8)
+
+    def test_rejects_inverted_tau_range(self):
+        with pytest.raises(ValueError):
+            SyntheticMarketConfig(
+                dislocation_tau_low=600, dislocation_tau_high=100
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_day(self, market):
+        other = SyntheticMarket(default_universe(8), market.config, seed=123)
+        np.testing.assert_array_equal(market.quotes(0), other.quotes(0))
+        np.testing.assert_array_equal(market.mid_prices(1), other.mid_prices(1))
+
+    def test_different_seeds_differ(self, market):
+        other = SyntheticMarket(default_universe(8), market.config, seed=124)
+        assert not np.array_equal(market.mid_prices(0), other.mid_prices(0))
+
+    def test_different_days_differ(self, market):
+        assert not np.array_equal(market.mid_prices(0), market.mid_prices(1))
+
+    def test_rejects_negative_day(self, market):
+        with pytest.raises(ValueError):
+            market.mid_prices(-1)
+
+
+class TestMidPrices:
+    def test_shape(self, market):
+        mids = market.mid_prices(0)
+        assert mids.shape == (1801, 8)
+
+    def test_positive_finite(self, market):
+        mids = market.mid_prices(0)
+        assert np.all(mids > 0)
+        assert np.all(np.isfinite(mids))
+
+    def test_starts_at_base_prices(self, market):
+        mids = market.mid_prices(0)
+        np.testing.assert_allclose(
+            mids[0], market.universe.base_prices, rtol=1e-12
+        )
+
+    def test_same_sector_more_correlated(self):
+        cfg = SyntheticMarketConfig(trading_seconds=23400 // 4)
+        mkt = SyntheticMarket(default_universe(8), cfg, seed=5)
+        corrs_same, corrs_cross = [], []
+        for day in range(3):
+            lr = np.diff(np.log(mkt.mid_prices(day)), axis=0)
+            c = np.corrcoef(lr.T)
+            sectors = mkt.universe.sectors
+            for i in range(8):
+                for j in range(i + 1, 8):
+                    (corrs_same if sectors[i] == sectors[j] else corrs_cross).append(
+                        c[i, j]
+                    )
+        assert np.mean(corrs_same) > np.mean(corrs_cross) + 0.05
+
+    def test_dislocations_mean_revert(self):
+        # With dislocations enabled, paths stay close to their
+        # dislocation-free counterparts at long horizons (the jumps decay).
+        cfg_on = SyntheticMarketConfig(
+            trading_seconds=3600, dislocations_per_day=5.0
+        )
+        cfg_off = SyntheticMarketConfig(
+            trading_seconds=3600, dislocations_per_day=0.0
+        )
+        u = default_universe(4)
+        on = SyntheticMarket(u, cfg_on, seed=9).mid_prices(0)
+        off = SyntheticMarket(u, cfg_off, seed=9).mid_prices(0)
+        rel = np.abs(np.log(on) - np.log(off))
+        # Jump sizes are <= 0.5%, several may stack; the deviation must stay
+        # bounded (mean reversion) rather than accumulate like a random walk.
+        assert rel.max() < 0.05
+
+
+class TestQuotes:
+    def test_valid_quote_array(self, market):
+        q = market.quotes(0)
+        validate_quote_array(q, n_symbols=8)
+
+    def test_quote_rate_controls_volume(self):
+        u = default_universe(4)
+        lo = SyntheticMarket(
+            u, SyntheticMarketConfig(trading_seconds=1800, quote_rate=0.1), seed=1
+        ).quotes(0)
+        hi = SyntheticMarket(
+            u, SyntheticMarketConfig(trading_seconds=1800, quote_rate=0.9), seed=1
+        ).quotes(0)
+        assert hi.size > 5 * lo.size
+
+    def test_expected_quote_count(self, market):
+        q = market.quotes(0)
+        expected = 1800 * 8 * market.config.quote_rate
+        assert abs(q.size - expected) < 5 * np.sqrt(expected)
+
+    def test_bids_below_asks(self, market):
+        q = market.quotes(0, with_outliers=False)
+        assert np.all(q["bid"] < q["ask"])
+
+    def test_penny_prices(self, market):
+        q = market.quotes(0)
+        np.testing.assert_allclose(q["bid"] * 100, np.round(q["bid"] * 100), atol=1e-6)
+        np.testing.assert_allclose(q["ask"] * 100, np.round(q["ask"] * 100), atol=1e-6)
+
+    def test_bam_tracks_mid(self, market):
+        q = market.quotes(0, with_outliers=False)
+        mids = market.mid_prices(0)
+        bam = 0.5 * (q["bid"] + q["ask"])
+        ref = mids[q["t"].astype(int), q["symbol"]]
+        np.testing.assert_allclose(bam, ref, rtol=5e-3)
+
+    def test_outliers_injected(self):
+        cfg = SyntheticMarketConfig(
+            trading_seconds=3600, quote_rate=0.9, outlier_prob=5e-3
+        )
+        mkt = SyntheticMarket(default_universe(6), cfg, seed=77)
+        dirty = mkt.quotes(0, with_outliers=True)
+        clean = mkt.quotes(0, with_outliers=False)
+        assert dirty.size == clean.size
+        n_corrupted = np.sum(
+            (dirty["bid"] != clean["bid"]) | (dirty["ask"] != clean["ask"])
+        )
+        expected = dirty.size * 5e-3
+        assert 0 < n_corrupted < 4 * expected
+
+    def test_outliers_preserve_positive_uncrossed(self):
+        cfg = SyntheticMarketConfig(
+            trading_seconds=3600, quote_rate=0.9, outlier_prob=1e-2
+        )
+        mkt = SyntheticMarket(default_universe(6), cfg, seed=78)
+        q = mkt.quotes(0)
+        assert np.all(q["bid"] > 0)
+        assert np.all(q["ask"] > q["bid"])
+
+
+class TestTrueBamGrid:
+    def test_shape_and_alignment(self, market):
+        grid = TimeGrid(30, trading_seconds=1800)
+        bam = market.true_bam_grid(0, grid)
+        assert bam.shape == (60, 8)
+        mids = market.mid_prices(0)
+        np.testing.assert_array_equal(bam[0], mids[30])
+        np.testing.assert_array_equal(bam[-1], mids[1800])
+
+    def test_rejects_oversized_grid(self, market):
+        with pytest.raises(ValueError, match="longer"):
+            market.true_bam_grid(0, TimeGrid(30, trading_seconds=3600))

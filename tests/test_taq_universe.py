@@ -1,0 +1,86 @@
+"""Tests for repro.taq.universe."""
+
+import pytest
+
+from repro.taq.universe import Universe, default_universe
+
+
+class TestDefaultUniverse:
+    def test_sixty_one_stocks(self):
+        # "TAQ bid-ask data for 61 highly liquid US stocks"
+        assert len(default_universe()) == 61
+
+    def test_1830_pairs(self):
+        # "the results presented here are based on C(61,2) = 1830 pairs"
+        assert default_universe().n_pairs() == 1830
+        assert len(list(default_universe().pairs())) == 1830
+
+    def test_contains_table2_tickers(self):
+        u = default_universe()
+        for sym in ("NVDA", "ORCL", "SLB", "TWX", "BK"):
+            assert sym in u.symbols
+
+    def test_contains_fundamental_pairs(self):
+        # The paper's named fundamental pairs, same sector each.
+        u = default_universe()
+        for a, b in (("XOM", "CVX"), ("UPS", "FDX"), ("WMT", "TGT")):
+            assert u.sector_of(a) == u.sector_of(b)
+
+    def test_small_subsets_contain_sector_pairs(self):
+        for n in (4, 6, 8, 10):
+            u = default_universe(n)
+            sectors = list(u.sectors)
+            assert any(sectors.count(s) >= 2 for s in set(sectors)), (
+                f"subset({n}) has no same-sector pair"
+            )
+
+    def test_subset_preserves_order(self):
+        full = default_universe()
+        sub = default_universe(10)
+        assert sub.symbols == full.symbols[:10]
+
+    def test_unique_symbols(self):
+        u = default_universe()
+        assert len(set(u.symbols)) == len(u.symbols)
+
+    def test_positive_base_prices(self):
+        assert all(p > 0 for p in default_universe().base_prices)
+
+
+class TestUniverse:
+    def test_index_of(self):
+        u = default_universe()
+        assert u.symbols[u.index_of("MSFT")] == "MSFT"
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(KeyError, match="ZZZZ"):
+            default_universe().index_of("ZZZZ")
+
+    def test_pairs_are_ordered_unique(self):
+        u = default_universe(5)
+        pairs = list(u.pairs())
+        assert len(pairs) == 10
+        assert all(i < j for i, j in pairs)
+        assert len(set(pairs)) == 10
+
+    def test_subset_bounds(self):
+        with pytest.raises(ValueError):
+            default_universe(0)
+        with pytest.raises(ValueError):
+            default_universe(62)
+
+    def test_rejects_duplicate_symbols(self):
+        with pytest.raises(ValueError, match="unique"):
+            Universe(("A", "A"), ("x", "x"), (1.0, 1.0))
+
+    def test_rejects_misaligned_fields(self):
+        with pytest.raises(ValueError, match="align"):
+            Universe(("A", "B"), ("x",), (1.0, 2.0))
+
+    def test_rejects_nonpositive_price(self):
+        with pytest.raises(ValueError, match="positive"):
+            Universe(("A",), ("x",), (0.0,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Universe((), (), ())

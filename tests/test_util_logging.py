@@ -1,0 +1,36 @@
+"""Tests for repro.util.logging."""
+
+import logging
+
+from repro.util.logging import configure, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced(self):
+        assert get_logger("corr.parallel").name == "repro.corr.parallel"
+
+    def test_already_namespaced(self):
+        assert get_logger("repro.taq").name == "repro.taq"
+
+    def test_root_package_logger(self):
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigure:
+    def test_attaches_single_handler(self):
+        logger = configure()
+        n = len(logger.handlers)
+        configure()
+        assert len(logger.handlers) == n  # idempotent
+
+    def test_sets_level(self):
+        logger = configure(level=logging.DEBUG)
+        assert logger.level == logging.DEBUG
+        configure(level=logging.INFO)
+
+    def test_child_propagates(self, caplog):
+        configure()
+        child = get_logger("test.child")
+        with caplog.at_level(logging.INFO, logger="repro"):
+            child.info("hello from child")
+        assert "hello from child" in caplog.text

@@ -1,0 +1,148 @@
+"""Tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.util.stats import (
+    boxplot_stats,
+    describe,
+    kurtosis,
+    sharpe_ratio,
+    skewness,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(finite_floats, min_size=2, max_size=200)
+
+
+class TestSkewness:
+    def test_symmetric_sample_zero(self):
+        assert skewness([-2, -1, 0, 1, 2]) == pytest.approx(0.0)
+
+    def test_right_skew_positive(self):
+        assert skewness([0, 0, 0, 0, 10]) > 0
+
+    def test_left_skew_negative(self):
+        assert skewness([0, 10, 10, 10, 10]) < 0
+
+    def test_constant_sample_is_zero(self):
+        assert skewness([3.0, 3.0, 3.0]) == 0.0
+
+    def test_matches_scipy_biased(self, rng):
+        x = rng.normal(size=500)
+        assert skewness(x) == pytest.approx(sps.skew(x, bias=True), abs=1e-12)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            skewness([1.0, float("nan")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            skewness([])
+
+
+class TestKurtosis:
+    def test_normal_sample_near_three(self, rng):
+        x = rng.normal(size=200_00)
+        assert kurtosis(x) == pytest.approx(3.0, abs=0.15)
+
+    def test_constant_sample_is_three(self):
+        assert kurtosis([5.0] * 10) == 3.0
+
+    def test_matches_scipy_plain(self, rng):
+        x = rng.normal(size=500)
+        expected = sps.kurtosis(x, fisher=False, bias=True)
+        assert kurtosis(x) == pytest.approx(expected, abs=1e-12)
+
+    def test_fat_tails_exceed_three(self, rng):
+        x = rng.standard_t(df=3, size=5000)
+        assert kurtosis(x) > 3.0
+
+
+class TestSharpeRatio:
+    def test_definition(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert sharpe_ratio(x) == pytest.approx(x.mean() / x.std())
+
+    def test_constant_positive_is_inf(self):
+        assert sharpe_ratio([2.0, 2.0]) == np.inf
+
+    def test_constant_negative_is_neg_inf(self):
+        assert sharpe_ratio([-2.0, -2.0]) == -np.inf
+
+    def test_constant_zero_is_zero(self):
+        assert sharpe_ratio([0.0, 0.0]) == 0.0
+
+    @given(samples)
+    def test_scale_invariant(self, xs):
+        arr = np.asarray(xs)
+        # Near-constant samples have catastrophically cancelled std; the
+        # ratio is then numerically meaningless, so restrict the property.
+        if arr.std() <= 1e-6 * (1.0 + np.abs(arr).max()):
+            return
+        base = sharpe_ratio(xs)
+        scaled = sharpe_ratio([3.0 * x for x in xs])
+        assert scaled == pytest.approx(base, rel=1e-6, abs=1e-9)
+
+
+class TestDescribe:
+    def test_fields(self, rng):
+        x = rng.normal(loc=1.0, size=100)
+        d = describe(x)
+        assert d.n == 100
+        assert d.mean == pytest.approx(x.mean())
+        assert d.median == pytest.approx(np.median(x))
+        assert d.std == pytest.approx(x.std())
+        assert d.sharpe == pytest.approx(x.mean() / x.std())
+
+    def test_as_dict_round_trip(self):
+        d = describe([1.0, 2.0, 3.0])
+        dd = d.as_dict()
+        assert set(dd) == {"n", "mean", "median", "std", "sharpe", "skewness", "kurtosis"}
+        assert dd["n"] == 3
+
+
+class TestBoxplotStats:
+    def test_quartiles(self):
+        b = boxplot_stats(np.arange(101, dtype=float))
+        assert b.median == 50.0
+        assert b.q1 == 25.0
+        assert b.q3 == 75.0
+        assert b.iqr == 50.0
+        assert b.outliers == ()
+        assert b.whisker_low == 0.0
+        assert b.whisker_high == 100.0
+
+    def test_outliers_detected(self):
+        data = list(np.arange(0, 20, dtype=float)) + [1000.0]
+        b = boxplot_stats(data)
+        assert 1000.0 in b.outliers
+        assert b.whisker_high < 1000.0
+
+    def test_low_outliers(self):
+        data = [-1000.0] + list(np.arange(0, 20, dtype=float))
+        b = boxplot_stats(data)
+        assert -1000.0 in b.outliers
+
+    @given(samples)
+    def test_invariants(self, xs):
+        b = boxplot_stats(xs)
+        assert b.q1 <= b.median <= b.q3
+        assert b.whisker_low <= b.whisker_high
+        lo_fence = b.q1 - 1.5 * b.iqr
+        hi_fence = b.q3 + 1.5 * b.iqr
+        for o in b.outliers:
+            assert o < lo_fence or o > hi_fence
+        # Whiskers are actual data points.
+        assert b.whisker_low in np.asarray(xs)
+        assert b.whisker_high in np.asarray(xs)
+
+    def test_constant_sample(self):
+        b = boxplot_stats([4.0, 4.0, 4.0])
+        assert b.median == b.q1 == b.q3 == 4.0
+        assert b.outliers == ()

@@ -1,0 +1,72 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    @pytest.mark.parametrize("value", [1, 0.5, 1e-9, 1e12])
+    def test_accepts(self, value):
+        assert check_positive(value, "x") == float(value)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5, float("nan"), float("inf")])
+    def test_rejects_values(self, value):
+        with pytest.raises(ValueError):
+            check_positive(value, "x")
+
+    @pytest.mark.parametrize("value", ["1", None, True, [1]])
+    def test_rejects_types(self, value):
+        with pytest.raises(TypeError):
+            check_positive(value, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_positive(-1, "myarg")
+
+
+class TestCheckPositiveInt:
+    @pytest.mark.parametrize("value", [1, 2, 10**9])
+    def test_accepts(self, value):
+        assert check_positive_int(value, "n") == value
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects_values(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value, "n")
+
+    @pytest.mark.parametrize("value", [1.5, "2", True, None])
+    def test_rejects_types(self, value):
+        with pytest.raises(TypeError):
+            check_positive_int(value, "n")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.001, 1 / 3, 2 / 3, 0.999])
+    def test_accepts(self, value):
+        assert check_fraction(value, "l") == float(value)
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 1.1, float("nan")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_fraction(value, "l")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_fraction(True, "l")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_inclusive_bounds(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
