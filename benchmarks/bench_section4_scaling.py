@@ -12,16 +12,24 @@ Reproduces the paper's scaling arithmetic with measured numbers:
   measured per-job cost;
 * the SGE-distributed makespan (Approach 2's mitigation) and the
   integrated Approach 3 speedup from sharing correlation series.
-"""
 
-import time
+All job costs are read from the observability layer (the shared
+``backtest.pair_day.seconds`` histogram and per-approach span trees)
+rather than ad-hoc stopwatches, so the benchmark numbers are exactly the
+numbers ``repro stats`` reports for the same runs.
+"""
 
 from benchmarks.conftest import emit
 from repro import mpi
 from repro.backtest.data import BarProvider
 from repro.backtest.distributed import DistributedBacktester
 from repro.backtest.matrices import MatrixSeriesBacktester
-from repro.backtest.runner import SequentialBacktester, backtest_pair_day
+from repro.backtest.runner import (
+    PAIR_DAY_HIST,
+    SequentialBacktester,
+    backtest_pair_day,
+)
+from repro.obs import MetricsRegistry, Obs, attach_to_comm
 from repro.sge.scheduler import SgeScheduler
 from repro.strategy.params import StrategyParams, paper_parameter_grid
 from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
@@ -41,13 +49,21 @@ def _provider(n_symbols=8, seconds=23_400 // 2):
 
 
 def test_section4_per_job_cost_and_extrapolation(benchmark):
-    """Benchmark the paper's unit of work; print the scaling arithmetic."""
+    """Benchmark the paper's unit of work; print the scaling arithmetic.
+
+    Every timed invocation records into the job-cost histogram, so the
+    per-job figure below is the histogram's mean — the same statistic the
+    observability report publishes — not the harness's private stopwatch.
+    """
     provider = _provider()
     prices = provider.prices(0)[:, [0, 1]]
     params = BASE.with_ctype("maronna")  # the expensive treatment
+    obs = Obs(enabled=True)
 
-    trades = benchmark(backtest_pair_day, prices, params)
-    per_job = benchmark.stats["mean"]
+    trades = benchmark(backtest_pair_day, prices, params, obs=obs)
+    hist = obs.metrics.histogram(PAIR_DAY_HIST)
+    assert hist.count > 0
+    per_job = hist.mean
 
     paper_jobs_month = 1830 * 20 * 42
     serial_hours = paper_jobs_month * per_job / 3600
@@ -74,7 +90,18 @@ def test_section4_per_job_cost_and_extrapolation(benchmark):
         f"(paper: 19425 days = 53 years at 2 s/job)\n"
         f"  SGE, 50 slots, our cost:       {makespan / 3600:10.1f} h makespan\n"
     )
-    emit("section4_per_job", text)
+    emit(
+        "section4_per_job",
+        text,
+        data={
+            "per_job_seconds": hist.summary(),
+            "serial_hours": serial_hours,
+            "paper_hours": paper_hours,
+            "year_days": year_days,
+            "pairs_1000_days": years_1000 * 365,
+            "sge_50_slots_makespan_hours": makespan / 3600,
+        },
+    )
 
 
 def test_section4_approach_comparison(benchmark):
@@ -96,41 +123,86 @@ def test_section4_approach_comparison(benchmark):
     ]  # 18 sets, 3 correlation specs
     days = [0]
 
+    def root_wall(obs, name):
+        """Wall seconds of the approach's root span in the trace."""
+        spans = [s for s in obs.trace.to_list() if s["name"] == name]
+        assert spans, f"no {name!r} span recorded"
+        return sum(s["wall"] for s in spans)
+
     timings = {}
+    job_hists = {}
 
-    def run_sequential():
-        return SequentialBacktester(provider).run(pairs, grid, days)
-
-    t0 = time.perf_counter()
-    store_a2 = run_sequential()
-    timings["approach2_sequential"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    store_a2s = SequentialBacktester(provider, share_correlation=True).run(
+    obs_a2 = Obs(enabled=True)
+    store_a2 = SequentialBacktester(provider, obs=obs_a2).run(
         pairs, grid, days
     )
-    timings["approach2_shared_corr"] = time.perf_counter() - t0
+    timings["approach2_sequential"] = root_wall(obs_a2, "approach2")
+    job_hists["approach2_sequential"] = obs_a2.metrics.histogram(
+        PAIR_DAY_HIST
+    )
 
-    matrix_bt = MatrixSeriesBacktester(provider)
-    t0 = time.perf_counter()
+    obs_a2s = Obs(enabled=True)
+    store_a2s = SequentialBacktester(
+        provider, share_correlation=True, obs=obs_a2s
+    ).run(pairs, grid, days)
+    timings["approach2_shared_corr"] = root_wall(obs_a2s, "approach2")
+    job_hists["approach2_shared_corr"] = obs_a2s.metrics.histogram(
+        PAIR_DAY_HIST
+    )
+
+    obs_a1 = Obs(enabled=True)
+    matrix_bt = MatrixSeriesBacktester(provider, obs=obs_a1)
     store_a1 = matrix_bt.run(pairs, grid, days)
-    timings["approach1_matrix_series"] = time.perf_counter() - t0
+    timings["approach1_matrix_series"] = root_wall(obs_a1, "approach1")
+    job_hists["approach1_matrix_series"] = obs_a1.metrics.histogram(
+        PAIR_DAY_HIST
+    )
+
+    rank_dicts = []
 
     def run_integrated():
         def spmd(comm):
-            return DistributedBacktester(provider).run(comm, pairs, grid, days)
+            local = Obs(enabled=True)
+            attach_to_comm(comm, local)
+            store = DistributedBacktester(provider).run(
+                comm, pairs, grid, days, obs=local
+            )
+            return store, local.to_dict()
 
-        return mpi.run_spmd(spmd, size=2)[0]
+        results = mpi.run_spmd(spmd, size=2)
+        rank_dicts.extend(d for _, d in results)
+        return results[0][0]
 
     store_a3 = benchmark.pedantic(run_integrated, rounds=3, iterations=1)
-    timings["approach3_integrated(2 ranks)"] = benchmark.stats["mean"]
+    # Approach 3's wall per round = the slowest rank's root span; average
+    # the per-round maxima across the benchmark rounds.
+    a3_reg = MetricsRegistry.merged(d["metrics"] for d in rank_dicts)
+    a3_walls = sorted(
+        (
+            s["wall"]
+            for d in rank_dicts
+            for s in d["spans"]
+            if s["name"] == "approach3"
+        ),
+        reverse=True,
+    )
+    rounds = len(a3_walls) // 2  # two ranks per round
+    assert rounds > 0
+    timings["approach3_integrated(2 ranks)"] = sum(a3_walls[:rounds]) / rounds
+    job_hists["approach3_integrated(2 ranks)"] = a3_reg.histogram(
+        PAIR_DAY_HIST
+    )
 
     assert store_a1 == store_a2 == store_a2s == store_a3
 
     paper_day_bytes = MatrixSeriesBacktester.matrix_series_bytes(780, 100, 61)
     lines = ["Identical workload (15 pairs x 18 sets x 1 day), identical results:"]
     for name, seconds in timings.items():
-        lines.append(f"  {name:<32} {seconds:8.2f} s")
+        hist = job_hists[name]
+        lines.append(
+            f"  {name:<32} {seconds:8.2f} s"
+            f"   ({hist.count} jobs, p50 {hist.quantile(0.5) * 1e3:.1f} ms)"
+        )
     lines.append(
         f"\nApproach 1 memory committed (measured): "
         f"{matrix_bt.peak_matrix_bytes / 1e6:.1f} MB"
@@ -140,4 +212,13 @@ def test_section4_approach_comparison(benchmark):
         f"{paper_day_bytes / 1e6:.1f} MB per day per spec — the paper's "
         f"'680 such matrices ... for just one day t out of 20'"
     )
-    emit("section4_approaches", "\n".join(lines))
+    emit(
+        "section4_approaches",
+        "\n".join(lines),
+        data={
+            "timings_seconds": dict(timings),
+            "job_histograms": {n: h.summary() for n, h in job_hists.items()},
+            "approach1_peak_matrix_bytes": matrix_bt.peak_matrix_bytes,
+            "paper_scale_day_bytes": paper_day_bytes,
+        },
+    )

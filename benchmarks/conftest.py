@@ -6,12 +6,15 @@ parameter grid (3 correlation treatments × 14 factor levels), 3 synthetic
 trading days.  Tables III–V, Figure 2 and the ablations all read from it.
 
 Every benchmark writes the rows/series it reproduces to
-``benchmarks/out/<name>.txt`` (and stdout), so the paper-facing artefacts
-survive pytest's output capture.
+``benchmarks/out/<name>.txt`` (and stdout) plus a machine-readable
+``benchmarks/out/<name>.json`` sibling, so the paper-facing artefacts
+survive pytest's output capture and downstream tooling never has to parse
+the text.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -41,8 +44,21 @@ def study():
     return store, grid
 
 
-def emit(name: str, text: str) -> None:
-    """Print a reproduced table/series and persist it under benchmarks/out."""
+def emit(name: str, text: str, data: dict | None = None) -> None:
+    """Print a reproduced table/series and persist it under benchmarks/out.
+
+    Writes ``<name>.txt`` (the human-facing artefact) and a ``<name>.json``
+    sibling: ``{"bench": name, "data": data, "text": text}``, with ``data``
+    holding whatever structured numbers the benchmark derived.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    (OUT_DIR / f"{name}.json").write_text(
+        json.dumps(
+            {"bench": name, "data": data or {}, "text": text},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
     print(f"\n===== {name} =====\n{text}")

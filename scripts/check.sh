@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Repository health check: compile, test, and verify that disabled
+# observability stays (near-)free on the hot paths.
+#
+# Usage: scripts/check.sh          (from the repository root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo "== pytest =="
+python -m pytest -x -q
+
+echo "== observability overhead smoke check =="
+python - <<'EOF'
+"""Assert the disabled-obs pipeline is within 10% of pre-obs cost.
+
+Runs the same Figure-1 session with observability off and on, taking the
+min of N runs each (min is robust to scheduling noise).  The disabled
+path must not pay for the instrumentation: we require
+min(disabled) < 1.10 * min(enabled) -- i.e. disabling can't be slower
+than enabling by more than the tolerance, which bounds the no-op
+overhead since the enabled run does strictly more work.
+"""
+import time
+
+from repro.marketminer.session import build_figure1_workflow, run_figure1_session
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+SECONDS = 3000
+N_RUNS = 3
+
+
+def workflow():
+    market = SyntheticMarket(
+        default_universe(4),
+        SyntheticMarketConfig(trading_seconds=SECONDS, quote_rate=0.9),
+        seed=7,
+    )
+    params = StrategyParams(m=20, w=10, y=4, rt=10, hp=8, st=5, d=0.001)
+    return build_figure1_workflow(
+        market,
+        TimeGrid(30, trading_seconds=SECONDS),
+        list(market.universe.pairs()),
+        [params],
+    )
+
+
+def best_of(obs_enabled):
+    best = float("inf")
+    for _ in range(N_RUNS):
+        t0 = time.perf_counter()
+        run_figure1_session(workflow(), size=2, obs_enabled=obs_enabled)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+disabled = best_of(False)
+enabled = best_of(True)
+ratio = disabled / enabled
+print(f"disabled {disabled:.3f}s  enabled {enabled:.3f}s  "
+      f"disabled/enabled {ratio:.2f}")
+assert ratio < 1.10, (
+    f"disabled observability should be at least as fast as enabled "
+    f"(ratio {ratio:.2f} >= 1.10): the no-op fast path regressed"
+)
+print("ok: disabled observability pays no measurable overhead")
+EOF
+
+echo "all checks passed"

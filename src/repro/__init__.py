@@ -36,6 +36,7 @@ from repro import (
     marketminer,
     metrics,
     mpi,
+    obs,
     sge,
     strategy,
     taq,
@@ -53,6 +54,7 @@ __all__ = [
     "marketminer",
     "metrics",
     "mpi",
+    "obs",
     "sge",
     "strategy",
     "taq",

@@ -24,11 +24,14 @@ only the time and memory profiles differ.
 
 from __future__ import annotations
 
+import time
+
 from repro.backtest.data import BarProvider
 from repro.backtest.results import ResultStore
 from repro.corr.maronna import MaronnaConfig
 from repro.corr.parallel import ParallelCorrelationEngine, partition_pairs
 from repro.mpi.api import Comm
+from repro.obs import NULL_METRIC, Obs, comm_obs
 from repro.strategy.costs import ExecutionModel, execution_salt
 from repro.strategy.engine import align_corr_series, run_pair_day
 from repro.strategy.params import StrategyParams
@@ -53,56 +56,119 @@ class DistributedBacktester:
         pairs: list[tuple[int, int]],
         grid: list[StrategyParams],
         days: list[int],
+        obs: Obs | None = None,
     ) -> ResultStore:
         """SPMD entry point: every rank calls this; every rank returns the
         complete merged store (the master additionally being where basket
-        aggregation would attach)."""
+        aggregation would attach).  ``obs`` defaults to the communicator's
+        attached handle, so MPI and engine telemetry land in one registry.
+        """
         if not pairs or not grid or not days:
             raise ValueError("pairs, grid and days must all be non-empty")
+        if obs is None:
+            obs = comm_obs(comm)
+        record = obs is not None and obs.enabled
+        root_span = (
+            obs.trace.span(
+                "approach3", rank=comm.rank, size=comm.size, days=len(days)
+            )
+            if record
+            else NULL_METRIC
+        )
         pairs = [tuple(sorted(p)) for p in pairs]
         store = ResultStore()
         my_pairs = partition_pairs(pairs, comm.size)[comm.rank]
         specs = sorted(
             {(p.m, p.ctype) for p in grid}, key=lambda s: (s[0], s[1].value)
         )
-        for day in days:
-            # Stage 1: master prepares bars, broadcasts market-wide data.
-            if comm.rank == 0:
-                bundle = (self.provider.prices(day), self.provider.returns(day))
-            else:
-                bundle = None
-            prices, returns = comm.bcast(bundle, root=0)
-            smax = prices.shape[0]
-
-            # Stage 2: each correlation series computed exactly once,
-            # pair-blocks distributed, result replicated on all ranks.
-            series_by_spec = {}
-            for m, ctype in specs:
-                engine = ParallelCorrelationEngine(ctype, self.maronna_config)
-                series_by_spec[(m, ctype)] = engine.pair_series(
-                    comm, returns, m, pairs
+        with root_span:
+            for day in days:
+                day_span = (
+                    obs.trace.span("day", day=day) if record else NULL_METRIC
                 )
-
-            # Stage 3: strategy runs for this rank's pair block, all
-            # parameter sets, reusing the shared series.
-            for i, j in my_pairs:
-                pair_prices = prices[:, [i, j]]
-                for k, params in enumerate(grid):
-                    series = series_by_spec[(params.m, params.ctype)][(i, j)]
-                    corr = align_corr_series(series, smax, params.m)
-                    trades = run_pair_day(
-                        pair_prices,
-                        corr,
-                        params,
-                        execution=self.execution,
-                        salt=execution_salt((i, j), k),
+                with day_span:
+                    # Stage 1: master prepares bars, broadcasts market-wide
+                    # data.
+                    stage = (
+                        obs.trace.span("bcast_bars")
+                        if record
+                        else NULL_METRIC
                     )
-                    store.add((i, j), k, day, [t.ret for t in trades])
+                    with stage:
+                        if comm.rank == 0:
+                            bundle = (
+                                self.provider.prices(day),
+                                self.provider.returns(day),
+                            )
+                        else:
+                            bundle = None
+                        prices, returns = comm.bcast(bundle, root=0)
+                    smax = prices.shape[0]
 
-        # Stage 4: gather partial stores at the master, merge, share back.
-        partials = comm.gather(store, root=0)
-        if comm.rank == 0:
-            merged = ResultStore.merged(partials)
-        else:
-            merged = None
-        return comm.bcast(merged, root=0)
+                    # Stage 2: each correlation series computed exactly once,
+                    # pair-blocks distributed, result replicated on all ranks.
+                    stage = (
+                        obs.trace.span("correlation")
+                        if record
+                        else NULL_METRIC
+                    )
+                    with stage:
+                        series_by_spec = {}
+                        for m, ctype in specs:
+                            engine = ParallelCorrelationEngine(
+                                ctype, self.maronna_config
+                            )
+                            series_by_spec[(m, ctype)] = engine.pair_series(
+                                comm, returns, m, pairs
+                            )
+
+                    # Stage 3: strategy runs for this rank's pair block, all
+                    # parameter sets, reusing the shared series.
+                    stage = (
+                        obs.trace.span("strategy", pairs=len(my_pairs))
+                        if record
+                        else NULL_METRIC
+                    )
+                    with stage:
+                        for i, j in my_pairs:
+                            pair_prices = prices[:, [i, j]]
+                            for k, params in enumerate(grid):
+                                t0 = time.perf_counter() if record else 0.0
+                                series = series_by_spec[
+                                    (params.m, params.ctype)
+                                ][(i, j)]
+                                corr = align_corr_series(
+                                    series, smax, params.m
+                                )
+                                trades = run_pair_day(
+                                    pair_prices,
+                                    corr,
+                                    params,
+                                    execution=self.execution,
+                                    salt=execution_salt((i, j), k),
+                                )
+                                if record:
+                                    obs.metrics.histogram(
+                                        "backtest.pair_day.seconds"
+                                    ).observe(time.perf_counter() - t0)
+                                store.add(
+                                    (i, j), k, day, [t.ret for t in trades]
+                                )
+
+            # Stage 4: gather partial stores at the master, merge, share
+            # back.
+            stage = (
+                obs.trace.span("gather_merge") if record else NULL_METRIC
+            )
+            with stage:
+                partials = comm.gather(store, root=0)
+                if comm.rank == 0:
+                    merged = ResultStore.merged(partials)
+                else:
+                    merged = None
+                merged = comm.bcast(merged, root=0)
+        if record:
+            obs.metrics.counter("backtest.jobs").inc(
+                len(my_pairs) * len(grid) * len(days)
+            )
+        return merged

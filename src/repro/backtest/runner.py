@@ -20,9 +20,15 @@ from repro.backtest.data import BarProvider
 from repro.backtest.results import ResultStore
 from repro.corr.maronna import MaronnaConfig
 from repro.corr.measures import corr_series
+from repro.obs import NULL_METRIC, Obs
 from repro.strategy.costs import ExecutionModel, execution_salt
 from repro.strategy.engine import Trade, align_corr_series, run_pair_day
 from repro.strategy.params import StrategyParams
+
+#: Histogram of per-(pair, day, parameter set) job wall seconds — the
+#: paper's "approximately 2 seconds" unit of work, shared by every engine
+#: so Section-IV benchmarks read one metric regardless of approach.
+PAIR_DAY_HIST = "backtest.pair_day.seconds"
 
 
 def backtest_pair_day(
@@ -32,23 +38,34 @@ def backtest_pair_day(
     maronna_config: MaronnaConfig | None = None,
     execution: ExecutionModel | None = None,
     salt: int = 0,
+    obs: Obs | None = None,
 ) -> list[Trade]:
     """Run one (pair, day, parameter set) job, the paper's unit of work.
 
     ``prices`` is the pair's ``(smax, 2)`` BAM closes.  Without a supplied
     ``corr`` series the job computes its own — the Approach-2 cost profile.
+    With ``obs`` the job's wall time lands in ``backtest.pair_day.seconds``.
     """
     prices = np.asarray(prices, dtype=float)
     if prices.ndim != 2 or prices.shape[1] != 2:
         raise ValueError(f"prices must be (smax, 2), got {prices.shape}")
     smax = prices.shape[0]
+    hist = (
+        obs.metrics.histogram(PAIR_DAY_HIST)
+        if obs is not None and obs.enabled
+        else None
+    )
+    t0 = time.perf_counter() if hist is not None else 0.0
     if corr is None:
         returns = np.diff(np.log(prices), axis=0)
         series = corr_series(
             returns[:, 0], returns[:, 1], params.m, params.ctype, maronna_config
         )
         corr = align_corr_series(series, smax, params.m)
-    return run_pair_day(prices, corr, params, execution=execution, salt=salt)
+    trades = run_pair_day(prices, corr, params, execution=execution, salt=salt)
+    if hist is not None:
+        hist.observe(time.perf_counter() - t0)
+    return trades
 
 
 class SequentialBacktester:
@@ -60,11 +77,13 @@ class SequentialBacktester:
         share_correlation: bool = False,
         maronna_config: MaronnaConfig | None = None,
         execution: ExecutionModel | None = None,
+        obs: Obs | None = None,
     ):
         self.provider = provider
         self.share_correlation = share_correlation
         self.maronna_config = maronna_config
         self.execution = execution
+        self.obs = obs
         #: Wall-clock seconds spent per (pair, day, param) job in the last run.
         self.last_job_seconds: list[float] = []
 
@@ -76,42 +95,59 @@ class SequentialBacktester:
     ) -> ResultStore:
         """Backtest every (pair, parameter set) cell over the given days."""
         self._validate(pairs, grid, days)
+        obs = self.obs
+        record = obs is not None and obs.enabled
+        span = (
+            obs.trace.span(
+                "approach2", days=len(days), pairs=len(pairs), grid=len(grid)
+            )
+            if record
+            else NULL_METRIC
+        )
         store = ResultStore()
         self.last_job_seconds = []
-        for day in days:
-            prices = self.provider.prices(day)
-            smax = prices.shape[0]
-            returns = self.provider.returns(day)
-            corr_cache: dict[tuple, np.ndarray] = {}
-            for i, j in pairs:
-                pair_prices = prices[:, [i, j]]
-                for k, params in enumerate(grid):
-                    t0 = time.perf_counter()
-                    corr = None
-                    if self.share_correlation:
-                        spec = (i, j, params.m, params.ctype)
-                        if spec not in corr_cache:
-                            series = corr_series(
-                                returns[:, i],
-                                returns[:, j],
-                                params.m,
-                                params.ctype,
-                                self.maronna_config,
-                            )
-                            corr_cache[spec] = align_corr_series(
-                                series, smax, params.m
-                            )
-                        corr = corr_cache[spec]
-                    trades = backtest_pair_day(
-                        pair_prices,
-                        params,
-                        corr,
-                        self.maronna_config,
-                        execution=self.execution,
-                        salt=execution_salt((i, j), k),
-                    )
-                    self.last_job_seconds.append(time.perf_counter() - t0)
-                    store.add((i, j), k, day, [t.ret for t in trades])
+        with span:
+            for day in days:
+                prices = self.provider.prices(day)
+                smax = prices.shape[0]
+                returns = self.provider.returns(day)
+                corr_cache: dict[tuple, np.ndarray] = {}
+                for i, j in pairs:
+                    pair_prices = prices[:, [i, j]]
+                    for k, params in enumerate(grid):
+                        t0 = time.perf_counter()
+                        corr = None
+                        if self.share_correlation:
+                            spec = (i, j, params.m, params.ctype)
+                            if spec not in corr_cache:
+                                series = corr_series(
+                                    returns[:, i],
+                                    returns[:, j],
+                                    params.m,
+                                    params.ctype,
+                                    self.maronna_config,
+                                )
+                                corr_cache[spec] = align_corr_series(
+                                    series, smax, params.m
+                                )
+                            corr = corr_cache[spec]
+                        # The timing loop owns the job clock — pass obs=None
+                        # down so the job does not also record itself.
+                        trades = backtest_pair_day(
+                            pair_prices,
+                            params,
+                            corr,
+                            self.maronna_config,
+                            execution=self.execution,
+                            salt=execution_salt((i, j), k),
+                        )
+                        elapsed = time.perf_counter() - t0
+                        self.last_job_seconds.append(elapsed)
+                        if record:
+                            obs.metrics.histogram(PAIR_DAY_HIST).observe(elapsed)
+                        store.add((i, j), k, day, [t.ret for t in trades])
+        if record:
+            obs.metrics.counter("backtest.jobs").inc(len(self.last_job_seconds))
         return store
 
     def _validate(

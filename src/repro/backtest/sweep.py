@@ -18,6 +18,7 @@ from repro.backtest.results import ResultStore
 from repro.backtest.runner import SequentialBacktester
 from repro.corr.maronna import MaronnaConfig
 from repro.mpi.launcher import run_spmd
+from repro.obs import Obs, attach_to_comm
 from repro.strategy.costs import ExecutionModel
 from repro.strategy.params import StrategyParams, paper_parameter_grid
 from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
@@ -95,16 +96,21 @@ class SweepConfig:
 def run_sweep(
     config: SweepConfig,
     maronna_config: MaronnaConfig | None = None,
+    obs: Obs | None = None,
 ) -> tuple[ResultStore, list[StrategyParams]]:
     """Execute a sweep; returns the result store and its parameter grid.
 
     The store covers all ``n(n-1)/2`` pairs of the universe, every grid
-    entry and days ``0 .. n_days-1``.
+    entry and days ``0 .. n_days-1``.  With an enabled ``obs``, engine
+    telemetry is recorded into it: the sequential engine writes directly;
+    the distributed engine gives each rank its own registry and the
+    per-rank interchange dicts are absorbed into ``obs`` afterwards.
     """
     provider = config.build_provider()
     grid = config.build_grid()
     pairs = list(config.build_universe().pairs())
     days = list(range(config.n_days))
+    record = obs is not None and obs.enabled
 
     if config.engine == "sequential":
         backtester = SequentialBacktester(
@@ -112,13 +118,23 @@ def run_sweep(
             share_correlation=True,
             maronna_config=maronna_config,
             execution=config.execution,
+            obs=obs if record else None,
         )
         return backtester.run(pairs, grid, days), grid
 
     def spmd(comm):
-        return DistributedBacktester(
+        local = None
+        if record:
+            local = Obs(enabled=True)
+            attach_to_comm(comm, local)
+        store = DistributedBacktester(
             provider, maronna_config, execution=config.execution
-        ).run(comm, pairs, grid, days)
+        ).run(comm, pairs, grid, days, obs=local)
+        return store, local.to_dict() if local is not None else None
 
     results = run_spmd(spmd, size=config.ranks, backend=config.backend)
-    return results[0], grid
+    if record:
+        for rank, (_, rank_dict) in enumerate(results):
+            if rank_dict is not None:
+                obs.absorb_rank(rank, rank_dict)
+    return results[0][0], grid

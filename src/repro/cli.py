@@ -7,9 +7,12 @@ One executable, ``repro``, with a subcommand per common workflow::
     repro sweep --symbols 8 --days 3  # run the study, print Tables III-V
     repro pipeline --symbols 6        # stream a Figure-1 live session
     repro screen --symbols 12         # candidate-pair screening funnel
+    repro stats obs.json              # render a telemetry report
 
 Every command is deterministic given ``--seed`` and prints plain text, so
-the CLI doubles as a smoke test of the whole stack.
+the CLI doubles as a smoke test of the whole stack.  ``pipeline``,
+``sweep`` and ``report`` accept ``--obs-json PATH`` to dump the run's
+observability report (schema ``repro.obs/v1``) for ``repro stats``.
 """
 
 from __future__ import annotations
@@ -57,6 +60,24 @@ def _cmd_taq_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_obs(args: argparse.Namespace):
+    """An enabled Obs when ``--obs-json`` was given, else None."""
+    if not getattr(args, "obs_json", None):
+        return None
+    from repro.obs import Obs
+
+    return Obs(enabled=True)
+
+
+def _dump_obs(args: argparse.Namespace, report: dict | None) -> None:
+    if report is None or not getattr(args, "obs_json", None):
+        return
+    from repro.obs import write_json
+
+    write_json(report, args.obs_json)
+    print(f"\nobservability report written to {args.obs_json}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.backtest.sweep import SweepConfig, run_sweep
     from repro.metrics.summary import (
@@ -77,7 +98,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ranks=args.ranks,
         engine=args.engine,
     )
-    store, grid = run_sweep(config)
+    obs = _make_obs(args)
+    store, grid = run_sweep(config, obs=obs)
     print(
         f"{len(store.pairs)} pairs x {len(grid)} parameter sets x "
         f"{args.days} days: {store.n_trades} trades\n"
@@ -91,6 +113,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             treatment_summaries(store, grid, measure), title
         ))
         print()
+    _dump_obs(args, obs.report() if obs is not None else None)
     return 0
 
 
@@ -122,7 +145,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
     print(workflow.describe())
     results = run_figure1_session(
-        workflow, size=args.ranks, collect_stats=True
+        workflow, size=args.ranks, collect_stats=True,
+        obs_enabled=bool(args.obs_json),
     )
     n_trades = sum(len(v) for v in results["pair_trading"]["trades"].values())
     sink = results["order_sink"]
@@ -137,6 +161,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             f"{stats['messages_remote']} remote messages "
             f"({', '.join(stats['components'])})"
         )
+    _dump_obs(args, results.get("_obs"))
     return 0
 
 
@@ -156,7 +181,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         ),
         ranks=args.ranks,
     )
-    store, grid = run_sweep(config)
+    obs = _make_obs(args)
+    store, grid = run_sweep(config, obs=obs)
     print(
         study_report(
             store,
@@ -168,6 +194,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
             ),
         )
     )
+    _dump_obs(args, obs.report() if obs is not None else None)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import load_report, render_text
+
+    print(render_text(load_report(args.path)))
     return 0
 
 
@@ -217,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'A High Performance Pair Trading "
         "Application' (IPPS 2009)",
     )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning"), default=None,
+        help="configure the 'repro' logger at this level",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="print the Table-I parameter grid")
@@ -233,12 +271,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=2)
     p.add_argument("--engine", choices=("distributed", "sequential"),
                    default="distributed")
+    p.add_argument("--obs-json", metavar="PATH", default=None,
+                   help="write the run's observability report here")
 
     p = sub.add_parser("pipeline", help="stream a Figure-1 live session")
     _add_market_args(p, symbols=6)
     p.add_argument("--ranks", type=int, default=3)
     p.add_argument("--engines", type=int, default=1,
                    help="parallel correlation engines")
+    p.add_argument("--obs-json", metavar="PATH", default=None,
+                   help="write the run's observability report here")
 
     p = sub.add_parser(
         "report", help="run a study and print the full evaluation report"
@@ -248,6 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--levels", type=int, default=4)
     p.add_argument("--ranks", type=int, default=2)
     p.add_argument("--bootstrap", type=int, default=500)
+    p.add_argument("--obs-json", metavar="PATH", default=None,
+                   help="write the run's observability report here")
+
+    p = sub.add_parser(
+        "stats", help="render an observability report written by --obs-json"
+    )
+    p.add_argument("path", help="path to a repro.obs/v1 JSON report")
 
     p = sub.add_parser("screen", help="candidate-pair screening funnel")
     _add_market_args(p, symbols=12)
@@ -265,11 +314,18 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "report": _cmd_report,
     "screen": _cmd_screen,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        import logging as _logging
+
+        from repro.util.logging import configure
+
+        configure(getattr(_logging, args.log_level.upper()))
     return _COMMANDS[args.command](args)
 
 

@@ -20,6 +20,15 @@ import numpy as np
 from repro.corr.maronna import MaronnaConfig
 from repro.corr.measures import CorrelationType, corr_matrix, corr_series
 from repro.mpi.api import SUM, Comm
+from repro.obs import NULL_METRIC, comm_obs
+
+
+def _method_timer(comm: Comm, method: str):
+    """Timer into ``corr.parallel.<method>.seconds`` on the comm's obs."""
+    obs = comm_obs(comm)
+    if obs is None or not obs.enabled:
+        return NULL_METRIC
+    return obs.metrics.timer(f"corr.parallel.{method}.seconds")
 
 
 def partition_pairs(
@@ -69,12 +78,13 @@ class ParallelCorrelationEngine:
         window = np.asarray(window, dtype=float)
         if window.ndim != 2:
             raise ValueError(f"need an (M, n) window, got shape {window.shape}")
-        n = window.shape[1]
-        mine = self._my_pairs(comm, n)
-        partial = corr_matrix(window, self.ctype, self.config, pairs=mine)
-        full = comm.allreduce(partial, op=SUM)
-        np.fill_diagonal(full, 1.0)
-        return full
+        with _method_timer(comm, "matrix"):
+            n = window.shape[1]
+            mine = self._my_pairs(comm, n)
+            partial = corr_matrix(window, self.ctype, self.config, pairs=mine)
+            full = comm.allreduce(partial, op=SUM)
+            np.fill_diagonal(full, 1.0)
+            return full
 
     def pair_series(
         self,
@@ -97,16 +107,20 @@ class ParallelCorrelationEngine:
         for i, j in pairs:
             if not (0 <= i < n and 0 <= j < n and i != j):
                 raise ValueError(f"invalid pair ({i}, {j}) for n={n}")
-        blocks = partition_pairs(list(pairs), comm.size)
-        mine = blocks[comm.rank]
-        local = {
-            (i, j): corr_series(returns[:, i], returns[:, j], m, self.ctype, self.config)
-            for i, j in mine
-        }
-        merged: dict[tuple[int, int], np.ndarray] = {}
-        for part in comm.allgather(local):
-            merged.update(part)
-        return merged
+        with _method_timer(comm, "pair_series"):
+            blocks = partition_pairs(list(pairs), comm.size)
+            mine = blocks[comm.rank]
+            obs = comm_obs(comm)
+            if obs is not None and obs.enabled:
+                obs.metrics.counter("corr.parallel.pairs_local").inc(len(mine))
+            local = {
+                (i, j): corr_series(returns[:, i], returns[:, j], m, self.ctype, self.config)
+                for i, j in mine
+            }
+            merged: dict[tuple[int, int], np.ndarray] = {}
+            for part in comm.allgather(local):
+                merged.update(part)
+            return merged
 
     def matrix_series(
         self, comm: Comm, returns: np.ndarray, m: int
@@ -123,13 +137,14 @@ class ParallelCorrelationEngine:
         T, n = returns.shape
         if T < m:
             raise ValueError(f"need at least {m} return rows, got {T}")
-        n_win = T - m + 1
-        mine = self._my_pairs(comm, n)
-        partial = np.zeros((n_win, n, n))
-        for i, j in mine:
-            series = corr_series(returns[:, i], returns[:, j], m, self.ctype, self.config)
-            partial[:, i, j] = series
-            partial[:, j, i] = series
-        full = comm.allreduce(partial, op=SUM)
-        full[:, np.arange(n), np.arange(n)] = 1.0
-        return full
+        with _method_timer(comm, "matrix_series"):
+            n_win = T - m + 1
+            mine = self._my_pairs(comm, n)
+            partial = np.zeros((n_win, n, n))
+            for i, j in mine:
+                series = corr_series(returns[:, i], returns[:, j], m, self.ctype, self.config)
+                partial[:, i, j] = series
+                partial[:, j, i] = series
+            full = comm.allreduce(partial, op=SUM)
+            full[:, np.arange(n), np.arange(n)] = 1.0
+            return full

@@ -20,22 +20,37 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.obs import NULL_OBS, Obs
+
 
 class Context:
     """Runtime services handed to component handlers.
 
     ``emit(port, payload)`` routes a message to every edge connected to
     the component's output ``port`` (local edges dispatch synchronously,
-    remote edges cross ranks through the MPI substrate).
+    remote edges cross ranks through the MPI substrate).  ``obs`` is the
+    hosting rank's observability handle — the shared no-op handle when
+    telemetry is off, so components record domain metrics unconditionally.
     """
 
-    def __init__(self, component_name: str, emit_fn: Callable[[str, str, Any], None]):
+    def __init__(
+        self,
+        component_name: str,
+        emit_fn: Callable[[str, str, Any], None],
+        obs: Obs | None = None,
+    ):
         self._component_name = component_name
         self._emit_fn = emit_fn
+        self._obs = obs if obs is not None else NULL_OBS
 
     @property
     def component_name(self) -> str:
         return self._component_name
+
+    @property
+    def obs(self) -> Obs:
+        """The hosting rank's observability handle (never None)."""
+        return self._obs
 
     def emit(self, port: str, payload: Any) -> None:
         self._emit_fn(self._component_name, port, payload)

@@ -55,5 +55,10 @@ class BarAccumulatorComponent(Component):
         ctx.emit("closes", (s, row["close"].copy()))
         self._bars_emitted += 1
 
+    def on_stop(self, ctx: Context) -> None:
+        ctx.obs.metrics.counter(f"pipeline.{self.name}.bars").inc(
+            self._bars_emitted
+        )
+
     def result(self) -> dict:
         return {"bars_emitted": self._bars_emitted}

@@ -66,6 +66,16 @@ class CleaningComponent(Component):
                 self._rejected_outlier += 1
         ctx.emit("quotes", (s, records[keep]))
 
+    def on_stop(self, ctx: Context) -> None:
+        m = ctx.obs.metrics
+        m.counter(f"pipeline.{self.name}.quotes_seen").inc(self._total)
+        m.counter(f"pipeline.{self.name}.rejected_outlier").inc(
+            self._rejected_outlier
+        )
+        m.counter(f"pipeline.{self.name}.rejected_crossed").inc(
+            self._rejected_crossed
+        )
+
     def result(self) -> dict:
         return {
             "total": self._total,

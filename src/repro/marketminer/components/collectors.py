@@ -29,6 +29,9 @@ from repro.util.timeutil import TimeGrid
 
 def _emit_by_interval(ctx: Context, records: np.ndarray, grid: TimeGrid) -> None:
     """Slice a chronological quote array into per-interval messages."""
+    ctx.obs.metrics.counter(
+        f"pipeline.{ctx.component_name}.quotes_collected"
+    ).inc(int(records.size))
     boundaries = np.searchsorted(
         records["t"], np.arange(1, grid.smax + 1) * grid.delta_s, side="left"
     )

@@ -72,15 +72,24 @@ class CorrelationEngineComponent(Component):
         self._engine.push(np.asarray(returns_row, dtype=float))
         if not self._engine.ready:
             return
-        if self.pairs is None:
-            ctx.emit("corr", (s, self._engine.matrix()))
-        else:
-            partial = corr_matrix(
-                self._engine.window(), self.ctype, self._config, pairs=self.pairs
-            )
-            block = {(i, j): float(partial[i, j]) for i, j in self.pairs}
-            ctx.emit("corr", (s, block))
+        # The sliding-window update is the pipeline's compute hot spot —
+        # timed per interval so the report shows where the rank's CPU went.
+        with ctx.obs.metrics.timer(f"pipeline.{self.name}.update.seconds"):
+            if self.pairs is None:
+                ctx.emit("corr", (s, self._engine.matrix()))
+            else:
+                partial = corr_matrix(
+                    self._engine.window(), self.ctype, self._config,
+                    pairs=self.pairs,
+                )
+                block = {(i, j): float(partial[i, j]) for i, j in self.pairs}
+                ctx.emit("corr", (s, block))
         self._matrices_emitted += 1
+
+    def on_stop(self, ctx: Context) -> None:
+        ctx.obs.metrics.counter(f"pipeline.{self.name}.matrices").inc(
+            self._matrices_emitted
+        )
 
     def result(self) -> dict:
         return {"matrices_emitted": self._matrices_emitted}

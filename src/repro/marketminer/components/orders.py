@@ -49,6 +49,18 @@ class OrderSinkComponent(Component):
         else:
             raise ValueError(f"unknown order kind {kind!r}")
 
+    def on_stop(self, ctx: Context) -> None:
+        m = ctx.obs.metrics
+        m.counter(f"pipeline.{self.name}.accepted_orders").inc(
+            len(self._accepted)
+        )
+        m.counter(f"pipeline.{self.name}.entries_vetoed").inc(
+            self._entries_vetoed
+        )
+        m.gauge(f"pipeline.{self.name}.open_pairs_at_close").set(
+            self._aggregator.open_pair_count
+        )
+
     def result(self) -> dict:
         by_interval: dict[int, list[OrderRequest]] = {}
         for order in self._accepted:

@@ -108,6 +108,14 @@ class PairTradingComponent(Component):
                 f"{self.name}: stream ended at interval {self._next_s} of "
                 f"{self.smax}; upstream lost data"
             )
+        m = ctx.obs.metrics
+        m.counter(f"pipeline.{self.name}.orders").inc(self._orders_emitted)
+        m.counter(f"pipeline.{self.name}.trades").inc(
+            sum(len(t) for t in self._trades.values())
+        )
+        m.counter(f"pipeline.{self.name}.strategies").inc(
+            len(self._strategies)
+        )
 
     # -- interval processing ----------------------------------------------------
 

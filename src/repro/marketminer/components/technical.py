@@ -25,10 +25,18 @@ class TechnicalAnalysisComponent(Component):
         self._prev_s: int | None = None
         self._emitted = 0
 
+    def on_stop(self, ctx: Context) -> None:
+        ctx.obs.metrics.counter(f"pipeline.{self.name}.returns_rows").inc(
+            self._emitted
+        )
+
     def on_message(self, ctx: Context, port: str, payload) -> None:
         s, closes = payload
         closes = np.asarray(closes, dtype=float)
         if not np.all(np.isfinite(closes)):
+            ctx.obs.metrics.counter(
+                f"pipeline.{self.name}.nan_head_skipped"
+            ).inc()
             return  # pre-first-quote head; skip until the row is complete
         if np.any(closes <= 0):
             raise ValueError(f"{self.name}: non-positive close at interval {s}")

@@ -24,12 +24,14 @@ every edge is guaranteed exactly one EOS.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.marketminer.component import Context
 from repro.marketminer.graph import Workflow
 from repro.mpi.api import Comm
 from repro.mpi.topology import RankMap, contract_dag
+from repro.obs import Obs, build_report, ensure_obs
 
 #: Tag for all workflow traffic (collectives use negative tags).
 DATA_TAG = 1
@@ -52,24 +54,47 @@ class WorkflowRunner:
         }
         return contract_dag(self.workflow.to_networkx(), size, weights=weights)
 
-    def run(self, comm: Comm, collect_stats: bool = False) -> dict[str, Any]:
+    def run(
+        self,
+        comm: Comm,
+        collect_stats: bool = False,
+        obs_enabled: bool = False,
+    ) -> dict[str, Any]:
         """Execute the workflow; every rank returns all component results.
 
         With ``collect_stats=True`` the result dict gains a ``"_runtime"``
         entry: per-rank counts of locally-dispatched vs cross-rank
         messages — the communication profile of the placement.
+
+        With ``obs_enabled=True`` (or an enabled :class:`repro.obs.Obs`
+        already attached to the communicator) each rank records full
+        pipeline telemetry — handler latency histograms, per-port emit
+        counters, end-of-stream timing, MPI traffic, a span tree — and the
+        result dict gains an ``"_obs"`` entry holding the merged
+        cross-rank report (identical on every rank; merged through the
+        same allgather path as the component results).
         """
-        runtime = _RankRuntime(self.workflow, comm, self.rank_map(comm.size))
+        obs = ensure_obs(comm, obs_enabled)
+        runtime = _RankRuntime(
+            self.workflow, comm, self.rank_map(comm.size), obs=obs
+        )
         return runtime.run(collect_stats=collect_stats)
 
 
 class _RankRuntime:
     """Per-rank execution state."""
 
-    def __init__(self, workflow: Workflow, comm: Comm, rank_map: RankMap):
+    def __init__(
+        self,
+        workflow: Workflow,
+        comm: Comm,
+        rank_map: RankMap,
+        obs: Obs | None = None,
+    ):
         self.workflow = workflow
         self.comm = comm
         self.rank_map = rank_map
+        self.obs = obs if obs is not None else Obs(enabled=False)
         self.local = {
             name: workflow.component(name)
             for name in rank_map.components_of(comm.rank)
@@ -86,10 +111,30 @@ class _RankRuntime:
         self.eos_seen: dict[str, int] = {name: 0 for name in self.local}
         self.stopped: set[str] = set()
         self.contexts = {
-            name: Context(name, self._emit) for name in self.local
+            name: Context(name, self._emit, obs=self.obs) for name in self.local
         }
         self.messages_local = 0
         self.messages_remote = 0
+        # Per-component accumulated handler time: name -> [wall, cpu, calls].
+        self._handler_time: dict[str, list[float]] = {
+            name: [0.0, 0.0, 0] for name in self.local
+        }
+        self._t_start = time.perf_counter()
+
+    def _timed_handler(self, name: str, hist_suffix: str, fn, *args) -> None:
+        """Run one component handler, recording latency and totals."""
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        fn(*args)
+        wall = time.perf_counter() - t0
+        cpu = time.process_time() - c0
+        acc = self._handler_time[name]
+        acc[0] += wall
+        acc[1] += cpu
+        acc[2] += 1
+        self.obs.metrics.histogram(
+            f"component.{name}.{hist_suffix}.seconds"
+        ).observe(wall)
 
     # -- emission & dispatch -------------------------------------------------
 
@@ -104,6 +149,8 @@ class _RankRuntime:
                 f"{src!r} emitted on undeclared port {port!r} "
                 f"(has {list(comp.output_ports)})"
             )
+        if self.obs.enabled:
+            self.obs.metrics.counter(f"component.{src}.emit[{port}]").inc()
         for dst, dst_port, dst_rank in self.routes.get((src, port), []):
             if dst_rank == self.comm.rank:
                 self.messages_local += 1
@@ -118,7 +165,14 @@ class _RankRuntime:
                 f"data for stopped component {dst!r} on port {dst_port!r} "
                 f"(EOS protocol violation)"
             )
-        self.local[dst].on_message(self.contexts[dst], dst_port, payload)
+        comp = self.local[dst]
+        if self.obs.enabled:
+            self._timed_handler(
+                dst, "on_message", comp.on_message,
+                self.contexts[dst], dst_port, payload,
+            )
+        else:
+            comp.on_message(self.contexts[dst], dst_port, payload)
 
     def _deliver_eos(self, dst: str) -> None:
         self.eos_seen[dst] += 1
@@ -129,7 +183,15 @@ class _RankRuntime:
 
     def _stop_component(self, name: str) -> None:
         comp = self.local[name]
-        comp.on_stop(self.contexts[name])
+        if self.obs.enabled:
+            self._timed_handler(
+                name, "on_stop", comp.on_stop, self.contexts[name]
+            )
+            self.obs.metrics.gauge(f"component.{name}.eos_seconds").set(
+                time.perf_counter() - self._t_start
+            )
+        else:
+            comp.on_stop(self.contexts[name])
         self.stopped.add(name)
         # Forward one EOS per outbound edge, after any on_stop emissions.
         for port in comp.output_ports:
@@ -142,27 +204,52 @@ class _RankRuntime:
     # -- main loop ---------------------------------------------------------------
 
     def run(self, collect_stats: bool = False) -> dict[str, Any]:
-        # Phase 1: drive local sources (deterministic name order).
-        for name in sorted(self.local):
-            comp = self.local[name]
-            if comp.is_source:
-                comp.generate(self.contexts[name])
-                self._stop_component(name)
+        session_span = self.obs.trace.span(
+            "session", rank=self.comm.rank, components=len(self.local)
+        )
+        with session_span as root:
+            # Phase 1: drive local sources (deterministic name order).
+            for name in sorted(self.local):
+                comp = self.local[name]
+                if comp.is_source:
+                    if self.obs.enabled:
+                        self._timed_handler(
+                            name, "generate", comp.generate, self.contexts[name]
+                        )
+                    else:
+                        comp.generate(self.contexts[name])
+                    self._stop_component(name)
 
-        # Phase 2: pump remote messages until every local component stopped.
-        while len(self.stopped) < len(self.local):
-            kind, dst, dst_port, payload = self.comm.recv(tag=DATA_TAG)
-            if dst not in self.local:
-                raise RuntimeError(
-                    f"rank {self.comm.rank} received traffic for non-local "
-                    f"component {dst!r}"
-                )
-            if kind == _DATA:
-                self._deliver_data(dst, dst_port, payload)
-            elif kind == _EOS:
-                self._deliver_eos(dst)
-            else:  # pragma: no cover - protocol corruption
-                raise RuntimeError(f"unknown message kind {kind!r}")
+            # Phase 2: pump remote messages until every local component
+            # stopped.
+            while len(self.stopped) < len(self.local):
+                kind, dst, dst_port, payload = self.comm.recv(tag=DATA_TAG)
+                if dst not in self.local:
+                    raise RuntimeError(
+                        f"rank {self.comm.rank} received traffic for "
+                        f"non-local component {dst!r}"
+                    )
+                if kind == _DATA:
+                    self._deliver_data(dst, dst_port, payload)
+                elif kind == _EOS:
+                    self._deliver_eos(dst)
+                else:  # pragma: no cover - protocol corruption
+                    raise RuntimeError(f"unknown message kind {kind!r}")
+
+            if self.obs.enabled:
+                # One synthetic span per local component, in deterministic
+                # name order, parented under this rank's session span —
+                # the per-rank slice of the Figure-1 DAG.
+                for name in sorted(self.local):
+                    wall, cpu, calls = self._handler_time[name]
+                    self.obs.trace.add_span(
+                        name,
+                        wall,
+                        cpu,
+                        parent=root.id,
+                        rank=self.comm.rank,
+                        invocations=calls,
+                    )
 
         # Phase 3: assemble results everywhere.
         local_results = {name: comp.result() for name, comp in self.local.items()}
@@ -179,4 +266,9 @@ class _RankRuntime:
                 }
             )
             merged["_runtime"] = {rank: s for rank, s in enumerate(stats)}
+        if self.obs.enabled:
+            # Merge per-rank registries/traces over the same gather path
+            # the results used; every rank ends with the identical report.
+            rank_dicts = self.comm.allgather(self.obs.to_dict())
+            merged["_obs"] = build_report(dict(enumerate(rank_dicts)))
         return merged

@@ -220,13 +220,21 @@ def run_figure1_session(
     size: int = 3,
     backend: str = "thread",
     collect_stats: bool = False,
+    obs_enabled: bool = False,
 ) -> dict:
-    """Execute a Figure-1 workflow SPMD; returns all component results."""
+    """Execute a Figure-1 workflow SPMD; returns all component results.
+
+    With ``obs_enabled=True`` the result dict gains an ``"_obs"`` entry:
+    the merged cross-rank telemetry report (handler latency histograms,
+    MPI message/byte counters, span tree) in ``repro.obs/v1`` form.
+    """
 
     runner = WorkflowRunner(workflow)
 
     def spmd(comm):
-        return runner.run(comm, collect_stats=collect_stats)
+        return runner.run(
+            comm, collect_stats=collect_stats, obs_enabled=obs_enabled
+        )
 
     results = run_spmd(spmd, size=size, backend=backend)
     return results[0]

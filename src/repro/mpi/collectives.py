@@ -30,8 +30,21 @@ def _check_root(comm, root: int) -> None:
         raise ValueError(f"root rank {root} outside [0, {comm.size})")
 
 
+def _count_invocation(comm, name: str) -> None:
+    """Record one collective invocation on the rank's telemetry, if any.
+
+    Lives here (not only in the timed MailboxComm wrappers) so nested
+    invocations — allgather's internal gather+bcast, Comm.split's
+    membership exchange — are observable too.
+    """
+    obs = getattr(comm, "obs", None)
+    if obs is not None and obs.enabled:
+        obs.metrics.counter(f"mpi.coll.{name}.count").inc()
+
+
 def barrier(comm, timeout: float | None = None) -> None:
     """Dissemination barrier: ceil(log2(size)) exchange rounds."""
+    _count_invocation(comm, "barrier")
     base = comm._next_coll_tags()
     size = comm.size
     if size == 1:
@@ -50,6 +63,7 @@ def barrier(comm, timeout: float | None = None) -> None:
 
 def bcast(comm, obj: Any = None, root: int = 0) -> Any:
     """Binomial-tree broadcast from ``root``."""
+    _count_invocation(comm, "bcast")
     _check_root(comm, root)
     base = comm._next_coll_tags()
     size = comm.size
@@ -75,6 +89,7 @@ def bcast(comm, obj: Any = None, root: int = 0) -> Any:
 
 def scatter(comm, values: Sequence[Any] | None = None, root: int = 0) -> Any:
     """Root sends ``values[r]`` to each rank ``r``; returns own element."""
+    _count_invocation(comm, "scatter")
     _check_root(comm, root)
     base = comm._next_coll_tags()
     if comm.rank == root:
@@ -94,6 +109,7 @@ def scatter(comm, values: Sequence[Any] | None = None, root: int = 0) -> Any:
 
 def gather(comm, obj: Any, root: int = 0) -> list[Any] | None:
     """Collect one value per rank at ``root``, ordered by rank."""
+    _count_invocation(comm, "gather")
     _check_root(comm, root)
     base = comm._next_coll_tags()
     if comm.rank == root:
@@ -109,12 +125,14 @@ def gather(comm, obj: Any, root: int = 0) -> list[Any] | None:
 
 def allgather(comm, obj: Any) -> list[Any]:
     """gather at rank 0 followed by a broadcast of the full list."""
+    _count_invocation(comm, "allgather")
     gathered = gather(comm, obj, root=0)
     return bcast(comm, gathered, root=0)
 
 
 def reduce(comm, obj: Any, op: Op = DEFAULT_OP, root: int = 0) -> Any:
     """Fold one value per rank with ``op`` in rank order; result at root."""
+    _count_invocation(comm, "reduce")
     _check_root(comm, root)
     if not isinstance(op, Op):
         raise TypeError(f"op must be an mpi.Op, got {op!r}")
@@ -130,12 +148,14 @@ def reduce(comm, obj: Any, op: Op = DEFAULT_OP, root: int = 0) -> Any:
 
 def allreduce(comm, obj: Any, op: Op = DEFAULT_OP) -> Any:
     """reduce at rank 0 followed by a broadcast of the result."""
+    _count_invocation(comm, "allreduce")
     result = reduce(comm, obj, op=op, root=0)
     return bcast(comm, result, root=0)
 
 
 def alltoall(comm, values: Sequence[Any]) -> list[Any]:
     """Personalised exchange: rank ``r`` receives ``values[r]`` of each rank."""
+    _count_invocation(comm, "alltoall")
     base = comm._next_coll_tags()
     values = list(values)
     if len(values) != comm.size:
@@ -155,6 +175,7 @@ def alltoall(comm, values: Sequence[Any]) -> list[Any]:
 
 def scan(comm, obj: Any, op: Op = DEFAULT_OP) -> Any:
     """Inclusive prefix reduction along the rank chain."""
+    _count_invocation(comm, "scan")
     if not isinstance(op, Op):
         raise TypeError(f"op must be an mpi.Op, got {op!r}")
     base = comm._next_coll_tags()

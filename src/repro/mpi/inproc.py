@@ -36,12 +36,21 @@ class ThreadBackend:
     default_timeout:
         Per-``recv`` timeout installed on every communicator so a deadlock
         in user code fails the run instead of hanging it.
+    obs_enabled:
+        Attach a fresh enabled :class:`repro.obs.Obs` to every rank's
+        communicator, so MPI-substrate telemetry is recorded without any
+        wiring in the SPMD function (which can read it via ``comm.obs``).
     """
 
     name = "thread"
 
-    def __init__(self, default_timeout: float | None = 60.0):
+    def __init__(
+        self,
+        default_timeout: float | None = 60.0,
+        obs_enabled: bool = False,
+    ):
         self.default_timeout = default_timeout
+        self.obs_enabled = obs_enabled
 
     def run(
         self,
@@ -74,6 +83,11 @@ class ThreadBackend:
             )
             for r in range(size)
         ]
+        if self.obs_enabled:
+            from repro.obs import Obs
+
+            for comm in comms:
+                comm.attach_obs(Obs(enabled=True))
 
         results: list[Any] = [None] * size
         errors: dict[int, BaseException] = {}

@@ -27,6 +27,7 @@ from typing import Any, Callable
 
 from repro.mpi import collectives as _coll
 from repro.mpi.api import ANY_SOURCE, ANY_TAG, Comm, RecvTimeout, Status
+from repro.obs.registry import NULL_METRIC, payload_nbytes
 
 #: Envelope layout: (context id, source rank, tag, payload).  Source ranks
 #: are expressed in the *receiving communicator's* group numbering.
@@ -46,14 +47,17 @@ class _Endpoint:
 
     Holds the inbox queue and the pending (arrived-but-unmatched) list; the
     pending list must be shared so a message parked while one communicator
-    was receiving is still found by its real target communicator.
+    was receiving is still found by its real target communicator.  The
+    observability handle also lives here so that split sub-communicators
+    report into the same per-rank registry.
     """
 
-    __slots__ = ("inbox", "pending")
+    __slots__ = ("inbox", "pending", "obs")
 
     def __init__(self, inbox):
         self.inbox = inbox
         self.pending: list[Envelope] = []
+        self.obs = None
 
 
 class MailboxComm(Comm):
@@ -135,6 +139,23 @@ class MailboxComm(Comm):
         self._check_peer(rank, "rank")
         return self._group[rank]
 
+    # -- observability ----------------------------------------------------
+
+    @property
+    def obs(self):
+        """The rank's observability handle (shared across split comms)."""
+        return self._endpoint.obs
+
+    def attach_obs(self, obs) -> None:
+        """Install a :class:`repro.obs.Obs` recording this rank's traffic."""
+        self._endpoint.obs = obs
+
+    def _coll_timer(self, name: str):
+        obs = self._endpoint.obs
+        if obs is not None and obs.enabled:
+            return obs.metrics.timer(f"mpi.coll.{name}.seconds")
+        return NULL_METRIC
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<MailboxComm rank={self._rank} size={self._size} "
@@ -150,6 +171,13 @@ class MailboxComm(Comm):
 
     def _send_internal(self, obj: Any, dest: int, tag: int) -> None:
         """Send without the user-tag check (collectives use negative tags)."""
+        obs = self._endpoint.obs
+        if obs is not None and obs.enabled:
+            m = obs.metrics
+            m.counter("mpi.sent.messages").inc()
+            m.counter("mpi.sent.bytes").inc(payload_nbytes(obj))
+            bucket = tag if tag >= 0 else "collective"
+            m.counter(f"mpi.sent.tag[{bucket}]").inc()
         self._deliver(self._group[dest], (self._context, self._rank, tag, obj))
 
     def recv(
@@ -170,6 +198,12 @@ class MailboxComm(Comm):
         while env is None:
             env = self._pull_inbox(deadline, source, tag)
         _, src, msg_tag, payload = env
+        obs = self._endpoint.obs
+        if obs is not None and obs.enabled:
+            m = obs.metrics
+            m.counter("mpi.recv.messages").inc()
+            m.counter("mpi.recv.bytes").inc(payload_nbytes(payload))
+            m.gauge("mpi.pending.depth").set(len(self._endpoint.pending))
         if return_status:
             return payload, Status(source=src, tag=msg_tag)
         return payload
@@ -290,36 +324,45 @@ class MailboxComm(Comm):
 
     def barrier(self, timeout: float | None = None) -> None:
         """Block until every rank has entered the barrier."""
-        _coll.barrier(self, timeout=timeout)
+        with self._coll_timer("barrier"):
+            _coll.barrier(self, timeout=timeout)
 
     def bcast(self, obj: Any = None, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; every rank returns the value."""
-        return _coll.bcast(self, obj, root=root)
+        with self._coll_timer("bcast"):
+            return _coll.bcast(self, obj, root=root)
 
     def scatter(self, values=None, root: int = 0) -> Any:
         """Scatter a length-``size`` sequence from ``root``; return own item."""
-        return _coll.scatter(self, values, root=root)
+        with self._coll_timer("scatter"):
+            return _coll.scatter(self, values, root=root)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one value per rank at ``root`` (rank order); None elsewhere."""
-        return _coll.gather(self, obj, root=root)
+        with self._coll_timer("gather"):
+            return _coll.gather(self, obj, root=root)
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one value per rank; every rank returns the full list."""
-        return _coll.allgather(self, obj)
+        with self._coll_timer("allgather"):
+            return _coll.allgather(self, obj)
 
     def reduce(self, obj: Any, op=_coll.DEFAULT_OP, root: int = 0) -> Any:
         """Reduce values with ``op`` at ``root``; None elsewhere."""
-        return _coll.reduce(self, obj, op=op, root=root)
+        with self._coll_timer("reduce"):
+            return _coll.reduce(self, obj, op=op, root=root)
 
     def allreduce(self, obj: Any, op=_coll.DEFAULT_OP) -> Any:
         """Reduce values with ``op``; every rank returns the result."""
-        return _coll.allreduce(self, obj, op=op)
+        with self._coll_timer("allreduce"):
+            return _coll.allreduce(self, obj, op=op)
 
     def alltoall(self, values) -> list[Any]:
         """Personalised all-to-all: send ``values[d]`` to rank ``d``."""
-        return _coll.alltoall(self, values)
+        with self._coll_timer("alltoall"):
+            return _coll.alltoall(self, values)
 
     def scan(self, obj: Any, op=_coll.DEFAULT_OP) -> Any:
         """Inclusive prefix reduction over ranks ``0..rank``."""
-        return _coll.scan(self, obj, op=op)
+        with self._coll_timer("scan"):
+            return _coll.scan(self, obj, op=op)

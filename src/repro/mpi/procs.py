@@ -36,6 +36,7 @@ def _rank_main(
     kwargs: dict,
     result_queue,
     default_timeout: float | None,
+    obs_enabled: bool = False,
 ) -> None:
     def deliver(dest: int, envelope) -> None:
         inboxes[dest].put(envelope)
@@ -47,6 +48,10 @@ def _rank_main(
         deliver=deliver,
         default_timeout=default_timeout,
     )
+    if obs_enabled:
+        from repro.obs import Obs
+
+        comm.attach_obs(Obs(enabled=True))
     try:
         result = fn(comm, *args, **kwargs)
         result_queue.put(("ok", rank, result))
@@ -68,6 +73,11 @@ class ProcessBackend:
         Seconds to wait for each rank process to exit after results are in.
     default_timeout:
         Per-``recv`` timeout installed on every communicator.
+    obs_enabled:
+        Attach a fresh enabled :class:`repro.obs.Obs` to every rank's
+        communicator inside its process; the SPMD function is responsible
+        for gathering ``comm.obs.to_dict()`` before returning (telemetry
+        does not cross the process boundary on its own).
     """
 
     name = "process"
@@ -77,10 +87,12 @@ class ProcessBackend:
         start_method: str | None = None,
         join_timeout: float = 30.0,
         default_timeout: float | None = 60.0,
+        obs_enabled: bool = False,
     ):
         self.start_method = start_method
         self.join_timeout = join_timeout
         self.default_timeout = default_timeout
+        self.obs_enabled = obs_enabled
 
     def run(
         self,
@@ -113,6 +125,7 @@ class ProcessBackend:
                     kwargs,
                     result_queue,
                     self.default_timeout,
+                    self.obs_enabled,
                 ),
                 name=f"spmd-rank-{rank}",
             )

@@ -1,0 +1,137 @@
+"""Assemble, serialise and render observability reports.
+
+The report is the JSON interchange produced by ``repro ... --obs-json``
+and consumed by ``repro stats``.  Schema (``repro.obs/v1``)::
+
+    {
+      "schema":  "repro.obs/v1",
+      "ranks":   {"<rank>": {"counters": {...}, "gauges": {...},
+                             "histograms": {name: {count, sum, min, max,
+                                                   mean, p50, p95, p99}}}},
+      "metrics": {...same shape, merged across ranks...},
+      "spans":   [{"id", "name", "parent", "rank", "start",
+                   "wall", "cpu", "tags"}, ...]
+    }
+
+``ranks`` holds each rank's registry summarised independently (the
+per-rank view the paper's communication profile needs); ``metrics`` is
+the exact cross-rank merge (counters summed, histogram samples pooled);
+``spans`` is the merged span forest, one session tree per rank.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import SpanTracer, render_flame
+
+SCHEMA = "repro.obs/v1"
+
+
+def build_report(per_rank: dict) -> dict:
+    """Build the v1 report from ``{rank: Obs.to_dict()}`` interchange dicts."""
+    ranks: dict[str, dict] = {}
+    merged = MetricsRegistry(enabled=True)
+    spans_by_rank: dict = {}
+    for rank in sorted(per_rank, key=str):
+        payload = per_rank[rank]
+        metrics_dict = payload.get("metrics", {})
+        ranks[str(rank)] = MetricsRegistry.merged([metrics_dict]).summary()
+        merged.merge_dict(metrics_dict)
+        spans_by_rank[rank] = payload.get("spans", [])
+    return {
+        "schema": SCHEMA,
+        "ranks": ranks,
+        "metrics": merged.summary(),
+        "spans": SpanTracer.merge_list(spans_by_rank),
+    }
+
+
+def write_json(report: dict, path: str | Path) -> Path:
+    """Write a report as JSON; returns the path written.
+
+    Parent directories are created: the report is produced at the end of
+    a potentially long run and must not be lost to a missing directory.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True, default=str) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    """Read a report written by :func:`write_json`."""
+    report = json.loads(Path(path).read_text())
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: not a repro.obs report (schema {schema!r}, "
+            f"expected {SCHEMA!r})"
+        )
+    return report
+
+
+def _format_value(v: float) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def render_text(report: dict) -> str:
+    """Render a report as the plain-text summary ``repro stats`` prints."""
+    lines: list[str] = [f"observability report ({report.get('schema', '?')})"]
+
+    metrics = report.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("\ncounters (merged across ranks):")
+        width = max(len(n) for n in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {_format_value(value)}")
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("\ngauges:")
+        width = max(len(n) for n in gauges)
+        for name, g in gauges.items():
+            lines.append(
+                f"  {name:<{width}}  last {_format_value(g['last'])}  "
+                f"max {_format_value(g['max'])}"
+            )
+
+    hists = metrics.get("histograms", {})
+    if hists:
+        lines.append("\nhistograms (pooled):")
+        width = max(len(n) for n in hists)
+        for name, h in hists.items():
+            if h.get("count", 0) == 0:
+                lines.append(f"  {name:<{width}}  (empty)")
+                continue
+            lines.append(
+                f"  {name:<{width}}  n={h['count']:<6} "
+                f"mean {h['mean']:.6g}  p50 {h['p50']:.6g}  "
+                f"p95 {h['p95']:.6g}  p99 {h['p99']:.6g}  "
+                f"max {h['max']:.6g}"
+            )
+
+    ranks = report.get("ranks", {})
+    if ranks:
+        lines.append("\nper-rank message counters:")
+        for rank in sorted(ranks, key=str):
+            c = ranks[rank].get("counters", {})
+            sent = c.get("mpi.sent.messages", 0)
+            recvd = c.get("mpi.recv.messages", 0)
+            sent_b = c.get("mpi.sent.bytes", 0)
+            recv_b = c.get("mpi.recv.bytes", 0)
+            lines.append(
+                f"  rank {rank}: sent {sent} msg / {_format_value(sent_b)} B, "
+                f"recv {recvd} msg / {_format_value(recv_b)} B"
+            )
+
+    spans = report.get("spans", [])
+    if spans:
+        lines.append("\nspan tree:")
+        lines.append(render_flame(spans))
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""A lightweight span tracer: named spans, parent links, wall/CPU time.
+
+Spans form a tree per tracer (one tracer per rank): ``span()`` is a
+context manager that pushes onto an explicit stack, so nesting mirrors the
+dynamic call structure and ordering is the deterministic creation order.
+``add_span`` records *synthetic* spans — durations accumulated elsewhere
+(e.g. a component's total handler time) attached to the tree after the
+fact.
+
+Per-rank traces are merged with :meth:`SpanTracer.merge_list`, which
+re-bases span ids and tags every span with its source rank, producing one
+forest whose roots are the per-rank session spans.  Export formats: a
+JSON-ready list of dicts (:meth:`to_list`) and an indented text flame
+summary (:func:`render_flame`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+
+class Span:
+    """One node of the trace tree."""
+
+    __slots__ = ("id", "name", "parent", "start", "wall", "cpu", "tags", "rank")
+
+    def __init__(
+        self,
+        id: int,
+        name: str,
+        parent: int | None,
+        start: float,
+        wall: float = 0.0,
+        cpu: float = 0.0,
+        tags: dict | None = None,
+        rank: int | str | None = None,
+    ):
+        self.id = id
+        self.name = name
+        self.parent = parent
+        self.start = start
+        self.wall = wall
+        self.cpu = cpu
+        self.tags = tags or {}
+        self.rank = rank
+
+    def to_dict(self) -> dict:
+        d = {
+            "id": self.id,
+            "name": self.name,
+            "parent": self.parent,
+            "start": self.start,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "tags": dict(self.tags),
+        }
+        if self.rank is not None:
+            d["rank"] = self.rank
+        return d
+
+
+class _SpanContext:
+    """Context manager driving one live span."""
+
+    __slots__ = ("_tracer", "_span", "_t0", "_c0")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        self._tracer._stack.append(self._span.id)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._span.wall = time.perf_counter() - self._t0
+        self._span.cpu = time.process_time() - self._c0
+        popped = self._tracer._stack.pop()
+        assert popped == self._span.id, "span stack corrupted"
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class SpanTracer:
+    """Collects a tree of spans for one rank (not thread-safe by design:
+    each SPMD rank owns its own tracer)."""
+
+    __slots__ = ("enabled", "spans", "_stack", "_epoch")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+        self._epoch = time.perf_counter()
+
+    @property
+    def current_id(self) -> int | None:
+        """Id of the innermost open span, or None at the root."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **tags: Any) -> _SpanContext | _NullSpanContext:
+        """Open a child span of the innermost open span."""
+        if not self.enabled:
+            return _NULL_SPAN_CONTEXT
+        s = Span(
+            id=len(self.spans),
+            name=name,
+            parent=self.current_id,
+            start=time.perf_counter() - self._epoch,
+            tags=tags,
+        )
+        self.spans.append(s)
+        return _SpanContext(self, s)
+
+    def add_span(
+        self,
+        name: str,
+        wall: float,
+        cpu: float = 0.0,
+        parent: int | None = None,
+        **tags: Any,
+    ) -> Span | None:
+        """Record a synthetic span from an externally accumulated duration.
+
+        ``parent=None`` attaches to the innermost open span (or the root).
+        Returns the span so callers can hang children off it.
+        """
+        if not self.enabled:
+            return None
+        s = Span(
+            id=len(self.spans),
+            name=name,
+            parent=parent if parent is not None else self.current_id,
+            start=time.perf_counter() - self._epoch,
+            wall=float(wall),
+            cpu=float(cpu),
+            tags=tags,
+        )
+        self.spans.append(s)
+        return s
+
+    # -- export & merging --------------------------------------------------
+
+    def to_list(self) -> list[dict]:
+        return [s.to_dict() for s in self.spans]
+
+    @staticmethod
+    def merge_list(
+        per_rank: dict[int | str, list[dict]]
+    ) -> list[dict]:
+        """Merge per-rank span lists into one forest.
+
+        Span ids are re-based to stay unique and every span is tagged with
+        its source rank; parent links are preserved within each rank.
+        """
+        merged: list[dict] = []
+        offset = 0
+        for rank in sorted(per_rank, key=str):
+            spans = per_rank[rank]
+            for s in spans:
+                d = dict(s)
+                d["id"] = s["id"] + offset
+                d["parent"] = None if s["parent"] is None else s["parent"] + offset
+                d["rank"] = rank
+                merged.append(d)
+            offset += len(spans)
+        return merged
+
+
+def render_flame(spans: list[dict], unit: str = "s") -> str:
+    """Indented text flame summary of a span forest.
+
+    Children are printed in creation order beneath their parent; each line
+    shows wall and CPU seconds plus any tags.
+    """
+    by_parent: dict[int | None, list[dict]] = {}
+    ids = {s["id"] for s in spans}
+    for s in spans:
+        parent = s["parent"] if s["parent"] in ids else None
+        by_parent.setdefault(parent, []).append(s)
+
+    lines: list[str] = []
+
+    def walk(parent: int | None, depth: int) -> None:
+        for s in by_parent.get(parent, []):
+            rank = f" [rank {s['rank']}]" if "rank" in s else ""
+            tags = ""
+            if s.get("tags"):
+                tags = " " + " ".join(
+                    f"{k}={v}" for k, v in sorted(s["tags"].items())
+                )
+            lines.append(
+                f"{'  ' * depth}{s['name']:<{max(1, 28 - 2 * depth)}} "
+                f"wall {s['wall']:.4f}{unit}  cpu {s['cpu']:.4f}{unit}"
+                f"{rank}{tags}"
+            )
+            walk(s["id"], depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs import Obs
 from repro.util.validation import check_positive_int
 
 
@@ -81,10 +82,23 @@ class ScheduleReport:
 class SgeScheduler:
     """FIFO list scheduler over ``n_slots`` simulated execution slots."""
 
-    def __init__(self, n_slots: int = 8):
+    def __init__(self, n_slots: int = 8, obs: Obs | None = None):
         check_positive_int(n_slots, "n_slots")
         self.n_slots = n_slots
+        self.obs = obs
         self._queue: list[Job] = []
+
+    def _record(self, report: ScheduleReport, simulated: bool) -> None:
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return
+        kind = "simulated" if simulated else "executed"
+        obs.metrics.counter(f"sge.jobs.{kind}").inc(len(report.results))
+        hist = obs.metrics.histogram("sge.job.seconds")
+        for r in report.results:
+            hist.observe(r.duration)
+        obs.metrics.gauge("sge.makespan.seconds").set(report.makespan)
+        obs.metrics.gauge("sge.speedup").set(report.speedup)
 
     def submit(self, job: Job) -> None:
         """Queue a job (``qsub``)."""
@@ -126,6 +140,7 @@ class SgeScheduler:
                 )
             )
         self._queue.clear()
+        self._record(report, simulated=False)
         return report
 
     def simulate(self, durations: dict[str, float]) -> ScheduleReport:
@@ -152,4 +167,5 @@ class SgeScheduler:
                     sim_end=free_at + duration,
                 )
             )
+        self._record(report, simulated=True)
         return report

@@ -19,7 +19,7 @@ def get_logger(name: str) -> logging.Logger:
     ``get_logger("corr.parallel")`` and ``get_logger("repro.corr.parallel")``
     name the same logger.
     """
-    if not name.startswith("repro"):
+    if name != "repro" and not name.startswith("repro."):
         name = f"repro.{name}"
     return logging.getLogger(name)
 

@@ -22,6 +22,14 @@ class TestParser:
         assert args.symbols == 8
         assert args.levels == 4
         assert args.engine == "distributed"
+        assert args.obs_json is None
+        assert args.log_level is None
+
+    def test_log_level_choices(self):
+        args = build_parser().parse_args(["--log-level", "debug", "table1"])
+        assert args.log_level == "debug"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "trace", "table1"])
 
 
 class TestTable1:
@@ -71,6 +79,46 @@ class TestPipeline:
         assert main(["pipeline", *FAST, "--ranks", "2", "--engines", "2"]) == 0
         out = capsys.readouterr().out
         assert "correlation_0" in out
+
+
+class TestObservability:
+    def test_pipeline_obs_json_and_stats(self, capsys, tmp_path):
+        path = tmp_path / "obs.json"
+        assert main(
+            ["pipeline", *FAST, "--ranks", "2", "--obs-json", str(path)]
+        ) == 0
+        assert f"written to {path}" in capsys.readouterr().out
+        assert path.exists()
+
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.obs/v1" in out
+        assert "mpi.sent.messages" in out
+        assert "component.pair_trading.on_message.seconds" in out
+        assert "span tree:" in out
+
+    def test_sweep_obs_json(self, capsys, tmp_path):
+        path = tmp_path / "sweep-obs.json"
+        assert main(
+            ["sweep", *FAST, "--days", "1", "--levels", "1",
+             "--obs-json", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        assert "backtest.pair_day.seconds" in capsys.readouterr().out
+
+    def test_stats_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not-obs.json"
+        path.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError, match="repro.obs"):
+            main(["stats", str(path)])
+
+    def test_log_level_configures_repro_logger(self):
+        import logging
+
+        assert main(["--log-level", "debug", "table1"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        logging.getLogger("repro").setLevel(logging.INFO)
 
 
 class TestScreen:

@@ -1,0 +1,117 @@
+"""Tests for repro.obs.trace: span nesting, merging and rendering."""
+
+from repro.obs.trace import SpanTracer, render_flame
+
+
+def build_nested_trace():
+    tracer = SpanTracer(enabled=True)
+    with tracer.span("session", rank=0):
+        with tracer.span("collect"):
+            pass
+        with tracer.span("compute", pairs=3):
+            with tracer.span("corr"):
+                pass
+    return tracer
+
+
+class TestNesting:
+    def test_parent_links_mirror_call_structure(self):
+        spans = build_nested_trace().to_list()
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["session"]["parent"] is None
+        assert by_name["collect"]["parent"] == by_name["session"]["id"]
+        assert by_name["compute"]["parent"] == by_name["session"]["id"]
+        assert by_name["corr"]["parent"] == by_name["compute"]["id"]
+
+    def test_creation_order_is_deterministic(self):
+        names = [s["name"] for s in build_nested_trace().to_list()]
+        assert names == ["session", "collect", "compute", "corr"]
+
+    def test_wall_and_cpu_nonnegative(self):
+        for s in build_nested_trace().to_list():
+            assert s["wall"] >= 0.0
+            assert s["cpu"] >= 0.0
+
+    def test_tags_preserved(self):
+        spans = build_nested_trace().to_list()
+        compute = next(s for s in spans if s["name"] == "compute")
+        assert compute["tags"] == {"pairs": 3}
+
+    def test_current_id_tracks_stack(self):
+        tracer = SpanTracer(enabled=True)
+        assert tracer.current_id is None
+        with tracer.span("a") as a:
+            assert tracer.current_id == a.id
+        assert tracer.current_id is None
+
+
+class TestDisabled:
+    def test_records_nothing(self):
+        tracer = SpanTracer(enabled=False)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.add_span("c", 1.0) is None
+        assert tracer.to_list() == []
+
+
+class TestAddSpan:
+    def test_synthetic_span_under_open_parent(self):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("root") as root:
+            s = tracer.add_span("handler_time", wall=1.5, cpu=1.2, calls=7)
+        assert s.parent == root.id
+        assert s.wall == 1.5
+        assert s.cpu == 1.2
+        assert s.tags == {"calls": 7}
+
+    def test_explicit_parent(self):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("root") as root:
+            pass
+        s = tracer.add_span("late", wall=0.1, parent=root.id)
+        assert s.parent == root.id
+
+
+class TestMergeList:
+    def test_rebases_ids_and_tags_ranks(self):
+        per_rank = {}
+        for rank in (0, 1):
+            tracer = SpanTracer(enabled=True)
+            with tracer.span("session"):
+                with tracer.span("work"):
+                    pass
+            per_rank[rank] = tracer.to_list()
+        merged = SpanTracer.merge_list(per_rank)
+        assert len(merged) == 4
+        assert len({s["id"] for s in merged}) == 4  # ids unique after rebase
+        assert {s["rank"] for s in merged} == {0, 1}
+        # Parent links still resolve within each rank's subtree.
+        by_id = {s["id"]: s for s in merged}
+        for s in merged:
+            if s["parent"] is not None:
+                assert by_id[s["parent"]]["rank"] == s["rank"]
+
+    def test_merge_order_is_rank_sorted(self):
+        per_rank = {
+            1: SpanTracer(enabled=True).to_list(),
+            0: [{"id": 0, "name": "s", "parent": None, "start": 0.0,
+                 "wall": 0.0, "cpu": 0.0, "tags": {}}],
+        }
+        merged = SpanTracer.merge_list(per_rank)
+        assert merged[0]["rank"] == 0
+
+
+class TestRenderFlame:
+    def test_indents_children(self):
+        text = render_flame(build_nested_trace().to_list())
+        lines = text.splitlines()
+        assert lines[0].startswith("session")
+        assert lines[1].startswith("  collect")
+        assert lines[3].startswith("    corr")
+
+    def test_shows_rank_and_tags(self):
+        per_rank = {2: build_nested_trace().to_list()}
+        text = render_flame(SpanTracer.merge_list(per_rank))
+        assert "[rank 2]" in text
+        assert "pairs=3" in text

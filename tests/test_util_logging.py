@@ -15,6 +15,12 @@ class TestGetLogger:
     def test_root_package_logger(self):
         assert get_logger("repro").name == "repro"
 
+    def test_repro_prefixed_but_foreign_name(self):
+        # "reproduce_x" merely starts with the letters "repro" — it must
+        # still be namespaced under the library hierarchy.
+        assert get_logger("reproduce_x").name == "repro.reproduce_x"
+        assert get_logger("repro_extras").name == "repro.repro_extras"
+
 
 class TestConfigure:
     def test_attaches_single_handler(self):
