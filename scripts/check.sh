@@ -12,6 +12,21 @@ export PYTHONPATH=src
 echo "== compileall =="
 python -m compileall -q src
 
+echo "== repro lint (graph spec + repo AST rules) =="
+python -m repro.cli lint --strict --root src/repro
+
+echo "== ruff/mypy (strict, scoped to src/repro/analysis) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src/repro/analysis
+else
+    echo "ruff not installed; skipping (config lives in pyproject.toml)"
+fi
+if command -v mypy >/dev/null 2>&1; then
+    mypy src/repro/analysis
+else
+    echo "mypy not installed; skipping (config lives in pyproject.toml)"
+fi
+
 echo "== pytest =="
 python -m pytest -x -q
 
@@ -72,6 +87,60 @@ assert ratio < 1.10, (
     f"(ratio {ratio:.2f} >= 1.10): the no-op fast path regressed"
 )
 print("ok: disabled observability pays no measurable overhead")
+EOF
+
+echo "== comm-tracer overhead smoke check =="
+python - <<'EOF'
+"""Assert the detached comm tracer stays (near-)free on the p2p hot path.
+
+Same min-of-N discipline as the obs check: an untraced ping-pong loop
+must run within 10% of a traced one.  The untraced path pays exactly one
+``tracer is not None`` test per send/recv, so this bounds the cost of
+carrying the tracing seam in the mailbox communicator.
+"""
+import time
+
+from repro.analysis.commtrace import run_traced
+from repro.mpi.launcher import run_spmd
+
+ROUNDS = 4000
+N_RUNS = 3
+
+
+def pingpong(comm):
+    peer = 1 - comm.rank
+    for i in range(ROUNDS):
+        if comm.rank == 0:
+            comm.send(i, peer, tag=1)
+            comm.recv(source=peer, tag=2)
+        else:
+            comm.recv(source=peer, tag=1)
+            comm.send(i, peer, tag=2)
+    return None
+
+
+def best_of(traced):
+    best = float("inf")
+    for _ in range(N_RUNS):
+        t0 = time.perf_counter()
+        if traced:
+            run_traced(pingpong, 2, default_timeout=30.0)
+        else:
+            run_spmd(pingpong, size=2, default_timeout=30.0)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+untraced = best_of(False)
+traced = best_of(True)
+ratio = untraced / traced
+print(f"untraced {untraced:.3f}s  traced {traced:.3f}s  "
+      f"untraced/traced {ratio:.2f}")
+assert ratio < 1.10, (
+    f"untraced comm should be at least as fast as traced "
+    f"(ratio {ratio:.2f} >= 1.10): the no-op fast path regressed"
+)
+print("ok: detached comm tracer pays no measurable overhead")
 EOF
 
 echo "all checks passed"

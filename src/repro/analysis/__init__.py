@@ -1,0 +1,76 @@
+"""repro.analysis — DAG/comm correctness checkers and repo lint.
+
+Three coordinated passes over the same diagnostic model:
+
+* :mod:`repro.analysis.graphlint` — static validation of MarketMiner
+  graph specs (cycles, orphans, arity, rank budgets, tag collisions);
+* :mod:`repro.analysis.commcheck` + :mod:`repro.analysis.commtrace` +
+  :mod:`repro.analysis.replay` — dynamic trace analysis over the MPI
+  substrate (message leaks, wildcard-receive races with deterministic
+  replay confirmation, collective mismatches, sync-cycle deadlocks);
+* :mod:`repro.analysis.repolint` — AST rule pack the repository holds
+  its own sources to.
+
+All passes are surfaced through ``repro lint`` (see :mod:`repro.cli`).
+"""
+
+from repro.analysis.commcheck import (
+    Race,
+    check_collectives,
+    check_leaks,
+    check_rank_errors,
+    check_sync_cycles,
+    check_timeouts,
+    check_trace,
+    find_wildcard_races,
+)
+from repro.analysis.commtrace import (
+    CollectiveEvent,
+    CommTrace,
+    CommTracer,
+    RankTrace,
+    RecvEvent,
+    SendEvent,
+    TimeoutEvent,
+    TracedRun,
+    run_traced,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+)
+from repro.analysis.graphlint import lint_graph
+from repro.analysis.replay import ReplayResult, replay_race
+from repro.analysis.repolint import lint_paths, lint_source, lint_tree
+
+__all__ = [
+    "CollectiveEvent",
+    "CommTrace",
+    "CommTracer",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Location",
+    "Race",
+    "RankTrace",
+    "RecvEvent",
+    "ReplayResult",
+    "SendEvent",
+    "Severity",
+    "TimeoutEvent",
+    "TracedRun",
+    "check_collectives",
+    "check_leaks",
+    "check_rank_errors",
+    "check_sync_cycles",
+    "check_timeouts",
+    "check_trace",
+    "find_wildcard_races",
+    "lint_graph",
+    "lint_paths",
+    "lint_source",
+    "lint_tree",
+    "replay_race",
+    "run_traced",
+]

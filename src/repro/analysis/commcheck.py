@@ -1,0 +1,358 @@
+"""Dynamic analyses over a recorded communication trace.
+
+Every check consumes the :class:`~repro.analysis.commtrace.CommTrace`
+produced by :func:`~repro.analysis.commtrace.run_traced` and reports
+through the shared diagnostic model.  Rule catalogue (ids prefixed
+``comm.``):
+
+======================  ========  ==============================================
+rule                    severity  fires when
+======================  ========  ==============================================
+comm.rank-error         error     a rank died of an MpiError during the run
+comm.timeout            error     a blocking recv starved (RecvTimeout)
+comm.leak               error     a message was sent but never received
+                                  (unmatched at finalize)
+comm.wildcard-race      warning   a wildcard recv (ANY_SOURCE/ANY_TAG) had a
+                                  concurrent alternative sender — the match is
+                                  schedule-dependent (MUST-style detection)
+comm.collective-mismatch error    ranks sharing a communicator invoked a
+                                  collective a different number of times
+comm.sync-cycle         warning   user sends form a wait cycle under
+                                  synchronous (rendezvous) semantics — the
+                                  program relies on eager buffering
+======================  ========  ==============================================
+
+Race findings are also returned as structured :class:`Race` objects so
+the replay harness (:mod:`repro.analysis.replay`) can re-run the program
+pinned to the alternative match and confirm the nondeterminism.
+
+The race detector uses the vector clocks stamped on every traced
+message: send ``S`` is an *alternative* for recv ``R`` when ``S`` matches
+``R``'s wildcard pattern, comes from a different source than the actual
+match, and does not causally depend on ``R`` (``S``'s clock has not seen
+``R``'s tick) — i.e. the two sends were concurrent competitors for one
+receive.  Same-source alternatives are excluded: per-source FIFO makes
+those deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.analysis.commtrace import (
+    CommTrace,
+    RecvEvent,
+    SendEvent,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+)
+from repro.mpi.api import ANY_SOURCE, ANY_TAG
+
+#: Cap on reported sync cycles; deeply cyclic traces repeat one cause.
+MAX_REPORTED_CYCLES = 10
+
+
+@dataclass(frozen=True)
+class Race:
+    """A wildcard receive with more than one feasible match."""
+
+    recv_rank: int
+    recv_ordinal: int  # replay coordinate on that rank
+    recv_idx: int  # event index (for reporting)
+    source: int  # requested pattern (world rank or ANY_SOURCE)
+    tag: int  # requested pattern (or ANY_TAG)
+    matched: tuple[int, int]  # (world rank, seq) actually delivered
+    alternative: tuple[int, int]  # (world rank, seq) that could have been
+
+    @property
+    def alternative_source(self) -> int:
+        return self.alternative[0]
+
+
+def _pattern(source: int, tag: int) -> str:
+    s = "ANY_SOURCE" if source == ANY_SOURCE else str(source)
+    t = "ANY_TAG" if tag == ANY_TAG else str(tag)
+    return f"(source={s}, tag={t})"
+
+
+def check_rank_errors(trace: CommTrace) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            rule="comm.rank-error",
+            severity=Severity.ERROR,
+            location=Location(rank=rank),
+            message=f"rank failed during the traced run: {error}",
+        )
+        for rank, error in sorted(trace.errors().items())
+    ]
+
+
+def check_timeouts(trace: CommTrace) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            rule="comm.timeout",
+            severity=Severity.ERROR,
+            location=Location(rank=ev.rank, event=ev.idx),
+            message=(
+                f"recv {_pattern(ev.source, ev.tag)} starved "
+                f"(context {ev.context})"
+            ),
+            hint="no matching send arrived; check tags and peer ranks of "
+            "the senders this recv expected",
+        )
+        for ev in trace.timeouts()
+    ]
+
+
+def check_leaks(trace: CommTrace) -> list[Diagnostic]:
+    """Sends that no recv ever consumed: message leaks at finalize."""
+    matched = {r.matched_key for r in trace.recvs()}
+    leaked: dict[tuple[int, int, int, tuple], int] = {}
+    first: dict[tuple[int, int, int, tuple], SendEvent] = {}
+    for s in trace.sends():
+        if s.key in matched:
+            continue
+        group = (s.rank, s.dest, s.tag, s.context)
+        leaked[group] = leaked.get(group, 0) + 1
+        first.setdefault(group, s)
+    out = []
+    for group, count in sorted(leaked.items()):
+        rank, dest, tag, context = group
+        s = first[group]
+        out.append(
+            Diagnostic(
+                rule="comm.leak",
+                severity=Severity.ERROR,
+                location=Location(rank=rank, event=s.idx),
+                message=(
+                    f"{count} message(s) from rank {rank} to rank {dest} "
+                    f"with tag {tag} (context {context}) were sent but "
+                    f"never received"
+                ),
+                hint="every send needs a matching recv before finalize; "
+                "leaked messages hide lost data and mask deadlocks",
+            )
+        )
+    return out
+
+
+def find_wildcard_races(trace: CommTrace) -> list[Race]:
+    """MUST-style wildcard-match nondeterminism detection.
+
+    For every wildcard recv ``R`` that matched send ``M``, any send ``S``
+    from a *different* source that also matches ``R``'s pattern and is
+    not causally after ``R`` is a feasible alternative: the envelope
+    order at the receiving mailbox decided the match, not the program.
+    """
+    sends_by_key = {s.key: s for s in trace.sends()}
+    races: list[Race] = []
+    for r in trace.recvs():
+        if r.source != ANY_SOURCE and r.tag != ANY_TAG:
+            continue
+        matched_send = sends_by_key.get(r.matched_key)
+        for s in trace.sends():
+            if s.key == r.matched_key:
+                continue
+            if s.dest != r.rank or s.context != r.context:
+                continue
+            if s.rank == r.matched_source:
+                continue  # per-source FIFO: deterministic, not a race
+            if r.source != ANY_SOURCE and s.rank != r.source:
+                continue
+            if r.tag != ANY_TAG and s.tag != r.tag:
+                continue
+            # Causality: S is only an alternative if it has not seen R's
+            # tick — otherwise R happened-before S and S could never have
+            # been delivered at R.
+            if s.clock[r.rank] >= r.clock[r.rank]:
+                continue
+            # The actual match (if traced) must be concurrent with S for
+            # the order to be schedule-dependent: causally ordered sends
+            # enqueue at the receiver in order, so either direction of
+            # happens-before fixes the match.  With an untraced match we
+            # conservatively report.
+            if matched_send is not None and (
+                matched_send.clock[s.rank] >= s.clock[s.rank]
+                or s.clock[matched_send.rank]
+                >= matched_send.clock[matched_send.rank]
+            ):
+                continue
+            races.append(
+                Race(
+                    recv_rank=r.rank,
+                    recv_ordinal=r.ordinal,
+                    recv_idx=r.idx,
+                    source=r.source,
+                    tag=r.tag,
+                    matched=r.matched_key,
+                    alternative=s.key,
+                )
+            )
+    return races
+
+
+def _race_diagnostics(races: list[Race]) -> list[Diagnostic]:
+    out = []
+    for race in races:
+        m_rank, m_seq = race.matched
+        a_rank, a_seq = race.alternative
+        out.append(
+            Diagnostic(
+                rule="comm.wildcard-race",
+                severity=Severity.WARNING,
+                location=Location(rank=race.recv_rank, event=race.recv_idx),
+                message=(
+                    f"wildcard recv {_pattern(race.source, race.tag)} "
+                    f"matched send #{m_seq} from rank {m_rank}, but send "
+                    f"#{a_seq} from rank {a_rank} was a concurrent "
+                    f"alternative — the match is schedule-dependent"
+                ),
+                hint="name the source (or use distinct tags) if the "
+                "program's result depends on which message arrives; "
+                "confirm with the deterministic replay harness",
+            )
+        )
+    return out
+
+
+def check_collectives(trace: CommTrace) -> list[Diagnostic]:
+    """Cross-rank agreement on collective invocation counts per context.
+
+    Membership of the world context is every rank; for split contexts it
+    is only observable as "ranks that invoked something there", so a rank
+    that skipped a sub-communicator's collective entirely is attributed
+    to the world-context check of the enclosing ``split`` (itself a
+    collective).
+    """
+    # counts[context][name][rank] = invocations
+    counts: dict[tuple, dict[str, dict[int, int]]] = {}
+    for ev in trace.collectives():
+        per_name = counts.setdefault(ev.context, {})
+        per_rank = per_name.setdefault(ev.name, {})
+        per_rank[ev.rank] = per_rank.get(ev.rank, 0) + 1
+    out = []
+    for context in sorted(counts, key=str):
+        if len(context) == 1:  # the world context: all ranks participate
+            members = set(range(trace.size))
+        else:
+            members = {
+                ev.rank for ev in trace.collectives() if ev.context == context
+            }
+        for name, per_rank in sorted(counts[context].items()):
+            by_rank = {r: per_rank.get(r, 0) for r in sorted(members)}
+            if len(set(by_rank.values())) <= 1:
+                continue
+            listing = ", ".join(
+                f"rank {r}: {n}" for r, n in by_rank.items()
+            )
+            out.append(
+                Diagnostic(
+                    rule="comm.collective-mismatch",
+                    severity=Severity.ERROR,
+                    location=Location(rank=min(members)),
+                    message=(
+                        f"collective {name!r} on context {context} was "
+                        f"invoked a different number of times across "
+                        f"ranks: {listing}"
+                    ),
+                    hint="all ranks of a communicator must invoke each "
+                    "collective the same number of times, in the same "
+                    "order",
+                )
+            )
+    return out
+
+
+def check_sync_cycles(trace: CommTrace) -> list[Diagnostic]:
+    """Potential blocking cycles under synchronous (rendezvous) send.
+
+    The substrate buffers eagerly so these runs complete, but the same
+    program on an unbuffered MPI would deadlock: model each user send as
+    blocking until its matching recv executes, and each recv as blocked
+    behind every earlier operation of its rank (program order).  A cycle
+    among sends then means no rank can make progress.  Collective-internal
+    traffic (negative tags) is excluded — collective algorithms manage
+    their own ordering.
+    """
+    recvs_by_match = {r.matched_key: r for r in trace.recvs()}
+    user_sends = [s for s in trace.sends() if s.tag >= 0]
+    by_rank: dict[int, list[SendEvent]] = {}
+    for s in user_sends:
+        by_rank.setdefault(s.rank, []).append(s)
+    for sends in by_rank.values():
+        sends.sort(key=lambda s: s.idx)
+
+    g = nx.DiGraph()
+    for s in user_sends:
+        g.add_node(s.key)
+    # Program order: a send waits for the previous send of its own rank.
+    for sends in by_rank.values():
+        for prev, nxt in zip(sends, sends[1:]):
+            g.add_edge(nxt.key, prev.key)
+    # Rendezvous: a send completes only when its matching recv runs, and
+    # that recv runs only after the receiver's earlier sends completed.
+    for s in user_sends:
+        r = recvs_by_match.get(s.key)
+        if r is None:
+            continue  # unmatched: reported by the leak check instead
+        earlier = [e for e in by_rank.get(r.rank, []) if e.idx < r.idx]
+        if earlier:
+            g.add_edge(s.key, earlier[-1].key)
+
+    out = []
+    send_index = {s.key: s for s in user_sends}
+    for n, cycle in enumerate(nx.simple_cycles(g)):
+        if n >= MAX_REPORTED_CYCLES:
+            out.append(
+                Diagnostic(
+                    rule="comm.sync-cycle",
+                    severity=Severity.WARNING,
+                    location=Location(rank=-1),
+                    message=(
+                        f"more sync cycles exist; reporting stopped at "
+                        f"{MAX_REPORTED_CYCLES}"
+                    ),
+                )
+            )
+            break
+        hops = " -> ".join(
+            f"rank {send_index[k].rank} send#{send_index[k].seq}"
+            f"(to rank {send_index[k].dest}, tag {send_index[k].tag})"
+            for k in cycle
+        )
+        first = send_index[cycle[0]]
+        out.append(
+            Diagnostic(
+                rule="comm.sync-cycle",
+                severity=Severity.WARNING,
+                location=Location(rank=first.rank, event=first.idx),
+                message=(
+                    f"sends form a wait cycle under synchronous "
+                    f"(rendezvous) semantics: {hops}"
+                ),
+                hint="the run only completed because sends are buffered; "
+                "reorder send/recv (or use non-blocking receives) so no "
+                "rank sends while its peer is also sending",
+            )
+        )
+    return out
+
+
+def check_trace(trace: CommTrace) -> DiagnosticReport:
+    """Run every comm check over ``trace``; races are folded in as
+    diagnostics (use :func:`find_wildcard_races` for the structured
+    objects the replay harness consumes)."""
+    report = DiagnosticReport()
+    report.extend(check_rank_errors(trace))
+    report.extend(check_timeouts(trace))
+    report.extend(check_leaks(trace))
+    report.extend(_race_diagnostics(find_wildcard_races(trace)))
+    report.extend(check_collectives(trace))
+    report.extend(check_sync_cycles(trace))
+    return report

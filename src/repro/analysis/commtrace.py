@@ -1,0 +1,345 @@
+"""Trace recording for the dynamic comm checker.
+
+A :class:`CommTracer` attaches to a rank's communicator through the same
+no-op-when-absent seam the observability layer uses
+(:meth:`repro.mpi.mailbox.MailboxComm.attach_comm_tracer`): untraced runs
+pay one attribute check per send/recv.  When attached, the tracer
+
+* stamps every outgoing payload with the sender's **vector clock** and a
+  per-rank send sequence number (wrapped in :class:`TracedPayload`, which
+  the receiving tracer strips before user code sees it),
+* records one event per point-to-point operation and per collective
+  invocation, in per-rank program order,
+* optionally *replays* a recorded schedule: a directive can pin a
+  specific receive (by its per-rank ordinal) onto one source, which is
+  how a flagged wildcard race is confirmed (see
+  :mod:`repro.analysis.replay`).
+
+:func:`run_traced` is the harness: it runs an SPMD function under
+tracing on either backend and assembles every rank's event log into a
+:class:`CommTrace` for the analyses in :mod:`repro.analysis.commcheck`.
+Ranks that die of an :class:`~repro.mpi.api.MpiError` (e.g. a deadlock
+surfacing as ``RecvTimeout``) still contribute their partial trace —
+that is precisely the run you want to analyse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.mpi.api import ANY_SOURCE, ANY_TAG, MpiError
+from repro.mpi.launcher import run_spmd
+
+
+class TracedPayload:
+    """Wire wrapper a tracing sender puts around every payload."""
+
+    __slots__ = ("seq", "clock", "payload")
+
+    def __init__(self, seq: int, clock: tuple[int, ...], payload: Any):
+        self.seq = seq
+        self.clock = clock
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TracedPayload(seq={self.seq}, clock={self.clock})"
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """One ``send``: recorded at the sending rank."""
+
+    rank: int  # world rank of the sender
+    idx: int  # program-order event index on that rank
+    dest: int  # world rank of the destination
+    tag: int
+    context: tuple
+    seq: int  # per-rank send sequence number (unique key with rank)
+    clock: tuple[int, ...]
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Globally unique send identity: (sender world rank, seq)."""
+        return (self.rank, self.seq)
+
+
+@dataclass(frozen=True)
+class RecvEvent:
+    """One matched ``recv``: recorded at the receiving rank."""
+
+    rank: int
+    idx: int
+    ordinal: int  # this rank's recv-request counter (replay coordinate)
+    source: int  # requested pattern, world rank or ANY_SOURCE
+    tag: int  # requested pattern, or ANY_TAG
+    matched_source: int  # world rank actually matched
+    matched_tag: int
+    matched_seq: int  # sender's seq, or -1 for an untraced sender
+    context: tuple
+    clock: tuple[int, ...]
+
+    @property
+    def matched_key(self) -> tuple[int, int]:
+        return (self.matched_source, self.matched_seq)
+
+
+@dataclass(frozen=True)
+class TimeoutEvent:
+    """A blocking ``recv`` that starved (RecvTimeout)."""
+
+    rank: int
+    idx: int
+    ordinal: int
+    source: int  # pattern, world rank or ANY_SOURCE
+    tag: int
+    context: tuple
+
+
+@dataclass(frozen=True)
+class CollectiveEvent:
+    """One collective invocation entered by this rank."""
+
+    rank: int
+    idx: int
+    name: str
+    context: tuple
+
+
+Event = SendEvent | RecvEvent | TimeoutEvent | CollectiveEvent
+
+
+class CommTracer:
+    """Per-rank event recorder with a vector clock.
+
+    Implements the hook protocol the mailbox communicator calls:
+    ``on_send`` / ``on_recv_request`` / ``on_recv`` / ``on_timeout`` /
+    ``on_collective``.  ``schedule`` maps a recv ordinal to a forced
+    world source, turning a wildcard receive deterministic on replay.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        schedule: dict[int, int] | None = None,
+    ):
+        self.rank = rank
+        self.size = size
+        self.clock = [0] * size
+        self.events: list[Event] = []
+        self._send_seq = 0
+        self._recv_ordinal = 0
+        self._pending_ordinal = 0
+        self._schedule = dict(schedule or {})
+
+    # -- hook protocol (called from repro.mpi.mailbox) ---------------------
+
+    def on_send(self, comm, dest: int, tag: int, obj: Any) -> TracedPayload:
+        self.clock[self.rank] += 1
+        seq = self._send_seq
+        self._send_seq += 1
+        clock = tuple(self.clock)
+        self.events.append(
+            SendEvent(
+                rank=self.rank,
+                idx=len(self.events),
+                dest=comm.world_rank_of(dest),
+                tag=tag,
+                context=comm.context,
+                seq=seq,
+                clock=clock,
+            )
+        )
+        return TracedPayload(seq, clock, obj)
+
+    def on_recv_request(self, comm, source: int, tag: int) -> tuple[int, int]:
+        ordinal = self._recv_ordinal
+        self._recv_ordinal += 1
+        self._pending_ordinal = ordinal
+        forced = self._schedule.get(ordinal)
+        if forced is not None:
+            try:
+                source = comm.group_rank_of(forced)
+            except (AttributeError, ValueError):
+                pass  # directive does not apply to this communicator
+        return source, tag
+
+    def on_recv(
+        self, comm, source: int, tag: int, src: int, msg_tag: int, payload: Any
+    ) -> Any:
+        if isinstance(payload, TracedPayload):
+            seq = payload.seq
+            for i, c in enumerate(payload.clock):
+                if c > self.clock[i]:
+                    self.clock[i] = c
+            payload = payload.payload
+        else:  # sender was not tracing (e.g. attached mid-run)
+            seq = -1
+        self.clock[self.rank] += 1
+        self.events.append(
+            RecvEvent(
+                rank=self.rank,
+                idx=len(self.events),
+                ordinal=self._pending_ordinal,
+                source=(
+                    source if source == ANY_SOURCE else comm.world_rank_of(source)
+                ),
+                tag=tag,
+                matched_source=comm.world_rank_of(src),
+                matched_tag=msg_tag,
+                matched_seq=seq,
+                context=comm.context,
+                clock=tuple(self.clock),
+            )
+        )
+        return payload
+
+    def on_timeout(self, comm, source: int, tag: int) -> None:
+        self.events.append(
+            TimeoutEvent(
+                rank=self.rank,
+                idx=len(self.events),
+                ordinal=self._pending_ordinal,
+                source=(
+                    source if source == ANY_SOURCE else comm.world_rank_of(source)
+                ),
+                tag=tag,
+                context=comm.context,
+            )
+        )
+
+    def on_collective(self, comm, name: str) -> None:
+        self.events.append(
+            CollectiveEvent(
+                rank=self.rank,
+                idx=len(self.events),
+                name=name,
+                context=comm.context,
+            )
+        )
+
+
+@dataclass
+class RankTrace:
+    """One rank's recorded events plus its terminal error, if any."""
+
+    rank: int
+    events: list[Event] = field(default_factory=list)
+    error: str | None = None
+
+
+@dataclass
+class CommTrace:
+    """The assembled cross-rank trace the comm checker analyses."""
+
+    size: int
+    ranks: dict[int, RankTrace]
+
+    def events(self, kind: type | None = None) -> list[Event]:
+        """All events across ranks, optionally filtered by event class."""
+        out: list[Event] = []
+        for rank in sorted(self.ranks):
+            for ev in self.ranks[rank].events:
+                if kind is None or isinstance(ev, kind):
+                    out.append(ev)
+        return out
+
+    def sends(self) -> list[SendEvent]:
+        return self.events(SendEvent)  # type: ignore[return-value]
+
+    def recvs(self) -> list[RecvEvent]:
+        return self.events(RecvEvent)  # type: ignore[return-value]
+
+    def timeouts(self) -> list[TimeoutEvent]:
+        return self.events(TimeoutEvent)  # type: ignore[return-value]
+
+    def collectives(self) -> list[CollectiveEvent]:
+        return self.events(CollectiveEvent)  # type: ignore[return-value]
+
+    def errors(self) -> dict[int, str]:
+        return {
+            r: t.error for r, t in self.ranks.items() if t.error is not None
+        }
+
+
+@dataclass
+class TracedRun:
+    """Per-rank user results plus the assembled trace."""
+
+    results: list[Any]
+    trace: CommTrace
+
+
+def _traced_main(
+    comm,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    schedule: dict[int, dict[int, int]] | None,
+):
+    """SPMD wrapper installing a tracer around the user function.
+
+    Module-level so the process backend can pickle it under ``spawn``
+    (the user ``fn`` has the same constraint it always had).
+    """
+    rank_schedule = (schedule or {}).get(comm.rank)
+    tracer = CommTracer(comm.rank, comm.size, schedule=rank_schedule)
+    attach = getattr(comm, "attach_comm_tracer", None)
+    if attach is None:
+        raise TypeError(
+            f"communicator {comm!r} does not support comm tracing"
+        )
+    attach(tracer)
+    result = None
+    error = None
+    try:
+        result = fn(comm, *args, **kwargs)
+    except MpiError as exc:
+        # Keep the partial trace: a deadlocked/starved rank is exactly
+        # what the checker needs to see.
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        attach(None)
+    return result, tracer.events, error
+
+
+def run_traced(
+    fn: Callable[..., Any],
+    size: int,
+    backend: str = "thread",
+    args: Sequence[Any] = (),
+    kwargs: dict[str, Any] | None = None,
+    schedule: dict[int, dict[int, int]] | None = None,
+    **backend_options: Any,
+) -> TracedRun:
+    """Run ``fn(comm, *args, **kwargs)`` SPMD with comm tracing attached.
+
+    Parameters
+    ----------
+    schedule:
+        Optional replay directives: ``{rank: {recv_ordinal: forced_source}}``
+        with world-rank sources.  Replay assumes the program is piecewise
+        deterministic (its control flow up to the pinned receive does not
+        depend on the outcome being replayed) — the standard record/replay
+        assumption.
+    backend_options:
+        Forwarded to the backend (e.g. ``default_timeout=5.0`` to turn a
+        deadlock into a quick, analysable timeout).
+
+    Returns a :class:`TracedRun`; ranks that raised an ``MpiError`` have
+    ``None`` results and their error recorded on the trace.
+    """
+    outcomes = run_spmd(
+        _traced_main,
+        size=size,
+        backend=backend,
+        args=(fn, tuple(args), dict(kwargs or {}), schedule),
+        **backend_options,
+    )
+    ranks = {}
+    results = []
+    for rank, (result, events, error) in enumerate(outcomes):
+        ranks[rank] = RankTrace(rank=rank, events=list(events), error=error)
+        results.append(result)
+    return TracedRun(results=results, trace=CommTrace(size=size, ranks=ranks))

@@ -1,0 +1,152 @@
+"""The shared diagnostic model for every analysis pass.
+
+All three checkers — the graph linter, the dynamic comm checker and the
+repo-wide AST lint — report through one vocabulary: a :class:`Diagnostic`
+carries a stable rule id (``pass.rule`` form, e.g. ``graph.cycle`` or
+``comm.leak``), a :class:`Severity`, a :class:`Location` naming where the
+defect lives (a file line, a graph element, or a rank/event), a message,
+and an optional fix hint.  ``repro lint`` renders and aggregates them
+uniformly, and tests assert on rule ids instead of message text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so max() picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points.
+
+    Exactly one "coordinate system" is populated per diagnostic: file
+    locations carry ``path``/``line``; graph locations carry ``graph``
+    and ``element`` (a component, edge or rank description); trace
+    locations carry ``rank`` and ``event`` (a program-order event index).
+    """
+
+    path: str | None = None
+    line: int | None = None
+    graph: str | None = None
+    element: str | None = None
+    rank: int | None = None
+    event: int | None = None
+
+    def __str__(self) -> str:
+        if self.path is not None:
+            where = self.path if self.line is None else f"{self.path}:{self.line}"
+            return where
+        if self.graph is not None:
+            if self.element is not None:
+                return f"{self.graph}::{self.element}"
+            return self.graph
+        if self.rank is not None:
+            if self.event is not None:
+                return f"rank {self.rank} event #{self.event}"
+            return f"rank {self.rank}"
+        return "<unknown>"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from an analysis pass."""
+
+    rule: str
+    severity: Severity
+    location: Location
+    message: str
+    hint: str | None = None
+
+    def render(self) -> str:
+        """One-line (plus optional hint line) human-readable form."""
+        line = f"{self.location}: {self.severity}: {self.rule}: {self.message}"
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by ``repro lint --format json``)."""
+        loc = {
+            k: v
+            for k, v in vars(self.location).items()
+            if v is not None
+        }
+        out = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "location": loc,
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with summary helpers."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    def worst(self) -> Severity | None:
+        """The highest severity present, or None when clean."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def sorted(self) -> list[Diagnostic]:
+        """Stable severity-major ordering (worst first) for rendering."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (-int(d.severity), d.rule, str(d.location)),
+        )
+
+    def render(self) -> str:
+        """Full text report: one block per diagnostic plus a summary line."""
+        lines = [d.render() for d in self.sorted()]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        n = len(self.diagnostics)
+        return (
+            f"{n} diagnostic(s): {self.errors} error(s), "
+            f"{self.warnings} warning(s), {self.count(Severity.INFO)} info"
+        )

@@ -1,0 +1,300 @@
+"""AST-based lint rules the repository holds itself to.
+
+These are *project* rules, not general style: each one guards an
+invariant another subsystem relies on.  Rule catalogue (ids prefixed
+``repo.``):
+
+===================  ========  =================================================
+rule                 severity  fires when
+===================  ========  =================================================
+repo.wall-clock      error     a component handler (``generate`` /
+                               ``on_message`` / ``on_stop``) calls wall-clock
+                               time (``time.time``, ``datetime.now``, ...) —
+                               handlers must use the session/grid clock so
+                               replays are deterministic
+repo.metric-name     warning   an obs metric name (``.counter()`` /
+                               ``.gauge()`` / ``.histogram()`` / ``.timer()``
+                               literal) does not follow the lowercase
+                               dot-separated ``area.noun.unit`` convention
+repo.bare-except     error     a bare ``except:`` clause (swallows
+                               KeyboardInterrupt and hides rank failures)
+repo.mutable-default error     a function parameter defaults to a mutable
+                               literal (list/dict/set) or constructor
+repo.mpi-bounds      error     a public ``repro.mpi`` point-to-point entry
+                               point neither validates peer/tag bounds nor
+                               delegates to one that does
+===================  ========  =================================================
+
+Suppression: append ``# repro-lint: disable=<rule>[,<rule>...]`` (or
+``disable=all``) to the flagged line.  Timing-loop code that samples
+``time.time`` legitimately, say, carries the suppression next to the
+call so the exemption is reviewable in place.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+)
+
+#: Handler names that make a class "a component" for the wall-clock rule.
+_HANDLER_NAMES = frozenset({"generate", "on_message", "on_stop"})
+
+#: Attribute accesses that read the wall clock.
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "localtime"),
+    ("time", "ctime"),
+    ("datetime", "now"),
+    ("datetime", "today"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+#: Metric factory methods whose first literal argument is a metric name.
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram", "timer"})
+
+#: area.noun[.unit] — lowercase dot-separated, optional [bucket] suffixes.
+_METRIC_NAME_RE = re.compile(
+    r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+(\[[^\]]+\])?)+$"
+)
+_METRIC_PREFIX_RE = re.compile(r"^[a-z][a-z0-9_]*\.")
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([\w.,\s-]+)")
+
+#: Point-to-point entry points and the bound checks that absolve them.
+_P2P_METHODS = frozenset({"send", "isend", "recv", "irecv", "iprobe"})
+_BOUND_CHECKS = frozenset({"_check_peer", "_check_user_tag"})
+
+
+def _suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on them."""
+    out: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            out[i] = {part.strip() for part in m.group(1).split(",")}
+    return out
+
+
+class _Finding:
+    __slots__ = ("rule", "severity", "line", "message", "hint")
+
+    def __init__(self, rule, severity, line, message, hint=None):
+        self.rule = rule
+        self.severity = severity
+        self.line = line
+        self.message = message
+        self.hint = hint
+
+
+def _check_bare_except(tree: ast.AST) -> Iterator[_Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield _Finding(
+                "repo.bare-except", Severity.ERROR, node.lineno,
+                "bare 'except:' swallows KeyboardInterrupt and SystemExit",
+                hint="catch Exception (or something narrower) instead",
+            )
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "bytearray"}
+    return False
+
+
+def _check_mutable_defaults(tree: ast.AST) -> Iterator[_Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield _Finding(
+                    "repo.mutable-default", Severity.ERROR, default.lineno,
+                    f"function {node.name!r} has a mutable default argument",
+                    hint="default to None and create the container in the "
+                    "body",
+                )
+
+
+def _wall_clock_calls(body: list[ast.stmt]) -> Iterator[ast.Call]:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            base_name = None
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif isinstance(base, ast.Attribute):
+                base_name = base.attr
+            if (base_name, func.attr) in _WALL_CLOCK:
+                yield node
+
+
+def _check_wall_clock(tree: ast.AST) -> Iterator[_Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if not (_HANDLER_NAMES & set(methods)):
+            continue
+        for name in sorted(_HANDLER_NAMES & set(methods)):
+            for call in _wall_clock_calls(methods[name].body):
+                yield _Finding(
+                    "repo.wall-clock", Severity.ERROR, call.lineno,
+                    f"component handler {node.name}.{name} reads the wall "
+                    f"clock",
+                    hint="handlers must be replay-deterministic: take time "
+                    "from the quote/bar stream (the session clock), not "
+                    "the host",
+                )
+
+
+def _check_metric_names(tree: ast.AST) -> Iterator[_Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in _METRIC_FACTORIES:
+            continue
+        arg = node.args[0]
+        bad = None
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not _METRIC_NAME_RE.match(arg.value):
+                bad = arg.value
+        elif isinstance(arg, ast.JoinedStr) and arg.values:
+            first = arg.values[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                if not _METRIC_PREFIX_RE.match(first.value):
+                    bad = first.value + "..."
+        if bad is not None:
+            yield _Finding(
+                "repo.metric-name", Severity.WARNING, arg.lineno,
+                f"metric name {bad!r} does not follow the "
+                f"'area.noun.unit' convention",
+                hint="lowercase dot-separated segments, leading area "
+                "prefix (e.g. 'mpi.sent.bytes')",
+            )
+
+
+def _raises_not_implemented(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name == "NotImplementedError":
+                return True
+    return False
+
+
+def _check_mpi_bounds(tree: ast.AST, path: str) -> Iterator[_Finding]:
+    if "repro/mpi/" not in path.replace("\\", "/"):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name not in _P2P_METHODS:
+                continue
+            if _raises_not_implemented(stmt):
+                continue  # abstract declaration, nothing to validate
+            attrs = {
+                n.attr for n in ast.walk(stmt) if isinstance(n, ast.Attribute)
+            }
+            delegates = (_P2P_METHODS - {stmt.name}) & attrs
+            if _BOUND_CHECKS & attrs or delegates:
+                continue
+            yield _Finding(
+                "repo.mpi-bounds", Severity.ERROR, stmt.lineno,
+                f"MPI entry point {node.name}.{stmt.name} neither checks "
+                f"peer/tag bounds nor delegates to one that does",
+                hint="call self._check_peer/_check_user_tag (or delegate "
+                "to a checked primitive) before touching mailboxes",
+            )
+
+
+def lint_source(text: str, path: str) -> list[Diagnostic]:
+    """Lint one module's source text; ``path`` is used for reporting."""
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="repo.syntax",
+                severity=Severity.ERROR,
+                location=Location(path=path, line=exc.lineno or 0),
+                message=f"module does not parse: {exc.msg}",
+            )
+        ]
+    lines = text.splitlines()
+    suppressed = _suppressions(lines)
+    findings: list[_Finding] = []
+    findings.extend(_check_bare_except(tree))
+    findings.extend(_check_mutable_defaults(tree))
+    findings.extend(_check_wall_clock(tree))
+    findings.extend(_check_metric_names(tree))
+    findings.extend(_check_mpi_bounds(tree, path))
+
+    out = []
+    for f in sorted(findings, key=lambda f: (f.line, f.rule)):
+        rules_off = suppressed.get(f.line, set())
+        if "all" in rules_off or f.rule in rules_off:
+            continue
+        out.append(
+            Diagnostic(
+                rule=f.rule,
+                severity=f.severity,
+                location=Location(path=path, line=f.line),
+                message=f.message,
+                hint=f.hint,
+            )
+        )
+    return out
+
+
+def lint_paths(paths: list[Path], root: Path | None = None) -> DiagnosticReport:
+    """Lint a list of Python files; paths are reported relative to ``root``."""
+    report = DiagnosticReport()
+    for p in sorted(paths):
+        rel = str(p.relative_to(root)) if root is not None else str(p)
+        report.extend(lint_source(p.read_text(encoding="utf-8"), rel))
+    return report
+
+
+def lint_tree(root: Path) -> DiagnosticReport:
+    """Lint every ``*.py`` under ``root`` (the repo-wide pass)."""
+    root = Path(root)
+    paths = [p for p in root.rglob("*.py") if "__pycache__" not in p.parts]
+    return lint_paths(paths, root=root.parent)

@@ -8,6 +8,7 @@ One executable, ``repro``, with a subcommand per common workflow::
     repro pipeline --symbols 6        # stream a Figure-1 live session
     repro screen --symbols 12         # candidate-pair screening funnel
     repro stats obs.json              # render a telemetry report
+    repro lint --strict               # graph-spec lint + repo AST lint
 
 Every command is deterministic given ``--seed`` and prints plain text, so
 the CLI doubles as a smoke test of the whole stack.  ``pipeline``,
@@ -205,6 +206,57 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_workflow(args: argparse.Namespace):
+    """A small Figure-1 workflow whose spec the graph linter validates."""
+    from repro.marketminer.session import build_figure1_workflow
+    from repro.strategy.params import StrategyParams
+    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+    from repro.taq.universe import default_universe
+    from repro.util.timeutil import TimeGrid
+
+    market = SyntheticMarket(
+        default_universe(args.symbols),
+        SyntheticMarketConfig(trading_seconds=args.seconds, quote_rate=0.9),
+        seed=args.seed,
+    )
+    grid_time = TimeGrid(30, trading_seconds=args.seconds)
+    params = StrategyParams(m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001)
+    return build_figure1_workflow(
+        market,
+        grid_time,
+        list(market.universe.pairs()),
+        [params],
+        n_corr_engines=args.engines,
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import DiagnosticReport, lint_graph, lint_tree
+
+    report = DiagnosticReport()
+    if not args.skip_graph:
+        spec = _lint_workflow(args).spec()
+        report.extend(
+            lint_graph(spec, size=args.ranks, rank_budget=args.rank_budget)
+        )
+    if not args.skip_repo:
+        root = Path(args.root) if args.root else None
+        if root is None:
+            import repro
+
+            root = Path(repro.__file__).resolve().parent
+        if not root.exists():
+            print(f"repo lint root not found: {root}", file=sys.stderr)
+            return 2
+        for diag in lint_tree(root):
+            report.add(diag)
+    print(report.render())
+    failed = report.errors > 0 or (args.strict and report.warnings > 0)
+    return 1 if failed else 0
+
+
 def _cmd_screen(args: argparse.Namespace) -> int:
     from repro.backtest.data import BarProvider
     from repro.corr.clustering import (
@@ -298,6 +350,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("path", help="path to a repro.obs/v1 JSON report")
 
+    p = sub.add_parser(
+        "lint",
+        help="static checks: graph lint on the Figure-1 spec + repo AST lint",
+    )
+    _add_market_args(p, symbols=6)
+    p.add_argument("--ranks", type=int, default=2,
+                   help="scheduler size the placement rules validate against")
+    p.add_argument("--engines", type=int, default=1,
+                   help="parallel correlation engines in the linted spec")
+    p.add_argument("--rank-budget", type=float, default=None,
+                   help="flag ranks whose placed weight exceeds this budget")
+    p.add_argument("--root", metavar="DIR", default=None,
+                   help="repo-lint this tree (default: the installed "
+                   "repro package)")
+    p.add_argument("--skip-graph", action="store_true",
+                   help="skip the graph-spec lint pass")
+    p.add_argument("--skip-repo", action="store_true",
+                   help="skip the repo AST lint pass")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings, not just errors")
+
     p = sub.add_parser("screen", help="candidate-pair screening funnel")
     _add_market_args(p, symbols=12)
     p.add_argument("--threshold", type=float, default=0.5)
@@ -315,6 +388,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "screen": _cmd_screen,
     "stats": _cmd_stats,
+    "lint": _cmd_lint,
 }
 
 

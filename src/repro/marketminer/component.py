@@ -71,6 +71,8 @@ class Component:
         input_ports: tuple[str, ...] = (),
         output_ports: tuple[str, ...] = (),
         weight: float = 1.0,
+        max_fan_in: dict[str, int] | None = None,
+        max_fan_out: dict[str, int] | None = None,
     ):
         if not name or not isinstance(name, str):
             raise ValueError(f"component name must be a non-empty string, got {name!r}")
@@ -84,6 +86,32 @@ class Component:
         self.input_ports = tuple(input_ports)
         self.output_ports = tuple(output_ports)
         self.weight = float(weight)
+        # Optional arity contracts: per-port caps on how many edges may
+        # attach.  Enforced by the graph linter, not by connect(), so a
+        # violating spec is diagnosable rather than unrepresentable.
+        self.max_fan_in = self._check_arity(max_fan_in, self.input_ports, "input")
+        self.max_fan_out = self._check_arity(
+            max_fan_out, self.output_ports, "output"
+        )
+
+    def _check_arity(
+        self,
+        caps: dict[str, int] | None,
+        ports: tuple[str, ...],
+        kind: str,
+    ) -> dict[str, int]:
+        caps = dict(caps or {})
+        for port, cap in caps.items():
+            if port not in ports:
+                raise ValueError(
+                    f"{self.name}: fan cap for undeclared {kind} port {port!r}"
+                )
+            if cap < 1:
+                raise ValueError(
+                    f"{self.name}: fan cap for {kind} port {port!r} must be "
+                    f">= 1, got {cap}"
+                )
+        return caps
 
     @property
     def is_source(self) -> bool:

@@ -6,11 +6,19 @@ runtime relies on: the component graph is a DAG, every edge references
 declared ports, every non-source component is reachable from a source,
 and every input port has at least one inbound edge (a silent port would
 hold its component's end-of-stream forever).
+
+For static analysis the workflow exports a plain-data view of itself
+(:meth:`Workflow.spec`, a :class:`GraphSpec` of :class:`ComponentSpec`
+rows plus edges).  A :class:`GraphSpec` can also be constructed directly
+— including deliberately malformed ones — which is what the graph linter
+in :mod:`repro.analysis.graphlint` operates on, so defective graphs can
+be *diagnosed* rather than rejected at construction time the way
+``Workflow`` rejects them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import networkx as nx
 
@@ -19,12 +27,75 @@ from repro.marketminer.component import Component
 
 @dataclass(frozen=True, slots=True)
 class Edge:
-    """One connection: (src component, src port) → (dst component, dst port)."""
+    """One connection: (src component, src port) → (dst component, dst port).
+
+    ``tag`` is an optional declared MPI tag for the edge's cross-rank
+    traffic.  The runtime routes data by payload header on one shared tag,
+    so the field is purely declarative — it documents the intended tag
+    layout of an equivalent raw-MPI wiring and feeds the graph linter's
+    tag-collision rule.  ``None`` means "payload-routed" (the default),
+    which can never collide.
+    """
 
     src: str
     src_port: str
     dst: str
     dst_port: str
+    tag: int | None = None
+
+    @property
+    def endpoints(self) -> tuple[str, str, str, str]:
+        """The logical identity of the edge (ignores the declared tag)."""
+        return (self.src, self.src_port, self.dst, self.dst_port)
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Plain-data contract of one component, as seen by the graph linter."""
+
+    name: str
+    input_ports: tuple[str, ...] = ()
+    output_ports: tuple[str, ...] = ()
+    weight: float = 1.0
+    #: Per-input-port cap on inbound edge count (ports absent = unbounded).
+    max_fan_in: dict[str, int] = field(default_factory=dict)
+    #: Per-output-port cap on outbound edge count (ports absent = unbounded).
+    max_fan_out: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_source(self) -> bool:
+        return not self.input_ports
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A workflow reduced to checkable data: component contracts + edges.
+
+    Unlike :class:`Workflow`, construction performs no validation, so a
+    spec may describe a cyclic, orphaned or tag-colliding graph — the
+    point is to let :mod:`repro.analysis.graphlint` report *all* defects
+    as diagnostics instead of stopping at the first.
+    """
+
+    name: str
+    components: dict[str, ComponentSpec]
+    edges: tuple[Edge, ...]
+
+    def in_edges(self, name: str) -> list[Edge]:
+        return [e for e in self.edges if e.dst == name]
+
+    def out_edges(self, name: str) -> list[Edge]:
+        return [e for e in self.edges if e.src == name]
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Component-level digraph (ports collapsed), nodes carry weights."""
+        g = nx.DiGraph()
+        for name, comp in self.components.items():
+            g.add_node(name, weight=comp.weight)
+        for e in self.edges:
+            if e.src in self.components and e.dst in self.components:
+                g.add_edge(e.src, e.dst)
+        return g
 
 
 class Workflow:
@@ -44,8 +115,20 @@ class Workflow:
         self._components[component.name] = component
         return component
 
-    def connect(self, src: str, src_port: str, dst: str, dst_port: str) -> None:
-        """Connect an output port to an input port."""
+    def connect(
+        self,
+        src: str,
+        src_port: str,
+        dst: str,
+        dst_port: str,
+        tag: int | None = None,
+    ) -> None:
+        """Connect an output port to an input port.
+
+        ``tag`` optionally declares the MPI tag an equivalent raw-MPI
+        wiring would carry this edge on (see :class:`Edge`); it must be a
+        valid user tag (>= 0).
+        """
         src_c = self._require(src)
         dst_c = self._require(dst)
         if src_port not in src_c.output_ports:
@@ -58,8 +141,10 @@ class Workflow:
                 f"{dst!r} has no input port {dst_port!r} "
                 f"(has {list(dst_c.input_ports)})"
             )
-        edge = Edge(src, src_port, dst, dst_port)
-        if edge in self._edges:
+        if tag is not None and tag < 0:
+            raise ValueError(f"edge tags must be >= 0, got {tag}")
+        edge = Edge(src, src_port, dst, dst_port, tag=tag)
+        if any(e.endpoints == edge.endpoints for e in self._edges):
             raise ValueError(f"duplicate edge {edge}")
         self._edges.append(edge)
 
@@ -100,6 +185,24 @@ class Workflow:
         for e in self._edges:
             g.add_edge(e.src, e.dst)
         return g
+
+    def spec(self) -> GraphSpec:
+        """This workflow as a plain-data :class:`GraphSpec` for analysis."""
+        return GraphSpec(
+            name=self.name,
+            components={
+                name: ComponentSpec(
+                    name=name,
+                    input_ports=comp.input_ports,
+                    output_ports=comp.output_ports,
+                    weight=comp.weight,
+                    max_fan_in=dict(comp.max_fan_in),
+                    max_fan_out=dict(comp.max_fan_out),
+                )
+                for name, comp in self._components.items()
+            },
+            edges=tuple(self._edges),
+        )
 
     # -- validation ------------------------------------------------------------
 

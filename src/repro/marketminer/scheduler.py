@@ -25,10 +25,11 @@ every edge is guaranteed exactly one EOS.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Any
 
 from repro.marketminer.component import Context
-from repro.marketminer.graph import Workflow
+from repro.marketminer.graph import GraphSpec, Workflow
 from repro.mpi.api import Comm
 from repro.mpi.topology import RankMap, contract_dag
 from repro.obs import Obs, build_report, ensure_obs
@@ -38,6 +39,51 @@ DATA_TAG = 1
 
 _DATA = "data"
 _EOS = "eos"
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """Static view of a component→rank placement, for analysis tooling.
+
+    ``loads[r]`` is the accumulated declared weight on rank ``r`` — the
+    quantity the placement heuristic balances and the graph linter's
+    rank-budget rule audits.
+    """
+
+    size: int
+    assignment: dict[str, int]
+    loads: tuple[float, ...]
+
+    def components_of(self, rank: int) -> tuple[str, ...]:
+        """Components hosted on ``rank``, in placement order."""
+        return tuple(c for c, r in self.assignment.items() if r == rank)
+
+    def idle_ranks(self) -> tuple[int, ...]:
+        """Ranks that host no component at all."""
+        hosted = set(self.assignment.values())
+        return tuple(r for r in range(self.size) if r not in hosted)
+
+
+def placement_report(
+    spec: GraphSpec | Workflow, size: int
+) -> PlacementReport:
+    """Compute the deterministic placement a runner of ``size`` ranks uses.
+
+    Accepts either a built :class:`Workflow` or its plain-data
+    :class:`GraphSpec`; the graph must be acyclic (the same precondition
+    the runtime has).
+    """
+    if isinstance(spec, Workflow):
+        spec = spec.spec()
+    weights = {name: c.weight for name, c in spec.components.items()}
+    rank_map = contract_dag(spec.to_networkx(), size, weights=weights)
+    loads = [0.0] * size
+    assignment = dict(rank_map.assignment)
+    for name, rank in assignment.items():
+        loads[rank] += weights.get(name, 1.0)
+    return PlacementReport(
+        size=size, assignment=assignment, loads=tuple(loads)
+    )
 
 
 class WorkflowRunner:

@@ -35,11 +35,16 @@ def _count_invocation(comm, name: str) -> None:
 
     Lives here (not only in the timed MailboxComm wrappers) so nested
     invocations — allgather's internal gather+bcast, Comm.split's
-    membership exchange — are observable too.
+    membership exchange — are observable too.  The comm-checker tracer
+    (when attached) is notified through the same seam, giving it the
+    per-rank collective call sequence it cross-checks at finalize.
     """
     obs = getattr(comm, "obs", None)
     if obs is not None and obs.enabled:
         obs.metrics.counter(f"mpi.coll.{name}.count").inc()
+    tracer = getattr(comm, "comm_tracer", None)
+    if tracer is not None:
+        tracer.on_collective(comm, name)
 
 
 def barrier(comm, timeout: float | None = None) -> None:

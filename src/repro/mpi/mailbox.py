@@ -48,16 +48,18 @@ class _Endpoint:
     Holds the inbox queue and the pending (arrived-but-unmatched) list; the
     pending list must be shared so a message parked while one communicator
     was receiving is still found by its real target communicator.  The
-    observability handle also lives here so that split sub-communicators
-    report into the same per-rank registry.
+    observability handle and the comm tracer (the dynamic comm checker's
+    event hook, see :mod:`repro.analysis.commtrace`) also live here so
+    that split sub-communicators share the rank's instrumentation.
     """
 
-    __slots__ = ("inbox", "pending", "obs")
+    __slots__ = ("inbox", "pending", "obs", "tracer")
 
     def __init__(self, inbox):
         self.inbox = inbox
         self.pending: list[Envelope] = []
         self.obs = None
+        self.tracer = None
 
 
 class MailboxComm(Comm):
@@ -139,6 +141,20 @@ class MailboxComm(Comm):
         self._check_peer(rank, "rank")
         return self._group[rank]
 
+    def group_rank_of(self, world_rank: int) -> int:
+        """Translate a world rank to this communicator's numbering.
+
+        Raises ``ValueError`` when the world rank is not a member of this
+        communicator's group.
+        """
+        try:
+            return self._group.index(world_rank)
+        except ValueError:
+            raise ValueError(
+                f"world rank {world_rank} is not in communicator group "
+                f"{self._group}"
+            ) from None
+
     # -- observability ----------------------------------------------------
 
     @property
@@ -155,6 +171,23 @@ class MailboxComm(Comm):
         if obs is not None and obs.enabled:
             return obs.metrics.timer(f"mpi.coll.{name}.seconds")
         return NULL_METRIC
+
+    # -- comm tracing ------------------------------------------------------
+
+    @property
+    def comm_tracer(self):
+        """The rank's comm-checker tracer (shared across split comms)."""
+        return self._endpoint.tracer
+
+    def attach_comm_tracer(self, tracer) -> None:
+        """Install a comm-event tracer (None detaches it).
+
+        The tracer sees every point-to-point envelope and collective
+        invocation on this rank; when none is attached (the default) the
+        hot paths pay a single attribute check.  See
+        :mod:`repro.analysis.commtrace`.
+        """
+        self._endpoint.tracer = tracer
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -178,6 +211,9 @@ class MailboxComm(Comm):
             m.counter("mpi.sent.bytes").inc(payload_nbytes(obj))
             bucket = tag if tag >= 0 else "collective"
             m.counter(f"mpi.sent.tag[{bucket}]").inc()
+        tracer = self._endpoint.tracer
+        if tracer is not None:
+            obj = tracer.on_send(self, dest, tag, obj)
         self._deliver(self._group[dest], (self._context, self._rank, tag, obj))
 
     def recv(
@@ -187,6 +223,11 @@ class MailboxComm(Comm):
         timeout: float | None = None,
         return_status: bool = False,
     ) -> Any:
+        tracer = self._endpoint.tracer
+        if tracer is not None:
+            # A replay schedule may narrow this receive's matching pattern
+            # (e.g. force a wildcard onto one specific source).
+            source, tag = tracer.on_recv_request(self, source, tag)
         if source != ANY_SOURCE:
             self._check_peer(source, "source")
         if timeout is None:
@@ -194,10 +235,17 @@ class MailboxComm(Comm):
         deadline = None if timeout is None else time.monotonic() + timeout
 
         # First try to satisfy the receive from already-parked messages.
-        env = self._match_pending(source, tag)
-        while env is None:
-            env = self._pull_inbox(deadline, source, tag)
+        try:
+            env = self._match_pending(source, tag)
+            while env is None:
+                env = self._pull_inbox(deadline, source, tag, timeout)
+        except RecvTimeout:
+            if tracer is not None:
+                tracer.on_timeout(self, source, tag)
+            raise
         _, src, msg_tag, payload = env
+        if tracer is not None:
+            payload = tracer.on_recv(self, source, tag, src, msg_tag, payload)
         obs = self._endpoint.obs
         if obs is not None and obs.enabled:
             m = obs.metrics
@@ -234,7 +282,11 @@ class MailboxComm(Comm):
         return None
 
     def _pull_inbox(
-        self, deadline: float | None, source: int, tag: int
+        self,
+        deadline: float | None,
+        source: int,
+        tag: int,
+        timeout: float | None = None,
     ) -> Envelope | None:
         """Block for one inbox envelope; return it if it matches, else park it.
 
@@ -246,12 +298,7 @@ class MailboxComm(Comm):
             else:
                 wait = min(_POLL_SLICE, deadline - time.monotonic())
                 if wait <= 0:
-                    raise RecvTimeout(
-                        f"rank {self._rank} (context {self._context}): no "
-                        f"message matching (source={source}, tag={tag}) "
-                        f"within timeout; {len(self._endpoint.pending)} "
-                        f"unmatched message(s) pending"
-                    )
+                    raise RecvTimeout(self._timeout_message(source, tag, timeout))
             try:
                 env = self._endpoint.inbox.get(timeout=wait)
             except queue.Empty:
@@ -260,6 +307,38 @@ class MailboxComm(Comm):
                 return env
             self._endpoint.pending.append(env)
             return None
+
+    def _timeout_message(
+        self, source: int, tag: int, timeout: float | None
+    ) -> str:
+        """Full context for a recv timeout: who waited, for what, on what.
+
+        Multi-rank deadlocks are diagnosed from this one string, so it
+        names the waiting rank and communicator, spells out wildcards, and
+        summarises the unmatched messages actually parked at the rank —
+        the usual culprits (wrong tag, wrong source) are then visible
+        directly instead of being misattributed to a slow sender.
+        """
+        want_src = "ANY_SOURCE" if source == ANY_SOURCE else str(source)
+        want_tag = "ANY_TAG" if tag == ANY_TAG else str(tag)
+        within = "" if timeout is None else f" within {timeout:g}s"
+        pending = self._endpoint.pending
+        if pending:
+            shown = ", ".join(
+                f"(source={src}, tag={t})" for _, src, t, _ in pending[:8]
+            )
+            extra = f", +{len(pending) - 8} more" if len(pending) > 8 else ""
+            parked = (
+                f"; {len(pending)} unmatched message(s) pending at this "
+                f"rank: {shown}{extra}"
+            )
+        else:
+            parked = "; no unmatched messages pending at this rank"
+        return (
+            f"recv timeout: rank {self._rank}/{self._size} (context "
+            f"{self._context}) saw no message matching (source={want_src}, "
+            f"tag={want_tag}){within}{parked}"
+        )
 
     def _drain_inbox_nonblocking(self) -> None:
         while True:

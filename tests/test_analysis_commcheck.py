@@ -1,0 +1,271 @@
+"""Dynamic comm-checker tests: tracing, leak/race/collective/cycle
+detection, and replay confirmation of a flagged wildcard race.
+
+SPMD functions are module-level so the same fixtures can run on the
+process backend where needed (spawn must pickle them).
+"""
+
+import pytest
+
+from repro.analysis import (
+    CommTracer,
+    check_collectives,
+    check_leaks,
+    check_sync_cycles,
+    check_trace,
+    find_wildcard_races,
+    replay_race,
+    run_traced,
+)
+from repro.mpi.api import ANY_SOURCE
+from repro.mpi.collectives import barrier, bcast
+
+
+# -- SPMD fixtures ----------------------------------------------------------
+
+
+def _pingpong(comm):
+    if comm.rank == 0:
+        comm.send("hi", 1, tag=3)
+        return comm.recv(source=1, tag=4)
+    if comm.rank == 1:
+        msg = comm.recv(source=0, tag=3)
+        comm.send(msg + " back", 0, tag=4)
+        return msg
+    return None
+
+
+def _leaky(comm):
+    if comm.rank == 0:
+        comm.send("wanted", 1, tag=1)
+        comm.send("orphan-a", 1, tag=2)  # never received
+        comm.send("orphan-b", 1, tag=2)  # never received
+    elif comm.rank == 1:
+        return comm.recv(source=0, tag=1)
+    return None
+
+
+def _wildcard_race(comm):
+    if comm.rank == 0:
+        first = comm.recv(source=ANY_SOURCE, tag=7)
+        second = comm.recv(source=ANY_SOURCE, tag=7)
+        return [first, second]
+    comm.send(comm.rank, 0, tag=7)
+    return None
+
+
+def _named_sources(comm):
+    """Same shape as _wildcard_race but with named sources: no race."""
+    if comm.rank == 0:
+        return [comm.recv(source=1, tag=7), comm.recv(source=2, tag=7)]
+    comm.send(comm.rank, 0, tag=7)
+    return None
+
+
+def _fifo_same_source(comm):
+    """Two sends from ONE source into a wildcard recv: FIFO, no race."""
+    if comm.rank == 0:
+        return [
+            comm.recv(source=ANY_SOURCE, tag=7),
+            comm.recv(source=ANY_SOURCE, tag=7),
+        ]
+    if comm.rank == 1:
+        comm.send("a", 0, tag=7)
+        comm.send("b", 0, tag=7)
+    return None
+
+
+def _causally_ordered(comm):
+    """Rank 2 sends only after seeing rank 1's message relayed by rank 0:
+    the two sends into the wildcard are ordered, not concurrent."""
+    if comm.rank == 0:
+        first = comm.recv(source=ANY_SOURCE, tag=7)
+        comm.send("go", 2, tag=8)
+        second = comm.recv(source=ANY_SOURCE, tag=7)
+        return [first, second]
+    if comm.rank == 1:
+        comm.send("from-1", 0, tag=7)
+    if comm.rank == 2:
+        comm.recv(source=0, tag=8)
+        comm.send("from-2", 0, tag=7)
+    return None
+
+
+def _lopsided_collective(comm):
+    barrier(comm)
+    if comm.rank == 0:
+        barrier(comm)  # extra invocation only on rank 0
+    return None
+
+
+def _head_to_head(comm):
+    peer = 1 - comm.rank
+    comm.send(f"r{comm.rank}", peer, tag=5)
+    return comm.recv(source=peer, tag=5)
+
+
+def _bcast_chain(comm):
+    return bcast(comm, "payload" if comm.rank == 0 else None, root=0)
+
+
+# -- tests ------------------------------------------------------------------
+
+
+class TestTracing:
+    def test_clean_program_has_no_diagnostics(self):
+        run = run_traced(_pingpong, 2, default_timeout=10.0)
+        assert run.results == ["hi back", "hi"]
+        report = check_trace(run.trace)
+        assert len(report) == 0, report.render()
+
+    def test_events_carry_vector_clocks(self):
+        run = run_traced(_pingpong, 2, default_timeout=10.0)
+        sends = run.trace.sends()
+        recvs = run.trace.recvs()
+        assert len(sends) == 2 and len(recvs) == 2
+        reply = next(s for s in sends if s.rank == 1)
+        # Rank 1's reply causally follows rank 0's first send.
+        first = next(s for s in sends if s.rank == 0)
+        assert reply.clock[0] >= first.clock[0]
+
+    def test_recv_events_record_the_matched_send(self):
+        run = run_traced(_pingpong, 2, default_timeout=10.0)
+        for r in run.trace.recvs():
+            assert r.matched_key in {s.key for s in run.trace.sends()}
+
+    def test_collectives_traced(self):
+        run = run_traced(_bcast_chain, 3, default_timeout=10.0)
+        assert run.results == ["payload"] * 3
+        names = {ev.name for ev in run.trace.collectives()}
+        assert "bcast" in names
+        report = check_trace(run.trace)
+        assert len(report) == 0, report.render()
+
+    def test_tracer_detaches_after_run(self):
+        # A second untraced run must not see tracer state: run the same
+        # program through the plain launcher and assert it still works.
+        from repro.mpi.launcher import run_spmd
+
+        run_traced(_pingpong, 2, default_timeout=10.0)
+        assert run_spmd(_pingpong, size=2, default_timeout=10.0) == [
+            "hi back",
+            "hi",
+        ]
+
+
+class TestLeakDetection:
+    def test_leaked_messages_flagged(self):
+        run = run_traced(_leaky, 2, default_timeout=10.0)
+        leaks = check_leaks(run.trace)
+        assert len(leaks) == 1  # grouped by (rank, dest, tag, context)
+        assert "2 message(s)" in leaks[0].message
+        assert "tag 2" in leaks[0].message
+
+    def test_consumed_messages_not_flagged(self):
+        run = run_traced(_pingpong, 2, default_timeout=10.0)
+        assert check_leaks(run.trace) == []
+
+
+class TestWildcardRaces:
+    def test_concurrent_senders_flagged(self):
+        run = run_traced(_wildcard_race, 3, default_timeout=10.0)
+        races = find_wildcard_races(run.trace)
+        assert races, "two concurrent senders must race on the wildcard"
+        race = races[0]
+        assert race.recv_rank == 0
+        assert race.matched[0] != race.alternative_source
+
+    def test_named_sources_do_not_race(self):
+        run = run_traced(_named_sources, 3, default_timeout=10.0)
+        assert find_wildcard_races(run.trace) == []
+
+    def test_same_source_fifo_does_not_race(self):
+        run = run_traced(_fifo_same_source, 2, default_timeout=10.0)
+        assert find_wildcard_races(run.trace) == []
+
+    def test_causally_ordered_senders_do_not_race(self):
+        run = run_traced(_causally_ordered, 3, default_timeout=10.0)
+        assert find_wildcard_races(run.trace) == []
+
+    def test_race_surfaces_as_warning_diagnostic(self):
+        run = run_traced(_wildcard_race, 3, default_timeout=10.0)
+        report = check_trace(run.trace)
+        diags = report.by_rule("comm.wildcard-race")
+        assert diags
+        assert "schedule-dependent" in diags[0].message
+
+
+class TestReplayConfirmation:
+    def test_replay_confirms_real_race(self):
+        run = run_traced(_wildcard_race, 3, default_timeout=10.0)
+        races = find_wildcard_races(run.trace)
+        assert races
+        result = replay_race(
+            _wildcard_race, 3, races[0], default_timeout=10.0
+        )
+        assert result.confirmed, result.reason
+        assert bool(result) is True
+        # The pinned run actually delivered the alternative first.
+        rank0 = result.run.results[0]
+        assert rank0[0] == races[0].alternative_source
+
+    def test_replay_rejects_fabricated_race(self):
+        # Claim rank 1's recv could have matched rank 1 itself at an
+        # ordinal the program never reaches: replay must not confirm.
+        from repro.analysis import Race
+
+        fake = Race(
+            recv_rank=0,
+            recv_ordinal=99,
+            recv_idx=99,
+            source=ANY_SOURCE,
+            tag=7,
+            matched=(1, 0),
+            alternative=(2, 0),
+        )
+        result = replay_race(_wildcard_race, 3, fake, default_timeout=5.0)
+        assert not result.confirmed
+        assert "never reached" in result.reason
+
+
+class TestCollectiveMismatch:
+    def test_lopsided_barrier_flagged(self):
+        run = run_traced(_lopsided_collective, 3, default_timeout=2.0)
+        diags = check_collectives(run.trace)
+        assert len(diags) == 1
+        assert "barrier" in diags[0].message
+        assert "rank 0: 2" in diags[0].message
+
+    def test_matched_collectives_clean(self):
+        run = run_traced(_bcast_chain, 3, default_timeout=10.0)
+        assert check_collectives(run.trace) == []
+
+
+class TestSyncCycles:
+    def test_head_to_head_sends_flagged(self):
+        run = run_traced(_head_to_head, 2, default_timeout=10.0)
+        diags = check_sync_cycles(run.trace)
+        assert len(diags) == 1
+        assert "rendezvous" in diags[0].message
+
+    def test_ordered_sends_clean(self):
+        run = run_traced(_pingpong, 2, default_timeout=10.0)
+        assert check_sync_cycles(run.trace) == []
+
+
+@pytest.mark.slow
+class TestProcessBackend:
+    def test_tracing_and_race_detection_cross_process(self):
+        run = run_traced(
+            _wildcard_race, 3, backend="process", default_timeout=30.0
+        )
+        races = find_wildcard_races(run.trace)
+        assert races
+        assert races[0].recv_rank == 0
+
+    def test_clean_program_cross_process(self):
+        run = run_traced(
+            _pingpong, 2, backend="process", default_timeout=30.0
+        )
+        assert run.results == ["hi back", "hi"]
+        assert len(check_trace(run.trace)) == 0

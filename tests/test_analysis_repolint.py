@@ -1,0 +1,219 @@
+"""Repo AST-lint tests: each rule fires on a minimal violation, the
+suppression comment works, and the repository's own sources are clean."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Severity, lint_source, lint_tree
+
+
+def lint(code, path="pkg/mod.py"):
+    return lint_source(textwrap.dedent(code), path)
+
+
+def rules(diags):
+    return [d.rule for d in diags]
+
+
+class TestBareExcept:
+    def test_fires(self):
+        diags = lint(
+            """
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+            """
+        )
+        assert rules(diags) == ["repo.bare-except"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_typed_except_clean(self):
+        assert lint(
+            """
+            def f():
+                try:
+                    g()
+                except ValueError:
+                    pass
+            """
+        ) == []
+
+
+class TestMutableDefault:
+    def test_literal_default_fires(self):
+        diags = lint("def f(x, acc=[]):\n    return acc\n")
+        assert rules(diags) == ["repo.mutable-default"]
+
+    def test_constructor_default_fires(self):
+        diags = lint("def f(x, acc=dict()):\n    return acc\n")
+        assert rules(diags) == ["repo.mutable-default"]
+
+    def test_kwonly_default_fires(self):
+        diags = lint("def f(*, acc={}):\n    return acc\n")
+        assert rules(diags) == ["repo.mutable-default"]
+
+    def test_none_default_clean(self):
+        assert lint("def f(x, acc=None):\n    return acc\n") == []
+
+
+class TestWallClock:
+    def test_handler_reading_wall_clock_fires(self):
+        diags = lint(
+            """
+            import time
+
+            class Thing:
+                def on_message(self, ctx, port, payload):
+                    return time.time()
+            """
+        )
+        assert rules(diags) == ["repo.wall-clock"]
+        assert "session clock" in diags[0].hint
+
+    def test_generate_handler_checked(self):
+        diags = lint(
+            """
+            from datetime import datetime
+
+            class Src:
+                def generate(self, ctx):
+                    ctx.emit("out", datetime.now())
+            """
+        )
+        assert rules(diags) == ["repo.wall-clock"]
+
+    def test_non_handler_method_clean(self):
+        assert lint(
+            """
+            import time
+
+            class Timer:
+                def sample(self):
+                    return time.time()
+            """
+        ) == []
+
+    def test_handler_without_wall_clock_clean(self):
+        assert lint(
+            """
+            class Thing:
+                def on_message(self, ctx, port, payload):
+                    ctx.emit("out", payload)
+            """
+        ) == []
+
+
+class TestMetricName:
+    def test_bad_literal_fires(self):
+        diags = lint('obs.counter("BadName")\n')
+        assert rules(diags) == ["repo.metric-name"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_missing_area_prefix_fires(self):
+        diags = lint('obs.counter("messages")\n')
+        assert rules(diags) == ["repo.metric-name"]
+
+    def test_good_literal_clean(self):
+        assert lint('obs.counter("mpi.sent.bytes")\n') == []
+
+    def test_bucketed_name_clean(self):
+        assert lint('obs.gauge("corr.block[0].pairs")\n') == []
+
+    def test_fstring_prefix_checked(self):
+        assert lint('obs.timer(f"rank.{r}.seconds")\n') == []
+        diags = lint('obs.timer(f"{r}.seconds")\n')
+        # No leading literal chunk -> nothing checkable; stays quiet.
+        assert diags == []
+        diags = lint('obs.timer(f"Rank{r}.seconds")\n')
+        assert rules(diags) == ["repo.metric-name"]
+
+
+class TestMpiBounds:
+    def test_unchecked_entry_point_fires(self):
+        diags = lint(
+            """
+            class LooseComm:
+                def send(self, obj, dest, tag=0):
+                    self._boxes[dest].put(obj)
+            """,
+            path="src/repro/mpi/loose.py",
+        )
+        assert rules(diags) == ["repo.mpi-bounds"]
+
+    def test_checked_entry_point_clean(self):
+        assert lint(
+            """
+            class SafeComm:
+                def send(self, obj, dest, tag=0):
+                    self._check_peer(dest)
+                    self._check_user_tag(tag)
+                    self._boxes[dest].put(obj)
+            """,
+            path="src/repro/mpi/safe.py",
+        ) == []
+
+    def test_delegating_entry_point_clean(self):
+        assert lint(
+            """
+            class SafeComm:
+                def isend(self, obj, dest, tag=0):
+                    self.send(obj, dest, tag)
+                    return Request(done=True)
+            """,
+            path="src/repro/mpi/safe.py",
+        ) == []
+
+    def test_abstract_declaration_exempt(self):
+        assert lint(
+            """
+            class Comm:
+                def send(self, obj, dest, tag=0):
+                    raise NotImplementedError
+            """,
+            path="src/repro/mpi/api.py",
+        ) == []
+
+    def test_rule_scoped_to_mpi_tree(self):
+        assert lint(
+            """
+            class Mailer:
+                def send(self, obj, dest, tag=0):
+                    post(obj, dest)
+            """,
+            path="src/repro/util/mailer.py",
+        ) == []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        code = (
+            "def f(x, acc=[]):  # repro-lint: disable=repo.mutable-default\n"
+            "    return acc\n"
+        )
+        assert lint(code) == []
+
+    def test_disable_all(self):
+        code = "def f(x, acc=[]):  # repro-lint: disable=all\n    return acc\n"
+        assert lint(code) == []
+
+    def test_unrelated_suppression_does_not_hide(self):
+        code = (
+            "def f(x, acc=[]):  # repro-lint: disable=repo.bare-except\n"
+            "    return acc\n"
+        )
+        assert rules(lint(code)) == ["repo.mutable-default"]
+
+
+class TestSyntaxErrorHandling:
+    def test_unparsable_module_reported_not_raised(self):
+        diags = lint_source("def broken(:\n", "pkg/broken.py")
+        assert rules(diags) == ["repo.syntax"]
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_has_zero_diagnostics(self):
+        root = Path(__file__).resolve().parent.parent / "src"
+        report = lint_tree(root)
+        assert len(report) == 0, report.render()

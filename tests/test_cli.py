@@ -145,3 +145,39 @@ class TestReport:
         assert "Table III" in out
         assert "Significance" in out
         assert "Walk-forward" in out
+
+
+class TestLint:
+    def test_clean_repo_and_spec_exit_zero(self, capsys):
+        assert main(["lint", *FAST, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_strict_flag_parsed(self):
+        args = build_parser().parse_args(["lint", "--strict"])
+        assert args.strict is True
+        assert args.skip_graph is False
+        assert args.ranks == 2
+
+    def test_violating_tree_fails(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(x, acc=[]):\n    return acc\n")
+        assert main(
+            ["lint", *FAST, "--skip-graph", "--root", str(tmp_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "repo.mutable-default" in out
+
+    def test_warning_only_fails_under_strict(self, tmp_path, capsys):
+        warn = tmp_path / "mod.py"
+        warn.write_text('obs.counter("BadName")\n')
+        argv = ["lint", *FAST, "--skip-graph", "--root", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main([*argv, "--strict"]) == 1
+        assert "repo.metric-name" in capsys.readouterr().out
+
+    def test_missing_root_is_usage_error(self, capsys):
+        assert main(
+            ["lint", *FAST, "--skip-graph", "--root", "/no/such/dir"]
+        ) == 2

@@ -1,0 +1,145 @@
+"""Wildcard matching coverage: iprobe/irecv with every ANY_SOURCE /
+ANY_TAG combination, on both the thread and process backends.
+
+SPMD programs are module-level so the process backend can pickle them
+under spawn.  Each program returns plain data that the per-backend test
+asserts on, keeping the assertions in one place for both backends.
+"""
+
+import pytest
+
+from repro import mpi
+from repro.mpi.api import ANY_SOURCE, ANY_TAG
+
+
+def _probe_matrix(comm):
+    """Rank 0: probe results for each pattern against one queued message.
+
+    Runs on 3 ranks so probing rank 2 (which never sends) is in bounds.
+    """
+    if comm.rank == 1:
+        comm.send("payload", 0, tag=5)
+        return None
+    if comm.rank != 0:
+        return None
+    while not comm.iprobe(source=ANY_SOURCE, tag=ANY_TAG):
+        pass
+    probes = {
+        "any_any": comm.iprobe(source=ANY_SOURCE, tag=ANY_TAG),
+        "any_tag5": comm.iprobe(source=ANY_SOURCE, tag=5),
+        "src1_any": comm.iprobe(source=1, tag=ANY_TAG),
+        "src1_tag5": comm.iprobe(source=1, tag=5),
+        "wrong_tag": comm.iprobe(source=ANY_SOURCE, tag=6),
+        "wrong_src": comm.iprobe(source=2, tag=ANY_TAG),
+    }
+    comm.recv(source=1, tag=5)  # drain so finalize is clean
+    return probes
+
+
+def _irecv_any_source(comm):
+    """Rank 0 collects one message per peer through wildcard irecv."""
+    if comm.rank != 0:
+        comm.send((comm.rank, "hello"), 0, tag=3)
+        return None
+    got = [comm.irecv(source=ANY_SOURCE, tag=3).wait() for _ in range(comm.size - 1)]
+    return sorted(got)
+
+
+def _irecv_any_tag(comm):
+    """Rank 0 drains two differently-tagged messages from one peer with
+    ANY_TAG: per-source FIFO must preserve the send order."""
+    if comm.rank == 1:
+        comm.send("first", 0, tag=11)
+        comm.send("second", 0, tag=12)
+        return None
+    if comm.rank != 0:
+        return None
+    req_a = comm.irecv(source=1, tag=ANY_TAG)
+    req_b = comm.irecv(source=1, tag=ANY_TAG)
+    return [req_a.wait(), req_b.wait()]
+
+
+def _irecv_fully_wild(comm):
+    """ANY_SOURCE + ANY_TAG irecv sees every message eventually."""
+    if comm.rank != 0:
+        comm.send(comm.rank * 10, 0, tag=comm.rank)
+        return None
+    got = [
+        comm.irecv(source=ANY_SOURCE, tag=ANY_TAG).wait()
+        for _ in range(comm.size - 1)
+    ]
+    return sorted(got)
+
+
+def _probe_then_targeted_recv(comm):
+    """iprobe(ANY, ANY) then a recv narrowed to what arrived first."""
+    if comm.rank == 1:
+        comm.send("narrow", 0, tag=9)
+        return None
+    if comm.rank != 0:
+        return None
+    while not comm.iprobe(source=ANY_SOURCE, tag=ANY_TAG):
+        pass
+    # The only sender is rank 1 with tag 9: a targeted recv must match
+    # exactly what the wildcard probe saw.
+    assert comm.iprobe(source=1, tag=9)
+    return comm.recv(source=1, tag=9)
+
+
+def assert_probe_matrix(results):
+    probes = results[0]
+    assert probes["any_any"] is True
+    assert probes["any_tag5"] is True
+    assert probes["src1_any"] is True
+    assert probes["src1_tag5"] is True
+    assert probes["wrong_tag"] is False
+    assert probes["wrong_src"] is False
+
+
+class TestThreadBackend:
+    def test_iprobe_all_wildcard_combinations(self):
+        assert_probe_matrix(
+            mpi.run_spmd(_probe_matrix, size=3, default_timeout=10.0)
+        )
+
+    def test_irecv_any_source_collects_every_peer(self):
+        results = mpi.run_spmd(_irecv_any_source, size=4, default_timeout=10.0)
+        assert results[0] == [(1, "hello"), (2, "hello"), (3, "hello")]
+
+    def test_irecv_any_tag_preserves_source_fifo(self):
+        results = mpi.run_spmd(_irecv_any_tag, size=2, default_timeout=10.0)
+        assert results[0] == ["first", "second"]
+
+    def test_irecv_fully_wild_drains_all(self):
+        results = mpi.run_spmd(_irecv_fully_wild, size=4, default_timeout=10.0)
+        assert results[0] == [10, 20, 30]
+
+    def test_probe_then_targeted_recv(self):
+        results = mpi.run_spmd(
+            _probe_then_targeted_recv, size=2, default_timeout=10.0
+        )
+        assert results[0] == "narrow"
+
+
+@pytest.mark.slow
+class TestProcessBackend:
+    def test_iprobe_all_wildcard_combinations(self):
+        assert_probe_matrix(
+            mpi.run_spmd(
+                _probe_matrix, size=3, backend="process",
+                default_timeout=30.0,
+            )
+        )
+
+    def test_irecv_any_source_collects_every_peer(self):
+        results = mpi.run_spmd(
+            _irecv_any_source, size=3, backend="process",
+            default_timeout=30.0,
+        )
+        assert results[0] == [(1, "hello"), (2, "hello")]
+
+    def test_irecv_any_tag_preserves_source_fifo(self):
+        results = mpi.run_spmd(
+            _irecv_any_tag, size=2, backend="process", default_timeout=30.0
+        )
+        assert results[0] == ["first", "second"]
