@@ -1,0 +1,148 @@
+"""Tick-store data plane — store-backed vs CSV vs in-memory feeds.
+
+The paper's motivation for a custom data path is the size of raw TAQ
+(">50 GB per day"): parsing flat files per run is the baseline the store
+has to beat.  This benchmark builds a 61-symbol × 20-day synthetic
+universe, ingests it once, then measures per-feed throughput:
+
+* ``memory``    — regenerating days from the synthetic generator;
+* ``csv``       — the vectorised Table-II CSV reader;
+* ``store``     — zero-copy memmap column scans;
+* ``replay``    — CRC-verified block reads through the LRU cache
+                  (cold, then warm to show the hit rate).
+
+The store's scan throughput must beat CSV parsing by >= 5x (it is
+typically >= 2 orders of magnitude), and day 0 must reassemble bitwise.
+Results land in ``benchmarks/out/store_data_plane.{txt,json}`` and, for
+the repo-level artefact, ``BENCH_store.json`` at the repository root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.store import (
+    StoreQuoteSource,
+    StoreReader,
+    ingest_synthetic,
+    verify_store,
+)
+from repro.taq.io import read_taq_csv, write_taq_csv
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+
+N_DAYS = 20
+SECONDS = 23_400 // 20  # short days keep 61 symbols x 20 days affordable
+SCAN_COLUMNS = ("t", "bid", "ask")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_store_data_plane(tmp_path):
+    market = SyntheticMarket(
+        default_universe(),  # all 61 symbols, as in the paper
+        SyntheticMarketConfig(trading_seconds=SECONDS),
+        seed=2008,
+    )
+
+    # -- in-memory baseline: generate (and hold) every day ------------------
+    t0 = time.perf_counter()
+    days = [market.quotes(d) for d in range(N_DAYS)]
+    gen_s = time.perf_counter() - t0
+    total_rows = int(sum(q.size for q in days))
+
+    # -- CSV baseline: write once, time the (vectorised) read back ----------
+    csv_paths = []
+    for d, quotes in enumerate(days):
+        p = tmp_path / f"day{d:03d}.csv"
+        write_taq_csv(p, quotes, market.universe)
+        csv_paths.append(p)
+    t0 = time.perf_counter()
+    csv_rows = sum(
+        read_taq_csv(p, market.universe).size for p in csv_paths
+    )
+    csv_s = time.perf_counter() - t0
+    assert csv_rows == total_rows
+
+    # -- store: ingest once, then memmap scans ------------------------------
+    root = tmp_path / "store"
+    t0 = time.perf_counter()
+    ingest_synthetic(root, market, n_days=N_DAYS, n_shards=8)
+    ingest_s = time.perf_counter() - t0
+
+    reader = StoreReader(root)
+    t0 = time.perf_counter()
+    scanned = 0
+    sink = 0.0
+    for batch in reader.scan(columns=list(SCAN_COLUMNS)):
+        scanned += batch.rows
+        for col in batch.columns.values():
+            sink += float(col.sum())  # force the pages to be read
+    scan_s = time.perf_counter() - t0
+    assert scanned == total_rows and np.isfinite(sink)
+
+    # -- replay: verified block reads, cold then warm ------------------------
+    t0 = time.perf_counter()
+    source = StoreQuoteSource(reader)
+    cold_rows = sum(source.quotes(d).size for d in range(N_DAYS))
+    replay_cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_rows = sum(source.quotes(d).size for d in range(N_DAYS))
+    replay_warm_s = time.perf_counter() - t0
+    assert cold_rows == warm_rows == total_rows
+
+    # -- correctness anchor: all 20 days re-derive bitwise -------------------
+    summary = verify_store(reader, deep=True)
+    assert summary["deep_days"] == N_DAYS
+
+    per_s = {
+        "memory": total_rows / gen_s,
+        "csv": total_rows / csv_s,
+        "store_scan": total_rows / scan_s,
+        "replay_cold": total_rows / replay_cold_s,
+        "replay_warm": total_rows / replay_warm_s,
+    }
+    speedup = per_s["store_scan"] / per_s["csv"]
+    assert speedup >= 5.0, (
+        f"store scans must be >=5x faster than CSV parsing, got "
+        f"{speedup:.1f}x"
+    )
+
+    cache = reader.cache.stats()
+    data = {
+        "n_symbols": len(market.universe),
+        "n_days": N_DAYS,
+        "trading_seconds": SECONDS,
+        "rows": total_rows,
+        "ingest_rows_per_s": total_rows / ingest_s,
+        "rows_per_s": per_s,
+        "scan_vs_csv_speedup": speedup,
+        "cache": cache,
+    }
+    lines = [
+        f"store data plane: {len(market.universe)} symbols x {N_DAYS} days "
+        f"({SECONDS} s each) = {total_rows} quote rows",
+        f"  ingest            {total_rows / ingest_s:12.0f} rows/s "
+        f"({ingest_s:.2f} s once)",
+    ]
+    for name, label in (
+        ("memory", "in-memory regen"),
+        ("csv", "CSV parse"),
+        ("store_scan", "store scan"),
+        ("replay_cold", "replay (cold)"),
+        ("replay_warm", "replay (warm)"),
+    ):
+        lines.append(f"  {label:<17} {per_s[name]:12.0f} rows/s")
+    lines.append(
+        f"  store scan is {speedup:.0f}x CSV; cache hit rate "
+        f"{cache['hit_rate']:.0%} after one warm pass"
+    )
+    text = "\n".join(lines)
+    emit("store_data_plane", text, data)
+    (REPO_ROOT / "BENCH_store.json").write_text(
+        json.dumps({"bench": "store_data_plane", "data": data}, indent=2,
+                   sort_keys=True) + "\n"
+    )

@@ -30,6 +30,16 @@ fi
 echo "== pytest =="
 python -m pytest -x -q
 
+echo "== tick store ingest/verify/scan smoke check =="
+STORE_DIR=$(mktemp -d)
+trap 'rm -rf "$STORE_DIR"' EXIT
+python -m repro.cli store ingest --root "$STORE_DIR" \
+    --symbols 8 --days 3 --seconds 1800 --seed 7 --shards 3 --block-rows 1024
+python -m repro.cli store ls --root "$STORE_DIR"
+python -m repro.cli store verify --root "$STORE_DIR" --deep
+python -m repro.cli store scan --root "$STORE_DIR" \
+    --days 1 2 --select XOM,CVX --t-min 100 --t-max 1500 --cached
+
 echo "== observability overhead smoke check =="
 python - <<'EOF'
 """Assert the disabled-obs pipeline is within 10% of pre-obs cost.

@@ -23,6 +23,10 @@ repo.mutable-default error     a function parameter defaults to a mutable
 repo.mpi-bounds      error     a public ``repro.mpi`` point-to-point entry
                                point neither validates peer/tag bounds nor
                                delegates to one that does
+repo.store-bounds    error     a ``repro.store`` read entry point
+                               (``read_block`` / ``scan`` / ``day_quotes``)
+                               neither validates its block/day/column
+                               arguments nor delegates to a method that does
 ===================  ========  =================================================
 
 Suppression: append ``# repro-lint: disable=<rule>[,<rule>...]`` (or
@@ -73,6 +77,13 @@ _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([\w.,\s-]+)")
 #: Point-to-point entry points and the bound checks that absolve them.
 _P2P_METHODS = frozenset({"send", "isend", "recv", "irecv", "iprobe"})
 _BOUND_CHECKS = frozenset({"_check_peer", "_check_user_tag"})
+
+#: Store read entry points and the argument checks that absolve them
+#: (``block_bounds`` counts: it validates via ``_check_block``).
+_STORE_ENTRY = frozenset({"read_block", "scan", "day_quotes"})
+_STORE_CHECKS = frozenset(
+    {"_check_block", "_check_day", "_check_scan_args", "block_bounds"}
+)
 
 
 def _suppressions(lines: list[str]) -> dict[int, set[str]]:
@@ -245,6 +256,36 @@ def _check_mpi_bounds(tree: ast.AST, path: str) -> Iterator[_Finding]:
             )
 
 
+def _check_store_bounds(tree: ast.AST, path: str) -> Iterator[_Finding]:
+    if "repro/store/" not in path.replace("\\", "/"):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name not in _STORE_ENTRY:
+                continue
+            if _raises_not_implemented(stmt):
+                continue  # abstract declaration, nothing to validate
+            attrs = {
+                n.attr for n in ast.walk(stmt) if isinstance(n, ast.Attribute)
+            }
+            delegates = (_STORE_ENTRY - {stmt.name}) & attrs
+            if _STORE_CHECKS & attrs or delegates:
+                continue
+            yield _Finding(
+                "repo.store-bounds", Severity.ERROR, stmt.lineno,
+                f"store entry point {node.name}.{stmt.name} neither checks "
+                f"its block/day/column arguments nor delegates to a "
+                f"method that does",
+                hint="call _check_block/_check_day/_check_scan_args (or "
+                "delegate to a checked entry point) before touching "
+                "segment bytes",
+            )
+
+
 def lint_source(text: str, path: str) -> list[Diagnostic]:
     """Lint one module's source text; ``path`` is used for reporting."""
     try:
@@ -266,6 +307,7 @@ def lint_source(text: str, path: str) -> list[Diagnostic]:
     findings.extend(_check_wall_clock(tree))
     findings.extend(_check_metric_names(tree))
     findings.extend(_check_mpi_bounds(tree, path))
+    findings.extend(_check_store_bounds(tree, path))
 
     out = []
     for f in sorted(findings, key=lambda f: (f.line, f.rule)):

@@ -14,17 +14,32 @@ import numpy as np
 from repro.bars.accumulator import accumulate_bam
 from repro.bars.returns import log_returns
 from repro.clean.filters import clean_quotes
-from repro.taq.synthetic import SyntheticMarket
 from repro.util.timeutil import TimeGrid
 
 
+def _session_seconds(source) -> int:
+    """Trading-session length of a quote source.
+
+    ``SyntheticMarket`` carries it on ``config``;
+    :class:`~repro.store.replay.StoreQuoteSource` (and any other adapter)
+    exposes it directly as ``trading_seconds``.
+    """
+    config = getattr(source, "config", None)
+    if config is not None and hasattr(config, "trading_seconds"):
+        return int(config.trading_seconds)
+    return int(source.trading_seconds)
+
+
 class BarProvider:
-    """BAM bar closes and log-returns per day, from a synthetic market.
+    """BAM bar closes and log-returns per day, from a quote source.
 
     Parameters
     ----------
     market:
-        The quote source.
+        The quote source: anything with ``universe``, a session length
+        (``config.trading_seconds`` or ``trading_seconds``) and
+        ``quotes(day)`` — a ``SyntheticMarket`` or a store-backed
+        ``StoreQuoteSource``.
     grid:
         Interval grid (``Δs`` and session length).
     clean:
@@ -32,10 +47,8 @@ class BarProvider:
         the paper always cleans raw TAQ data before analysis).
     """
 
-    def __init__(
-        self, market: SyntheticMarket, grid: TimeGrid, clean: bool = True
-    ):
-        if grid.trading_seconds > market.config.trading_seconds:
+    def __init__(self, market, grid: TimeGrid, clean: bool = True):
+        if grid.trading_seconds > _session_seconds(market):
             raise ValueError(
                 "grid session longer than the market's trading session"
             )

@@ -9,6 +9,9 @@ One executable, ``repro``, with a subcommand per common workflow::
     repro screen --symbols 12         # candidate-pair screening funnel
     repro stats obs.json              # render a telemetry report
     repro lint --strict               # graph-spec lint + repo AST lint
+    repro store ingest --root DIR     # build a partitioned tick store
+    repro store verify --root DIR     # checksum (and --deep re-derive) it
+    repro store scan --root DIR       # pushdown column scans over it
 
 Every command is deterministic given ``--seed`` and prints plain text, so
 the CLI doubles as a smoke test of the whole stack.  ``pipeline``,
@@ -297,6 +300,121 @@ def _cmd_screen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    from repro.store import ingest_csv, ingest_synthetic
+    from repro.taq.universe import default_universe
+
+    obs = _make_obs(args)
+    if args.from_csv:
+        manifest = ingest_csv(
+            args.root, args.from_csv, default_universe(args.symbols),
+            trading_seconds=args.seconds, n_shards=args.shards,
+            block_rows=args.block_rows, obs=obs,
+        )
+    else:
+        from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+
+        market = SyntheticMarket(
+            default_universe(args.symbols),
+            SyntheticMarketConfig(trading_seconds=args.seconds),
+            seed=args.seed,
+        )
+        manifest = ingest_synthetic(
+            args.root, market, n_days=args.days, n_shards=args.shards,
+            block_rows=args.block_rows, obs=obs,
+        )
+    days = manifest["days"]
+    rows = sum(e["rows"] for e in days.values())
+    nbytes = sum(s["bytes"] for e in days.values() for s in e["shards"])
+    print(
+        f"ingested {len(days)} days x "
+        f"{len(manifest['universe']['symbols'])} symbols -> "
+        f"{rows} rows, {manifest['n_shards']} shards/day, "
+        f"{nbytes} segment bytes under {args.root}"
+    )
+    _dump_obs(args, obs.report() if obs is not None else None)
+    return 0
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    from repro.store import StoreReader
+
+    reader = StoreReader(args.root)
+    man = reader.manifest
+    source = man.get("source") or {}
+    print(
+        f"{man['schema']}: {len(reader.days)} days, "
+        f"{len(reader.universe)} symbols, {reader.n_shards} shards/day, "
+        f"source={source.get('kind', '?')}"
+    )
+    for day in reader.days:
+        entry = man["days"][str(day)]
+        t_min, t_max = entry["t_min"], entry["t_max"]
+        span = (
+            f"t=[{t_min:9.2f}, {t_max:9.2f}]"
+            if t_min is not None else "t=[empty]"
+        )
+        crossed = sum(
+            s["quality"]["n_crossed"] for s in entry["shards"]
+        )
+        print(f"  day {day:3d}: {entry['rows']:9d} rows  {span}  "
+              f"{crossed} crossed")
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.store import CodecError, StoreReader, verify_store
+
+    try:
+        summary = verify_store(StoreReader(args.root), deep=args.deep)
+    except CodecError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {summary['segments']} segments / {summary['blocks']} blocks / "
+        f"{summary['rows']} rows across {summary['days']} days verified"
+        + (f"; {summary['deep_days']} days re-derived bitwise"
+           if args.deep else "")
+    )
+    return 0
+
+
+def _cmd_store_scan(args: argparse.Namespace) -> int:
+    from repro.store import StoreReader
+
+    obs = _make_obs(args)
+    reader = StoreReader(args.root, obs=obs)
+    columns = args.columns.split(",") if args.columns else None
+    symbols = args.select.split(",") if args.select else None
+    days = args.days if args.days else None
+    rows = segments = 0
+    for batch in reader.scan(
+        columns=columns, days=days, symbols=symbols,
+        t_min=args.t_min, t_max=args.t_max, cached=args.cached,
+    ):
+        rows += batch.rows
+        segments += 1
+    print(f"scanned {rows} rows from {segments} segments")
+    if args.cached:
+        stats = reader.cache.stats()
+        print(f"cache: {stats['hits']} hits / {stats['misses']} misses "
+              f"({stats['hit_rate']:.0%}), {stats['bytes']} bytes held")
+    _dump_obs(args, obs.report() if obs is not None else None)
+    return 0
+
+
+_STORE_COMMANDS = {
+    "ingest": _cmd_store_ingest,
+    "ls": _cmd_store_ls,
+    "verify": _cmd_store_verify,
+    "scan": _cmd_store_scan,
+}
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    return _STORE_COMMANDS[args.store_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -371,6 +489,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero on warnings, not just errors")
 
+    p = sub.add_parser(
+        "store", help="partitioned columnar tick store (ingest/ls/verify/scan)"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    sp = store_sub.add_parser(
+        "ingest", help="build a store from synthetic days or Table-II CSVs"
+    )
+    sp.add_argument("--root", required=True, metavar="DIR",
+                    help="store root directory (created if missing)")
+    _add_market_args(sp, symbols=8)
+    sp.add_argument("--days", type=int, default=3,
+                    help="synthetic days to ingest (ignored with --from-csv)")
+    sp.add_argument("--shards", type=int, default=4,
+                    help="symbol shards per day")
+    sp.add_argument("--block-rows", type=int, default=65_536,
+                    help="rows per checksummed block")
+    sp.add_argument("--from-csv", nargs="+", metavar="CSV", default=None,
+                    help="ingest these Table-II CSV files (one day each) "
+                    "instead of synthesising")
+    sp.add_argument("--obs-json", metavar="PATH", default=None,
+                    help="write the ingest's observability report here")
+
+    sp = store_sub.add_parser("ls", help="list the store's days and stats")
+    sp.add_argument("--root", required=True, metavar="DIR")
+
+    sp = store_sub.add_parser(
+        "verify", help="checksum every segment block against the manifest"
+    )
+    sp.add_argument("--root", required=True, metavar="DIR")
+    sp.add_argument("--deep", action="store_true",
+                    help="also regenerate the synthetic source and compare "
+                    "every stored day bitwise")
+
+    sp = store_sub.add_parser(
+        "scan", help="columnar scan with predicate pushdown"
+    )
+    sp.add_argument("--root", required=True, metavar="DIR")
+    sp.add_argument("--days", type=int, nargs="+", default=None,
+                    help="restrict to these day indices")
+    sp.add_argument("--select", metavar="SYM,SYM", default=None,
+                    help="comma-separated symbol subset")
+    sp.add_argument("--t-min", type=float, default=None,
+                    help="inclusive lower time bound (seconds from open)")
+    sp.add_argument("--t-max", type=float, default=None,
+                    help="exclusive upper time bound (seconds from open)")
+    sp.add_argument("--columns", metavar="COL,COL", default=None,
+                    help="comma-separated columns (default: quote fields)")
+    sp.add_argument("--cached", action="store_true",
+                    help="read through the CRC-verified block cache")
+    sp.add_argument("--obs-json", metavar="PATH", default=None,
+                    help="write the scan's observability report here")
+
     p = sub.add_parser("screen", help="candidate-pair screening funnel")
     _add_market_args(p, symbols=12)
     p.add_argument("--threshold", type=float, default=0.5)
@@ -389,6 +560,7 @@ _COMMANDS = {
     "screen": _cmd_screen,
     "stats": _cmd_stats,
     "lint": _cmd_lint,
+    "store": _cmd_store,
 }
 
 

@@ -12,6 +12,7 @@ from repro.marketminer.components.collectors import (
     FileCollector,
     LiveCollector,
     QuoteDatabase,
+    StoreCollector,
 )
 from repro.marketminer.components.correlation import CorrelationEngineComponent
 from repro.marketminer.components.orders import OrderSinkComponent
@@ -28,5 +29,6 @@ __all__ = [
     "OrderSinkComponent",
     "PairTradingComponent",
     "QuoteDatabase",
+    "StoreCollector",
     "TechnicalAnalysisComponent",
 ]

@@ -13,6 +13,9 @@ the point of the adapter layer.
   by :func:`repro.taq.io.write_taq_csv`;
 * :class:`DbCollector` — "MySQL DB": reads from an in-memory
   :class:`QuoteDatabase` keyed by day.
+* :class:`StoreCollector` — replays a day from a
+  :class:`~repro.store.reader.StoreReader` via the shard-merging
+  :class:`~repro.store.replay.ReplayCursor`.
 """
 
 from __future__ import annotations
@@ -134,3 +137,30 @@ class DbCollector(Component):
         cutoff = self.grid.smax * self.grid.delta_s
         quotes = quotes[quotes["t"] < cutoff]
         _emit_by_interval(ctx, quotes, self.grid)
+
+
+class StoreCollector(Component):
+    """Streams one day out of the partitioned tick store.
+
+    Emits the same ``(s, records)`` interval stream as the other
+    collectors, but batches come from the store's shard-merging replay
+    cursor instead of an in-memory day array — segments are read through
+    the CRC-verified block cache, never materialising the whole day.
+    """
+
+    def __init__(self, reader, grid: TimeGrid, day: int = 0,
+                 name: str = "store_collector"):
+        super().__init__(name=name, output_ports=("quotes",))
+        self.reader = reader
+        self.grid = grid
+        self.day = day
+
+    def generate(self, ctx: Context) -> None:
+        from repro.store.replay import ReplayCursor
+
+        cursor = ReplayCursor(self.reader, self.day, self.grid)
+        ctx.obs.metrics.counter(
+            f"pipeline.{self.name}.quotes_collected"
+        ).inc(cursor.total_rows)
+        for s, records in cursor:
+            ctx.emit("quotes", (s, records))

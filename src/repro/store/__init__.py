@@ -1,0 +1,65 @@
+"""repro.store — partitioned columnar tick store and zero-copy data plane.
+
+The paper's pipeline exists because raw TAQ is ">50 GB per day"; this
+package is the storage analogue of its low-latency design: a day/symbol-
+shard partitioned store of fixed-width binary segments with
+
+* a versioned, checksummed codec (:mod:`repro.store.codec`) that
+  round-trips Table-II quote arrays bitwise;
+* a write path (:mod:`repro.store.writer`) producing per-(day, shard)
+  segment files plus a JSON manifest with time ranges, row counts and
+  quality statistics;
+* a read path (:mod:`repro.store.reader`) using ``numpy.memmap`` for
+  zero-copy column scans, manifest-driven predicate pushdown and a
+  byte-budgeted LRU block cache (:mod:`repro.store.cache`);
+* a replay layer (:mod:`repro.store.replay`) exposing a k-way
+  time-ordered merge cursor across shards, feeding the MarketMiner
+  collector and all three backtest approaches.
+
+Surface: ``repro store ingest|ls|verify|scan`` on the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.store.cache import BlockCache
+from repro.store.codec import (
+    DEFAULT_BLOCK_ROWS,
+    STORE_DTYPE,
+    CodecError,
+    CorruptSegmentError,
+    Segment,
+    encode_segment,
+    read_segment,
+    write_segment,
+)
+from repro.store.reader import ScanBatch, StoreReader, verify_store
+from repro.store.replay import ReplayCursor, StoreQuoteSource
+from repro.store.writer import (
+    MANIFEST_NAME,
+    SCHEMA,
+    StoreWriter,
+    ingest_csv,
+    ingest_synthetic,
+)
+
+__all__ = [
+    "BlockCache",
+    "CodecError",
+    "CorruptSegmentError",
+    "DEFAULT_BLOCK_ROWS",
+    "MANIFEST_NAME",
+    "ReplayCursor",
+    "SCHEMA",
+    "ScanBatch",
+    "Segment",
+    "STORE_DTYPE",
+    "StoreQuoteSource",
+    "StoreReader",
+    "StoreWriter",
+    "encode_segment",
+    "ingest_csv",
+    "ingest_synthetic",
+    "read_segment",
+    "verify_store",
+    "write_segment",
+]

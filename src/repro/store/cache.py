@@ -1,0 +1,88 @@
+"""Byte-budgeted LRU cache for decoded segment blocks.
+
+The replay/assembly read path decodes CRC-verified blocks
+(:meth:`~repro.store.codec.Segment.read_block`); repeated backtests over
+the same store hit the same blocks day after day, so the reader keeps
+them behind this cache.  The budget is in *bytes*, not entries — block
+sizes vary with the tail block of each segment — and eviction is strict
+LRU.  Hit/miss/eviction counts land in the obs registry
+(``store.cache.hits`` / ``store.cache.misses`` / ``store.cache.evictions``
+plus a ``store.cache.bytes`` gauge), so ``repro stats`` shows cache
+effectiveness next to scan throughput.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from repro.obs import Obs, resolve
+
+
+class BlockCache:
+    """LRU mapping of block keys to decoded (immutable) arrays.
+
+    Values larger than the whole budget are returned to the caller but
+    never cached — one oversized block must not wipe the working set.
+    """
+
+    __slots__ = ("max_bytes", "hits", "misses", "evictions",
+                 "_entries", "_bytes", "_metrics")
+
+    def __init__(self, max_bytes: int = 64 << 20, obs: Obs | None = None):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._bytes = 0
+        self._metrics = resolve(obs).metrics
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: Hashable, loader: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, loading (and caching) on a miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._metrics.counter("store.cache.hits").inc()
+            return entry
+        self.misses += 1
+        self._metrics.counter("store.cache.misses").inc()
+        value = loader()
+        nbytes = int(getattr(value, "nbytes", 0))
+        if nbytes <= self.max_bytes:
+            self._entries[key] = value
+            self._bytes += nbytes
+            while self._bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= int(getattr(evicted, "nbytes", 0))
+                self.evictions += 1
+                self._metrics.counter("store.cache.evictions").inc()
+            self._metrics.gauge("store.cache.bytes").set(self._bytes)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+        self._metrics.gauge("store.cache.bytes").set(0)
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counts and current occupancy."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+            "bytes": self._bytes,
+            "entries": len(self._entries),
+        }

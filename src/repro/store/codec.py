@@ -1,0 +1,286 @@
+"""Fixed-width binary segment codec for the tick store.
+
+A *segment* holds one (day, symbol-shard) slice of the Table-II quote
+schema as contiguous little-endian structured records, preceded by a
+versioned, CRC-protected header.  The layout is chosen so the record
+region can be handed to ``numpy.memmap`` directly — column scans are
+zero-copy — while integrity stays checkable at block granularity:
+
+======================  ========================================================
+region                  contents
+======================  ========================================================
+fixed header (40 B)     magic ``RPST``, format version, row count, block size
+                        (rows per checksum block), block count, dtype-descr
+                        length, payload offset, header CRC-32
+dtype descr             JSON of ``numpy.dtype.descr`` (self-describing schema)
+checksum table          one CRC-32 per block of the record region
+padding                 zeros up to the 64-byte-aligned payload offset
+payload                 ``rows × itemsize`` bytes of packed records
+======================  ========================================================
+
+The codec is schema-generic (the dtype rides in the header) and performs
+**no semantic validation** — it must round-trip any structured array
+bitwise, including zero sizes, outlier prices and extreme timestamps; the
+ingest path owns semantics.  On-disk records carry the quote fields of
+:data:`~repro.taq.types.QUOTE_DTYPE` plus a ``seq`` column — the row's
+index in the day's chronological stream — which is what makes shard
+reassembly exact even for equal timestamps (:data:`STORE_DTYPE`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.taq.types import QUOTE_DTYPE
+
+#: Segment file magic.
+MAGIC = b"RPST"
+
+#: On-disk format version this codec reads and writes.
+VERSION = 1
+
+#: Default rows per checksum block (~2.5 MB of quote records).
+DEFAULT_BLOCK_ROWS = 65_536
+
+#: Payload alignment in bytes.
+_ALIGN = 64
+
+#: magic, version, flags, rows, block_rows, n_blocks, dtype_len, reserved,
+#: payload_offset, header_crc.
+_FIXED = struct.Struct("<4sHHQIIHHQI")
+
+#: The stored record layout: Table-II quote fields plus the row's index in
+#: the day's chronological stream (exact reassembly across shards).
+STORE_DTYPE = np.dtype(QUOTE_DTYPE.descr + [("seq", "<u4")])
+
+
+class CodecError(ValueError):
+    """A segment cannot be encoded or is not a valid segment file."""
+
+
+class CorruptSegmentError(CodecError):
+    """A segment file is structurally present but fails integrity checks."""
+
+
+def _as_le_records(records: np.ndarray) -> np.ndarray:
+    """Normalise to a contiguous 1-D little-endian structured array."""
+    records = np.asarray(records)
+    if records.dtype.names is None:
+        raise CodecError(
+            f"segments hold structured records, got dtype {records.dtype}"
+        )
+    if records.ndim != 1:
+        raise CodecError(f"segments hold 1-D arrays, got shape {records.shape}")
+    le = records.dtype.newbyteorder("<")
+    if records.dtype != le:
+        records = records.astype(le)
+    return np.ascontiguousarray(records)
+
+
+def encode_segment(
+    records: np.ndarray, block_rows: int = DEFAULT_BLOCK_ROWS
+) -> bytes:
+    """Encode a structured array into segment-file bytes (lossless)."""
+    if block_rows <= 0:
+        raise CodecError(f"block_rows must be positive, got {block_rows}")
+    records = _as_le_records(records)
+    descr = json.dumps(records.dtype.descr).encode("utf-8")
+    if len(descr) > 0xFFFF:
+        raise CodecError("dtype descr too large for the segment header")
+    rows = int(records.size)
+    itemsize = records.dtype.itemsize
+    payload = records.tobytes()
+    n_blocks = (rows + block_rows - 1) // block_rows if rows else 0
+    checksums = [
+        zlib.crc32(
+            payload[b * block_rows * itemsize:
+                    min(rows, (b + 1) * block_rows) * itemsize]
+        )
+        for b in range(n_blocks)
+    ]
+    header_len = _FIXED.size + len(descr) + 4 * n_blocks
+    payload_offset = ((header_len + _ALIGN - 1) // _ALIGN) * _ALIGN
+
+    head = bytearray(payload_offset)
+    head[: _FIXED.size] = _FIXED.pack(
+        MAGIC, VERSION, 0, rows, block_rows, n_blocks, len(descr), 0,
+        payload_offset, 0,
+    )
+    head[_FIXED.size: _FIXED.size + len(descr)] = descr
+    table_at = _FIXED.size + len(descr)
+    head[table_at: table_at + 4 * n_blocks] = struct.pack(
+        f"<{n_blocks}I", *checksums
+    )
+    crc = zlib.crc32(bytes(head))
+    head[: _FIXED.size] = _FIXED.pack(
+        MAGIC, VERSION, 0, rows, block_rows, n_blocks, len(descr), 0,
+        payload_offset, crc,
+    )
+    return bytes(head) + payload
+
+
+def write_segment(
+    path, records: np.ndarray, block_rows: int = DEFAULT_BLOCK_ROWS
+) -> int:
+    """Write ``records`` to ``path`` as one segment; returns bytes written."""
+    data = encode_segment(records, block_rows)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+class Segment:
+    """One open segment file: parsed header plus block-checked access.
+
+    Opening validates the header (magic, version, header CRC) and that
+    the file length matches ``payload_offset + rows * itemsize`` — a
+    truncated or padded segment is rejected up front.  Record access
+    comes in two flavours: :meth:`memmap` (zero-copy, unverified — the
+    scan path) and :meth:`read_block` (copied and CRC-verified — the
+    cache/replay path).
+    """
+
+    __slots__ = (
+        "path", "rows", "block_rows", "n_blocks", "dtype",
+        "payload_offset", "checksums",
+    )
+
+    def __init__(self, path):
+        self.path = Path(path)
+        try:
+            size = self.path.stat().st_size
+        except OSError as exc:
+            raise CodecError(f"cannot open segment {self.path}: {exc}") from exc
+        with self.path.open("rb") as fh:
+            fixed = fh.read(_FIXED.size)
+            if len(fixed) < _FIXED.size:
+                raise CorruptSegmentError(
+                    f"{self.path}: truncated segment header"
+                )
+            (magic, version, _flags, rows, block_rows, n_blocks, dtype_len,
+             _reserved, payload_offset, header_crc) = _FIXED.unpack(fixed)
+            if magic != MAGIC:
+                raise CodecError(
+                    f"{self.path}: not a segment file (magic {magic!r})"
+                )
+            if version != VERSION:
+                raise CodecError(
+                    f"{self.path}: unsupported segment version {version} "
+                    f"(this codec reads v{VERSION})"
+                )
+            rest = fh.read(payload_offset - _FIXED.size)
+        if len(rest) < payload_offset - _FIXED.size:
+            raise CorruptSegmentError(f"{self.path}: truncated segment header")
+
+        head = bytearray(fixed + rest)
+        head[: _FIXED.size] = _FIXED.pack(
+            magic, version, _flags, rows, block_rows, n_blocks, dtype_len,
+            _reserved, payload_offset, 0,
+        )
+        if zlib.crc32(bytes(head)) != header_crc:
+            raise CorruptSegmentError(f"{self.path}: header checksum mismatch")
+
+        descr_raw = rest[: dtype_len]
+        try:
+            descr = json.loads(descr_raw.decode("utf-8"))
+            dtype = np.dtype([tuple(field) for field in descr])
+        except (ValueError, TypeError) as exc:
+            raise CorruptSegmentError(
+                f"{self.path}: unreadable dtype descr: {exc}"
+            ) from exc
+
+        expected = payload_offset + rows * dtype.itemsize
+        if size != expected:
+            raise CorruptSegmentError(
+                f"{self.path}: file is {size} bytes, header implies "
+                f"{expected} (truncated or trailing garbage)"
+            )
+
+        self.rows = int(rows)
+        self.block_rows = int(block_rows)
+        self.n_blocks = int(n_blocks)
+        self.dtype = dtype
+        self.payload_offset = int(payload_offset)
+        self.checksums = np.frombuffer(
+            rest[dtype_len: dtype_len + 4 * n_blocks], dtype="<u4"
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the record payload in bytes."""
+        return self.rows * self.dtype.itemsize
+
+    def memmap(self) -> np.ndarray:
+        """The record region as a read-only memory map (zero-copy).
+
+        Integrity is *not* checked on this path — use :meth:`verify` or
+        :meth:`read_block` when checksums matter.
+        """
+        if self.rows == 0:
+            return np.empty(0, dtype=self.dtype)
+        return np.memmap(
+            self.path, dtype=self.dtype, mode="r",
+            offset=self.payload_offset, shape=(self.rows,),
+        )
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.n_blocks:
+            raise IndexError(
+                f"{self.path}: block {block} outside [0, {self.n_blocks})"
+            )
+
+    def block_bounds(self, block: int) -> tuple[int, int]:
+        """Row range ``[lo, hi)`` covered by ``block``."""
+        self._check_block(block)
+        lo = block * self.block_rows
+        return lo, min(self.rows, lo + self.block_rows)
+
+    def read_block(self, block: int) -> np.ndarray:
+        """One block's records, CRC-verified; returned read-only.
+
+        The returned array is marked immutable because the block cache
+        shares it between callers.
+        """
+        lo, hi = self.block_bounds(block)
+        offset = self.payload_offset + lo * self.dtype.itemsize
+        nbytes = (hi - lo) * self.dtype.itemsize
+        with self.path.open("rb") as fh:
+            fh.seek(offset)
+            data = fh.read(nbytes)
+        if len(data) != nbytes:
+            raise CorruptSegmentError(
+                f"{self.path}: block {block} truncated on disk"
+            )
+        if zlib.crc32(data) != int(self.checksums[block]):
+            raise CorruptSegmentError(
+                f"{self.path}: block {block} checksum mismatch"
+            )
+        out = np.frombuffer(data, dtype=self.dtype).copy()
+        out.flags.writeable = False
+        return out
+
+    def verify(self) -> int:
+        """CRC-check every block; returns the verified row count."""
+        rows = 0
+        for block in range(self.n_blocks):
+            rows += self.read_block(block).size
+        if rows != self.rows:
+            raise CorruptSegmentError(
+                f"{self.path}: blocks cover {rows} rows, header says "
+                f"{self.rows}"
+            )
+        return rows
+
+
+def read_segment(path) -> np.ndarray:
+    """Read a whole segment, CRC-verifying every block."""
+    seg = Segment(path)
+    if seg.n_blocks == 0:
+        return np.empty(0, dtype=seg.dtype)
+    return np.concatenate(
+        [seg.read_block(b) for b in range(seg.n_blocks)]
+    )

@@ -1,0 +1,120 @@
+"""Replay: time-ordered merge of symbol shards back into one stream.
+
+The store splits each day across symbol shards; replaying it means
+merging those shards back into chronological order.  The merge key is
+the ``seq`` column — every shard row remembers its index in the day's
+original stream — so the merged order is not merely *a* time order but
+*the* order the quotes were ingested in, even when timestamps tie
+(real TAQ stamps are whole seconds, so ties are the common case).
+
+Two consumers sit on top:
+
+* :class:`ReplayCursor` — iterates one day as ``(s, records)`` interval
+  batches, the exact stream shape the MarketMiner collectors emit on
+  their ``quotes`` port.  Shard→interval boundaries are precomputed with
+  one ``searchsorted`` per shard; each batch is then a k-way merge of at
+  most ``n_shards`` contiguous slices.
+* :class:`StoreQuoteSource` — duck-types the ``SyntheticMarket`` surface
+  that :class:`~repro.backtest.data.BarProvider` consumes (``universe``,
+  ``trading_seconds``, ``quotes(day)``), so all three backtest
+  approaches can run off the store unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.store.reader import StoreReader
+from repro.taq.types import QUOTE_DTYPE
+from repro.util.timeutil import TimeGrid
+
+
+def _merge_parts(parts: list[np.ndarray]) -> np.ndarray:
+    """Merge store-record slices into one QUOTE_DTYPE batch, seq order."""
+    if len(parts) == 1:
+        records = parts[0]
+    else:
+        records = np.concatenate(parts)
+        records = records[np.argsort(records["seq"], kind="stable")]
+    out = np.empty(records.size, dtype=QUOTE_DTYPE)
+    for name in QUOTE_DTYPE.names:
+        out[name] = records[name]
+    return out
+
+
+class ReplayCursor:
+    """Streams one stored day as per-interval quote batches.
+
+    Iteration yields ``(s, records)`` for every ``s`` in
+    ``range(grid.smax)`` — records in original chronological order,
+    empty intervals included — bitwise identical to slicing the
+    original day stream the way the live collectors do.
+    """
+
+    def __init__(self, reader: StoreReader, day: int, grid: TimeGrid):
+        if grid.trading_seconds > reader.trading_seconds:
+            raise ValueError("grid session longer than the stored session")
+        self.reader = reader
+        self.day = int(day)
+        self.grid = grid
+        self._shards = [
+            reader.shard_records(self.day, shard)
+            for shard in range(reader.n_shards)
+        ]
+        edges = np.arange(1, grid.smax + 1) * float(grid.delta_s)
+        self._bounds = [
+            np.concatenate(
+                ([0], np.searchsorted(records["t"], edges, side="left"))
+            )
+            for records in self._shards
+        ]
+        #: Rows inside the grid's complete intervals (the trailing partial
+        #: interval, if any, never replays — matching the collectors).
+        self.total_rows = int(sum(b[-1] for b in self._bounds))
+
+    def interval(self, s: int) -> np.ndarray:
+        """Interval ``s``'s merged quote batch (may be empty)."""
+        if not 0 <= s < self.grid.smax:
+            raise IndexError(
+                f"interval {s} outside [0, {self.grid.smax})"
+            )
+        parts = []
+        for records, bounds in zip(self._shards, self._bounds):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if hi > lo:
+                parts.append(records[lo:hi])
+        if not parts:
+            return np.empty(0, dtype=QUOTE_DTYPE)
+        return _merge_parts(parts)
+
+    def __iter__(self) -> Iterator[tuple[int, np.ndarray]]:
+        for s in range(self.grid.smax):
+            yield s, self.interval(s)
+
+    def __len__(self) -> int:
+        return self.grid.smax
+
+
+class StoreQuoteSource:
+    """A store presented through the quote-source protocol.
+
+    Exposes ``universe``, ``trading_seconds`` and ``quotes(day)`` — the
+    surface :class:`~repro.backtest.data.BarProvider` and the backtest
+    engines need — with days served from segment files instead of the
+    synthetic generator.
+    """
+
+    def __init__(self, reader: StoreReader):
+        self.reader = reader
+        self.universe = reader.universe
+        self.trading_seconds = reader.trading_seconds
+
+    @property
+    def days(self) -> list[int]:
+        return self.reader.days
+
+    def quotes(self, day: int) -> np.ndarray:
+        """One day's chronological quote stream, bitwise as ingested."""
+        return self.reader.day_quotes(day)

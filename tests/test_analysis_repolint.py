@@ -217,3 +217,58 @@ class TestRepositoryIsClean:
         root = Path(__file__).resolve().parent.parent / "src"
         report = lint_tree(root)
         assert len(report) == 0, report.render()
+
+
+class TestStoreBounds:
+    def test_unchecked_entry_point_fires(self):
+        diags = lint(
+            """
+            class LooseSegment:
+                def read_block(self, block):
+                    return self._blocks[block]
+            """,
+            path="src/repro/store/loose.py",
+        )
+        assert rules(diags) == ["repo.store-bounds"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_checked_entry_point_clean(self):
+        assert lint(
+            """
+            class SafeSegment:
+                def read_block(self, block):
+                    self._check_block(block)
+                    return self._blocks[block]
+            """,
+            path="src/repro/store/safe.py",
+        ) == []
+
+    def test_delegating_entry_point_clean(self):
+        assert lint(
+            """
+            class SafeReader:
+                def day_quotes(self, day):
+                    return merge(self.scan(days=[day]))
+            """,
+            path="src/repro/store/safe.py",
+        ) == []
+
+    def test_abstract_declaration_exempt(self):
+        assert lint(
+            """
+            class Reader:
+                def scan(self, columns=None):
+                    raise NotImplementedError
+            """,
+            path="src/repro/store/api.py",
+        ) == []
+
+    def test_rule_scoped_to_store_tree(self):
+        assert lint(
+            """
+            class Elsewhere:
+                def read_block(self, block):
+                    return self._blocks[block]
+            """,
+            path="src/repro/taq/elsewhere.py",
+        ) == []

@@ -1,0 +1,124 @@
+"""CLI tests for ``repro store ingest|ls|verify|scan``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli-store") / "store"
+    assert main([
+        "store", "ingest", "--root", str(root),
+        "--symbols", "8", "--days", "2", "--seconds", "1800",
+        "--seed", "7", "--shards", "3", "--block-rows", "1024",
+    ]) == 0
+    return root
+
+
+class TestIngest:
+    def test_prints_summary(self, store_root, capsys):
+        assert main([
+            "store", "ingest", "--root", str(store_root.parent / "b"),
+            "--symbols", "4", "--days", "1", "--seconds", "900",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 days x 4 symbols" in out
+
+    def test_obs_json_written(self, tmp_path):
+        obs_path = tmp_path / "obs.json"
+        assert main([
+            "store", "ingest", "--root", str(tmp_path / "store"),
+            "--symbols", "4", "--days", "1", "--seconds", "900",
+            "--obs-json", str(obs_path),
+        ]) == 0
+        report = json.loads(obs_path.read_text())
+        counters = report["metrics"]["counters"]
+        assert counters["store.ingest.days"] == 1
+        assert counters["store.ingest.rows"] > 0
+
+    def test_csv_ingest(self, tmp_path, capsys):
+        from repro.taq.io import write_taq_csv
+        from repro.taq.synthetic import (
+            SyntheticMarket,
+            SyntheticMarketConfig,
+        )
+        from repro.taq.universe import default_universe
+
+        market = SyntheticMarket(
+            default_universe(4),
+            SyntheticMarketConfig(trading_seconds=900),
+            seed=3,
+        )
+        csv_path = tmp_path / "day0.csv"
+        write_taq_csv(csv_path, market.quotes(0), market.universe)
+        assert main([
+            "store", "ingest", "--root", str(tmp_path / "store"),
+            "--symbols", "4", "--seconds", "900",
+            "--from-csv", str(csv_path),
+        ]) == 0
+        assert "1 days x 4 symbols" in capsys.readouterr().out
+
+
+class TestLs:
+    def test_lists_days(self, store_root, capsys):
+        assert main(["store", "ls", "--root", str(store_root)]) == 0
+        out = capsys.readouterr().out
+        assert "2 days, 8 symbols, 3 shards/day" in out
+        assert "day   0:" in out and "day   1:" in out
+
+
+class TestVerify:
+    def test_clean_store_passes(self, store_root, capsys):
+        assert main(["store", "verify", "--root", str(store_root)]) == 0
+        assert capsys.readouterr().out.startswith("OK:")
+
+    def test_deep_verify_passes(self, store_root, capsys):
+        assert main([
+            "store", "verify", "--root", str(store_root), "--deep",
+        ]) == 0
+        assert "re-derived bitwise" in capsys.readouterr().out
+
+    def test_corruption_fails_nonzero(self, store_root, capsys):
+        seg = store_root / "day=001" / "shard=01.seg"
+        data = bytearray(seg.read_bytes())
+        data[-1] ^= 0xFF
+        backup = seg.read_bytes()
+        seg.write_bytes(bytes(data))
+        try:
+            assert main([
+                "store", "verify", "--root", str(store_root),
+            ]) == 1
+            assert "FAILED" in capsys.readouterr().err
+        finally:
+            seg.write_bytes(backup)
+
+
+class TestScan:
+    def test_filtered_scan_prints_counts(self, store_root, capsys):
+        assert main([
+            "store", "scan", "--root", str(store_root),
+            "--days", "0", "--select", "XOM,CVX",
+            "--t-min", "100", "--t-max", "1500",
+        ]) == 0
+        assert "scanned" in capsys.readouterr().out
+
+    def test_cached_scan_reports_cache_stats(self, store_root, capsys):
+        assert main([
+            "store", "scan", "--root", str(store_root), "--cached",
+        ]) == 0
+        assert "cache:" in capsys.readouterr().out
+
+    def test_scan_counters_visible_in_stats(self, store_root, tmp_path, capsys):
+        obs_path = tmp_path / "scan.json"
+        assert main([
+            "store", "scan", "--root", str(store_root),
+            "--select", "XOM", "--cached", "--obs-json", str(obs_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(obs_path)]) == 0
+        out = capsys.readouterr().out
+        assert "store.scan.rows" in out
+        assert "store.cache.misses" in out

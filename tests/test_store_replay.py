@@ -1,0 +1,145 @@
+"""Replay tests: cursor batches match the collectors' interval slicing
+bitwise, the Figure-1 session is source-agnostic, and store-backed
+backtests equal in-memory ones exactly."""
+
+import numpy as np
+import pytest
+
+from repro.backtest import SequentialBacktester
+from repro.backtest.data import BarProvider
+from repro.marketminer.components import StoreCollector
+from repro.marketminer.session import (
+    build_figure1_workflow,
+    run_figure1_session,
+)
+from repro.store import (
+    ReplayCursor,
+    StoreQuoteSource,
+    StoreReader,
+    ingest_synthetic,
+)
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.types import QUOTE_DTYPE
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+SECONDS = 1800
+N_DAYS = 2
+PARAMS = StrategyParams(m=20, w=10, y=4, rt=30, hp=20, st=10, d=0.001)
+
+
+@pytest.fixture(scope="module")
+def market():
+    return SyntheticMarket(
+        default_universe(6),
+        SyntheticMarketConfig(trading_seconds=SECONDS),
+        seed=21,
+    )
+
+
+@pytest.fixture(scope="module")
+def reader(tmp_path_factory, market):
+    root = tmp_path_factory.mktemp("replay-store")
+    ingest_synthetic(root, market, n_days=N_DAYS, n_shards=4, block_rows=512)
+    return StoreReader(root)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return TimeGrid(30, trading_seconds=SECONDS)
+
+
+class TestReplayCursor:
+    def test_batches_match_interval_slices_bitwise(self, reader, market, grid):
+        quotes = market.quotes(1)
+        cutoff = grid.smax * grid.delta_s
+        quotes = quotes[quotes["t"] < cutoff]
+        boundaries = np.searchsorted(
+            quotes["t"],
+            np.arange(1, grid.smax + 1) * grid.delta_s,
+            side="left",
+        )
+        cursor = ReplayCursor(reader, 1, grid)
+        start = 0
+        seen = 0
+        for s, batch in cursor:
+            expected = quotes[start:boundaries[s]]
+            assert batch.dtype == QUOTE_DTYPE
+            assert batch.tobytes() == expected.tobytes(), f"interval {s}"
+            start = boundaries[s]
+            seen += 1
+        assert seen == grid.smax == len(cursor)
+        assert cursor.total_rows == quotes.size
+
+    def test_interval_index_bounds_checked(self, reader, grid):
+        cursor = ReplayCursor(reader, 0, grid)
+        with pytest.raises(IndexError):
+            cursor.interval(grid.smax)
+        with pytest.raises(IndexError):
+            cursor.interval(-1)
+
+    def test_grid_longer_than_session_rejected(self, reader):
+        with pytest.raises(ValueError, match="session"):
+            ReplayCursor(reader, 0, TimeGrid(30, SECONDS * 2))
+
+
+class TestStoreQuoteSource:
+    def test_duck_types_the_market_surface(self, reader, market):
+        source = StoreQuoteSource(reader)
+        assert source.universe == market.universe
+        assert source.trading_seconds == SECONDS
+        assert source.days == list(range(N_DAYS))
+        for day in range(N_DAYS):
+            assert (
+                source.quotes(day).tobytes() == market.quotes(day).tobytes()
+            )
+
+    def test_bar_provider_prices_identical(self, reader, market, grid):
+        mem = BarProvider(market, grid)
+        stored = BarProvider(StoreQuoteSource(reader), grid)
+        assert stored.n_symbols == mem.n_symbols
+        for day in range(N_DAYS):
+            np.testing.assert_array_equal(
+                stored.prices(day), mem.prices(day)
+            )
+
+
+class TestBacktestIdentity:
+    def test_sequential_backtest_results_equal(self, reader, market, grid):
+        pairs = list(market.universe.pairs())
+        days = list(range(N_DAYS))
+        mem = SequentialBacktester(BarProvider(market, grid)).run(
+            pairs, [PARAMS], days
+        )
+        stored = SequentialBacktester(
+            BarProvider(StoreQuoteSource(reader), grid)
+        ).run(pairs, [PARAMS], days)
+        assert mem == stored
+
+
+class TestStoreCollector:
+    def test_figure1_session_matches_live_collector(
+        self, reader, market, grid
+    ):
+        pairs = list(market.universe.pairs())
+        live = run_figure1_session(
+            build_figure1_workflow(market, grid, pairs, [PARAMS], day=1),
+            size=2,
+        )
+        stored = run_figure1_session(
+            build_figure1_workflow(
+                market, grid, pairs, [PARAMS], day=1,
+                collector=StoreCollector(reader, grid, day=1),
+            ),
+            size=2,
+        )
+        assert (
+            live["pair_trading"]["trades"]
+            == stored["pair_trading"]["trades"]
+        )
+        assert live["order_sink"] == stored["order_sink"]
+        assert (
+            live["bar_accumulator"]["bars_emitted"]
+            == stored["bar_accumulator"]["bars_emitted"]
+        )

@@ -1,0 +1,270 @@
+"""Writer/reader tests: manifest contents, bitwise day round-trips, scan
+predicate pushdown, the block cache, obs counters and verify_store."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Obs
+from repro.store import (
+    BlockCache,
+    CodecError,
+    CorruptSegmentError,
+    MANIFEST_NAME,
+    SCHEMA,
+    StoreReader,
+    StoreWriter,
+    ingest_csv,
+    ingest_synthetic,
+    verify_store,
+)
+from repro.taq.io import write_taq_csv
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+
+N_DAYS = 3
+SECONDS = 1800
+
+
+@pytest.fixture(scope="module")
+def market():
+    return SyntheticMarket(
+        default_universe(9),
+        SyntheticMarketConfig(trading_seconds=SECONDS),
+        seed=13,
+    )
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory, market):
+    root = tmp_path_factory.mktemp("store")
+    ingest_synthetic(root, market, n_days=N_DAYS, n_shards=4, block_rows=512)
+    return root
+
+
+class TestManifest:
+    def test_manifest_written_and_schema_tagged(self, store_root):
+        assert (store_root / MANIFEST_NAME).exists()
+        reader = StoreReader(store_root)
+        assert reader.manifest["schema"] == SCHEMA
+        assert reader.days == list(range(N_DAYS))
+
+    def test_universe_round_trips_through_manifest(self, store_root, market):
+        assert StoreReader(store_root).universe == market.universe
+
+    def test_day_stats_match_the_data(self, store_root, market):
+        reader = StoreReader(store_root)
+        quotes = market.quotes(1)
+        entry = reader.manifest["days"]["1"]
+        assert entry["rows"] == quotes.size
+        assert entry["t_min"] == quotes["t"][0]
+        assert entry["t_max"] == quotes["t"][-1]
+        shard_rows = sum(s["rows"] for s in entry["shards"])
+        assert shard_rows == quotes.size
+        crossed = sum(s["quality"]["n_crossed"] for s in entry["shards"])
+        assert crossed == int(np.count_nonzero(quotes["bid"] >= quotes["ask"]))
+
+    def test_shards_partition_symbols_by_modulo(self, store_root):
+        reader = StoreReader(store_root)
+        for shard, entry in enumerate(
+            reader.manifest["days"]["0"]["shards"]
+        ):
+            assert all(s % reader.n_shards == shard for s in entry["symbols"])
+
+
+class TestWriterErrors:
+    def test_duplicate_day_rejected(self, tmp_path, market):
+        writer = StoreWriter(tmp_path, market.universe, SECONDS)
+        writer.write_day(0, market.quotes(0))
+        with pytest.raises(ValueError, match="already ingested"):
+            writer.write_day(0, market.quotes(0))
+
+    def test_negative_day_rejected(self, tmp_path, market):
+        writer = StoreWriter(tmp_path, market.universe, SECONDS)
+        with pytest.raises(ValueError, match="day"):
+            writer.write_day(-1, market.quotes(0))
+
+    def test_bad_shard_and_block_config_rejected(self, tmp_path, market):
+        with pytest.raises(ValueError, match="n_shards"):
+            StoreWriter(tmp_path, market.universe, SECONDS, n_shards=0)
+        with pytest.raises(ValueError, match="block_rows"):
+            StoreWriter(tmp_path, market.universe, SECONDS, block_rows=0)
+
+
+class TestDayRoundTrip:
+    def test_every_day_bitwise_identical(self, store_root, market):
+        reader = StoreReader(store_root)
+        for day in range(N_DAYS):
+            assert (
+                reader.day_quotes(day).tobytes()
+                == market.quotes(day).tobytes()
+            )
+
+    def test_missing_day_raises_keyerror(self, store_root):
+        with pytest.raises(KeyError, match="day 99"):
+            StoreReader(store_root).day_quotes(99)
+
+
+class TestScanPushdown:
+    def test_full_scan_covers_every_row(self, store_root, market):
+        reader = StoreReader(store_root)
+        total = sum(b.rows for b in reader.scan())
+        assert total == sum(market.quotes(d).size for d in range(N_DAYS))
+
+    def test_filtered_scan_matches_naive_mask(self, store_root, market):
+        reader = StoreReader(store_root)
+        quotes = market.quotes(2)
+        symbols = ["XOM", "MSFT"]
+        idx = [market.universe.index_of(s) for s in symbols]
+        naive = quotes[
+            np.isin(quotes["symbol"], idx)
+            & (quotes["t"] >= 200.0)
+            & (quotes["t"] < 1300.0)
+        ]
+        got = [
+            b.columns
+            for b in reader.scan(
+                days=[2], symbols=symbols, t_min=200.0, t_max=1300.0
+            )
+        ]
+        got_t = np.concatenate([c["t"] for c in got])
+        got_bid = np.concatenate([c["bid"] for c in got])
+        order = np.argsort(got_t, kind="stable")
+        naive_order = np.argsort(naive["t"], kind="stable")
+        np.testing.assert_array_equal(got_t[order], naive["t"][naive_order])
+        np.testing.assert_array_equal(
+            got_bid[order], naive["bid"][naive_order]
+        )
+
+    def test_pruning_skips_disjoint_segments(self, store_root):
+        obs = Obs(enabled=True)
+        reader = StoreReader(store_root, obs=obs)
+        # XOM is symbol 0 -> shard 0; the other shards must be pruned.
+        list(reader.scan(days=[0], symbols=["XOM"]))
+        report = obs.report()
+        counters = report["metrics"]["counters"]
+        assert counters["store.scan.segments"] == 1
+        assert counters["store.scan.segments_pruned"] == reader.n_shards - 1
+
+    def test_time_range_pruning_uses_manifest_bounds(self, store_root):
+        reader = StoreReader(store_root)
+        assert list(reader.scan(t_min=1e9)) == []
+        assert list(reader.scan(t_max=0.0)) == []
+
+    def test_scan_argument_validation(self, store_root):
+        reader = StoreReader(store_root)
+        with pytest.raises(KeyError, match="unknown column"):
+            list(reader.scan(columns=["nope"]))
+        with pytest.raises(KeyError, match="day 42"):
+            list(reader.scan(days=[42]))
+        with pytest.raises(ValueError, match="t_max"):
+            list(reader.scan(t_min=5.0, t_max=1.0))
+        with pytest.raises(KeyError, match="not in universe"):
+            list(reader.scan(symbols=["ZZZZ"]))
+        with pytest.raises(KeyError, match="symbol index"):
+            list(reader.scan(symbols=[400]))
+
+    def test_default_scan_is_zero_copy_memmap(self, store_root):
+        reader = StoreReader(store_root)
+        batch = next(iter(reader.scan(days=[0])))
+        assert any(
+            isinstance(col.base, np.memmap) or isinstance(col, np.memmap)
+            for col in batch.columns.values()
+        )
+
+
+class TestBlockCache:
+    def test_hits_after_first_pass(self, store_root):
+        reader = StoreReader(store_root)
+        reader.day_quotes(0)
+        misses_after_first = reader.cache.misses
+        reader.day_quotes(0)
+        assert reader.cache.misses == misses_after_first
+        assert reader.cache.hits >= misses_after_first
+
+    def test_byte_budget_evicts_lru(self, store_root):
+        reader = StoreReader(store_root, cache_bytes=200_000)
+        for day in range(N_DAYS):
+            reader.day_quotes(day)
+        assert reader.cache.evictions > 0
+        assert reader.cache.current_bytes <= 200_000
+
+    def test_oversized_value_not_cached(self):
+        cache = BlockCache(max_bytes=8)
+        value = np.arange(100)
+        assert cache.get("k", lambda: value) is value
+        assert len(cache) == 0
+
+    def test_counters_reach_obs_registry(self, store_root):
+        obs = Obs(enabled=True)
+        reader = StoreReader(store_root, obs=obs)
+        reader.day_quotes(0)
+        reader.day_quotes(0)
+        counters = obs.report()["metrics"]["counters"]
+        assert counters["store.cache.misses"] > 0
+        assert counters["store.cache.hits"] > 0
+
+    def test_stats_dict(self):
+        cache = BlockCache(max_bytes=1 << 20)
+        cache.get("a", lambda: np.arange(10))
+        cache.get("a", lambda: np.arange(10))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+
+class TestVerifyStore:
+    def test_clean_store_verifies(self, store_root):
+        summary = verify_store(StoreReader(store_root))
+        assert summary["days"] == N_DAYS
+        assert summary["rows"] == StoreReader(store_root).n_rows
+
+    def test_deep_verify_rederives_synthetic_source(self, store_root):
+        summary = verify_store(StoreReader(store_root), deep=True)
+        assert summary["deep_days"] == N_DAYS
+
+    def test_tampered_segment_fails(self, tmp_path, market):
+        ingest_synthetic(tmp_path, market, n_days=1, block_rows=512)
+        seg_path = tmp_path / "day=000" / "shard=00.seg"
+        data = bytearray(seg_path.read_bytes())
+        data[-1] ^= 0xFF
+        seg_path.write_bytes(bytes(data))
+        with pytest.raises(CorruptSegmentError):
+            verify_store(StoreReader(tmp_path))
+
+    def test_manifest_row_mismatch_fails(self, tmp_path, market):
+        import json
+
+        ingest_synthetic(tmp_path, market, n_days=1, block_rows=512)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        manifest["days"]["0"]["shards"][0]["rows"] += 1
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(CorruptSegmentError, match="manifest"):
+            verify_store(StoreReader(tmp_path))
+
+    def test_missing_manifest_is_a_codec_error(self, tmp_path):
+        with pytest.raises(CodecError, match="manifest"):
+            StoreReader(tmp_path)
+
+
+class TestCsvIngest:
+    def test_csv_days_round_trip_bitwise(self, tmp_path, market):
+        from repro.taq.io import read_taq_csv
+
+        paths = []
+        for day in range(2):
+            p = tmp_path / f"day{day}.csv"
+            write_taq_csv(p, market.quotes(day), market.universe)
+            paths.append(p)
+        root = tmp_path / "store"
+        manifest = ingest_csv(
+            root, paths, market.universe, trading_seconds=SECONDS
+        )
+        assert manifest["source"]["kind"] == "csv"
+        reader = StoreReader(root)
+        for day, p in enumerate(paths):
+            expected = read_taq_csv(p, market.universe)
+            assert reader.day_quotes(day).tobytes() == expected.tobytes()
+
+    def test_empty_path_list_rejected(self, tmp_path, market):
+        with pytest.raises(ValueError, match="at least one"):
+            ingest_csv(tmp_path, [], market.universe, SECONDS)

@@ -88,3 +88,77 @@ class TestFormatTable2:
         quotes, universe = quotes_and_universe
         first_row = format_table2(quotes, universe, limit=1).splitlines()[1]
         assert first_row.startswith("09:30:")
+
+
+class TestVectorisedReader:
+    def test_timestamp_error_names_file_and_line(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        path = tmp_path / "ts.csv"
+        path.write_text(
+            "timestamp,symbol,bid,ask,bid_size,ask_size\n"
+            "09:30:01.000000,XOM,1.00,1.10,1,1\n"
+            "noon,XOM,1.00,1.10,1,1\n"
+        )
+        with pytest.raises(ValueError, match=rf"{path}:3: bad timestamp"):
+            read_taq_csv(path, universe)
+
+    def test_numeric_error_names_file_and_line(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        path = tmp_path / "num.csv"
+        path.write_text(
+            "timestamp,symbol,bid,ask,bid_size,ask_size\n"
+            "09:30:01.000000,XOM,oops,1.10,1,1\n"
+        )
+        with pytest.raises(ValueError, match=rf"{path}:2: bad bid value"):
+            read_taq_csv(path, universe)
+
+    def test_field_count_error_names_line(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        path = tmp_path / "short.csv"
+        path.write_text(
+            "timestamp,symbol,bid,ask,bid_size,ask_size\n"
+            "09:30:01.000000,XOM,1.00,1.10,1,1\n"
+            "09:30:02.000000,XOM,1.00\n"
+        )
+        with pytest.raises(ValueError, match=rf"{path}:3: expected 6 fields"):
+            read_taq_csv(path, universe)
+
+    def test_legacy_crlf_and_plain_lf_files_both_read(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        body = (
+            "timestamp,symbol,bid,ask,bid_size,ask_size{eol}"
+            "09:30:01.500000,XOM,1.00,1.10,2,3{eol}"
+        )
+        for eol in ("\r\n", "\n"):
+            path = tmp_path / f"eol{len(eol)}.csv"
+            path.write_bytes(body.format(eol=eol).encode())
+            back = read_taq_csv(path, universe)
+            assert back.size == 1
+            assert back["t"][0] == 1.5
+            assert back["bid_size"][0] == 2
+
+    def test_second_stamped_rows_without_fraction_read(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        path = tmp_path / "taq.csv"
+        path.write_text(
+            "timestamp,symbol,bid,ask,bid_size,ask_size\n"
+            "09:30:05,XOM,1.00,1.10,1,1\n"
+        )
+        assert read_taq_csv(path, universe)["t"][0] == 5.0
+
+
+class TestFractionCarry:
+    def test_fraction_rounding_carries_into_the_next_second(self, tmp_path, quotes_and_universe):
+        _, universe = quotes_and_universe
+        rec = np.zeros(2, dtype=QUOTE_DTYPE)
+        rec["t"] = [0.9999997, 5.0]
+        rec["bid"] = 1.0
+        rec["ask"] = 1.1
+        rec["bid_size"] = 1
+        rec["ask_size"] = 1
+        path = tmp_path / "carry.csv"
+        write_taq_csv(path, rec, universe)
+        first = path.read_text().splitlines()[1]
+        assert first.startswith("09:30:01.000000,")
+        back = read_taq_csv(path, universe)
+        assert back["t"][0] == pytest.approx(rec["t"][0], abs=5e-7)
