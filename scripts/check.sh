@@ -153,4 +153,116 @@ assert ratio < 1.10, (
 print("ok: detached comm tracer pays no measurable overhead")
 EOF
 
+echo "== chaos recovery smoke check =="
+python - <<'EOF'
+"""Assert the self-healing runtime's headline invariant on a live run.
+
+Runs one Figure-1 session clean and once under the ``crash-mid`` fault
+plan (a rank killed mid-epoch) with checkpoint/restart supervision: the
+crash must actually fire (restarts >= 1) and the recovered session must
+be bitwise-identical to the fault-free one.
+"""
+from repro.faults import (
+    named_plan,
+    run_supervised_session,
+    session_results_equal,
+)
+from repro.marketminer.session import build_figure1_workflow
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+SECONDS = 23_400 // 16
+
+
+def build():
+    market = SyntheticMarket(
+        default_universe(4),
+        SyntheticMarketConfig(trading_seconds=SECONDS, quote_rate=0.9),
+        seed=33,
+    )
+    params = StrategyParams(m=20, w=10, y=4, rt=10, hp=8, st=4, d=0.002)
+    return build_figure1_workflow(
+        market,
+        TimeGrid(30, trading_seconds=SECONDS),
+        [(0, 1), (2, 3)],
+        [params],
+    )
+
+
+options = {"default_timeout": 2.0}
+clean = run_supervised_session(build, size=3, backend_options=options)
+chaos = run_supervised_session(
+    build, size=3, plan=named_plan("crash-mid"), checkpoint_every=20,
+    backend_options=options,
+)
+assert chaos.restarts >= 1, "crash-mid plan never fired: smoke is vacuous"
+assert session_results_equal(clean.results, chaos.results), (
+    "recovered session diverged from the fault-free run"
+)
+print(f"ok: crash-mid recovered bitwise-identical "
+      f"({chaos.restarts} restart(s), {chaos.checkpoints} checkpoint(s))")
+EOF
+
+echo "== detached-faults overhead smoke check =="
+python - <<'EOF'
+"""Assert the detached fault-injection seam stays (near-)free.
+
+Same min-of-N discipline as the obs and tracer checks: a plain ping-pong
+loop must run within 10% of one with a fault injector attached (empty
+plan, so the injector stamps/op-counts every message but injects
+nothing).  The detached path pays exactly one ``faults is not None``
+test per send/recv.
+"""
+import time
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.mpi.launcher import run_spmd
+
+ROUNDS = 4000
+N_RUNS = 3
+
+
+def pingpong(comm):
+    peer = 1 - comm.rank
+    for i in range(ROUNDS):
+        if comm.rank == 0:
+            comm.send(i, peer, tag=1)
+            comm.recv(source=peer, tag=2)
+        else:
+            comm.recv(source=peer, tag=1)
+            comm.send(i, peer, tag=2)
+    return None
+
+
+def injected(comm):
+    comm.attach_faults(FaultInjector(FaultPlan(name="empty"), comm.rank))
+    try:
+        pingpong(comm)
+    finally:
+        comm.attach_faults(None)
+
+
+def best_of(fn):
+    best = float("inf")
+    for _ in range(N_RUNS):
+        t0 = time.perf_counter()
+        run_spmd(fn, size=2, default_timeout=30.0)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+detached = best_of(pingpong)
+attached = best_of(injected)
+ratio = detached / attached
+print(f"detached {detached:.3f}s  attached {attached:.3f}s  "
+      f"detached/attached {ratio:.2f}")
+assert ratio < 1.10, (
+    f"detached faults should be at least as fast as attached "
+    f"(ratio {ratio:.2f} >= 1.10): the no-op fast path regressed"
+)
+print("ok: detached fault injection pays no measurable overhead")
+EOF
+
 echo "all checks passed"

@@ -27,6 +27,11 @@ repo.store-bounds    error     a ``repro.store`` read entry point
                                (``read_block`` / ``scan`` / ``day_quotes``)
                                neither validates its block/day/column
                                arguments nor delegates to a method that does
+repo.stateful-       error     a ``Component`` subclass carries mutable
+snapshot                       instance state but implements neither
+                               ``snapshot()`` nor ``restore()`` — the
+                               checkpoint/restart supervisor would silently
+                               lose its state across a recovery
 ===================  ========  =================================================
 
 Suppression: append ``# repro-lint: disable=<rule>[,<rule>...]`` (or
@@ -286,6 +291,81 @@ def _check_store_bounds(tree: ast.AST, path: str) -> Iterator[_Finding]:
             )
 
 
+def _is_mutable_value(node: ast.expr) -> bool:
+    """Is this initialiser expression a mutable container?"""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {
+            "list", "dict", "set", "bytearray", "defaultdict", "deque",
+        }
+    return False
+
+
+def _self_attr_targets(stmt: ast.stmt) -> Iterator[tuple[str, ast.expr | None]]:
+    """(attr name, assigned value) for every ``self.<attr> = ...`` in stmt."""
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield target.attr, value
+
+
+def _check_stateful_snapshot(tree: ast.AST) -> Iterator[_Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        is_component = any(
+            (isinstance(base, ast.Name) and base.id == "Component")
+            or (isinstance(base, ast.Attribute) and base.attr == "Component")
+            for base in node.bases
+        )
+        if not is_component:
+            continue
+        methods = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if {"snapshot", "restore"} <= methods:
+            continue
+        stateful = []
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for attr, value in _self_attr_targets(stmt):
+                if stmt.name == "__init__":
+                    # Constructor wiring (ports, config) is fine; owning a
+                    # mutable container means accumulating run state.
+                    if value is not None and _is_mutable_value(value):
+                        stateful.append(attr)
+                else:
+                    # Any post-construction self-mutation is run state.
+                    stateful.append(attr)
+        if not stateful:
+            continue
+        sample = ", ".join(sorted(set(stateful))[:4])
+        yield _Finding(
+            "repo.stateful-snapshot", Severity.ERROR, node.lineno,
+            f"stateful component {node.name} (mutates {sample}) does not "
+            f"implement both snapshot() and restore()",
+            hint="implement both so checkpoint/restart recovery preserves "
+            "the component's state, or suppress on the class line if the "
+            "state is genuinely derivable",
+        )
+
+
 def lint_source(text: str, path: str) -> list[Diagnostic]:
     """Lint one module's source text; ``path`` is used for reporting."""
     try:
@@ -308,6 +388,7 @@ def lint_source(text: str, path: str) -> list[Diagnostic]:
     findings.extend(_check_metric_names(tree))
     findings.extend(_check_mpi_bounds(tree, path))
     findings.extend(_check_store_bounds(tree, path))
+    findings.extend(_check_stateful_snapshot(tree))
 
     out = []
     for f in sorted(findings, key=lambda f: (f.line, f.rule)):

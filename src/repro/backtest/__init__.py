@@ -23,7 +23,11 @@ from repro.backtest.distributed import DistributedBacktester
 from repro.backtest.matrices import MatrixSeriesBacktester
 from repro.backtest.report import StudyReportOptions, study_report
 from repro.backtest.results import ResultStore
-from repro.backtest.runner import SequentialBacktester, backtest_pair_day
+from repro.backtest.runner import (
+    CellFailure,
+    SequentialBacktester,
+    backtest_pair_day,
+)
 from repro.backtest.selection import (
     PairScore,
     ParameterScore,
@@ -40,6 +44,7 @@ from repro.backtest.walkforward import (
 )
 
 __all__ = [
+    "CellFailure",
     "DistributedBacktester",
     "MatrixSeriesBacktester",
     "PairScore",

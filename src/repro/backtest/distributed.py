@@ -28,6 +28,7 @@ import time
 
 from repro.backtest.data import BarProvider
 from repro.backtest.results import ResultStore
+from repro.backtest.runner import CellFailure, _capture_cell_failure
 from repro.corr.maronna import MaronnaConfig
 from repro.corr.parallel import ParallelCorrelationEngine, partition_pairs
 from repro.mpi.api import Comm
@@ -49,6 +50,9 @@ class DistributedBacktester:
         self.provider = provider
         self.maronna_config = maronna_config
         self.execution = execution
+        #: Merged cross-rank manifest of the last ``on_error="continue"``
+        #: run — identical on every rank after the final broadcast.
+        self.last_failures: list[CellFailure] = []
 
     def run(
         self,
@@ -57,12 +61,22 @@ class DistributedBacktester:
         grid: list[StrategyParams],
         days: list[int],
         obs: Obs | None = None,
+        on_error: str = "abort",
     ) -> ResultStore:
         """SPMD entry point: every rank calls this; every rank returns the
         complete merged store (the master additionally being where basket
         aggregation would attach).  ``obs`` defaults to the communicator's
         attached handle, so MPI and engine telemetry land in one registry.
+
+        ``on_error="continue"`` skips failed (pair, day, parameter set)
+        cells; the per-rank failures are gathered alongside the partial
+        stores and every rank ends with the same sorted manifest in
+        ``self.last_failures``.
         """
+        if on_error not in ("abort", "continue"):
+            raise ValueError(
+                f"on_error must be 'abort' or 'continue', got {on_error!r}"
+            )
         if not pairs or not grid or not days:
             raise ValueError("pairs, grid and days must all be non-empty")
         if obs is None:
@@ -77,6 +91,8 @@ class DistributedBacktester:
         )
         pairs = [tuple(sorted(p)) for p in pairs]
         store = ResultStore()
+        failures: list[CellFailure] = []
+        self.last_failures = []
         my_pairs = partition_pairs(pairs, comm.size)[comm.rank]
         specs = sorted(
             {(p.m, p.ctype) for p in grid}, key=lambda s: (s[0], s[1].value)
@@ -140,13 +156,27 @@ class DistributedBacktester:
                                 corr = align_corr_series(
                                     series, smax, params.m
                                 )
-                                trades = run_pair_day(
-                                    pair_prices,
-                                    corr,
-                                    params,
-                                    execution=self.execution,
-                                    salt=execution_salt((i, j), k),
-                                )
+                                try:
+                                    trades = run_pair_day(
+                                        pair_prices,
+                                        corr,
+                                        params,
+                                        execution=self.execution,
+                                        salt=execution_salt((i, j), k),
+                                    )
+                                except Exception as exc:
+                                    if on_error == "abort":
+                                        raise
+                                    failures.append(
+                                        _capture_cell_failure(
+                                            (i, j), day, k, exc
+                                        )
+                                    )
+                                    if record:
+                                        obs.metrics.counter(
+                                            "backtest.cells_failed"
+                                        ).inc()
+                                    continue
                                 if record:
                                     obs.metrics.histogram(
                                         "backtest.pair_day.seconds"
@@ -167,6 +197,15 @@ class DistributedBacktester:
                 else:
                     merged = None
                 merged = comm.bcast(merged, root=0)
+                if on_error == "continue":
+                    failure_parts = comm.gather(failures, root=0)
+                    manifest = None
+                    if comm.rank == 0:
+                        manifest = sorted(
+                            (f for part in failure_parts for f in part),
+                            key=lambda f: f.sort_key,
+                        )
+                    self.last_failures = comm.bcast(manifest, root=0)
         if record:
             obs.metrics.counter("backtest.jobs").inc(
                 len(my_pairs) * len(grid) * len(days)

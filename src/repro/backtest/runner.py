@@ -13,6 +13,8 @@ between Approach 2 and the integrated Approach 3.
 from __future__ import annotations
 
 import time
+import traceback
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -29,6 +31,49 @@ from repro.strategy.params import StrategyParams
 #: paper's "approximately 2 seconds" unit of work, shared by every engine
 #: so Section-IV benchmarks read one metric regardless of approach.
 PAIR_DAY_HIST = "backtest.pair_day.seconds"
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One failed (pair, day, parameter set) cell of a sweep.
+
+    A 61-stock × 20-day × 42-set study is 1.5M cells; one bad cell must
+    not discard a night of compute.  Engines running with
+    ``on_error="continue"`` record these instead of aborting, and the
+    sweep driver reports them as a manifest (and a non-zero exit).
+    """
+
+    pair: tuple[int, int]
+    day: int
+    param_index: int
+    exc_type: str
+    message: str
+    traceback: str
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.day, self.pair, self.param_index)
+
+    def describe(self) -> str:
+        return (
+            f"pair={self.pair} day={self.day} k={self.param_index}: "
+            f"{self.exc_type}: {self.message}"
+        )
+
+
+def _capture_cell_failure(
+    pair: tuple[int, int], day: int, k: int, exc: BaseException
+) -> CellFailure:
+    return CellFailure(
+        pair=tuple(pair),
+        day=day,
+        param_index=k,
+        exc_type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    )
 
 
 def backtest_pair_day(
@@ -86,14 +131,26 @@ class SequentialBacktester:
         self.obs = obs
         #: Wall-clock seconds spent per (pair, day, param) job in the last run.
         self.last_job_seconds: list[float] = []
+        #: Cells skipped by the last ``on_error="continue"`` run.
+        self.last_failures: list[CellFailure] = []
 
     def run(
         self,
         pairs: list[tuple[int, int]],
         grid: list[StrategyParams],
         days: list[int],
+        on_error: str = "abort",
     ) -> ResultStore:
-        """Backtest every (pair, parameter set) cell over the given days."""
+        """Backtest every (pair, parameter set) cell over the given days.
+
+        ``on_error="continue"`` records a :class:`CellFailure` per failed
+        cell in ``self.last_failures`` and keeps sweeping; the default
+        aborts on the first failure, preserving historical behaviour.
+        """
+        if on_error not in ("abort", "continue"):
+            raise ValueError(
+                f"on_error must be 'abort' or 'continue', got {on_error!r}"
+            )
         self._validate(pairs, grid, days)
         obs = self.obs
         record = obs is not None and obs.enabled
@@ -106,6 +163,7 @@ class SequentialBacktester:
         )
         store = ResultStore()
         self.last_job_seconds = []
+        self.last_failures = []
         with span:
             for day in days:
                 prices = self.provider.prices(day)
@@ -133,14 +191,26 @@ class SequentialBacktester:
                             corr = corr_cache[spec]
                         # The timing loop owns the job clock — pass obs=None
                         # down so the job does not also record itself.
-                        trades = backtest_pair_day(
-                            pair_prices,
-                            params,
-                            corr,
-                            self.maronna_config,
-                            execution=self.execution,
-                            salt=execution_salt((i, j), k),
-                        )
+                        try:
+                            trades = backtest_pair_day(
+                                pair_prices,
+                                params,
+                                corr,
+                                self.maronna_config,
+                                execution=self.execution,
+                                salt=execution_salt((i, j), k),
+                            )
+                        except Exception as exc:
+                            if on_error == "abort":
+                                raise
+                            self.last_failures.append(
+                                _capture_cell_failure((i, j), day, k, exc)
+                            )
+                            if record:
+                                obs.metrics.counter(
+                                    "backtest.cells_failed"
+                                ).inc()
+                            continue
                         elapsed = time.perf_counter() - t0
                         self.last_job_seconds.append(elapsed)
                         if record:

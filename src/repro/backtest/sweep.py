@@ -56,8 +56,15 @@ class SweepConfig:
     clean: bool = True
     #: Optional implementation-shortfall model applied to every trade.
     execution: ExecutionModel | None = None
+    #: "abort" fails the sweep on the first bad cell (historical
+    #: behaviour); "continue" skips it and records a failure manifest.
+    on_error: str = "abort"
 
     def __post_init__(self) -> None:
+        if self.on_error not in ("abort", "continue"):
+            raise ValueError(
+                f"on_error must be 'abort' or 'continue', got {self.on_error!r}"
+            )
         check_positive_int(self.n_symbols, "n_symbols")
         if self.n_symbols < 2:
             raise ValueError("need at least 2 symbols to form a pair")
@@ -97,6 +104,7 @@ def run_sweep(
     config: SweepConfig,
     maronna_config: MaronnaConfig | None = None,
     obs: Obs | None = None,
+    failures: list | None = None,
 ) -> tuple[ResultStore, list[StrategyParams]]:
     """Execute a sweep; returns the result store and its parameter grid.
 
@@ -105,6 +113,11 @@ def run_sweep(
     telemetry is recorded into it: the sequential engine writes directly;
     the distributed engine gives each rank its own registry and the
     per-rank interchange dicts are absorbed into ``obs`` afterwards.
+
+    With ``config.on_error == "continue"``, failed cells do not abort the
+    sweep; pass a list as ``failures`` to collect the resulting
+    :class:`~repro.backtest.runner.CellFailure` manifest (sorted by
+    (day, pair, parameter index)).
     """
     provider = config.build_provider()
     grid = config.build_grid()
@@ -120,21 +133,35 @@ def run_sweep(
             execution=config.execution,
             obs=obs if record else None,
         )
-        return backtester.run(pairs, grid, days), grid
+        store = backtester.run(pairs, grid, days, on_error=config.on_error)
+        if failures is not None:
+            failures.extend(
+                sorted(backtester.last_failures, key=lambda f: f.sort_key)
+            )
+        return store, grid
 
     def spmd(comm):
         local = None
         if record:
             local = Obs(enabled=True)
             attach_to_comm(comm, local)
-        store = DistributedBacktester(
+        backtester = DistributedBacktester(
             provider, maronna_config, execution=config.execution
-        ).run(comm, pairs, grid, days, obs=local)
-        return store, local.to_dict() if local is not None else None
+        )
+        store = backtester.run(
+            comm, pairs, grid, days, obs=local, on_error=config.on_error
+        )
+        return (
+            store,
+            local.to_dict() if local is not None else None,
+            backtester.last_failures,
+        )
 
     results = run_spmd(spmd, size=config.ranks, backend=config.backend)
     if record:
-        for rank, (_, rank_dict) in enumerate(results):
+        for rank, (_, rank_dict, _) in enumerate(results):
             if rank_dict is not None:
                 obs.absorb_rank(rank, rank_dict)
+    if failures is not None:
+        failures.extend(results[0][2])
     return results[0][0], grid

@@ -6,6 +6,7 @@ One executable, ``repro``, with a subcommand per common workflow::
     repro taq-sample --symbols 8      # synthesise and print Table-II rows
     repro sweep --symbols 8 --days 3  # run the study, print Tables III-V
     repro pipeline --symbols 6        # stream a Figure-1 live session
+    repro chaos --plan crash-mid      # chaos-test a supervised session
     repro screen --symbols 12         # candidate-pair screening funnel
     repro stats obs.json              # render a telemetry report
     repro lint --strict               # graph-spec lint + repo AST lint
@@ -101,9 +102,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ),
         ranks=args.ranks,
         engine=args.engine,
+        on_error="continue" if args.continue_on_error else "abort",
     )
     obs = _make_obs(args)
-    store, grid = run_sweep(config, obs=obs)
+    failures: list = []
+    store, grid = run_sweep(config, obs=obs, failures=failures)
     print(
         f"{len(store.pairs)} pairs x {len(grid)} parameter sets x "
         f"{args.days} days: {store.n_trades} trades\n"
@@ -118,6 +121,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ))
         print()
     _dump_obs(args, obs.report() if obs is not None else None)
+    if failures:
+        print(f"\n{len(failures)} cell(s) FAILED and were skipped:")
+        for f in failures:
+            print(f"  {f.describe()}")
+        return 3
     return 0
 
 
@@ -167,6 +175,143 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         )
     _dump_obs(args, results.get("_obs"))
     return 0
+
+
+def _chaos_figure1(args: argparse.Namespace, plan) -> int:
+    from repro.faults import run_supervised_session, session_results_equal
+    from repro.marketminer.session import build_figure1_workflow
+    from repro.strategy.params import StrategyParams
+    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+    from repro.taq.universe import default_universe
+    from repro.util.timeutil import TimeGrid
+
+    market = SyntheticMarket(
+        default_universe(args.symbols),
+        SyntheticMarketConfig(trading_seconds=args.seconds, quote_rate=0.9),
+        seed=args.seed,
+    )
+    grid_time = TimeGrid(30, trading_seconds=args.seconds)
+    params = StrategyParams(m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001)
+    pairs = list(market.universe.pairs())
+
+    def build():
+        return build_figure1_workflow(market, grid_time, pairs, [params])
+
+    options = {"default_timeout": args.timeout}
+    clean = run_supervised_session(
+        build, size=args.ranks, backend=args.backend,
+        backend_options=options,
+    )
+    chaos = run_supervised_session(
+        build, size=args.ranks, backend=args.backend, plan=plan,
+        checkpoint_every=args.checkpoint_every,
+        max_restarts=args.max_restarts, backend_options=options,
+    )
+    print(f"plan {plan.name!r} on figure1 ({args.ranks} ranks, "
+          f"{args.backend} backend):")
+    for entry in chaos.log:
+        if entry[0] == "restart":
+            _, epoch, attempt, classified = entry
+            detail = "; ".join(
+                f"rank {r}: {t}" + (f" ({d})" if d else "")
+                for r, t, d in classified
+            )
+            print(f"  restart epoch {epoch} attempt {attempt}: {detail}")
+        else:
+            _, epoch, attempt, _, events = entry
+            n = sum(len(ev) for _, ev in events)
+            print(f"  run epoch {epoch} attempt {attempt}: ok "
+                  f"({n} fault event(s))")
+    print(f"  {chaos.restarts} restart(s), {chaos.checkpoints} "
+          f"checkpoint(s), {chaos.attempts} attempt(s)")
+    identical = session_results_equal(clean.results, chaos.results)
+    print(f"recovered results identical to fault-free run: {identical}")
+    return 0 if identical else 1
+
+
+def _chaos_sweep(args: argparse.Namespace, plan) -> int:
+    """Approach-3 backtest under chaos: stateless jobs, so recovery is a
+    clean re-run at the next fault attempt (faults are attempt-scoped)."""
+    from repro.backtest.data import BarProvider
+    from repro.backtest.distributed import DistributedBacktester
+    from repro.faults.injector import FaultInjector
+    from repro.mpi.api import MpiError
+    from repro.mpi.launcher import run_spmd
+    from repro.strategy.params import StrategyParams
+    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+    from repro.taq.universe import default_universe
+    from repro.util.timeutil import TimeGrid
+
+    market = SyntheticMarket(
+        default_universe(args.symbols),
+        SyntheticMarketConfig(trading_seconds=args.seconds),
+        seed=args.seed,
+    )
+    provider = BarProvider(
+        market, TimeGrid(30, trading_seconds=args.seconds)
+    )
+    pairs = list(market.universe.pairs())
+    # Windows sized so a half-length smoke session still fits m observations.
+    params = [StrategyParams(m=20, w=10, y=4, rt=10, hp=8, st=4, d=0.002)]
+
+    def run_once(fault_plan, attempt):
+        def spmd(comm):
+            if fault_plan is not None:
+                injector = FaultInjector(
+                    fault_plan, comm.rank, attempt=attempt
+                )
+                comm.attach_faults(injector)
+            try:
+                return DistributedBacktester(provider).run(
+                    comm, pairs, params, [0]
+                )
+            finally:
+                comm.attach_faults(None)
+
+        return run_spmd(
+            spmd, size=args.ranks, backend=args.backend,
+            default_timeout=args.timeout,
+        )[0]
+
+    clean = run_once(None, 0)
+    attempt = 0
+    restarts = 0
+    while True:
+        try:
+            chaos = run_once(plan, attempt)
+            break
+        except MpiError as exc:
+            restarts += 1
+            print(f"  attempt {attempt} failed: {type(exc).__name__}")
+            if restarts > args.max_restarts:
+                print("restart budget exhausted", file=sys.stderr)
+                return 1
+            attempt += 1
+    print(f"plan {plan.name!r} on sweep ({args.ranks} ranks, "
+          f"{args.backend} backend): {restarts} restart(s)")
+    identical = chaos == clean
+    print(f"recovered results identical to fault-free run: {identical}")
+    return 0 if identical else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import named_plan, plan_descriptions
+
+    if args.list_plans:
+        for name, description in plan_descriptions().items():
+            print(f"  {name:10s} {description}")
+        return 0
+    if args.plan is None:
+        print("one of --plan or --list-plans is required", file=sys.stderr)
+        return 2
+    plan = named_plan(
+        args.plan, size=args.ranks, stall_seconds=args.stall_seconds,
+        at_op=args.at_op if args.at_op is not None
+        else (4 if args.target == "sweep" else None),
+    )
+    if args.target == "figure1":
+        return _chaos_figure1(args, plan)
+    return _chaos_sweep(args, plan)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -441,8 +586,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=2)
     p.add_argument("--engine", choices=("distributed", "sequential"),
                    default="distributed")
+    p.add_argument("--continue-on-error", action="store_true",
+                   help="skip failed (pair, day, set) cells, print a "
+                   "failure manifest and exit 3 instead of aborting")
     p.add_argument("--obs-json", metavar="PATH", default=None,
                    help="write the run's observability report here")
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a session under a seeded fault plan and verify recovery",
+    )
+    _add_market_args(p, symbols=4)
+    p.add_argument("--plan", default=None,
+                   help="named fault plan (see --list-plans)")
+    p.add_argument("--list-plans", action="store_true",
+                   help="list the named fault plans and exit")
+    p.add_argument("--target", choices=("figure1", "sweep"),
+                   default="figure1",
+                   help="chaos a Figure-1 session or an Approach-3 backtest")
+    p.add_argument("--ranks", type=int, default=3)
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread")
+    p.add_argument("--checkpoint-every", type=int, default=20,
+                   help="intervals per checkpoint epoch (figure1 target)")
+    p.add_argument("--max-restarts", type=int, default=3)
+    p.add_argument("--stall-seconds", type=float, default=0.5,
+                   help="sleep injected by the 'stall' plan")
+    p.add_argument("--at-op", type=int, default=None,
+                   help="override the crash/stall trigger op (default: "
+                   "plan value for figure1, 4 for the short sweep target)")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="per-recv timeout for the session's communicators")
 
     p = sub.add_parser("pipeline", help="stream a Figure-1 live session")
     _add_market_args(p, symbols=6)
@@ -555,6 +729,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "taq-sample": _cmd_taq_sample,
     "sweep": _cmd_sweep,
+    "chaos": _cmd_chaos,
     "pipeline": _cmd_pipeline,
     "report": _cmd_report,
     "screen": _cmd_screen,

@@ -1,0 +1,50 @@
+"""Deterministic fault injection and self-healing session supervision.
+
+Layered the same way as :mod:`repro.obs`: a plan/injector pair attaches
+to the mailbox communicator through a no-op-when-detached seam, a
+supervisor wraps the Figure-1 session in epochs with checkpoint/restart,
+and degradation/retry policies configure the soft-failure behaviour.
+"""
+
+from repro.faults.heartbeat import HeartbeatHandle, HeartbeatMonitor
+from repro.faults.injector import FaultDetected, FaultInjector, InjectedCrash
+from repro.faults.plan import (
+    PLAN_NAMES,
+    FaultPlan,
+    MessageFault,
+    RankCrash,
+    RankStall,
+    named_plan,
+    plan_descriptions,
+    seeded_plan,
+)
+from repro.faults.policy import BackoffPolicy, DegradePolicy, StaleCorr
+from repro.faults.supervisor import (
+    ChaosUnrecoverable,
+    SupervisedRun,
+    run_supervised_session,
+    session_results_equal,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "ChaosUnrecoverable",
+    "DegradePolicy",
+    "FaultDetected",
+    "FaultInjector",
+    "FaultPlan",
+    "HeartbeatHandle",
+    "HeartbeatMonitor",
+    "InjectedCrash",
+    "MessageFault",
+    "PLAN_NAMES",
+    "RankCrash",
+    "RankStall",
+    "StaleCorr",
+    "SupervisedRun",
+    "named_plan",
+    "plan_descriptions",
+    "run_supervised_session",
+    "seeded_plan",
+    "session_results_equal",
+]

@@ -1,0 +1,78 @@
+"""Shared-memory heartbeats for rank liveness detection.
+
+The monitor owns one lock-free double per rank (a ``multiprocessing``
+raw array, so it works identically for threads, forked and spawned
+processes); each rank's communicator ticks its own slot with
+``time.monotonic()`` on every send and on every inbox poll iteration.
+Ticking inside the poll loop is deliberate: a rank blocked in ``recv``
+is *alive* (waiting on a peer), not stalled, and must not be culled.
+
+On Linux ``CLOCK_MONOTONIC`` is system-wide, so monotonic stamps written
+by worker processes are directly comparable with the supervisor's clock.
+Detection is the supervisor's job: :meth:`HeartbeatMonitor.stalled`
+reports ranks whose last beat is older than a timeout.  The process
+backend uses it (opt-in) to terminate stalled ranks; the thread backend
+exposes it for observation only, since Python threads cannot be killed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+
+class HeartbeatHandle:
+    """One rank's write-only view of the heartbeat array."""
+
+    __slots__ = ("_array", "_rank")
+
+    def __init__(self, array, rank: int):
+        self._array = array
+        self._rank = rank
+
+    def tick(self) -> None:
+        self._array[self._rank] = time.monotonic()
+
+
+class HeartbeatMonitor:
+    """Supervisor-side view over every rank's last-beat timestamp."""
+
+    def __init__(self, size: int, ctx=None):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        factory = ctx if ctx is not None else multiprocessing
+        self.size = size
+        self._array = factory.Array("d", size, lock=False)
+        self.start()
+
+    def start(self) -> None:
+        """(Re)arm every slot to *now* so startup latency never trips."""
+        now = time.monotonic()
+        for rank in range(self.size):
+            self._array[rank] = now
+
+    def handle(self, rank: int) -> HeartbeatHandle:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        return HeartbeatHandle(self._array, rank)
+
+    def last_beat(self, rank: int) -> float:
+        return self._array[rank]
+
+    def age(self, rank: int) -> float:
+        """Seconds since ``rank`` last ticked."""
+        return time.monotonic() - self._array[rank]
+
+    def ages(self) -> list[float]:
+        now = time.monotonic()
+        return [now - self._array[rank] for rank in range(self.size)]
+
+    def stalled(self, timeout: float, exclude=()) -> list[int]:
+        """Ranks whose last beat is older than ``timeout`` seconds."""
+        skip = set(exclude)
+        now = time.monotonic()
+        return [
+            rank
+            for rank in range(self.size)
+            if rank not in skip and now - self._array[rank] > timeout
+        ]

@@ -1,0 +1,201 @@
+"""Per-rank fault injector and sequence-checked delivery.
+
+One :class:`FaultInjector` is attached per rank per run attempt, through
+the same no-op-when-detached endpoint seam the obs and commtrace layers
+use — a detached communicator pays exactly one ``is not None`` test per
+operation.
+
+Besides injecting the plan's faults, the attached injector stamps every
+data-plane envelope (tag >= 0) with a per-(src, dst) sequence number and
+checks it on receipt.  That one mechanism yields both halves of the
+delivery contract:
+
+* **dedup** — an envelope whose sequence number was already seen is a
+  re-delivery (a ``duplicate`` fault, or replay overlap); it is dropped
+  silently and counted, and the session result is unchanged;
+* **gap detection** — a sequence number *ahead* of the expected one
+  means an earlier envelope was lost or reordered; the receiving rank
+  raises :class:`FaultDetected` immediately with a deterministic
+  message, so a dropped message can never silently corrupt results.
+  (A dropped *final* envelope has no successor to expose the gap; that
+  case surfaces as the ordinary ``RecvTimeout``.)
+
+Collective traffic (tag < 0) is never stamped or faulted — collectives
+are the recovery substrate (checkpoints travel over allgather) — but it
+does advance the op counter that triggers crash/stall faults.
+
+All event-log entries are deterministic by construction: they contain
+ranks, sequence numbers and op counts, never wall times or queue
+depths, so identical (seed, plan) runs produce identical logs on the
+thread and process backends.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.mpi.api import MpiError
+from repro.faults.plan import FaultPlan, MessageFault
+
+
+class InjectedCrash(RuntimeError):
+    """Raised inside a rank to simulate its death at a planned op."""
+
+
+class FaultDetected(MpiError):
+    """A receiver observed a sequence gap: a message was lost or reordered."""
+
+
+class _Stamped:
+    """Data-plane payload wrapper carrying the per-edge sequence number."""
+
+    __slots__ = ("seq", "payload")
+
+    def __init__(self, seq: int, payload):
+        self.seq = seq
+        self.payload = payload
+
+    def __getstate__(self):
+        return (self.seq, self.payload)
+
+    def __setstate__(self, state):
+        self.seq, self.payload = state
+
+    def __repr__(self) -> str:
+        return f"_Stamped(seq={self.seq})"
+
+
+class FaultInjector:
+    """Applies one rank's share of a :class:`FaultPlan` for one attempt."""
+
+    def __init__(self, plan: FaultPlan, rank: int, attempt: int = 0, obs=None):
+        self.plan = plan
+        self.rank = rank
+        self.attempt = attempt
+        #: Deterministic event log; allgathered into ``results["_faults"]``.
+        self.events: list[tuple] = []
+        self._op = 0
+        self._send_seq: dict[int, int] = {}
+        self._recv_seen: dict[int, int] = {}
+        self._held: dict[int, list] = {}
+        self._message_counts: dict[int, int] = {}
+        self._metrics = (
+            obs.metrics if obs is not None and obs.enabled else None
+        )
+        self._crash = None
+        for fault in plan.crashes:
+            if fault.rank == rank and fault.attempt == attempt:
+                if self._crash is None or fault.at_op < self._crash.at_op:
+                    self._crash = fault
+        self._stall = None
+        for fault in plan.stalls:
+            if fault.rank == rank and fault.attempt == attempt:
+                if self._stall is None or fault.at_op < self._stall.at_op:
+                    self._stall = fault
+        self._stall_fired = False
+        self._messages = tuple(
+            (index, fault)
+            for index, fault in enumerate(plan.messages)
+            if fault.attempt == attempt
+            and (fault.src is None or fault.src == rank)
+        )
+
+    # -- plan application ---------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+    def _tick_op(self) -> None:
+        self._op += 1
+        stall = self._stall
+        if (
+            stall is not None
+            and not self._stall_fired
+            and self._op >= stall.at_op
+        ):
+            self._stall_fired = True
+            self.events.append(
+                ("stall", self.rank, stall.at_op, stall.seconds)
+            )
+            self._count("faults.injected[stall]")
+            time.sleep(stall.seconds)
+        crash = self._crash
+        if crash is not None and self._op >= crash.at_op:
+            self.events.append(("crash", self.rank, crash.at_op))
+            self._count("faults.injected[crash]")
+            raise InjectedCrash(
+                f"rank {self.rank}: injected crash at op {crash.at_op} "
+                f"(attempt {self.attempt})"
+            )
+
+    def _match_message(self, dst: int) -> MessageFault | None:
+        for index, fault in self._messages:
+            if fault.dst is not None and fault.dst != dst:
+                continue
+            count = self._message_counts.get(index, 0)
+            self._message_counts[index] = count + 1
+            if count == fault.nth:
+                return fault
+        return None
+
+    # -- communicator hooks -------------------------------------------------
+
+    def on_send(self, dst: int, tag: int, payload) -> list:
+        """Return the payloads to actually deliver (0, 1 or 2 of them).
+
+        ``dst`` is the destination's *world* rank; sequence numbers are
+        kept per world edge so split communicators share one stream.
+        """
+        self._tick_op()
+        if tag < 0:
+            return [payload]
+        seq = self._send_seq.get(dst, 0)
+        self._send_seq[dst] = seq + 1
+        stamped = _Stamped(seq, payload)
+        fault = self._match_message(dst)
+        out: list = []
+        if fault is None:
+            out.append(stamped)
+        elif fault.kind == "drop":
+            self.events.append(("drop", self.rank, dst, seq))
+            self._count("faults.injected[drop]")
+        elif fault.kind == "duplicate":
+            self.events.append(("duplicate", self.rank, dst, seq))
+            self._count("faults.injected[duplicate]")
+            out.extend((stamped, stamped))
+        else:  # delay: hold back, release after the next send to dst
+            self.events.append(("delay", self.rank, dst, seq))
+            self._count("faults.injected[delay]")
+            self._held.setdefault(dst, []).append(stamped)
+            return out
+        held = self._held.pop(dst, None)
+        if held:
+            out.extend(held)
+        return out
+
+    def on_recv(self, src: int, tag: int, payload) -> tuple[bool, object]:
+        """Unstamp and sequence-check one received envelope.
+
+        Returns ``(deliver, payload)``; ``deliver=False`` means the
+        envelope was a duplicate and the caller should keep waiting.
+        ``src`` is the sender's world rank.
+        """
+        self._tick_op()
+        if tag < 0 or not isinstance(payload, _Stamped):
+            return True, payload
+        seq = payload.seq
+        expected = self._recv_seen.get(src, -1) + 1
+        if seq < expected:
+            self.events.append(("dedup", self.rank, src, seq))
+            self._count("faults.duplicates_dropped")
+            return False, None
+        if seq > expected:
+            self.events.append(("gap", self.rank, src, expected, seq))
+            self._count("faults.gaps_detected")
+            raise FaultDetected(
+                f"rank {self.rank}: sequence gap from world rank {src}: "
+                f"expected {expected}, got {seq} (message lost or reordered)"
+            )
+        self._recv_seen[src] = seq
+        return True, payload.payload

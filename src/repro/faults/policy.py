@@ -1,0 +1,90 @@
+"""Degradation and retry policies for the self-healing runtime.
+
+These are deliberately plain frozen dataclasses: a policy is
+configuration that crosses process boundaries (pickled to worker ranks),
+so it must carry no live state.  The live state (retry counters, stale
+ages) lives wherever the policy is applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """How the pipeline behaves when correlation input misses a deadline.
+
+    ``serve_stale``: the correlation engine re-emits its last-good matrix
+    (wrapped in :class:`StaleCorr`) for intervals whose input never
+    arrived, instead of silently leaving a gap downstream.
+    ``max_stale_age``: stop serving once the last-good matrix is older
+    than this many intervals (``None`` = no cap) — at that point the gap
+    propagates and the session fails over to restart semantics.
+    ``flatten``: on a stale matrix the strategy closes any open
+    positions (reason ``DEGRADED``) in addition to refusing new entries;
+    with ``flatten=False`` it only refuses entries.
+    """
+
+    serve_stale: bool = True
+    max_stale_age: int | None = None
+    flatten: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_stale_age is not None and self.max_stale_age < 1:
+            raise ValueError(
+                f"max_stale_age must be >= 1 or None, got {self.max_stale_age}"
+            )
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff for recv retries.
+
+    ``delay(i)`` is the extra wait granted after the ``i``-th timeout
+    (0-based): ``min(base * factor**i, cap)`` seconds.  A recv with this
+    policy attached only raises ``RecvTimeout`` after its original
+    deadline *plus* ``retries`` extended windows have all expired.
+    """
+
+    retries: int = 3
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base <= 0 or self.factor < 1 or self.cap <= 0:
+            raise ValueError(
+                f"need base > 0, factor >= 1, cap > 0; got "
+                f"base={self.base}, factor={self.factor}, cap={self.cap}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        return min(self.base * self.factor**attempt, self.cap)
+
+    def delays(self) -> tuple[float, ...]:
+        return tuple(self.delay(i) for i in range(self.retries))
+
+
+class StaleCorr:
+    """A re-served correlation payload, flagged stale.
+
+    ``value`` is the last-good matrix (or pair-block dict) exactly as it
+    was originally emitted; ``age`` is how many intervals ago it was
+    computed.  Downstream components that do not understand staleness
+    can treat it as missing data; the pair-trading component applies its
+    :class:`DegradePolicy` to it.
+    """
+
+    __slots__ = ("value", "age")
+
+    def __init__(self, value, age: int):
+        if age < 1:
+            raise ValueError(f"stale age must be >= 1, got {age}")
+        self.value = value
+        self.age = age
+
+    def __repr__(self) -> str:
+        return f"StaleCorr(age={self.age})"

@@ -1,0 +1,280 @@
+"""Self-healing session supervision: epochs, checkpoints, restart.
+
+The supervisor slices a Figure-1 session's interval axis into *epochs*
+(``checkpoint_every`` intervals each) and runs one SPMD session per
+epoch.  Each non-final epoch ends in a pause: end-of-stream drains all
+in-flight traffic (so the cut is consistent), every stateful component
+snapshots, and the snapshots are allgathered into a checkpoint.  The
+next epoch rebuilds the workflow from scratch (fresh processes/threads,
+fresh queues), restores the checkpoint, points the collectors' replay
+range at the watermark, and continues the stream.
+
+When an epoch fails — an injected crash, a detected sequence gap, a
+stalled rank timing out — the supervisor rebuilds, restores the *same*
+checkpoint and re-runs the epoch at the next global attempt number
+(attempt-scoped fault plans therefore do not re-fire).  Because
+component snapshots are deep copies and the collectors re-derive their
+data deterministically, a recovered session is bitwise-identical to a
+fault-free run: that is the headline invariant the chaos suite asserts.
+
+The chaos log collects only deterministic data (fault events, failure
+classifications by rank and exception type) so identical (plan, seed)
+runs produce identical logs on the thread and process backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.marketminer.scheduler import WorkflowRunner
+from repro.mpi.api import MpiError
+from repro.mpi.launcher import run_spmd
+
+#: Exception types whose messages are deterministic by construction and
+#: therefore safe to include verbatim in the chaos log.
+_DETERMINISTIC_DETAILS = frozenset({"InjectedCrash", "FaultDetected"})
+
+
+class ChaosUnrecoverable(RuntimeError):
+    """An epoch kept failing past the restart budget."""
+
+
+@dataclass(frozen=True)
+class SupervisedRun:
+    """Outcome of a supervised session."""
+
+    results: dict
+    log: tuple
+    attempts: int
+    restarts: int
+    checkpoints: int
+
+
+def _classify_failure(exc: BaseException) -> tuple:
+    """Deterministic (rank, exc type, detail) triples for a failed run."""
+    from repro.mpi.inproc import SpmdFailure
+    from repro.mpi.procs import RemoteRankError
+
+    if isinstance(exc, SpmdFailure):
+        items = [
+            (rank, type(err).__name__, str(err))
+            for rank, err in exc.errors.items()
+        ]
+    elif isinstance(exc, RemoteRankError):
+        items = [
+            (rank, exc_type, message)
+            for rank, (exc_type, message, _tb) in exc.errors.items()
+        ]
+    else:
+        items = [(-1, type(exc).__name__, str(exc))]
+    return tuple(
+        (rank, exc_type, message if exc_type in _DETERMINISTIC_DETAILS else "")
+        for rank, exc_type, message in sorted(
+            items, key=lambda item: (item[0], item[1])
+        )
+    )
+
+
+def _freeze_fault_events(faults: dict | None) -> tuple:
+    if not faults:
+        return ()
+    return tuple(
+        (rank, tuple(tuple(event) for event in events))
+        for rank, events in sorted(faults.items())
+    )
+
+
+def _session_sources(workflow) -> dict[str, Any]:
+    return {
+        name: comp
+        for name, comp in workflow.components.items()
+        if comp.is_source
+    }
+
+
+def _session_smax(workflow) -> int:
+    """The session's interval count, read off the source components."""
+    smaxes = set()
+    for name, comp in _session_sources(workflow).items():
+        grid = getattr(comp, "grid", None)
+        if grid is None:
+            raise TypeError(
+                f"source component {name!r} has no grid; supervised "
+                f"sessions need grid-ranged sources"
+            )
+        smaxes.add(grid.smax)
+    if len(smaxes) != 1:
+        raise ValueError(
+            f"sources disagree on the session grid (smax values {smaxes})"
+        )
+    return smaxes.pop()
+
+
+def _epochs(smax: int, checkpoint_every: int | None) -> list[tuple[int, int]]:
+    if checkpoint_every is None:
+        return [(0, smax)]
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    return [
+        (start, min(start + checkpoint_every, smax))
+        for start in range(0, smax, checkpoint_every)
+    ]
+
+
+def run_supervised_session(
+    build: Callable[[], Any],
+    size: int = 3,
+    backend: str = "thread",
+    plan: FaultPlan | None = None,
+    checkpoint_every: int | None = None,
+    max_restarts: int = 3,
+    collect_stats: bool = False,
+    obs_enabled: bool = False,
+    obs=None,
+    backend_options: dict | None = None,
+) -> SupervisedRun:
+    """Run a Figure-1 session under supervision (and optionally chaos).
+
+    ``build`` is a zero-argument workflow factory: the supervisor calls
+    it once per attempt, because recovery means *rebuilding* the session
+    (fresh ranks, fresh queues) and restoring component state from the
+    last checkpoint — a crashed rank is respawned by the next
+    ``run_spmd``, not resurrected in place.
+
+    ``max_restarts`` bounds retries per epoch; past it the last failure
+    re-raises wrapped in :class:`ChaosUnrecoverable`.
+    """
+    options = dict(backend_options or {})
+    smax = _session_smax(build())
+    epochs = _epochs(smax, checkpoint_every)
+    metrics = obs.metrics if obs is not None and obs.enabled else None
+
+    log: list[tuple] = []
+    checkpoint: dict[str, Any] | None = None
+    attempt = 0
+    restarts = 0
+    checkpoints = 0
+
+    for epoch, (start, stop) in enumerate(epochs):
+        final = stop == smax
+        epoch_failures = 0
+        while True:
+            workflow = build()
+            if checkpoint is not None:
+                for name, state in checkpoint.items():
+                    workflow.component(name).restore(state)
+            for name, comp in _session_sources(workflow).items():
+                if len(epochs) > 1 or start > 0:
+                    if not hasattr(comp, "set_interval_range"):
+                        raise TypeError(
+                            f"source {name!r} is not resumable "
+                            f"(no set_interval_range); cannot checkpoint"
+                        )
+                    comp.set_interval_range(start, stop)
+            runner = WorkflowRunner(workflow)
+            this_attempt = attempt
+            attempt += 1
+
+            def spmd(comm, _runner=runner, _attempt=this_attempt,
+                     _pause=not final):
+                return _runner.run(
+                    comm,
+                    collect_stats=collect_stats,
+                    obs_enabled=obs_enabled,
+                    pause=_pause,
+                    fault_plan=plan,
+                    fault_attempt=_attempt,
+                )
+
+            try:
+                results = run_spmd(spmd, size=size, backend=backend,
+                                   **options)[0]
+            except MpiError as exc:
+                restarts += 1
+                epoch_failures += 1
+                log.append(
+                    ("restart", epoch, this_attempt, _classify_failure(exc))
+                )
+                if metrics is not None:
+                    metrics.counter("recovery.restarts").inc()
+                if epoch_failures > max_restarts:
+                    raise ChaosUnrecoverable(
+                        f"epoch {epoch} (intervals [{start}, {stop})) "
+                        f"failed {epoch_failures} times; giving up"
+                    ) from exc
+                continue
+
+            fault_events = results.pop("_faults", None)
+            log.append(
+                (
+                    "run", epoch, this_attempt, "ok",
+                    _freeze_fault_events(fault_events),
+                )
+            )
+            if final:
+                return SupervisedRun(
+                    results=results,
+                    log=tuple(log),
+                    attempts=attempt,
+                    restarts=restarts,
+                    checkpoints=checkpoints,
+                )
+            checkpoint = results.pop("_snapshots")
+            checkpoints += 1
+            if metrics is not None:
+                metrics.counter("recovery.checkpoints").inc()
+            break
+
+    raise AssertionError("unreachable: the final epoch returns")
+
+
+# -- result comparison ------------------------------------------------------
+
+
+def strip_meta(results: dict) -> dict:
+    """Component results only: drop ``_``-prefixed runtime entries."""
+    return {
+        key: value
+        for key, value in results.items()
+        if not key.startswith("_")
+    }
+
+
+def _deep_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        return (
+            a.dtype == b.dtype
+            and a.shape == b.shape
+            and bool(np.array_equal(a, b, equal_nan=a.dtype.kind == "f"))
+        )
+    if isinstance(a, dict):
+        if not isinstance(b, dict) or a.keys() != b.keys():
+            return False
+        return all(_deep_equal(a[key], b[key]) for key in a)
+    if isinstance(a, (list, tuple)):
+        if type(a) is not type(b) or len(a) != len(b):
+            return False
+        return all(_deep_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        if a != a and b != b:  # NaN == NaN for bitwise comparison
+            return True
+        return a == b
+    return bool(a == b)
+
+
+def session_results_equal(a: dict, b: dict) -> bool:
+    """Bitwise equality of two sessions' per-component results.
+
+    Runtime metadata (``_obs``, ``_runtime``, ``_snapshots``,
+    ``_faults``) is excluded: those legitimately differ between a clean
+    and a recovered run; the *component* results must not.
+    """
+    return _deep_equal(strip_meta(a), strip_meta(b))

@@ -134,9 +134,41 @@ class Component:
     def on_stop(self, ctx: Context) -> None:
         """Flush state at end-of-stream (optional)."""
 
+    def on_pause(self, ctx: Context) -> None:
+        """Quiesce at a checkpoint (epoch) boundary (optional).
+
+        Called instead of :meth:`on_stop` when the runtime ends an epoch
+        that the session will resume from: the component should finish
+        processing buffered input but must *not* run end-of-session
+        finalisation (completeness checks, summary metrics), because the
+        stream continues after :meth:`restore`.
+        """
+
     def result(self) -> Any:
         """Post-run summary returned to the driver (optional)."""
         return None
+
+    # -- checkpoint/restart -------------------------------------------------
+
+    def snapshot(self) -> dict | None:
+        """Picklable state for checkpoint/restart; ``None`` = stateless.
+
+        Must capture *copies* of mutable state: the checkpoint may be
+        restored several times (once per restart attempt) and must not
+        alias live component state.
+        """
+        return None
+
+    def restore(self, state: dict) -> None:
+        """Install a :meth:`snapshot` dict into a freshly built component.
+
+        Implementations must deep-copy mutable values out of ``state``:
+        a failed attempt after restore must not corrupt the checkpoint
+        that the next attempt restores from.
+        """
+        raise NotImplementedError(
+            f"{self.name}: stateful components must implement restore()"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

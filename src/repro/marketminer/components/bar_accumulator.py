@@ -12,6 +12,8 @@ instead).  Downstream components must tolerate a NaN head.
 
 from __future__ import annotations
 
+import copy
+
 from repro.bars.accumulator import StreamingBarAccumulator
 from repro.marketminer.component import Component, Context
 from repro.util.timeutil import TimeGrid
@@ -62,3 +64,14 @@ class BarAccumulatorComponent(Component):
 
     def result(self) -> dict:
         return {"bars_emitted": self._bars_emitted}
+
+    def snapshot(self) -> dict:
+        return {
+            "acc": copy.deepcopy(self._acc),
+            "bars_emitted": self._bars_emitted,
+            "watermark": self._acc.next_interval,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._acc = copy.deepcopy(state["acc"])
+        self._bars_emitted = state["bars_emitted"]

@@ -8,6 +8,8 @@ per-interval message shape.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.clean.filters import TcpLikeFilter
@@ -82,3 +84,17 @@ class CleaningComponent(Component):
             "rejected_outlier": self._rejected_outlier,
             "rejected_crossed": self._rejected_crossed,
         }
+
+    def snapshot(self) -> dict:
+        return {
+            "filters": copy.deepcopy(self._filters),
+            "total": self._total,
+            "rejected_outlier": self._rejected_outlier,
+            "rejected_crossed": self._rejected_crossed,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._filters = copy.deepcopy(state["filters"])
+        self._total = state["total"]
+        self._rejected_outlier = state["rejected_outlier"]
+        self._rejected_crossed = state["rejected_crossed"]

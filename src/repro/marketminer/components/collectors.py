@@ -16,6 +16,12 @@ the point of the adapter layer.
 * :class:`StoreCollector` — replays a day from a
   :class:`~repro.store.reader.StoreReader` via the shard-merging
   :class:`~repro.store.replay.ReplayCursor`.
+
+Every collector is *resumable*: ``set_interval_range(start, stop)``
+restricts emission to ``[start, stop)`` and the snapshot records the
+high-water mark, so the supervisor can replay a session from the last
+checkpoint (the sources re-derive their data deterministically, the
+store collector seeks its replay cursor).
 """
 
 from __future__ import annotations
@@ -30,21 +36,67 @@ from repro.taq.universe import Universe
 from repro.util.timeutil import TimeGrid
 
 
-def _emit_by_interval(ctx: Context, records: np.ndarray, grid: TimeGrid) -> None:
-    """Slice a chronological quote array into per-interval messages."""
+def _emit_by_interval(
+    ctx: Context,
+    records: np.ndarray,
+    grid: TimeGrid,
+    start: int = 0,
+    stop: int | None = None,
+) -> None:
+    """Slice a chronological quote array into per-interval messages.
+
+    Only intervals in ``[start, stop)`` are emitted (``stop=None`` means
+    the end of the grid); the slicing itself is identical either way, so
+    a run split into ranges emits bitwise the same messages as one pass.
+    """
+    stop = grid.smax if stop is None else stop
+    boundaries = np.searchsorted(
+        records["t"], np.arange(0, grid.smax + 1) * grid.delta_s, side="left"
+    )
     ctx.obs.metrics.counter(
         f"pipeline.{ctx.component_name}.quotes_collected"
-    ).inc(int(records.size))
-    boundaries = np.searchsorted(
-        records["t"], np.arange(1, grid.smax + 1) * grid.delta_s, side="left"
-    )
-    start = 0
-    for s, end in enumerate(boundaries):
-        ctx.emit("quotes", (s, records[start:end]))
-        start = end
+    ).inc(int(boundaries[stop] - boundaries[start]))
+    for s in range(start, stop):
+        ctx.emit("quotes", (s, records[boundaries[s]:boundaries[s + 1]]))
 
 
-class LiveCollector(Component):
+class CollectorBase(Component):
+    """Shared resumable-range machinery for the Figure-1 collectors."""
+
+    def __init__(self, grid: TimeGrid, name: str):
+        super().__init__(name=name, output_ports=("quotes",))
+        self.grid = grid
+        self._start = 0
+        self._stop: int | None = None
+
+    def set_interval_range(self, start: int, stop: int | None = None) -> None:
+        """Restrict emission to grid intervals ``[start, stop)``."""
+        smax = self.grid.smax
+        end = smax if stop is None else stop
+        if not 0 <= start <= end <= smax:
+            raise ValueError(
+                f"{self.name}: interval range [{start}, {end}) outside "
+                f"[0, {smax}]"
+            )
+        self._start = start
+        self._stop = stop
+
+    @property
+    def interval_range(self) -> tuple[int, int]:
+        """The effective ``(start, stop)`` emission range."""
+        stop = self.grid.smax if self._stop is None else self._stop
+        return self._start, stop
+
+    def snapshot(self) -> dict:
+        # The high-water mark: everything below ``stop`` was emitted (or
+        # deliberately skipped via the range) by the time of snapshot.
+        return {"watermark": self.interval_range[1]}
+
+    def restore(self, state: dict) -> None:
+        self.set_interval_range(int(state["watermark"]), None)
+
+
+class LiveCollector(CollectorBase):
     """Streams one synthetic trading day, interval by interval."""
 
     def __init__(
@@ -54,11 +106,10 @@ class LiveCollector(Component):
         day: int = 0,
         name: str = "live_collector",
     ):
-        super().__init__(name=name, output_ports=("quotes",))
+        super().__init__(grid, name)
         if grid.trading_seconds > market.config.trading_seconds:
             raise ValueError("grid session longer than the market session")
         self.market = market
-        self.grid = grid
         self.day = day
 
     def generate(self, ctx: Context) -> None:
@@ -66,10 +117,10 @@ class LiveCollector(Component):
         # Quotes beyond the last complete interval never trade.
         cutoff = self.grid.smax * self.grid.delta_s
         quotes = quotes[quotes["t"] < cutoff]
-        _emit_by_interval(ctx, quotes, self.grid)
+        _emit_by_interval(ctx, quotes, self.grid, self._start, self._stop)
 
 
-class FileCollector(Component):
+class FileCollector(CollectorBase):
     """Streams a quote CSV file (Table II schema)."""
 
     def __init__(
@@ -79,16 +130,15 @@ class FileCollector(Component):
         grid: TimeGrid,
         name: str = "file_collector",
     ):
-        super().__init__(name=name, output_ports=("quotes",))
+        super().__init__(grid, name)
         self.path = path
         self.universe = universe
-        self.grid = grid
 
     def generate(self, ctx: Context) -> None:
         quotes = read_taq_csv(self.path, self.universe)
         cutoff = self.grid.smax * self.grid.delta_s
         quotes = quotes[quotes["t"] < cutoff]
-        _emit_by_interval(ctx, quotes, self.grid)
+        _emit_by_interval(ctx, quotes, self.grid, self._start, self._stop)
 
 
 class QuoteDatabase:
@@ -117,7 +167,7 @@ class QuoteDatabase:
         return len(self._days)
 
 
-class DbCollector(Component):
+class DbCollector(CollectorBase):
     """Streams one stored day from a :class:`QuoteDatabase`."""
 
     def __init__(
@@ -127,40 +177,40 @@ class DbCollector(Component):
         day: int = 0,
         name: str = "db_collector",
     ):
-        super().__init__(name=name, output_ports=("quotes",))
+        super().__init__(grid, name)
         self.db = db
-        self.grid = grid
         self.day = day
 
     def generate(self, ctx: Context) -> None:
         quotes = self.db.load(self.day)
         cutoff = self.grid.smax * self.grid.delta_s
         quotes = quotes[quotes["t"] < cutoff]
-        _emit_by_interval(ctx, quotes, self.grid)
+        _emit_by_interval(ctx, quotes, self.grid, self._start, self._stop)
 
 
-class StoreCollector(Component):
+class StoreCollector(CollectorBase):
     """Streams one day out of the partitioned tick store.
 
     Emits the same ``(s, records)`` interval stream as the other
     collectors, but batches come from the store's shard-merging replay
     cursor instead of an in-memory day array — segments are read through
-    the CRC-verified block cache, never materialising the whole day.
+    the CRC-verified block cache, never materialising the whole day.  On
+    restore, the cursor seeks straight to the checkpoint watermark.
     """
 
     def __init__(self, reader, grid: TimeGrid, day: int = 0,
                  name: str = "store_collector"):
-        super().__init__(name=name, output_ports=("quotes",))
+        super().__init__(grid, name)
         self.reader = reader
-        self.grid = grid
         self.day = day
 
     def generate(self, ctx: Context) -> None:
         from repro.store.replay import ReplayCursor
 
         cursor = ReplayCursor(self.reader, self.day, self.grid)
+        start, stop = self.interval_range
         ctx.obs.metrics.counter(
             f"pipeline.{self.name}.quotes_collected"
-        ).inc(cursor.total_rows)
-        for s, records in cursor:
+        ).inc(cursor.rows_between(start, stop))
+        for s, records in cursor.iter_range(start, stop):
             ctx.emit("quotes", (s, records))

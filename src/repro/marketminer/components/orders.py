@@ -8,6 +8,8 @@ for list-based execution (paper §IV, Approach 3).
 
 from __future__ import annotations
 
+import copy
+
 from repro.marketminer.component import Component, Context
 from repro.strategy.portfolio import BasketAggregator, OrderRequest, RiskLimits
 
@@ -76,3 +78,19 @@ class OrderSinkComponent(Component):
             "baskets": baskets,
             "trade_tape": list(self._trade_tape),
         }
+
+    def snapshot(self) -> dict:
+        return {
+            "aggregator": copy.deepcopy(self._aggregator),
+            "accepted": copy.deepcopy(self._accepted),
+            "trade_tape": copy.deepcopy(self._trade_tape),
+            "entries_vetoed": self._entries_vetoed,
+            "vetoed_keys": set(self._vetoed_keys),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._aggregator = copy.deepcopy(state["aggregator"])
+        self._accepted = copy.deepcopy(state["accepted"])
+        self._trade_tape = copy.deepcopy(state["trade_tape"])
+        self._entries_vetoed = state["entries_vetoed"]
+        self._vetoed_keys = set(state["vetoed_keys"])

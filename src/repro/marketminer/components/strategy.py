@@ -18,10 +18,12 @@ correlation, exactly like the batch engine's warm-up.
 
 from __future__ import annotations
 
+import copy
 import math
 
 import numpy as np
 
+from repro.faults.policy import DegradePolicy, StaleCorr
 from repro.marketminer.component import Component, Context
 from repro.strategy.engine import PairStrategy, Trade
 from repro.strategy.params import StrategyParams
@@ -29,7 +31,15 @@ from repro.strategy.portfolio import OrderRequest
 
 
 class PairTradingComponent(Component):
-    """Market-wide pair trading over closes + correlation streams."""
+    """Market-wide pair trading over closes + correlation streams.
+
+    With a :class:`~repro.faults.policy.DegradePolicy`, intervals whose
+    correlation arrives as :class:`~repro.faults.policy.StaleCorr` are
+    stepped in degraded mode: no new entries, and (when the policy says
+    ``flatten``) open positions are closed with reason ``DEGRADED``.
+    Without a policy a stale matrix is treated as missing correlation
+    (NaN), which already suppresses entries.
+    """
 
     def __init__(
         self,
@@ -39,6 +49,7 @@ class PairTradingComponent(Component):
         m: int,
         name: str = "pair_trading",
         weight: float = 4.0,
+        degrade: DegradePolicy | None = None,
     ):
         super().__init__(
             name=name,
@@ -66,6 +77,8 @@ class PairTradingComponent(Component):
         #: to a study's global ones (set by multi-spec workflow builders;
         #: surfaced through ``result()``).
         self.param_indices: tuple[int, ...] | None = None
+        self.degrade = degrade
+        self._degraded = 0  # intervals stepped on stale correlation
         self._closes: dict[int, np.ndarray] = {}
         #: Per-interval correlation state: a full (n, n) matrix, or a dict
         #: of pair blocks still being joined from several engines.
@@ -83,6 +96,10 @@ class PairTradingComponent(Component):
         s, value = payload
         if port == "closes":
             self._closes[s] = np.asarray(value, dtype=float)
+        elif isinstance(value, StaleCorr):
+            # A re-served last-good matrix; kept wrapped so the step
+            # logic knows this interval runs in degraded mode.
+            self._corr[s] = value
         elif isinstance(value, dict):
             # A pair block from one of several parallel engines: join.
             current = self._corr.setdefault(s, {})
@@ -116,6 +133,16 @@ class PairTradingComponent(Component):
         m.counter(f"pipeline.{self.name}.strategies").inc(
             len(self._strategies)
         )
+        if self.degrade is not None:
+            m.counter(f"pipeline.{self.name}.degraded_intervals").inc(
+                self._degraded
+            )
+
+    def on_pause(self, ctx: Context) -> None:
+        # Epoch boundary: drain buffered intervals but skip the
+        # end-of-session completeness check and summary counters — the
+        # stream resumes after restore().
+        self._advance(ctx)
 
     # -- interval processing ----------------------------------------------------
 
@@ -169,13 +196,22 @@ class PairTradingComponent(Component):
         ctx: Context,
         s: int,
         closes: np.ndarray,
-        corr: np.ndarray | dict | None,
+        corr: np.ndarray | dict | StaleCorr | None,
     ) -> None:
         assert self._head is not None
         s_local = s - self._head
+        stale = isinstance(corr, StaleCorr)
+        if stale:
+            self._degraded += 1
+            ctx.obs.metrics.counter(
+                f"pipeline.{self.name}.stale_intervals"
+            ).inc()
+        flatten = stale and self.degrade is not None and self.degrade.flatten
         for pair in self.pairs:
             i, j = pair
-            if corr is None:
+            if corr is None or stale:
+                # Degraded (or warm-up) interval: NaN correlation blocks
+                # the entry signal by construction.
                 c = math.nan
             elif isinstance(corr, dict):
                 c = float(corr[pair])
@@ -184,7 +220,14 @@ class PairTradingComponent(Component):
             for k in range(len(self.grid)):
                 strat = self._strategies[(pair, k)]
                 before = strat.open_position
-                trade = strat.step(s_local, float(closes[i]), float(closes[j]), c)
+                if flatten:
+                    trade = strat.flatten(
+                        s_local, float(closes[i]), float(closes[j])
+                    )
+                else:
+                    trade = strat.step(
+                        s_local, float(closes[i]), float(closes[j]), c
+                    )
                 after = strat.open_position
                 # Emit under the study-global parameter index so order
                 # sinks shared by several spec strategies never collide.
@@ -230,9 +273,35 @@ class PairTradingComponent(Component):
         self._orders_emitted += 2
 
     def result(self) -> dict:
-        return {
+        out = {
             "head": self._head,
             "orders_emitted": self._orders_emitted,
             "param_indices": self.param_indices,
             "trades": {key: list(trades) for key, trades in self._trades.items()},
         }
+        if self.degrade is not None:
+            out["degraded_intervals"] = self._degraded
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "closes": copy.deepcopy(self._closes),
+            "corr": copy.deepcopy(self._corr),
+            "next_s": self._next_s,
+            "head": self._head,
+            "strategies": copy.deepcopy(self._strategies),
+            "trades": copy.deepcopy(self._trades),
+            "orders_emitted": self._orders_emitted,
+            "degraded": self._degraded,
+            "watermark": self._next_s,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._closes = copy.deepcopy(state["closes"])
+        self._corr = copy.deepcopy(state["corr"])
+        self._next_s = state["next_s"]
+        self._head = state["head"]
+        self._strategies = copy.deepcopy(state["strategies"])
+        self._trades = copy.deepcopy(state["trades"])
+        self._orders_emitted = state["orders_emitted"]
+        self._degraded = state["degraded"]

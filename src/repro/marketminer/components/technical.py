@@ -48,3 +48,16 @@ class TechnicalAnalysisComponent(Component):
 
     def result(self) -> dict:
         return {"returns_emitted": self._emitted}
+
+    def snapshot(self) -> dict:
+        return {
+            "prev": None if self._prev is None else self._prev.copy(),
+            "prev_s": self._prev_s,
+            "emitted": self._emitted,
+        }
+
+    def restore(self, state: dict) -> None:
+        prev = state["prev"]
+        self._prev = None if prev is None else np.array(prev, copy=True)
+        self._prev_s = state["prev_s"]
+        self._emitted = state["emitted"]

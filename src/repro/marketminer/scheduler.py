@@ -105,6 +105,9 @@ class WorkflowRunner:
         comm: Comm,
         collect_stats: bool = False,
         obs_enabled: bool = False,
+        pause: bool = False,
+        fault_plan=None,
+        fault_attempt: int = 0,
     ) -> dict[str, Any]:
         """Execute the workflow; every rank returns all component results.
 
@@ -119,12 +122,37 @@ class WorkflowRunner:
         result dict gains an ``"_obs"`` entry holding the merged
         cross-rank report (identical on every rank; merged through the
         same allgather path as the component results).
+
+        With ``pause=True`` the run is an *epoch*: end-of-stream calls
+        ``on_pause`` instead of ``on_stop`` (no end-of-session
+        finalisation), and the result dict gains a ``"_snapshots"`` entry
+        mapping every stateful component to its checkpoint — the EOS
+        drain guarantees the snapshots form a consistent cut.
+
+        With a ``fault_plan`` (see :mod:`repro.faults.plan`), every rank
+        attaches a :class:`~repro.faults.injector.FaultInjector` for
+        ``fault_attempt`` to the communicator for the duration of the run
+        and the result dict gains a ``"_faults"`` entry: the per-rank
+        deterministic fault event logs.
         """
         obs = ensure_obs(comm, obs_enabled)
-        runtime = _RankRuntime(
-            self.workflow, comm, self.rank_map(comm.size), obs=obs
-        )
-        return runtime.run(collect_stats=collect_stats)
+        injector = None
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(
+                fault_plan, comm.rank, attempt=fault_attempt, obs=obs
+            )
+            comm.attach_faults(injector)
+        try:
+            runtime = _RankRuntime(
+                self.workflow, comm, self.rank_map(comm.size), obs=obs,
+                pause=pause,
+            )
+            return runtime.run(collect_stats=collect_stats, injector=injector)
+        finally:
+            if injector is not None:
+                comm.attach_faults(None)
 
 
 class _RankRuntime:
@@ -136,11 +164,13 @@ class _RankRuntime:
         comm: Comm,
         rank_map: RankMap,
         obs: Obs | None = None,
+        pause: bool = False,
     ):
         self.workflow = workflow
         self.comm = comm
         self.rank_map = rank_map
         self.obs = obs if obs is not None else Obs(enabled=False)
+        self.pause = pause
         self.local = {
             name: workflow.component(name)
             for name in rank_map.components_of(comm.rank)
@@ -229,15 +259,16 @@ class _RankRuntime:
 
     def _stop_component(self, name: str) -> None:
         comp = self.local[name]
+        # An epoch boundary quiesces (on_pause) instead of finalising.
+        handler = comp.on_pause if self.pause else comp.on_stop
+        suffix = "on_pause" if self.pause else "on_stop"
         if self.obs.enabled:
-            self._timed_handler(
-                name, "on_stop", comp.on_stop, self.contexts[name]
-            )
+            self._timed_handler(name, suffix, handler, self.contexts[name])
             self.obs.metrics.gauge(f"component.{name}.eos_seconds").set(
                 time.perf_counter() - self._t_start
             )
         else:
-            comp.on_stop(self.contexts[name])
+            handler(self.contexts[name])
         self.stopped.add(name)
         # Forward one EOS per outbound edge, after any on_stop emissions.
         for port in comp.output_ports:
@@ -249,7 +280,7 @@ class _RankRuntime:
 
     # -- main loop ---------------------------------------------------------------
 
-    def run(self, collect_stats: bool = False) -> dict[str, Any]:
+    def run(self, collect_stats: bool = False, injector=None) -> dict[str, Any]:
         session_span = self.obs.trace.span(
             "session", rank=self.comm.rank, components=len(self.local)
         )
@@ -303,6 +334,25 @@ class _RankRuntime:
         parts = self.comm.allgather(local_results)
         for part in parts:
             merged.update(part)
+        if self.pause:
+            # Checkpoint: the EOS drain above guarantees no in-flight
+            # traffic, so the snapshots are a consistent cut of the
+            # session at the epoch boundary.
+            local_snaps = {}
+            for name, comp in self.local.items():
+                snap = comp.snapshot()
+                if snap is not None:
+                    local_snaps[name] = snap
+            snapshot_parts = self.comm.allgather(local_snaps)
+            checkpoint: dict[str, Any] = {}
+            for part in snapshot_parts:
+                checkpoint.update(part)
+            merged["_snapshots"] = checkpoint
+        if injector is not None:
+            event_parts = self.comm.allgather(list(injector.events))
+            merged["_faults"] = {
+                rank: events for rank, events in enumerate(event_parts)
+            }
         if collect_stats:
             stats = self.comm.allgather(
                 {

@@ -221,22 +221,36 @@ def run_figure1_session(
     backend: str = "thread",
     collect_stats: bool = False,
     obs_enabled: bool = False,
+    fault_plan=None,
+    fault_attempt: int = 0,
+    **backend_options,
 ) -> dict:
     """Execute a Figure-1 workflow SPMD; returns all component results.
 
     With ``obs_enabled=True`` the result dict gains an ``"_obs"`` entry:
     the merged cross-rank telemetry report (handler latency histograms,
     MPI message/byte counters, span tree) in ``repro.obs/v1`` form.
+
+    With a ``fault_plan`` (see :mod:`repro.faults`), every rank runs
+    under an attached fault injector and the result gains a ``"_faults"``
+    entry with the deterministic per-rank fault event logs.  For
+    supervised recovery (checkpoint/restart) use
+    :func:`repro.faults.run_supervised_session` instead — this entry
+    point runs a single, unsupervised attempt.
     """
 
     runner = WorkflowRunner(workflow)
 
     def spmd(comm):
         return runner.run(
-            comm, collect_stats=collect_stats, obs_enabled=obs_enabled
+            comm,
+            collect_stats=collect_stats,
+            obs_enabled=obs_enabled,
+            fault_plan=fault_plan,
+            fault_attempt=fault_attempt,
         )
 
-    results = run_spmd(spmd, size=size, backend=backend)
+    results = run_spmd(spmd, size=size, backend=backend, **backend_options)
     return results[0]
 
 

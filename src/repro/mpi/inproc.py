@@ -40,6 +40,13 @@ class ThreadBackend:
         Attach a fresh enabled :class:`repro.obs.Obs` to every rank's
         communicator, so MPI-substrate telemetry is recorded without any
         wiring in the SPMD function (which can read it via ``comm.obs``).
+    heartbeat:
+        Attach a shared :class:`repro.faults.heartbeat.HeartbeatMonitor`
+        so every rank ticks a liveness slot from its communicator.  For
+        observation only (exposed as ``self.monitor`` after ``run``):
+        threads cannot be terminated, so the thread backend never kills a
+        stalled rank — use the process backend's ``heartbeat_timeout``
+        for enforcement.
     """
 
     name = "thread"
@@ -48,9 +55,12 @@ class ThreadBackend:
         self,
         default_timeout: float | None = 60.0,
         obs_enabled: bool = False,
+        heartbeat: bool = False,
     ):
         self.default_timeout = default_timeout
         self.obs_enabled = obs_enabled
+        self.heartbeat = heartbeat
+        self.monitor = None
 
     def run(
         self,
@@ -88,6 +98,13 @@ class ThreadBackend:
 
             for comm in comms:
                 comm.attach_obs(Obs(enabled=True))
+        if self.heartbeat:
+            from repro.faults.heartbeat import HeartbeatMonitor
+
+            self.monitor = HeartbeatMonitor(size)
+            self.monitor.start()
+            for rank, comm in enumerate(comms):
+                comm.attach_heartbeat(self.monitor.handle(rank))
 
         results: list[Any] = [None] * size
         errors: dict[int, BaseException] = {}

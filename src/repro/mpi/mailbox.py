@@ -48,18 +48,25 @@ class _Endpoint:
     Holds the inbox queue and the pending (arrived-but-unmatched) list; the
     pending list must be shared so a message parked while one communicator
     was receiving is still found by its real target communicator.  The
-    observability handle and the comm tracer (the dynamic comm checker's
-    event hook, see :mod:`repro.analysis.commtrace`) also live here so
-    that split sub-communicators share the rank's instrumentation.
+    observability handle, the comm tracer (the dynamic comm checker's
+    event hook, see :mod:`repro.analysis.commtrace`), the fault injector
+    (:mod:`repro.faults.injector`), the heartbeat handle and the recv
+    retry policy also live here so that split sub-communicators share
+    the rank's instrumentation.  Every seam is no-op-when-detached: the
+    hot paths pay one ``is not None`` test per detached layer.
     """
 
-    __slots__ = ("inbox", "pending", "obs", "tracer")
+    __slots__ = ("inbox", "pending", "obs", "tracer", "faults", "heartbeat",
+                 "retry")
 
     def __init__(self, inbox):
         self.inbox = inbox
         self.pending: list[Envelope] = []
         self.obs = None
         self.tracer = None
+        self.faults = None
+        self.heartbeat = None
+        self.retry = None
 
 
 class MailboxComm(Comm):
@@ -189,6 +196,47 @@ class MailboxComm(Comm):
         """
         self._endpoint.tracer = tracer
 
+    # -- fault injection / liveness / retry ---------------------------------
+
+    @property
+    def faults(self):
+        """The rank's fault injector (shared across split comms)."""
+        return self._endpoint.faults
+
+    def attach_faults(self, injector) -> None:
+        """Install a fault injector (None detaches it).
+
+        The injector sees every data-plane envelope on this rank (it
+        stamps sequence numbers on send and dedups/gap-checks on recv)
+        and may drop, duplicate, reorder or crash per its plan; when
+        none is attached (the default) the hot paths pay a single
+        attribute check.  See :mod:`repro.faults.injector`.
+        """
+        self._endpoint.faults = injector
+
+    @property
+    def heartbeat(self):
+        """The rank's heartbeat handle (shared across split comms)."""
+        return self._endpoint.heartbeat
+
+    def attach_heartbeat(self, handle) -> None:
+        """Install a heartbeat handle ticked on sends and inbox polls."""
+        self._endpoint.heartbeat = handle
+
+    @property
+    def recv_retry(self):
+        """The rank's recv backoff policy (shared across split comms)."""
+        return self._endpoint.retry
+
+    def attach_recv_retry(self, policy) -> None:
+        """Install a :class:`repro.faults.policy.BackoffPolicy` for recv.
+
+        With a policy attached, a receive that would time out instead
+        retries with capped exponential extra waits before raising
+        ``RecvTimeout``; retries are counted in ``mpi.recv.retries``.
+        """
+        self._endpoint.retry = policy
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<MailboxComm rank={self._rank} size={self._size} "
@@ -214,7 +262,20 @@ class MailboxComm(Comm):
         tracer = self._endpoint.tracer
         if tracer is not None:
             obj = tracer.on_send(self, dest, tag, obj)
-        self._deliver(self._group[dest], (self._context, self._rank, tag, obj))
+        heartbeat = self._endpoint.heartbeat
+        if heartbeat is not None:
+            heartbeat.tick()
+        world_dest = self._group[dest]
+        faults = self._endpoint.faults
+        if faults is not None:
+            # The injector may drop (0), pass/stamp (1) or duplicate (2+)
+            # the payload; sequence numbers are per world edge.
+            for payload in faults.on_send(world_dest, tag, obj):
+                self._deliver(
+                    world_dest, (self._context, self._rank, tag, payload)
+                )
+            return
+        self._deliver(world_dest, (self._context, self._rank, tag, obj))
 
     def recv(
         self,
@@ -234,15 +295,25 @@ class MailboxComm(Comm):
             timeout = self.default_timeout
         deadline = None if timeout is None else time.monotonic() + timeout
 
-        # First try to satisfy the receive from already-parked messages.
-        try:
-            env = self._match_pending(source, tag)
-            while env is None:
-                env = self._pull_inbox(deadline, source, tag, timeout)
-        except RecvTimeout:
-            if tracer is not None:
-                tracer.on_timeout(self, source, tag)
-            raise
+        retry_attempt = 0
+        while True:
+            try:
+                env = self._recv_matched(deadline, source, tag, timeout)
+                break
+            except RecvTimeout:
+                retry = self._endpoint.retry
+                if retry is None or retry_attempt >= retry.retries:
+                    if tracer is not None:
+                        tracer.on_timeout(self, source, tag)
+                    raise
+                # Backoff-with-retry: grant one more (capped, growing)
+                # wait window before declaring failure.
+                extra = retry.delay(retry_attempt)
+                retry_attempt += 1
+                obs = self._endpoint.obs
+                if obs is not None and obs.enabled:
+                    obs.metrics.counter("mpi.recv.retries").inc()
+                deadline = time.monotonic() + extra
         _, src, msg_tag, payload = env
         if tracer is not None:
             payload = tracer.on_recv(self, source, tag, src, msg_tag, payload)
@@ -281,6 +352,34 @@ class MailboxComm(Comm):
                 return pending.pop(i)
         return None
 
+    def _recv_matched(
+        self,
+        deadline: float | None,
+        source: int,
+        tag: int,
+        timeout: float | None,
+    ) -> Envelope:
+        """Block for one matching envelope, applying fault-layer delivery.
+
+        With an injector attached, each candidate envelope is unstamped
+        and sequence-checked: duplicates are swallowed (the wait
+        continues against the same deadline), a sequence gap raises
+        :class:`~repro.faults.injector.FaultDetected`.
+        """
+        while True:
+            env = self._match_pending(source, tag)
+            while env is None:
+                env = self._pull_inbox(deadline, source, tag, timeout)
+            faults = self._endpoint.faults
+            if faults is None:
+                return env
+            ctx, src, msg_tag, payload = env
+            deliver, payload = faults.on_recv(
+                self._group[src], msg_tag, payload
+            )
+            if deliver:
+                return (ctx, src, msg_tag, payload)
+
     def _pull_inbox(
         self,
         deadline: float | None,
@@ -292,10 +391,16 @@ class MailboxComm(Comm):
 
         Returns None when the pulled envelope did not match (caller loops).
         """
+        heartbeat = self._endpoint.heartbeat
         while True:
+            if heartbeat is not None:
+                # A rank blocked waiting on a peer is alive, not stalled.
+                heartbeat.tick()
             if deadline is None:
                 wait = _POLL_SLICE
             else:
+                # Clamp the final poll slice to the remaining deadline so a
+                # short timeout cannot overshoot by a whole _POLL_SLICE.
                 wait = min(_POLL_SLICE, deadline - time.monotonic())
                 if wait <= 0:
                     raise RecvTimeout(self._timeout_message(source, tag, timeout))

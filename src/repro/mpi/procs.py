@@ -5,25 +5,59 @@ not share memory, every message crosses a process boundary pickled, and the
 operating system schedules ranks onto cores.  On fork-capable platforms the
 SPMD function may be a closure; with the ``spawn`` start method it must be
 importable at module top level, exactly like an MPI program's ``main``.
+
+Liveness: the parent polls the result queue instead of blocking on it, so
+a rank process that dies without reporting (SIGKILL, interpreter abort) is
+detected as ``RankDied`` instead of hanging the run forever.  With
+``heartbeat_timeout`` set, each rank also ticks a shared heartbeat array
+from inside its communicator (sends and recv-poll iterations); a rank
+whose beat goes silent past the timeout — wedged in user code, not
+blocked in ``recv`` — is terminated and reported as ``RankStalled``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as _queue
+import time
 import traceback
 from typing import Any, Callable, Sequence
 
 from repro.mpi.api import MpiError
 from repro.mpi.mailbox import MailboxComm
 
+#: How often the parent's collection loop wakes to check rank liveness.
+_RESULT_POLL = 0.1
+
+#: Grace period between noticing a dead rank process and declaring it
+#: failed — its final result/error may still be in the queue's pipe.
+_DEATH_GRACE = 0.5
+
 
 class RemoteRankError(MpiError):
-    """A rank process raised; carries the remote traceback text."""
+    """A rank process raised; carries the remote traceback text.
 
-    def __init__(self, rank: int, exc_type: str, message: str, tb: str):
+    ``errors`` maps every failed rank to its ``(exc_type, message,
+    traceback)`` triple; the exception's own identity fields describe the
+    lowest-ranked failure.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        exc_type: str,
+        message: str,
+        tb: str,
+        errors: dict[int, tuple[str, str, str]] | None = None,
+    ):
         self.rank = rank
         self.exc_type = exc_type
         self.remote_traceback = tb
+        self.errors = (
+            dict(errors)
+            if errors is not None
+            else {rank: (exc_type, message, tb)}
+        )
         super().__init__(f"rank {rank} failed: {exc_type}: {message}\n{tb}")
 
 
@@ -37,6 +71,7 @@ def _rank_main(
     result_queue,
     default_timeout: float | None,
     obs_enabled: bool = False,
+    heartbeat=None,
 ) -> None:
     def deliver(dest: int, envelope) -> None:
         inboxes[dest].put(envelope)
@@ -52,6 +87,8 @@ def _rank_main(
         from repro.obs import Obs
 
         comm.attach_obs(Obs(enabled=True))
+    if heartbeat is not None:
+        comm.attach_heartbeat(heartbeat)
     try:
         result = fn(comm, *args, **kwargs)
         result_queue.put(("ok", rank, result))
@@ -78,6 +115,13 @@ class ProcessBackend:
         communicator inside its process; the SPMD function is responsible
         for gathering ``comm.obs.to_dict()`` before returning (telemetry
         does not cross the process boundary on its own).
+    heartbeat_timeout:
+        Optional stall detector: ranks tick a shared heartbeat array from
+        their communicator; a rank silent for longer than this many
+        seconds is terminated and reported as ``RankStalled``.  Must
+        exceed the longest pure-compute gap between communicator
+        operations in the workload.  ``None`` (default) disables stall
+        termination; dead-process detection is always on.
     """
 
     name = "process"
@@ -88,11 +132,17 @@ class ProcessBackend:
         join_timeout: float = 30.0,
         default_timeout: float | None = 60.0,
         obs_enabled: bool = False,
+        heartbeat_timeout: float | None = None,
     ):
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
         self.start_method = start_method
         self.join_timeout = join_timeout
         self.default_timeout = default_timeout
         self.obs_enabled = obs_enabled
+        self.heartbeat_timeout = heartbeat_timeout
 
     def run(
         self,
@@ -104,7 +154,8 @@ class ProcessBackend:
         """Execute ``fn(comm, *args, **kwargs)`` on each rank process.
 
         Returns per-rank return values indexed by rank; raises
-        :class:`RemoteRankError` for the lowest-ranked failure.
+        :class:`RemoteRankError` (describing the lowest-ranked failure,
+        carrying all of them) when any rank fails, dies or stalls.
         """
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
@@ -112,6 +163,14 @@ class ProcessBackend:
         kwargs = dict(kwargs or {})
         inboxes = [ctx.Queue() for _ in range(size)]
         result_queue = ctx.Queue()
+
+        monitor = None
+        handles: list[Any] = [None] * size
+        if self.heartbeat_timeout is not None:
+            from repro.faults.heartbeat import HeartbeatMonitor
+
+            monitor = HeartbeatMonitor(size, ctx=ctx)
+            handles = [monitor.handle(rank) for rank in range(size)]
 
         procs = [
             ctx.Process(
@@ -126,19 +185,61 @@ class ProcessBackend:
                     result_queue,
                     self.default_timeout,
                     self.obs_enabled,
+                    handles[rank],
                 ),
                 name=f"spmd-rank-{rank}",
             )
             for rank in range(size)
         ]
+        if monitor is not None:
+            monitor.start()
         for p in procs:
             p.start()
 
         results: list[Any] = [None] * size
         errors: dict[int, tuple[str, str, str]] = {}
+        done: set[int] = set()
+        first_seen_dead: dict[int, float] = {}
         try:
-            for _ in range(size):
-                status, rank, payload = result_queue.get()
+            while len(done) < size:
+                try:
+                    status, rank, payload = result_queue.get(
+                        timeout=_RESULT_POLL
+                    )
+                except _queue.Empty:
+                    now = time.monotonic()
+                    for rank, p in enumerate(procs):
+                        if rank in done:
+                            continue
+                        if not p.is_alive():
+                            # Give the queue feeder a moment: the process
+                            # may have exited right after posting.
+                            first = first_seen_dead.setdefault(rank, now)
+                            if now - first >= _DEATH_GRACE:
+                                errors[rank] = (
+                                    "RankDied",
+                                    f"rank {rank} process exited with code "
+                                    f"{p.exitcode} without reporting a "
+                                    f"result",
+                                    "",
+                                )
+                                done.add(rank)
+                        elif (
+                            monitor is not None
+                            and monitor.age(rank) > self.heartbeat_timeout
+                        ):
+                            p.terminate()
+                            errors[rank] = (
+                                "RankStalled",
+                                f"rank {rank} heartbeat silent for over "
+                                f"{self.heartbeat_timeout:g}s; terminated",
+                                "",
+                            )
+                            done.add(rank)
+                    continue
+                if rank in done:  # late result for a rank already declared
+                    continue
+                done.add(rank)
                 if status == "ok":
                     results[rank] = payload
                 else:
@@ -158,5 +259,5 @@ class ProcessBackend:
         if errors:
             rank = min(errors)
             exc_type, message, tb = errors[rank]
-            raise RemoteRankError(rank, exc_type, message, tb)
+            raise RemoteRankError(rank, exc_type, message, tb, errors=errors)
         return results

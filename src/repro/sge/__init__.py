@@ -8,6 +8,12 @@ the Section-IV scaling benchmark can report the makespan SGE distribution
 would achieve without needing a cluster.
 """
 
-from repro.sge.scheduler import Job, JobResult, SgeScheduler
+from repro.sge.scheduler import (
+    Job,
+    JobFailure,
+    JobResult,
+    RetryPolicy,
+    SgeScheduler,
+)
 
-__all__ = ["Job", "JobResult", "SgeScheduler"]
+__all__ = ["Job", "JobFailure", "JobResult", "RetryPolicy", "SgeScheduler"]

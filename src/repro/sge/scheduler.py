@@ -12,12 +12,19 @@ achieve, minus queueing overheads.
 
 The simulation also supports *declared* durations (no execution), used by
 the scaling benchmark to extrapolate the paper's 854-hour arithmetic.
+
+Real grids requeue transiently-failed jobs; :class:`RetryPolicy` models
+that with capped exponential backoff plus seeded jitter.  The backoff is
+*simulated* — added to the slot occupancy like ``qsub`` hold time, never
+slept — so retrying runs stay fast and deterministic.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -38,6 +45,61 @@ class Job:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter for failed jobs.
+
+    Attempt ``a`` (0-based) that fails waits
+    ``min(base * factor**a, cap) * (1 + jitter * u)`` with ``u`` drawn
+    uniformly from ``[0, 1)`` by a ``random.Random(seed)`` stream, so a
+    given (policy, submission order) pair always produces the same
+    simulated schedule.  The wait is charged to the job's slot, not
+    slept.
+    """
+
+    max_retries: int = 2
+    base: float = 1.0
+    factor: float = 2.0
+    cap: float = 60.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        for name in ("base", "factor", "cap"):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Simulated backoff before re-running failed attempt ``attempt``."""
+        raw = min(self.base * self.factor**attempt, self.cap)
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+class JobFailure(RuntimeError):
+    """A job exhausted its retry budget; carries the original traceback."""
+
+    def __init__(self, name: str, attempts: int, exc: BaseException):
+        self.name = name
+        self.attempts = attempts
+        self.exc_type = type(exc).__name__
+        self.original_traceback = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        super().__init__(
+            f"job {name!r} failed after {attempts} attempt(s): "
+            f"{self.exc_type}: {exc}\n--- original traceback ---\n"
+            f"{self.original_traceback}"
+        )
+
+
+@dataclass(frozen=True)
 class JobResult:
     """Execution record of one job."""
 
@@ -47,6 +109,7 @@ class JobResult:
     slot: int
     sim_start: float
     sim_end: float
+    attempts: int = 1
 
 
 @dataclass
@@ -82,10 +145,16 @@ class ScheduleReport:
 class SgeScheduler:
     """FIFO list scheduler over ``n_slots`` simulated execution slots."""
 
-    def __init__(self, n_slots: int = 8, obs: Obs | None = None):
+    def __init__(
+        self,
+        n_slots: int = 8,
+        obs: Obs | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         check_positive_int(n_slots, "n_slots")
         self.n_slots = n_slots
         self.obs = obs
+        self.retry = retry
         self._queue: list[Job] = []
 
     def _record(self, report: ScheduleReport, simulated: bool) -> None:
@@ -112,31 +181,67 @@ class SgeScheduler:
     def queued(self) -> int:
         return len(self._queue)
 
+    def _run_with_retry(self, job: Job, rng: random.Random):
+        """Run one job under the retry policy.
+
+        Returns ``(result, wall_seconds, occupancy_seconds, attempts)``:
+        wall time is the real cost of every attempt; occupancy adds the
+        simulated backoff waits, since on a real grid the requeued job
+        still blocks its slot's schedule.  Raises :class:`JobFailure`
+        (chaining the last error) once retries are exhausted.
+        """
+        max_retries = self.retry.max_retries if self.retry is not None else 0
+        wall = 0.0
+        occupancy = 0.0
+        for attempt in range(max_retries + 1):
+            t0 = time.perf_counter()
+            try:
+                result = job.fn()
+            except Exception as exc:
+                elapsed = time.perf_counter() - t0
+                wall += elapsed
+                occupancy += elapsed
+                if attempt >= max_retries:
+                    raise JobFailure(job.name, attempt + 1, exc) from exc
+                occupancy += self.retry.delay(attempt, rng)
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.metrics.counter("sge.job.retries").inc()
+            else:
+                elapsed = time.perf_counter() - t0
+                wall += elapsed
+                occupancy += elapsed
+                return result, wall, occupancy, attempt + 1
+        raise AssertionError("unreachable: loop returns or raises")
+
     def run(self) -> ScheduleReport:
         """Execute all queued jobs, simulating slot placement.
 
         Jobs run serially in submission order on the calling thread (their
         results and any exceptions are real); placement and makespan are
-        simulated from the measured durations.
+        simulated from the measured durations.  With a
+        :class:`RetryPolicy`, failed jobs re-run up to ``max_retries``
+        times (backoff charged to the slot, not slept); a job that
+        exhausts its budget raises :class:`JobFailure` carrying the
+        original remote traceback.
         """
         report = ScheduleReport(n_slots=self.n_slots)
+        rng = random.Random(self.retry.seed if self.retry is not None else 0)
         # Min-heap of (free_time, slot).
         slots = [(0.0, s) for s in range(self.n_slots)]
         heapq.heapify(slots)
         for job in self._queue:
-            t0 = time.perf_counter()
-            result = job.fn()
-            duration = time.perf_counter() - t0
+            result, wall, occupancy, attempts = self._run_with_retry(job, rng)
             free_at, slot = heapq.heappop(slots)
-            heapq.heappush(slots, (free_at + duration, slot))
+            heapq.heappush(slots, (free_at + occupancy, slot))
             report.results.append(
                 JobResult(
                     name=job.name,
                     result=result,
-                    duration=duration,
+                    duration=wall,
                     slot=slot,
                     sim_start=free_at,
-                    sim_end=free_at + duration,
+                    sim_end=free_at + occupancy,
+                    attempts=attempts,
                 )
             )
         self._queue.clear()

@@ -89,9 +89,36 @@ class ReplayCursor:
             return np.empty(0, dtype=QUOTE_DTYPE)
         return _merge_parts(parts)
 
-    def __iter__(self) -> Iterator[tuple[int, np.ndarray]]:
-        for s in range(self.grid.smax):
+    def iter_range(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(s, records)`` for intervals ``[start, stop)``.
+
+        The checkpoint-replay cursor: a session restored from a
+        watermark resumes the stream here without re-reading (or
+        re-delivering) anything below ``start``.
+        """
+        stop = self.grid.smax if stop is None else stop
+        if not 0 <= start <= stop <= self.grid.smax:
+            raise IndexError(
+                f"interval range [{start}, {stop}) outside "
+                f"[0, {self.grid.smax}]"
+            )
+        for s in range(start, stop):
             yield s, self.interval(s)
+
+    def rows_between(self, start: int, stop: int | None = None) -> int:
+        """Stored rows inside intervals ``[start, stop)``."""
+        stop = self.grid.smax if stop is None else stop
+        if not 0 <= start <= stop <= self.grid.smax:
+            raise IndexError(
+                f"interval range [{start}, {stop}) outside "
+                f"[0, {self.grid.smax}]"
+            )
+        return int(sum(b[stop] - b[start] for b in self._bounds))
+
+    def __iter__(self) -> Iterator[tuple[int, np.ndarray]]:
+        return self.iter_range(0, self.grid.smax)
 
     def __len__(self) -> int:
         return self.grid.smax

@@ -38,6 +38,8 @@ class TradeReason(enum.Enum):
     END_OF_DAY = "end_of_day"
     STOP_LOSS = "stop_loss"
     CORR_REVERSION = "corr_reversion"
+    #: Forced flat by a degradation policy (stale correlation input).
+    DEGRADED = "degraded"
 
 
 @dataclass(frozen=True, slots=True)
@@ -311,6 +313,37 @@ class PairStrategy:
             w = params.w
             perf[s] = self._prices[s] / self._prices[s - w] - 1.0
             self._position = _open_position(s, self._prices, spread, perf, params)
+        return closed
+
+    def flatten(
+        self, s: int, price_0: float, price_1: float
+    ) -> Trade | None:
+        """Degraded-mode step: record the interval, never open, close any
+        open position (reason ``DEGRADED``).
+
+        Used by the pipeline's :class:`~repro.faults.policy.DegradePolicy`
+        when the correlation input for ``s`` is stale: the correlation
+        sample is recorded as NaN (a stale value is not evidence), which
+        also keeps the entry signal suppressed for the next ``w``
+        intervals — re-entry requires a full window of fresh data.
+        """
+        if s != self._s:
+            raise ValueError(f"expected interval {self._s}, got {s}")
+        if s >= self.smax:
+            raise ValueError(f"interval {s} beyond smax={self.smax}")
+        if price_0 <= 0 or price_1 <= 0:
+            raise ValueError("prices must be positive")
+        self._prices[s] = (price_0, price_1)
+        self._corr[s] = float("nan")
+        self._s += 1
+        if self._position is None:
+            return None
+        closed = _close(
+            self._position, s, self._prices, TradeReason.DEGRADED,
+            self.execution,
+        )
+        self._trades.append(closed)
+        self._position = None
         return closed
 
     # -- streaming reimplementations of the vectorised quantities ---------

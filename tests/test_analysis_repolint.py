@@ -272,3 +272,91 @@ class TestStoreBounds:
             """,
             path="src/repro/taq/elsewhere.py",
         ) == []
+
+
+class TestStatefulSnapshot:
+    def test_mutation_outside_init_fires(self):
+        diags = lint(
+            """
+            class Counter(Component):
+                def on_message(self, ctx, port, payload):
+                    self.count = self.count + 1
+            """
+        )
+        assert rules(diags) == ["repo.stateful-snapshot"]
+        assert "snapshot" in diags[0].message
+
+    def test_mutable_container_in_init_fires(self):
+        diags = lint(
+            """
+            class Buffer(Component):
+                def __init__(self):
+                    super().__init__(name="buffer")
+                    self._rows = []
+            """
+        )
+        assert rules(diags) == ["repo.stateful-snapshot"]
+
+    def test_both_methods_clean(self):
+        assert lint(
+            """
+            class Buffer(Component):
+                def __init__(self):
+                    super().__init__(name="buffer")
+                    self._rows = []
+
+                def snapshot(self):
+                    return {"rows": list(self._rows)}
+
+                def restore(self, state):
+                    self._rows = list(state["rows"])
+            """
+        ) == []
+
+    def test_snapshot_without_restore_fires(self):
+        diags = lint(
+            """
+            class Half(Component):
+                def __init__(self):
+                    self._rows = []
+
+                def snapshot(self):
+                    return {"rows": list(self._rows)}
+            """
+        )
+        assert rules(diags) == ["repo.stateful-snapshot"]
+
+    def test_stateless_component_clean(self):
+        assert lint(
+            """
+            class Relay(Component):
+                def __init__(self):
+                    super().__init__(name="relay")
+                    self.scale = 2.0
+
+                def on_message(self, ctx, port, payload):
+                    ctx.emit("out", payload * self.scale)
+            """
+        ) == []
+
+    def test_non_component_class_ignored(self):
+        assert lint(
+            """
+            class Accumulator:
+                def __init__(self):
+                    self._rows = []
+
+                def add(self, row):
+                    self._rows.append(row)
+                    self.dirty = True
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert lint(
+            """
+            class Ephemeral(Component):  # repro-lint: disable=repo.stateful-snapshot
+                def __init__(self):
+                    self._rows = []
+            """
+        ) == []

@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro import mpi
+from repro.backtest.distributed import DistributedBacktester
 from repro.backtest.sweep import SweepConfig, run_sweep
 from repro.corr.measures import CorrelationType
+from repro.strategy.costs import execution_salt
 from repro.strategy.params import StrategyParams
 
 
@@ -94,3 +97,93 @@ class TestRunSweep:
     def test_produces_some_trades(self, small_sweep):
         store, _ = small_sweep
         assert store.n_trades > 0
+
+
+class TestFailureManifest:
+    """One bad (pair, day, parameter set) cell must not abort a sweep."""
+
+    BASE = dict(n_symbols=4, n_days=2, n_levels=1, trading_seconds=2400)
+    BAD_PAIR, BAD_K = (0, 1), 0
+
+    def _break_cell(self, monkeypatch, module_path, fn_name):
+        """Make exactly the (BAD_PAIR, BAD_K) cell raise, every day."""
+        import importlib
+
+        module = importlib.import_module(module_path)
+        real = getattr(module, fn_name)
+        bad_salt = execution_salt(self.BAD_PAIR, self.BAD_K)
+
+        def wrapper(*args, **kwargs):
+            if kwargs.get("salt") == bad_salt:
+                raise RuntimeError("synthetic cell failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(module, fn_name, wrapper)
+
+    def test_sequential_continue_collects_manifest(self, monkeypatch):
+        self._break_cell(monkeypatch, "repro.backtest.runner", "backtest_pair_day")
+        failures = []
+        cfg = SweepConfig(engine="sequential", on_error="continue", **self.BASE)
+        store, grid = run_sweep(cfg, failures=failures)
+        assert [f.sort_key for f in failures] == [
+            (0, self.BAD_PAIR, self.BAD_K),
+            (1, self.BAD_PAIR, self.BAD_K),
+        ]
+        assert all(f.exc_type == "RuntimeError" for f in failures)
+        assert all("synthetic cell failure" in f.traceback for f in failures)
+        # The failed cells are absent; everything else was still swept.
+        n_pairs, n_days = 6, 2
+        assert len(store) == n_pairs * len(grid) * n_days - len(failures)
+
+    def test_sequential_abort_raises_by_default(self, monkeypatch):
+        self._break_cell(monkeypatch, "repro.backtest.runner", "backtest_pair_day")
+        cfg = SweepConfig(engine="sequential", **self.BASE)
+        with pytest.raises(Exception, match="synthetic cell failure"):
+            run_sweep(cfg)
+
+    def test_distributed_continue_matches_sequential(self, monkeypatch):
+        self._break_cell(monkeypatch, "repro.backtest.runner", "backtest_pair_day")
+        seq_failures = []
+        seq_store, _ = run_sweep(
+            SweepConfig(engine="sequential", on_error="continue", **self.BASE),
+            failures=seq_failures,
+        )
+        self._break_cell(
+            monkeypatch, "repro.backtest.distributed", "run_pair_day"
+        )
+        dist_failures = []
+        dist_store, _ = run_sweep(
+            SweepConfig(
+                engine="distributed", ranks=2, on_error="continue", **self.BASE
+            ),
+            failures=dist_failures,
+        )
+        assert dist_store == seq_store
+        assert [f.sort_key for f in dist_failures] == [
+            f.sort_key for f in seq_failures
+        ]
+
+    def test_distributed_manifest_identical_on_all_ranks(self, monkeypatch):
+        self._break_cell(
+            monkeypatch, "repro.backtest.distributed", "run_pair_day"
+        )
+        cfg = SweepConfig(engine="distributed", on_error="continue", **self.BASE)
+        provider = cfg.build_provider()
+        grid = cfg.build_grid()
+        pairs = list(cfg.build_universe().pairs())
+
+        def spmd(comm):
+            backtester = DistributedBacktester(provider)
+            backtester.run(comm, pairs, grid, [0, 1], on_error="continue")
+            return backtester.last_failures
+
+        per_rank = mpi.run_spmd(spmd, size=2, default_timeout=30.0)
+        assert per_rank[0] == per_rank[1]
+        assert [f.sort_key for f in per_rank[0]] == [
+            (0, self.BAD_PAIR, self.BAD_K),
+            (1, self.BAD_PAIR, self.BAD_K),
+        ]
+
+    def test_config_validates_on_error(self):
+        with pytest.raises(ValueError, match="on_error"):
+            SweepConfig(on_error="ignore")

@@ -135,6 +135,40 @@ class TestScreen:
         assert "Clusters" in capsys.readouterr().out
 
 
+class TestChaos:
+    def test_list_plans(self, capsys):
+        assert main(["chaos", "--list-plans"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dup", "drop-dup", "crash-mid", "stall", "delay"):
+            assert name in out
+
+    def test_plan_or_list_required(self, capsys):
+        assert main(["chaos", *FAST]) == 2
+        assert "--plan" in capsys.readouterr().err
+
+    def test_figure1_dup_plan_recovers(self, capsys):
+        assert (
+            main(["chaos", *FAST, "--plan", "dup", "--timeout", "10"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "plan 'dup' on figure1" in out
+        assert "identical to fault-free run: True" in out
+
+    def test_sweep_crash_plan_recovers(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos", *FAST, "--target", "sweep",
+                    "--plan", "crash-mid", "--timeout", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "restart(s)" in out
+        assert "identical to fault-free run: True" in out
+
+
 class TestReport:
     def test_prints_full_report(self, capsys):
         assert main(

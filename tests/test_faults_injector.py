@@ -1,0 +1,256 @@
+"""Fault-injector unit tests plus its MailboxComm integration.
+
+Covers the injector's send/recv hooks in isolation (drop, duplicate,
+delay, dedup, gap detection, crash/stall op counting, attempt scoping)
+and the attached behaviour over real communicators: duplicate envelopes
+deduplicated live, sequence gaps raising :class:`FaultDetected`, recv
+timeout clamping, backoff-with-retry and heartbeat ticking.
+"""
+
+import time
+
+import pytest
+
+from repro import mpi
+from repro.faults import (
+    BackoffPolicy,
+    FaultDetected,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    MessageFault,
+    RankCrash,
+    RankStall,
+)
+from repro.faults.injector import _Stamped
+from repro.mpi.api import RecvTimeout
+from repro.mpi.inproc import SpmdFailure, ThreadBackend
+from repro.obs import Obs
+
+
+def run(fn, size=2, **kw):
+    kw.setdefault("default_timeout", 10.0)
+    return mpi.run_spmd(fn, size=size, **kw)
+
+
+def plan_of(*messages, crashes=(), stalls=()):
+    return FaultPlan(
+        name="test", messages=messages, crashes=crashes, stalls=stalls
+    )
+
+
+class TestInjectorUnit:
+    def test_clean_send_is_stamped_sequentially(self):
+        inj = FaultInjector(plan_of(), rank=0)
+        out0 = inj.on_send(1, 0, "a")
+        out1 = inj.on_send(1, 0, "b")
+        assert [o.seq for o in out0 + out1] == [0, 1]
+        assert out0[0].payload == "a"
+
+    def test_collective_traffic_not_stamped(self):
+        inj = FaultInjector(plan_of(), rank=0)
+        assert inj.on_send(1, -5, "coll") == ["coll"]
+        assert inj.on_recv(1, -5, "coll") == (True, "coll")
+
+    def test_drop(self):
+        inj = FaultInjector(plan_of(MessageFault("drop", src=0, nth=1)), 0)
+        assert len(inj.on_send(1, 0, "x")) == 1
+        assert inj.on_send(1, 0, "y") == []
+        assert ("drop", 0, 1, 1) in inj.events
+
+    def test_duplicate(self):
+        inj = FaultInjector(
+            plan_of(MessageFault("duplicate", src=0, nth=0)), 0
+        )
+        out = inj.on_send(1, 0, "x")
+        assert len(out) == 2 and out[0] is out[1]
+
+    def test_delay_reorders_new_first(self):
+        inj = FaultInjector(plan_of(MessageFault("delay", src=0, nth=0)), 0)
+        assert inj.on_send(1, 0, "held") == []
+        out = inj.on_send(1, 0, "next")
+        assert [o.seq for o in out] == [1, 0]  # new first: FIFO broken
+
+    def test_dst_constraint(self):
+        inj = FaultInjector(
+            plan_of(MessageFault("drop", src=0, dst=2, nth=0)), 0
+        )
+        assert len(inj.on_send(1, 0, "to1")) == 1  # dst mismatch
+        assert inj.on_send(2, 0, "to2") == []
+
+    def test_recv_dedup(self):
+        inj = FaultInjector(plan_of(), rank=1)
+        assert inj.on_recv(0, 0, _Stamped(0, "a")) == (True, "a")
+        deliver, payload = inj.on_recv(0, 0, _Stamped(0, "a"))
+        assert deliver is False and payload is None
+        assert ("dedup", 1, 0, 0) in inj.events
+
+    def test_recv_gap_raises(self):
+        inj = FaultInjector(plan_of(), rank=1)
+        inj.on_recv(0, 0, _Stamped(0, "a"))
+        with pytest.raises(FaultDetected, match="expected 1, got 3"):
+            inj.on_recv(0, 0, _Stamped(3, "d"))
+        assert ("gap", 1, 0, 1, 3) in inj.events
+
+    def test_crash_counts_all_ops(self):
+        inj = FaultInjector(
+            plan_of(crashes=(RankCrash(rank=0, at_op=3),)), 0
+        )
+        inj.on_send(1, 0, "a")
+        inj.on_recv(1, -1, "coll")  # collectives advance the op counter
+        with pytest.raises(InjectedCrash, match="injected crash at op 3"):
+            inj.on_send(1, 0, "b")
+
+    def test_stall_fires_once(self):
+        inj = FaultInjector(
+            plan_of(stalls=(RankStall(rank=0, at_op=1, seconds=0.01),)), 0
+        )
+        t0 = time.monotonic()
+        inj.on_send(1, 0, "a")
+        assert time.monotonic() - t0 >= 0.01
+        inj.on_send(1, 0, "b")
+        assert sum(1 for e in inj.events if e[0] == "stall") == 1
+
+    def test_attempt_scoping(self):
+        crash = RankCrash(rank=0, at_op=1, attempt=0)
+        later = FaultInjector(plan_of(crashes=(crash,)), 0, attempt=1)
+        later.on_send(1, 0, "fine")  # attempt 1: the attempt-0 crash is inert
+        drop = MessageFault("drop", src=0, nth=0, attempt=2)
+        inj = FaultInjector(plan_of(drop), 0, attempt=2)
+        assert inj.on_send(1, 0, "x") == []
+
+    def test_metrics_recorded(self):
+        obs = Obs(enabled=True)
+        inj = FaultInjector(
+            plan_of(MessageFault("drop", src=0, nth=0)), 0, obs=obs
+        )
+        inj.on_send(1, 0, "x")
+        assert obs.metrics.counter("faults.injected[drop]").value == 1
+
+
+class TestMailboxIntegration:
+    def _run_with_plan(self, prog, plan, size=2, attempt=0, **kw):
+        def spmd(comm):
+            comm.attach_faults(FaultInjector(plan, comm.rank, attempt))
+            try:
+                return prog(comm)
+            finally:
+                comm.attach_faults(None)
+
+        return run(spmd, size=size, **kw)
+
+    def test_duplicate_delivered_once(self):
+        plan = plan_of(MessageFault("duplicate", src=0, nth=1))
+
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(4):
+                    comm.send(i, dest=1, tag=0)
+                return None
+            return [comm.recv(source=0, tag=0) for _ in range(4)]
+
+        assert self._run_with_plan(prog, plan)[1] == [0, 1, 2, 3]
+
+    def test_drop_detected_as_gap(self):
+        plan = plan_of(MessageFault("drop", src=0, nth=0))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("lost", dest=1, tag=0)
+                comm.send("next", dest=1, tag=0)
+                return None
+            return comm.recv(source=0, tag=0)
+
+        with pytest.raises(SpmdFailure, match="sequence gap"):
+            self._run_with_plan(prog, plan)
+
+    def test_dropped_final_message_times_out(self):
+        plan = plan_of(MessageFault("drop", src=0, nth=0))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("lost", dest=1, tag=0)
+                return None
+            return comm.recv(source=0, tag=0, timeout=0.2)
+
+        with pytest.raises(SpmdFailure, match="RecvTimeout"):
+            self._run_with_plan(prog, plan)
+
+    def test_detached_comm_unchanged(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("plain", dest=1, tag=0)
+                return None
+            return comm.recv(source=0, tag=0)
+
+        assert run(prog)[1] == "plain"
+
+
+class TestRecvTimeoutClamp:
+    """Regression: the final poll slice must be clamped to the deadline,
+    so a sub-slice timeout returns in ~timeout, not a full poll slice."""
+
+    @pytest.mark.parametrize("timeout", [0.01, 0.05])
+    def test_recv_timeout_not_overshot(self, timeout):
+        def prog(comm):
+            if comm.rank == 1:
+                t0 = time.monotonic()
+                with pytest.raises(RecvTimeout):
+                    comm.recv(source=0, tag=0, timeout=timeout)
+                return time.monotonic() - t0
+            return None
+
+        elapsed = run(prog)[1]
+        assert elapsed < 2 * timeout + 0.05
+
+
+class TestRecvBackoffRetry:
+    def test_late_message_recovered_within_retries(self):
+        policy = BackoffPolicy(retries=5, base=0.1, factor=1.0, cap=0.1)
+
+        def prog(comm):
+            if comm.rank == 0:
+                time.sleep(0.15)  # past the first deadline, within retries
+                comm.send("late", dest=1, tag=0)
+                return None
+            obs = Obs(enabled=True)
+            comm.attach_obs(obs)
+            comm.attach_recv_retry(policy)
+            value = comm.recv(source=0, tag=0, timeout=0.05)
+            return value, obs.metrics.counter("mpi.recv.retries").value
+
+        value, retries = run(prog)[1]
+        assert value == "late"
+        assert retries >= 1
+
+    def test_exhausted_retries_raise(self):
+        policy = BackoffPolicy(retries=2, base=0.01, factor=1.0, cap=0.01)
+
+        def prog(comm):
+            if comm.rank == 1:
+                comm.attach_recv_retry(policy)
+                with pytest.raises(RecvTimeout):
+                    comm.recv(source=0, tag=0, timeout=0.02)
+            return None
+
+        run(prog)
+
+    def test_backoff_delays_grow_and_cap(self):
+        policy = BackoffPolicy(retries=4, base=0.1, factor=2.0, cap=0.3)
+        assert policy.delays() == pytest.approx([0.1, 0.2, 0.3, 0.3])
+
+
+class TestHeartbeat:
+    def test_thread_backend_ticks(self):
+        backend = ThreadBackend(default_timeout=5.0, heartbeat=True)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=0)
+                return None
+            return comm.recv(source=0, tag=0)
+
+        backend.run(prog, size=2)
+        assert backend.monitor is not None
+        assert max(backend.monitor.ages()) < 5.0
+        assert backend.monitor.stalled(5.0) == []

@@ -1,0 +1,98 @@
+"""Fault-plan model tests: validation, determinism, serialisation."""
+
+import pytest
+
+from repro.faults import (
+    PLAN_NAMES,
+    FaultPlan,
+    MessageFault,
+    RankCrash,
+    RankStall,
+    named_plan,
+    plan_descriptions,
+    seeded_plan,
+)
+
+
+class TestValidation:
+    def test_bad_message_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            MessageFault("explode", src=0)
+
+    def test_negative_nth(self):
+        with pytest.raises(ValueError, match="nth"):
+            MessageFault("drop", src=0, nth=-1)
+
+    def test_crash_validates(self):
+        with pytest.raises(ValueError):
+            RankCrash(rank=-1, at_op=5)
+        with pytest.raises(ValueError):
+            RankCrash(rank=0, at_op=0)
+
+    def test_stall_rejects_negative_seconds(self):
+        with pytest.raises(ValueError):
+            RankStall(rank=0, at_op=5, seconds=-0.5)
+
+    def test_empty_plan(self):
+        assert FaultPlan(name="nothing").empty
+        assert not named_plan("dup").empty
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        assert seeded_plan(11, size=3) == seeded_plan(11, size=3)
+
+    def test_different_seed_differs(self):
+        plans = {seeded_plan(seed, size=3) for seed in range(20)}
+        assert len(plans) > 1
+
+    def test_faults_within_bounds(self):
+        plan = seeded_plan(5, size=4, max_nth=6, max_op=30)
+        for fault in plan.messages:
+            assert 0 <= fault.src < 4
+            assert 0 <= fault.nth <= 6
+        for crash in plan.crashes:
+            assert 0 <= crash.rank < 4
+            assert 1 <= crash.at_op <= 30
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        plan = named_plan("drop-dup", size=3)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_round_trip_with_crash_and_stall(self):
+        plan = FaultPlan(
+            name="mix",
+            messages=(MessageFault("delay", src=1, dst=2, nth=3),),
+            crashes=(RankCrash(rank=0, at_op=7, attempt=1),),
+            stalls=(RankStall(rank=2, at_op=9, seconds=0.25),),
+            seed=42,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestNamedPlans:
+    def test_every_name_builds(self):
+        for name in PLAN_NAMES:
+            plan = named_plan(name, size=3)
+            assert plan.name == name
+            assert not plan.empty
+
+    def test_descriptions_cover_names(self):
+        assert set(plan_descriptions()) == set(PLAN_NAMES)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            named_plan("nope")
+
+    def test_at_op_override(self):
+        plan = named_plan("crash-mid", size=3, at_op=4)
+        assert all(c.at_op == 4 for c in plan.crashes)
+        stalls = named_plan("stall", size=3, at_op=6).stalls
+        assert all(s.at_op == 6 for s in stalls)
+
+    def test_single_rank_plan_stays_in_bounds(self):
+        plan = named_plan("dup", size=1)
+        for fault in plan.messages:
+            assert fault.src == 0
