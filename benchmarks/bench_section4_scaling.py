@@ -133,7 +133,7 @@ def test_section4_approach_comparison(benchmark):
     job_hists = {}
 
     obs_a2 = Obs(enabled=True)
-    store_a2 = SequentialBacktester(provider, obs=obs_a2).run(
+    store_a2 = SequentialBacktester(provider, obs=obs_a2, profile=True).run(
         pairs, grid, days
     )
     timings["approach2_sequential"] = root_wall(obs_a2, "approach2")
@@ -195,6 +195,17 @@ def test_section4_approach_comparison(benchmark):
 
     assert store_a1 == store_a2 == store_a2s == store_a3
 
+    # Where does Approach 2 actually spend its wall time?  The sampling
+    # profiler answers from the same run that produced the timing above.
+    from repro.obs.live.profiler import (
+        attributed_fraction,
+        render_flame_table,
+        span_totals,
+    )
+
+    profile = obs_a2.profile
+    assert profile is not None and profile["n_samples"] > 0
+
     paper_day_bytes = MatrixSeriesBacktester.matrix_series_bytes(780, 100, 61)
     lines = ["Identical workload (15 pairs x 18 sets x 1 day), identical results:"]
     for name, seconds in timings.items():
@@ -212,6 +223,12 @@ def test_section4_approach_comparison(benchmark):
         f"{paper_day_bytes / 1e6:.1f} MB per day per spec — the paper's "
         f"'680 such matrices ... for just one day t out of 20'"
     )
+    lines.append("")
+    lines.append(
+        f"Approach 2 sampling profile "
+        f"({attributed_fraction(profile):.0%} of samples span-attributed):"
+    )
+    lines.append(render_flame_table(profile, top=10))
     emit(
         "section4_approaches",
         "\n".join(lines),
@@ -220,5 +237,10 @@ def test_section4_approach_comparison(benchmark):
             "job_histograms": {n: h.summary() for n, h in job_hists.items()},
             "approach1_peak_matrix_bytes": matrix_bt.peak_matrix_bytes,
             "paper_scale_day_bytes": paper_day_bytes,
+            "approach2_profile": {
+                "n_samples": profile["n_samples"],
+                "attributed_fraction": attributed_fraction(profile),
+                "span_seconds": dict(span_totals(profile)),
+            },
         },
     )

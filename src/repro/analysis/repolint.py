@@ -32,6 +32,12 @@ snapshot                       instance state but implements neither
                                ``snapshot()`` nor ``restore()`` — the
                                checkpoint/restart supervisor would silently
                                lose its state across a recovery
+repo.obs-bounded     error     code under ``repro/obs/live/`` grows instance
+                               state with ``self.<attr>.append/.extend`` where
+                               ``<attr>`` is not an ``EventRing`` /
+                               ``SeriesRing`` built in ``__init__`` — the live
+                               plane's memory must stay bounded for
+                               session-long sampling
 ===================  ========  =================================================
 
 Suppression: append ``# repro-lint: disable=<rule>[,<rule>...]`` (or
@@ -366,6 +372,69 @@ def _check_stateful_snapshot(tree: ast.AST) -> Iterator[_Finding]:
         )
 
 
+#: Bounded-container constructors that absolve a live-telemetry append.
+_RING_TYPES = frozenset({"EventRing", "SeriesRing"})
+
+
+def _ring_attrs(node: ast.ClassDef) -> set[str]:
+    """Attrs assigned a ring constructor in the class's ``__init__``."""
+    bounded: set[str] = set()
+    for stmt in node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if stmt.name != "__init__":
+            continue
+        for attr, value in _self_attr_targets(stmt):
+            if not isinstance(value, ast.Call):
+                continue
+            func = value.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _RING_TYPES:
+                bounded.add(attr)
+    return bounded
+
+
+def _check_obs_bounded(tree: ast.AST, path: str) -> Iterator[_Finding]:
+    if "repro/obs/live/" not in path.replace("\\", "/"):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bounded = _ring_attrs(node)
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for call in ast.walk(stmt):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in ("append", "extend"):
+                    continue
+                target = func.value
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if target.attr in bounded:
+                    continue
+                yield _Finding(
+                    "repo.obs-bounded", Severity.ERROR, call.lineno,
+                    f"live-telemetry state {node.name}.{target.attr} grows "
+                    f"via .{func.attr}() without a ring bound",
+                    hint="hold per-tick telemetry in an EventRing/SeriesRing "
+                    "built in __init__ so session-long sampling stays "
+                    "bounded; suppress in place only for add-once config",
+                )
+
+
 def lint_source(text: str, path: str) -> list[Diagnostic]:
     """Lint one module's source text; ``path`` is used for reporting."""
     try:
@@ -389,6 +458,7 @@ def lint_source(text: str, path: str) -> list[Diagnostic]:
     findings.extend(_check_mpi_bounds(tree, path))
     findings.extend(_check_store_bounds(tree, path))
     findings.extend(_check_stateful_snapshot(tree))
+    findings.extend(_check_obs_bounded(tree, path))
 
     out = []
     for f in sorted(findings, key=lambda f: (f.line, f.rule)):

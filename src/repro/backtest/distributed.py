@@ -62,6 +62,8 @@ class DistributedBacktester:
         days: list[int],
         obs: Obs | None = None,
         on_error: str = "abort",
+        profile: bool = False,
+        profile_interval: float = 0.005,
     ) -> ResultStore:
         """SPMD entry point: every rank calls this; every rank returns the
         complete merged store (the master additionally being where basket
@@ -72,6 +74,10 @@ class DistributedBacktester:
         cells; the per-rank failures are gathered alongside the partial
         stores and every rank ends with the same sorted manifest in
         ``self.last_failures``.
+
+        ``profile=True`` stack-samples this rank's run and folds the
+        profile into ``obs.profile``, so the cross-rank report merge
+        surfaces one flame table spanning all ranks.
         """
         if on_error not in ("abort", "continue"):
             raise ValueError(
@@ -97,7 +103,12 @@ class DistributedBacktester:
         specs = sorted(
             {(p.m, p.ctype) for p in grid}, key=lambda s: (s[0], s[1].value)
         )
-        with root_span:
+        profiler = NULL_METRIC
+        if profile and record:
+            from repro.obs.live.profiler import SamplingProfiler
+
+            profiler = SamplingProfiler(obs, interval=profile_interval)
+        with profiler, root_span:
             for day in days:
                 day_span = (
                     obs.trace.span("day", day=day) if record else NULL_METRIC

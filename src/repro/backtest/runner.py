@@ -123,12 +123,18 @@ class SequentialBacktester:
         maronna_config: MaronnaConfig | None = None,
         execution: ExecutionModel | None = None,
         obs: Obs | None = None,
+        profile: bool = False,
+        profile_interval: float = 0.005,
     ):
         self.provider = provider
         self.share_correlation = share_correlation
         self.maronna_config = maronna_config
         self.execution = execution
         self.obs = obs
+        #: With ``profile=True`` (and an enabled obs), each run is stack-
+        #: sampled and the profile folded into ``obs.profile``.
+        self.profile = profile
+        self.profile_interval = profile_interval
         #: Wall-clock seconds spent per (pair, day, param) job in the last run.
         self.last_job_seconds: list[float] = []
         #: Cells skipped by the last ``on_error="continue"`` run.
@@ -164,6 +170,23 @@ class SequentialBacktester:
         store = ResultStore()
         self.last_job_seconds = []
         self.last_failures = []
+        profiler = None
+        if self.profile and record:
+            from repro.obs.live.profiler import SamplingProfiler
+
+            profiler = SamplingProfiler(obs, interval=self.profile_interval)
+            profiler.start()
+        try:
+            self._run_cells(store, pairs, grid, days, span, on_error, record)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+        if record:
+            obs.metrics.counter("backtest.jobs").inc(len(self.last_job_seconds))
+        return store
+
+    def _run_cells(self, store, pairs, grid, days, span, on_error, record):
+        obs = self.obs
         with span:
             for day in days:
                 prices = self.provider.prices(day)
@@ -216,9 +239,6 @@ class SequentialBacktester:
                         if record:
                             obs.metrics.histogram(PAIR_DAY_HIST).observe(elapsed)
                         store.add((i, j), k, day, [t.ret for t in trades])
-        if record:
-            obs.metrics.counter("backtest.jobs").inc(len(self.last_job_seconds))
-        return store
 
     def _validate(
         self,

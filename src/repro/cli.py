@@ -6,6 +6,7 @@ One executable, ``repro``, with a subcommand per common workflow::
     repro taq-sample --symbols 8      # synthesise and print Table-II rows
     repro sweep --symbols 8 --days 3  # run the study, print Tables III-V
     repro pipeline --symbols 6        # stream a Figure-1 live session
+    repro top --refresh 0.5           # live telemetry view over a session
     repro chaos --plan crash-mid      # chaos-test a supervised session
     repro screen --symbols 12         # candidate-pair screening funnel
     repro stats obs.json              # render a telemetry report
@@ -130,31 +131,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    from repro.marketminer.session import (
-        build_figure1_workflow,
-        run_figure1_session,
-    )
-    from repro.strategy.params import StrategyParams
-    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
-    from repro.taq.universe import default_universe
-    from repro.util.timeutil import TimeGrid
+    from repro.marketminer.session import run_figure1_session
 
-    market = SyntheticMarket(
-        default_universe(args.symbols),
-        SyntheticMarketConfig(trading_seconds=args.seconds, quote_rate=0.9),
-        seed=args.seed,
-    )
-    grid_time = TimeGrid(30, trading_seconds=args.seconds)
-    params = StrategyParams(
-        m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001
-    )
-    workflow = build_figure1_workflow(
-        market,
-        grid_time,
-        list(market.universe.pairs()),
-        [params],
-        n_corr_engines=args.engines,
-    )
+    workflow = _build_figure1_from_args(args)
     print(workflow.describe())
     results = run_figure1_session(
         workflow, size=args.ranks, collect_stats=True,
@@ -206,6 +185,7 @@ def _chaos_figure1(args: argparse.Namespace, plan) -> int:
         build, size=args.ranks, backend=args.backend, plan=plan,
         checkpoint_every=args.checkpoint_every,
         max_restarts=args.max_restarts, backend_options=options,
+        flight_dump=args.flight_dump,
     )
     print(f"plan {plan.name!r} on figure1 ({args.ranks} ranks, "
           f"{args.backend} backend):")
@@ -224,6 +204,13 @@ def _chaos_figure1(args: argparse.Namespace, plan) -> int:
                   f"({n} fault event(s))")
     print(f"  {chaos.restarts} restart(s), {chaos.checkpoints} "
           f"checkpoint(s), {chaos.attempts} attempt(s)")
+    if args.flight_dump:
+        from pathlib import Path
+
+        dumps = sorted(Path(args.flight_dump).glob("rank*-attempt*.jsonl"))
+        print(f"  {len(dumps)} flight dump(s) under {args.flight_dump}:")
+        for dump in dumps:
+            print(f"    {dump.name}")
     identical = session_results_equal(clean.results, chaos.results)
     print(f"recovered results identical to fault-free run: {identical}")
     return 0 if identical else 1
@@ -311,7 +298,111 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     if args.target == "figure1":
         return _chaos_figure1(args, plan)
+    if args.flight_dump:
+        print("--flight-dump requires --target figure1 (the supervised "
+              "session owns the recorders)", file=sys.stderr)
+        return 2
     return _chaos_sweep(args, plan)
+
+
+def _build_figure1_from_args(args: argparse.Namespace):
+    from repro.marketminer.session import build_figure1_workflow
+    from repro.strategy.params import StrategyParams
+    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+    from repro.taq.universe import default_universe
+    from repro.util.timeutil import TimeGrid
+
+    market = SyntheticMarket(
+        default_universe(args.symbols),
+        SyntheticMarketConfig(trading_seconds=args.seconds, quote_rate=0.9),
+        seed=args.seed,
+    )
+    grid_time = TimeGrid(30, trading_seconds=args.seconds)
+    params = StrategyParams(m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001)
+    return build_figure1_workflow(
+        market,
+        grid_time,
+        list(market.universe.pairs()),
+        [params],
+        n_corr_engines=getattr(args, "engines", 1),
+    )
+
+
+def _top_frame(frame: str, plain: bool) -> None:
+    if plain:
+        print(frame)
+        print("-" * 72)
+    else:
+        # Clear screen, home cursor, repaint.
+        print("\x1b[2J\x1b[H" + frame, flush=True)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live telemetry view: run a session in a worker thread, repaint the
+    hub's frame until it finishes, then print the session summary."""
+    import threading
+
+    from repro.obs.live import HealthRule, TelemetryHub, render_top
+
+    rules = []
+    for text in args.health or ():
+        try:
+            rules.append(HealthRule.parse(text))
+        except ValueError as exc:
+            print(f"top: bad --health rule: {exc}", file=sys.stderr)
+            return 2
+    hub = TelemetryHub(rules=rules)
+    outcome: dict = {}
+
+    def session() -> None:
+        try:
+            if args.target == "chaos":
+                from repro.faults import named_plan, run_supervised_session
+
+                plan = named_plan(args.plan, size=args.ranks)
+                outcome["run"] = run_supervised_session(
+                    lambda: _build_figure1_from_args(args),
+                    size=args.ranks, plan=plan,
+                    checkpoint_every=args.checkpoint_every,
+                    obs_enabled=True, obs_hook=hub.register,
+                    backend_options={"default_timeout": args.timeout},
+                )
+                outcome["results"] = outcome["run"].results
+            else:
+                from repro.marketminer.session import run_figure1_session
+
+                outcome["results"] = run_figure1_session(
+                    _build_figure1_from_args(args),
+                    size=args.ranks, collect_stats=True, obs_enabled=True,
+                    obs_hook=hub.register,
+                )
+        except BaseException as exc:  # reported after the final frame
+            outcome["error"] = exc
+
+    worker = threading.Thread(target=session, name="repro-top", daemon=True)
+    plain = args.plain or not sys.stdout.isatty()
+    worker.start()
+    while worker.is_alive():
+        worker.join(timeout=args.refresh)
+        hub.sample()
+        _top_frame(render_top(hub, window=args.window), plain)
+
+    error = outcome.get("error")
+    if error is not None:
+        print(f"top: session failed: {type(error).__name__}: {error}",
+              file=sys.stderr)
+        return 1
+    results = outcome["results"]
+    n_trades = sum(len(v) for v in results["pair_trading"]["trades"].values())
+    print(f"\nsession complete: "
+          f"{results['bar_accumulator']['bars_emitted']} bars, "
+          f"{n_trades} trades")
+    run = outcome.get("run")
+    if run is not None:
+        print(f"  {run.restarts} restart(s), {run.checkpoints} "
+              f"checkpoint(s), {run.attempts} attempt(s)")
+    _dump_obs(args, results.get("_obs"))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -350,32 +441,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import load_report, render_text
 
-    print(render_text(load_report(args.path)))
+    try:
+        report = load_report(args.path)
+    except FileNotFoundError:
+        print(f"stats: no such report: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    print(render_text(report))
     return 0
 
 
 def _lint_workflow(args: argparse.Namespace):
     """A small Figure-1 workflow whose spec the graph linter validates."""
-    from repro.marketminer.session import build_figure1_workflow
-    from repro.strategy.params import StrategyParams
-    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
-    from repro.taq.universe import default_universe
-    from repro.util.timeutil import TimeGrid
-
-    market = SyntheticMarket(
-        default_universe(args.symbols),
-        SyntheticMarketConfig(trading_seconds=args.seconds, quote_rate=0.9),
-        seed=args.seed,
-    )
-    grid_time = TimeGrid(30, trading_seconds=args.seconds)
-    params = StrategyParams(m=60, w=30, y=8, rt=30, hp=20, st=10, d=0.001)
-    return build_figure1_workflow(
-        market,
-        grid_time,
-        list(market.universe.pairs()),
-        [params],
-        n_corr_engines=args.engines,
-    )
+    return _build_figure1_from_args(args)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -617,6 +697,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "plan value for figure1, 4 for the short sweep target)")
     p.add_argument("--timeout", type=float, default=10.0,
                    help="per-recv timeout for the session's communicators")
+    p.add_argument("--flight-dump", metavar="DIR", default=None,
+                   help="dump every attempt's per-rank flight-recorder "
+                   "rings here as rank<r>-attempt<a>.jsonl (figure1 target)")
 
     p = sub.add_parser("pipeline", help="stream a Figure-1 live session")
     _add_market_args(p, symbols=6)
@@ -625,6 +708,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel correlation engines")
     p.add_argument("--obs-json", metavar="PATH", default=None,
                    help="write the run's observability report here")
+
+    p = sub.add_parser(
+        "top",
+        help="live telemetry view (rates, queue depth, component duty) "
+        "over a running session",
+    )
+    _add_market_args(p, symbols=6)
+    p.add_argument("--ranks", type=int, default=3)
+    p.add_argument("--engines", type=int, default=1,
+                   help="parallel correlation engines")
+    p.add_argument("--target", choices=("pipeline", "chaos"),
+                   default="pipeline",
+                   help="watch a plain Figure-1 session or a supervised "
+                   "chaos session")
+    p.add_argument("--plan", default="crash-mid",
+                   help="fault plan for --target chaos")
+    p.add_argument("--checkpoint-every", type=int, default=20,
+                   help="intervals per checkpoint epoch (chaos target)")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="per-recv timeout (chaos target)")
+    p.add_argument("--refresh", type=float, default=0.5,
+                   help="seconds between sampling ticks / repaints")
+    p.add_argument("--window", type=float, default=5.0,
+                   help="rate/percentile window in seconds")
+    p.add_argument("--health", metavar="RULE", action="append", default=None,
+                   help="health rule, e.g. 'mpi.pending.depth mean[2] > 50' "
+                   "(repeatable)")
+    p.add_argument("--plain", action="store_true",
+                   help="append frames instead of repainting (default when "
+                   "stdout is not a tty)")
+    p.add_argument("--obs-json", metavar="PATH", default=None,
+                   help="write the session's observability report here")
 
     p = sub.add_parser(
         "report", help="run a study and print the full evaluation report"
@@ -731,6 +846,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
     "pipeline": _cmd_pipeline,
+    "top": _cmd_top,
     "report": _cmd_report,
     "screen": _cmd_screen,
     "stats": _cmd_stats,

@@ -22,6 +22,7 @@ from repro.faults.policy import BackoffPolicy, DegradePolicy, StaleCorr
 from repro.faults.supervisor import (
     ChaosUnrecoverable,
     SupervisedRun,
+    fold_obs_counters,
     run_supervised_session,
     session_results_equal,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "RankStall",
     "StaleCorr",
     "SupervisedRun",
+    "fold_obs_counters",
     "named_plan",
     "plan_descriptions",
     "run_supervised_session",

@@ -82,6 +82,7 @@ class FaultInjector:
         self._metrics = (
             obs.metrics if obs is not None and obs.enabled else None
         )
+        self._obs = obs
         self._crash = None
         for fault in plan.crashes:
             if fault.rank == rank and fault.attempt == attempt:
@@ -106,6 +107,13 @@ class FaultInjector:
         if self._metrics is not None:
             self._metrics.counter(name).inc()
 
+    def _event(self, event: tuple) -> None:
+        """Log one deterministic fault event (mirrored to flight recorder)."""
+        self.events.append(event)
+        flight = getattr(self._obs, "flight", None)
+        if flight is not None:
+            flight.record_fault(event)
+
     def _tick_op(self) -> None:
         self._op += 1
         stall = self._stall
@@ -115,14 +123,14 @@ class FaultInjector:
             and self._op >= stall.at_op
         ):
             self._stall_fired = True
-            self.events.append(
+            self._event(
                 ("stall", self.rank, stall.at_op, stall.seconds)
             )
             self._count("faults.injected[stall]")
             time.sleep(stall.seconds)
         crash = self._crash
         if crash is not None and self._op >= crash.at_op:
-            self.events.append(("crash", self.rank, crash.at_op))
+            self._event(("crash", self.rank, crash.at_op))
             self._count("faults.injected[crash]")
             raise InjectedCrash(
                 f"rank {self.rank}: injected crash at op {crash.at_op} "
@@ -158,14 +166,14 @@ class FaultInjector:
         if fault is None:
             out.append(stamped)
         elif fault.kind == "drop":
-            self.events.append(("drop", self.rank, dst, seq))
+            self._event(("drop", self.rank, dst, seq))
             self._count("faults.injected[drop]")
         elif fault.kind == "duplicate":
-            self.events.append(("duplicate", self.rank, dst, seq))
+            self._event(("duplicate", self.rank, dst, seq))
             self._count("faults.injected[duplicate]")
             out.extend((stamped, stamped))
         else:  # delay: hold back, release after the next send to dst
-            self.events.append(("delay", self.rank, dst, seq))
+            self._event(("delay", self.rank, dst, seq))
             self._count("faults.injected[delay]")
             self._held.setdefault(dst, []).append(stamped)
             return out
@@ -187,11 +195,11 @@ class FaultInjector:
         seq = payload.seq
         expected = self._recv_seen.get(src, -1) + 1
         if seq < expected:
-            self.events.append(("dedup", self.rank, src, seq))
+            self._event(("dedup", self.rank, src, seq))
             self._count("faults.duplicates_dropped")
             return False, None
         if seq > expected:
-            self.events.append(("gap", self.rank, src, expected, seq))
+            self._event(("gap", self.rank, src, expected, seq))
             self._count("faults.gaps_detected")
             raise FaultDetected(
                 f"rank {self.rank}: sequence gap from world rank {src}: "

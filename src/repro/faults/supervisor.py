@@ -45,13 +45,22 @@ class ChaosUnrecoverable(RuntimeError):
 
 @dataclass(frozen=True)
 class SupervisedRun:
-    """Outcome of a supervised session."""
+    """Outcome of a supervised session.
+
+    ``obs_reports`` holds the merged ``_obs`` report of every
+    *successful* epoch, in epoch order (empty unless the session ran
+    with observability).  Failed attempts never contribute — their
+    telemetry dies with the attempt — so folding these reports with
+    :func:`fold_obs_counters` yields cumulative counters that a
+    recovered session and a fault-free one must agree on.
+    """
 
     results: dict
     log: tuple
     attempts: int
     restarts: int
     checkpoints: int
+    obs_reports: tuple = ()
 
 
 def _classify_failure(exc: BaseException) -> tuple:
@@ -138,6 +147,8 @@ def run_supervised_session(
     obs_enabled: bool = False,
     obs=None,
     backend_options: dict | None = None,
+    flight_dump: str | None = None,
+    obs_hook=None,
 ) -> SupervisedRun:
     """Run a Figure-1 session under supervision (and optionally chaos).
 
@@ -149,6 +160,17 @@ def run_supervised_session(
 
     ``max_restarts`` bounds retries per epoch; past it the last failure
     re-raises wrapped in :class:`ChaosUnrecoverable`.
+
+    ``flight_dump`` names a directory for per-rank flight-recorder
+    dumps: every attempt's ranks dump their recent-event rings there
+    (``rank<r>-attempt<a>.jsonl``) — with the failure class as the
+    recorded reason when the attempt dies, which is the "last N events
+    before the crash" artefact the chaos workflow exists to produce.
+
+    ``obs_hook`` is forwarded to every attempt's
+    :meth:`~repro.marketminer.scheduler.WorkflowRunner.run` so a live
+    telemetry hub can re-register each rebuilt rank's registry (thread
+    backend only).
     """
     options = dict(backend_options or {})
     smax = _session_smax(build())
@@ -156,6 +178,7 @@ def run_supervised_session(
     metrics = obs.metrics if obs is not None and obs.enabled else None
 
     log: list[tuple] = []
+    obs_reports: list[dict] = []
     checkpoint: dict[str, Any] | None = None
     attempt = 0
     restarts = 0
@@ -190,6 +213,8 @@ def run_supervised_session(
                     pause=_pause,
                     fault_plan=plan,
                     fault_attempt=_attempt,
+                    flight_dump=flight_dump,
+                    obs_hook=obs_hook,
                 )
 
             try:
@@ -217,6 +242,8 @@ def run_supervised_session(
                     _freeze_fault_events(fault_events),
                 )
             )
+            if "_obs" in results:
+                obs_reports.append(results["_obs"])
             if final:
                 return SupervisedRun(
                     results=results,
@@ -224,6 +251,7 @@ def run_supervised_session(
                     attempts=attempt,
                     restarts=restarts,
                     checkpoints=checkpoints,
+                    obs_reports=tuple(obs_reports),
                 )
             checkpoint = results.pop("_snapshots")
             checkpoints += 1
@@ -235,6 +263,28 @@ def run_supervised_session(
 
 
 # -- result comparison ------------------------------------------------------
+
+
+def fold_obs_counters(
+    reports, exclude_prefixes: tuple[str, ...] = ()
+) -> dict[str, float]:
+    """Sum merged cross-rank counters across per-epoch obs reports.
+
+    Cumulative counters are additive across epochs, so the fold over a
+    recovered session's successful-epoch reports must equal the fold
+    over a fault-free session's — replayed (failed) attempts never
+    contribute a report.  ``exclude_prefixes`` drops counter families
+    that legitimately differ (e.g. ``recovery.`` bookkeeping kept by a
+    driver-side registry).
+    """
+    totals: dict[str, float] = {}
+    for report in reports:
+        counters = report.get("metrics", {}).get("counters", {})
+        for name, value in counters.items():
+            if any(name.startswith(p) for p in exclude_prefixes):
+                continue
+            totals[name] = totals.get(name, 0) + value
+    return totals
 
 
 def strip_meta(results: dict) -> dict:

@@ -108,6 +108,8 @@ class WorkflowRunner:
         pause: bool = False,
         fault_plan=None,
         fault_attempt: int = 0,
+        flight_dump: "str | None" = None,
+        obs_hook=None,
     ) -> dict[str, Any]:
         """Execute the workflow; every rank returns all component results.
 
@@ -134,8 +136,22 @@ class WorkflowRunner:
         ``fault_attempt`` to the communicator for the duration of the run
         and the result dict gains a ``"_faults"`` entry: the per-rank
         deterministic fault event logs.
+
+        With ``flight_dump`` set to a directory, every rank keeps a
+        flight recorder (implies observability) and dumps its event ring
+        to ``rank<r>-attempt<a>.jsonl`` there — with the failure's class
+        name as the reason when the run dies, ``"end"`` when it
+        completes.  ``obs_hook(rank, obs)``, when given, is called with
+        each rank's live obs handle as the rank starts — the seam the
+        ``repro top`` hub registers through.
         """
-        obs = ensure_obs(comm, obs_enabled)
+        obs = ensure_obs(comm, obs_enabled or flight_dump is not None)
+        if flight_dump is not None and obs.flight is None:
+            from repro.obs.live.flight import FlightRecorder
+
+            obs.flight = FlightRecorder(rank=comm.rank)
+        if obs_hook is not None:
+            obs_hook(comm.rank, obs)
         injector = None
         if fault_plan is not None:
             from repro.faults.injector import FaultInjector
@@ -149,10 +165,29 @@ class WorkflowRunner:
                 self.workflow, comm, self.rank_map(comm.size), obs=obs,
                 pause=pause,
             )
-            return runtime.run(collect_stats=collect_stats, injector=injector)
+            result = runtime.run(collect_stats=collect_stats, injector=injector)
+        except BaseException as exc:
+            if flight_dump is not None and obs.flight is not None:
+                self._dump_flight(
+                    obs, comm, flight_dump, fault_attempt,
+                    reason=type(exc).__name__,
+                )
+            raise
         finally:
             if injector is not None:
                 comm.attach_faults(None)
+        if flight_dump is not None and obs.flight is not None:
+            self._dump_flight(obs, comm, flight_dump, fault_attempt, "end")
+        return result
+
+    @staticmethod
+    def _dump_flight(obs, comm, directory, attempt: int, reason: str) -> None:
+        from pathlib import Path
+
+        obs.flight.dump_jsonl(
+            Path(directory) / f"rank{comm.rank}-attempt{attempt}.jsonl",
+            reason=reason,
+        )
 
 
 class _RankRuntime:
@@ -227,6 +262,9 @@ class _RankRuntime:
             )
         if self.obs.enabled:
             self.obs.metrics.counter(f"component.{src}.emit[{port}]").inc()
+            flight = self.obs.flight
+            if flight is not None:
+                flight.record_emit(src, port)
         for dst, dst_port, dst_rank in self.routes.get((src, port), []):
             if dst_rank == self.comm.rank:
                 self.messages_local += 1
@@ -348,6 +386,9 @@ class _RankRuntime:
             for part in snapshot_parts:
                 checkpoint.update(part)
             merged["_snapshots"] = checkpoint
+            flight = self.obs.flight
+            if flight is not None:
+                flight.record_checkpoint()
         if injector is not None:
             event_parts = self.comm.allgather(list(injector.events))
             merged["_faults"] = {

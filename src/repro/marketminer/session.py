@@ -223,6 +223,8 @@ def run_figure1_session(
     obs_enabled: bool = False,
     fault_plan=None,
     fault_attempt: int = 0,
+    flight_dump: str | None = None,
+    obs_hook=None,
     **backend_options,
 ) -> dict:
     """Execute a Figure-1 workflow SPMD; returns all component results.
@@ -237,6 +239,12 @@ def run_figure1_session(
     supervised recovery (checkpoint/restart) use
     :func:`repro.faults.run_supervised_session` instead — this entry
     point runs a single, unsupervised attempt.
+
+    ``flight_dump`` and ``obs_hook`` pass straight through to
+    :meth:`~repro.marketminer.scheduler.WorkflowRunner.run`: per-rank
+    flight-recorder dumps, and the live-telemetry registration seam the
+    ``repro top`` hub uses (thread backend only — the hook must share the
+    driver's address space).
     """
 
     runner = WorkflowRunner(workflow)
@@ -248,6 +256,8 @@ def run_figure1_session(
             obs_enabled=obs_enabled,
             fault_plan=fault_plan,
             fault_attempt=fault_attempt,
+            flight_dump=flight_dump,
+            obs_hook=obs_hook,
         )
 
     results = run_spmd(spmd, size=size, backend=backend, **backend_options)

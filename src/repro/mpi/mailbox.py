@@ -259,6 +259,9 @@ class MailboxComm(Comm):
             m.counter("mpi.sent.bytes").inc(payload_nbytes(obj))
             bucket = tag if tag >= 0 else "collective"
             m.counter(f"mpi.sent.tag[{bucket}]").inc()
+            flight = getattr(obs, "flight", None)
+            if flight is not None:
+                flight.record_send(self._group[dest], tag)
         tracer = self._endpoint.tracer
         if tracer is not None:
             obj = tracer.on_send(self, dest, tag, obj)
@@ -296,6 +299,7 @@ class MailboxComm(Comm):
         deadline = None if timeout is None else time.monotonic() + timeout
 
         retry_attempt = 0
+        retry_t0 = 0.0
         while True:
             try:
                 env = self._recv_matched(deadline, source, tag, timeout)
@@ -305,15 +309,19 @@ class MailboxComm(Comm):
                 if retry is None or retry_attempt >= retry.retries:
                     if tracer is not None:
                         tracer.on_timeout(self, source, tag)
+                    self._record_retry_span(source, tag, retry_attempt, retry_t0)
                     raise
                 # Backoff-with-retry: grant one more (capped, growing)
                 # wait window before declaring failure.
                 extra = retry.delay(retry_attempt)
+                if retry_attempt == 0:
+                    retry_t0 = time.monotonic()
                 retry_attempt += 1
                 obs = self._endpoint.obs
                 if obs is not None and obs.enabled:
                     obs.metrics.counter("mpi.recv.retries").inc()
                 deadline = time.monotonic() + extra
+        self._record_retry_span(source, tag, retry_attempt, retry_t0)
         _, src, msg_tag, payload = env
         if tracer is not None:
             payload = tracer.on_recv(self, source, tag, src, msg_tag, payload)
@@ -323,9 +331,33 @@ class MailboxComm(Comm):
             m.counter("mpi.recv.messages").inc()
             m.counter("mpi.recv.bytes").inc(payload_nbytes(payload))
             m.gauge("mpi.pending.depth").set(len(self._endpoint.pending))
+            flight = getattr(obs, "flight", None)
+            if flight is not None:
+                flight.record_recv(self._group[src], msg_tag)
         if return_status:
             return payload, Status(source=src, tag=msg_tag)
         return payload
+
+    def _record_retry_span(
+        self, source: int, tag: int, attempts: int, t0: float
+    ) -> None:
+        """Attribute backoff-retry wait time to the retrying span.
+
+        Without this, retry sleeps vanish from the flame view: the time
+        is spent inside ``recv`` but belongs to whatever span issued it.
+        ``add_span`` attaches to the innermost open span, so the wait
+        shows up as an ``mpi.recv.retry`` child of the retrying span.
+        """
+        if attempts == 0:
+            return
+        obs = self._endpoint.obs
+        if obs is None or not obs.enabled:
+            return
+        wall = time.monotonic() - t0
+        obs.trace.add_span(
+            "mpi.recv.retry", wall, attempts=attempts, source=source, tag=tag
+        )
+        obs.metrics.histogram("mpi.recv.retry.seconds").observe(wall)
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         if source != ANY_SOURCE:

@@ -51,13 +51,23 @@ from repro.obs.trace import Span, SpanTracer, render_flame
 
 
 class Obs:
-    """One rank's observability handle: a metrics registry plus a tracer."""
+    """One rank's observability handle: a metrics registry plus a tracer.
 
-    __slots__ = ("metrics", "trace", "_ranks")
+    Two optional live-plane attachments ride along: ``flight`` holds the
+    rank's :class:`~repro.obs.live.flight.FlightRecorder` (substrate and
+    runtime hooks record into it when present) and ``profile`` holds the
+    interchange dict a :class:`~repro.obs.live.profiler.SamplingProfiler`
+    folded in on stop.  Both default to None and cost instrumented code
+    one attribute check when absent.
+    """
+
+    __slots__ = ("metrics", "trace", "flight", "profile", "_ranks")
 
     def __init__(self, enabled: bool = True):
         self.metrics = MetricsRegistry(enabled=enabled)
         self.trace = SpanTracer(enabled=enabled)
+        self.flight = None
+        self.profile: dict | None = None
         #: Interchange dicts absorbed from other ranks (driver-side only).
         self._ranks: dict[Any, dict] = {}
 
@@ -67,7 +77,10 @@ class Obs:
 
     def to_dict(self) -> dict:
         """This rank's telemetry in interchange form (picklable)."""
-        return {"metrics": self.metrics.to_dict(), "spans": self.trace.to_list()}
+        d = {"metrics": self.metrics.to_dict(), "spans": self.trace.to_list()}
+        if self.profile is not None:
+            d["profile"] = self.profile
+        return d
 
     def absorb_rank(self, rank: Any, payload: dict) -> None:
         """Store (or fold into) another rank's interchange dict."""
@@ -82,6 +95,12 @@ class Obs:
             existing["spans"] = list(existing.get("spans", [])) + list(
                 payload.get("spans", [])
             )
+            if "profile" in existing or "profile" in payload:
+                from repro.obs.live.profiler import merge_profiles
+
+                existing["profile"] = merge_profiles(
+                    [existing.get("profile"), payload.get("profile")]
+                )
 
     def report(self) -> dict:
         """Build the full v1 report from local + absorbed telemetry."""

@@ -1,0 +1,98 @@
+"""Exporters: Prometheus-style text exposition and JSONL event streams.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.registry.MetricsRegistry`
+(or its interchange dict) into the plain-text exposition format, mapping
+the library's dotted, bracketed metric names onto Prometheus conventions:
+dots become underscores and a trailing ``[label]`` becomes a ``key=""``
+label pair (``component.cleaning.emit[quotes]`` ->
+``component_cleaning_emit{port="quotes"}``).  Histograms are exposed as
+``_count`` / ``_sum`` plus quantile gauges.
+
+:class:`JsonlWriter` is the shared append-only event-stream writer used
+by the flight recorder, health monitors and the CLI — one JSON object
+per line, flushed per write so a crash never loses buffered events.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> tuple[str, str]:
+    """Split ``a.b.c[x]`` into a sanitized metric name and a label block."""
+    label = ""
+    if name.endswith("]") and "[" in name:
+        name, bracket = name[:-1].rsplit("[", 1)
+        label = '{label="%s"}' % bracket.replace('"', "'")
+    return _NAME_RE.sub("_", name.replace(".", "_")), label
+
+
+def render_prometheus(metrics) -> str:
+    """Render a registry (or its ``to_dict``/summary form) as exposition text."""
+    if hasattr(metrics, "summary"):
+        metrics = metrics.summary()
+    lines: list[str] = []
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        pname, label = _prom_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname}{label} {value}")
+    for name, g in sorted(metrics.get("gauges", {}).items()):
+        pname, label = _prom_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname}{label} {g['last']}")
+        lines.append(f"{pname}_max{label} {g['max']}")
+    for name, h in sorted(metrics.get("histograms", {}).items()):
+        pname, label = _prom_name(name)
+        # Accept both summary dicts and raw sample lists.
+        if isinstance(h, list):
+            count, total = len(h), sum(h)
+            quantiles = {}
+        else:
+            count, total = h.get("count", 0), h.get("sum", 0.0)
+            quantiles = {
+                q: h[k]
+                for q, k in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+                if k in h
+            }
+        lines.append(f"# TYPE {pname} summary")
+        lines.append(f"{pname}_count{label} {count}")
+        lines.append(f"{pname}_sum{label} {total}")
+        for q, v in quantiles.items():
+            if label:
+                qlabel = label[:-1] + f',quantile="{q}"}}'
+            else:
+                qlabel = f'{{quantile="{q}"}}'
+            lines.append(f"{pname}{qlabel} {v}")
+    return "\n".join(lines) + "\n"
+
+
+class JsonlWriter:
+    """Append-only JSONL event-stream writer, flushed per line."""
+
+    __slots__ = ("path", "_fh", "n_written")
+
+    def __init__(self, path: str | Path, append: bool = True):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a" if append else "w")
+        self.n_written = 0
+
+    def write(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,173 @@
+"""Per-rank flight recorder: the last N structured events before a crash.
+
+A :class:`FlightRecorder` is a bounded :class:`~repro.obs.live.rings.EventRing`
+of small event dicts — sends, receives, component emits, checkpoint
+epochs, fault injections, health firings — kept per rank and dumped to
+JSONL when a rank fails (``FaultDetected`` / ``InjectedCrash`` /
+``RecvTimeout``) or on demand.  The dump answers "what were the last
+2000 things this rank did before it died" without ever paying for
+unbounded tracing.
+
+Determinism contract: events carry only *logical* fields (peer ranks,
+tags, ports, per-stream indices) — never wall times or queue depths — so
+the same seeded session records the same events on the thread and the
+process backend.  Because cross-stream arrival interleave is the one
+thing the backends may legitimately order differently, dumps are written
+in **canonical stream order**: events are stably sorted by their stream
+key (kind + peer/port identity), which preserves each stream's FIFO
+order (deterministic) while making the interleave irrelevant.  The chaos
+suite asserts dump identity across backends on exactly this form.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.live.rings import EventRing
+
+#: Dump header schema tag.
+FLIGHT_SCHEMA = "repro.flight/v1"
+
+#: Default ring capacity: the "last 2000 events" view.
+DEFAULT_CAPACITY = 2000
+
+
+def _stream_key(event: dict) -> tuple:
+    """The (kind, peer identity) key that names an event's FIFO stream."""
+    kind = event.get("kind", "")
+    return (
+        kind,
+        str(event.get("peer", "")),
+        str(event.get("component", "")),
+        str(event.get("port", "")),
+        str(event.get("tag", "")),
+    )
+
+
+class FlightRecorder:
+    """Bounded ring of one rank's recent structured events.
+
+    ``record`` assigns each event an index within its stream (the
+    ``(kind, peer/component/port/tag)`` FIFO it belongs to), giving every
+    event a deterministic identity independent of cross-stream
+    interleave.  Typed helpers (:meth:`record_send` etc.) are what the
+    substrate hooks call; ``record`` is the general entry point for
+    domain events.
+    """
+
+    __slots__ = ("rank", "ring", "_stream_seq")
+
+    def __init__(self, rank: int | str = 0, capacity: int = DEFAULT_CAPACITY):
+        self.rank = rank
+        self.ring = EventRing(capacity)
+        self._stream_seq: dict[tuple, int] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, kind: str, **fields) -> None:
+        """Record one event; assigns its per-stream index ``i``."""
+        event = {"kind": kind, **fields}
+        key = _stream_key(event)
+        i = self._stream_seq.get(key, 0)
+        self._stream_seq[key] = i + 1
+        event["i"] = i
+        self.ring.append(event)
+
+    def record_send(self, peer: int, tag: int) -> None:
+        """A data-plane send to world rank ``peer``."""
+        self.record("send", peer=peer, tag=tag)
+
+    def record_recv(self, peer: int, tag: int) -> None:
+        """A matched data-plane receive from world rank ``peer``."""
+        self.record("recv", peer=peer, tag=tag)
+
+    def record_emit(self, component: str, port: str) -> None:
+        """A component emitted on one of its output ports."""
+        self.record("emit", component=component, port=port)
+
+    def record_checkpoint(self, epoch: int | None = None) -> None:
+        """This rank completed an epoch checkpoint."""
+        if epoch is None:
+            self.record("checkpoint")
+        else:
+            self.record("checkpoint", epoch=epoch)
+
+    def record_fault(self, event: tuple) -> None:
+        """Mirror a :class:`~repro.faults.injector.FaultInjector` event.
+
+        Injector events are already deterministic tuples
+        (``(kind, rank, ...)``); they are stored under ``fault.<kind>``
+        with their payload fields preserved positionally.
+        """
+        kind = str(event[0])
+        self.record("fault." + kind, detail=list(event[1:]))
+
+    def record_health(self, rule: str, metric: str, fired: bool) -> None:
+        """A health rule transitioned (fired or resolved)."""
+        self.record(
+            "health", component=rule, port="fired" if fired else "resolved",
+            peer=metric,
+        )
+
+    # -- views & dumps ------------------------------------------------------
+
+    @property
+    def n_seen(self) -> int:
+        return self.ring.n_seen
+
+    @property
+    def n_dropped(self) -> int:
+        return self.ring.n_dropped
+
+    def events(self) -> list[dict]:
+        """Retained events in ring (arrival) order, oldest first."""
+        return self.ring.events()
+
+    def canonical_events(self) -> list[dict]:
+        """Retained events in canonical stream order.
+
+        A stable sort by stream key: per-stream FIFO order (which both
+        backends guarantee) is preserved; cross-stream interleave (which
+        they do not) is normalised away.  This is the deterministic form
+        the cross-backend identity tests compare.
+        """
+        return sorted(self.events(), key=lambda e: (_stream_key(e), e["i"]))
+
+    def dump_jsonl(
+        self, path: str | Path, reason: str = "on-demand"
+    ) -> Path:
+        """Write a header line plus the canonical event lines as JSONL."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "schema": FLIGHT_SCHEMA,
+            "rank": self.rank,
+            "reason": reason,
+            "n_seen": self.n_seen,
+            "n_dropped": self.n_dropped,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        for event in self.canonical_events():
+            lines.append(json.dumps(event, sort_keys=True))
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+
+def load_flight_dump(path: str | Path) -> tuple[dict, list[dict]]:
+    """Read a dump written by :meth:`FlightRecorder.dump_jsonl`.
+
+    Returns ``(header, events)`` and validates the schema tag, so a
+    foreign JSONL file fails loudly instead of parsing as garbage.
+    """
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty flight dump")
+    header = json.loads(lines[0])
+    schema = header.get("schema")
+    if schema != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"{path}: not a flight dump (schema {schema!r}, expected "
+            f"{FLIGHT_SCHEMA!r})"
+        )
+    return header, [json.loads(line) for line in lines[1:]]

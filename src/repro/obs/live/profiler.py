@@ -1,0 +1,260 @@
+"""Dependency-free sampling profiler attributing stacks to obs spans.
+
+A :class:`SamplingProfiler` runs a daemon thread that periodically grabs
+the target thread's current frame via ``sys._current_frames()`` (the
+thread-based variant works off the main thread, where ``signal``-based
+samplers cannot), walks the ``f_back`` chain into a tuple of
+``module:qualname`` frames, and reads the innermost open span off the
+rank's :class:`~repro.obs.trace.SpanTracer` so every sample is bucketed
+under the obs span that was active when it landed.
+
+Output is a plain-dict *profile*: per ``(span, stack)`` sample counts
+converted to seconds (``count * interval``).  Per-rank profiles merge by
+summation (:func:`merge_profiles`), and :func:`render_flame_table` /
+:func:`span_totals` produce the cross-rank flame table the scaling
+benchmark prints — the "where do pair-day seconds go" signal for the
+vectorization work.
+
+Sampling error is the usual Poisson bound: at the default 5 ms interval
+a 1-second region collects ~200 samples, so attribution is good to a few
+percent — enough to rank hot paths, which is all a flame table is for.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter as _TallyCounter
+
+#: Default sampling interval in seconds (5 ms, ~200 Hz).
+DEFAULT_INTERVAL = 0.005
+
+#: Frames deeper than this are truncated (keeps stack keys bounded).
+DEFAULT_MAX_STACK = 40
+
+#: Span bucket used for samples landing outside any open span.
+NO_SPAN = "(no span)"
+
+#: Profile dict schema tag.
+PROFILE_SCHEMA = "repro.profile/v1"
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{code.co_qualname}"
+
+
+class SamplingProfiler:
+    """Samples one thread's stack, attributing time to the active span.
+
+    Usable as a context manager::
+
+        with SamplingProfiler(obs) as prof:
+            run_backtest(...)
+        table = render_flame_table(prof.to_dict())
+
+    On :meth:`stop`, the profile is also folded into ``obs.profile`` when
+    the obs handle carries that slot, so engine code only has to wrap its
+    run — reporting picks the profile up from the obs dict.
+    """
+
+    __slots__ = (
+        "obs",
+        "interval",
+        "max_stack",
+        "samples",
+        "n_samples",
+        "wall",
+        "_target_ident",
+        "_thread",
+        "_stop",
+        "_t0",
+    )
+
+    def __init__(
+        self,
+        obs=None,
+        interval: float = DEFAULT_INTERVAL,
+        max_stack: int = DEFAULT_MAX_STACK,
+    ):
+        self.obs = obs
+        self.interval = interval
+        self.max_stack = max_stack
+        self.samples: _TallyCounter = _TallyCounter()
+        self.n_samples = 0
+        self.wall = 0.0
+        self._target_ident: int | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._t0 = 0.0
+
+    # -- span attribution ---------------------------------------------------
+
+    def _active_span(self) -> str:
+        """Name of the target thread's innermost open span (racy read).
+
+        The tracer's stack is mutated by the target thread while we read
+        it; a torn read at worst misattributes one sample, so failures
+        degrade to :data:`NO_SPAN` rather than propagate.
+        """
+        obs = self.obs
+        if obs is None:
+            return NO_SPAN
+        try:
+            trace = obs.trace
+            stack = trace._stack
+            if not stack:
+                return NO_SPAN
+            return trace.spans[stack[-1]].name
+        except (AttributeError, IndexError):
+            return NO_SPAN
+
+    def _take_sample(self) -> None:
+        frame = sys._current_frames().get(self._target_ident)
+        if frame is None:
+            return
+        stack = []
+        depth = 0
+        while frame is not None and depth < self.max_stack:
+            stack.append(_frame_label(frame))
+            frame = frame.f_back
+            depth += 1
+        stack.reverse()  # outermost first, flame-graph order
+        self.samples[(self._active_span(), tuple(stack))] += 1
+        self.n_samples += 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sampling the *calling* thread from a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._t0 = time.perf_counter()
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval):
+                self._take_sample()
+
+        self._thread = threading.Thread(
+            target=loop, name="obs-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> dict:
+        """Stop sampling; fold the profile into ``obs.profile`` and return it."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        self.wall += time.perf_counter() - self._t0
+        profile = self.to_dict()
+        obs = self.obs
+        if obs is not None and getattr(obs, "profile", None) is not None:
+            obs.profile = merge_profiles([obs.profile, profile])
+        elif obs is not None and hasattr(obs, "profile"):
+            obs.profile = profile
+        return profile
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- export -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Interchange profile: JSON-ready, merge-ready.
+
+        ``samples`` maps span name -> leaf frame -> seconds; ``stacks``
+        keeps the full stack detail (joined with ``;`` flamegraph-style)
+        for tools that want depth.
+        """
+        spans: dict[str, dict[str, float]] = {}
+        stacks: dict[str, float] = {}
+        for (span, stack), count in self.samples.items():
+            seconds = count * self.interval
+            leaf = stack[-1] if stack else "?"
+            spans.setdefault(span, {})
+            spans[span][leaf] = spans[span].get(leaf, 0.0) + seconds
+            key = span + ";" + ";".join(stack)
+            stacks[key] = stacks.get(key, 0.0) + seconds
+        return {
+            "schema": PROFILE_SCHEMA,
+            "interval": self.interval,
+            "n_samples": self.n_samples,
+            "wall": self.wall,
+            "spans": spans,
+            "stacks": stacks,
+        }
+
+
+def merge_profiles(profiles) -> dict:
+    """Sum several interchange profiles (cross-rank or cross-run)."""
+    merged = {
+        "schema": PROFILE_SCHEMA,
+        "interval": 0.0,
+        "n_samples": 0,
+        "wall": 0.0,
+        "spans": {},
+        "stacks": {},
+    }
+    for p in profiles:
+        if not p:
+            continue
+        merged["interval"] = max(merged["interval"], p.get("interval", 0.0))
+        merged["n_samples"] += p.get("n_samples", 0)
+        merged["wall"] += p.get("wall", 0.0)
+        for span, leaves in p.get("spans", {}).items():
+            out = merged["spans"].setdefault(span, {})
+            for leaf, seconds in leaves.items():
+                out[leaf] = out.get(leaf, 0.0) + seconds
+        for key, seconds in p.get("stacks", {}).items():
+            merged["stacks"][key] = merged["stacks"].get(key, 0.0) + seconds
+    return merged
+
+
+def span_totals(profile: dict) -> dict[str, float]:
+    """Seconds attributed to each span, largest first."""
+    totals = {
+        span: sum(leaves.values())
+        for span, leaves in profile.get("spans", {}).items()
+    }
+    return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+
+def attributed_fraction(profile: dict) -> float:
+    """Fraction of sampled time landing inside a named span."""
+    totals = span_totals(profile)
+    total = sum(totals.values())
+    if total <= 0.0:
+        return 0.0
+    return 1.0 - totals.get(NO_SPAN, 0.0) / total
+
+
+def render_flame_table(profile: dict, top: int = 20) -> str:
+    """Text flame table: per-span totals with their hottest leaf frames."""
+    totals = span_totals(profile)
+    total = sum(totals.values()) or 1.0
+    lines = [
+        f"sampling profile: {profile.get('n_samples', 0)} samples "
+        f"@ {profile.get('interval', 0.0) * 1000:.1f} ms "
+        f"({profile.get('wall', 0.0):.2f}s wall)",
+        f"{'span':<28} {'seconds':>9} {'share':>7}  hottest frames",
+    ]
+    for span, seconds in totals.items():
+        leaves = sorted(
+            profile["spans"][span].items(), key=lambda kv: -kv[1]
+        )[:3]
+        hot = ", ".join(f"{leaf} ({s:.2f}s)" for leaf, s in leaves)
+        lines.append(
+            f"{span:<28} {seconds:>8.2f}s {seconds / total:>6.1%}  {hot}"
+        )
+        if len(lines) - 2 >= top:
+            break
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Preallocated ring buffers — the live plane's only storage primitive.
+
+Everything the live telemetry plane retains is bounded by construction:
+a :class:`SeriesRing` holds the last ``capacity`` (timestamp, value)
+samples of one metric in two preallocated numpy arrays, and an
+:class:`EventRing` holds the last ``capacity`` structured events in a
+preallocated slot list.  Steady-state writes touch one slot and one
+cursor — no allocation, no resize — which is what keeps an always-on
+sampler affordable (the low-latency-patterns idiom: fixed layouts,
+wrap-around cursors, no growth on the hot path).
+
+Reads (``last``, ``values``, ``events``) materialise ordered copies;
+queries are off the hot path, so allocation there is fine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class SeriesRing:
+    """Last-``capacity`` samples of one time series, preallocated.
+
+    ``push`` is O(1) and allocation-free after construction.  Samples are
+    (monotonic timestamp, float value) pairs; the ring remembers how many
+    samples it has ever seen, so callers can detect overwrite loss.
+    """
+
+    __slots__ = ("capacity", "n_seen", "_t", "_v")
+
+    def __init__(self, capacity: int):
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self.n_seen = 0
+        self._t = np.full(capacity, np.nan)
+        self._v = np.full(capacity, np.nan)
+
+    def __len__(self) -> int:
+        return min(self.n_seen, self.capacity)
+
+    @property
+    def n_dropped(self) -> int:
+        """Samples overwritten since construction."""
+        return max(0, self.n_seen - self.capacity)
+
+    def push(self, t: float, value: float) -> None:
+        i = self.n_seen % self.capacity
+        self._t[i] = t
+        self._v[i] = value
+        self.n_seen += 1
+
+    def last(self, n: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """The newest ``n`` samples (all retained when ``n`` is None).
+
+        Returns ``(t, v)`` arrays in chronological order — copies, safe
+        to hold across further pushes.
+        """
+        held = len(self)
+        if n is None or n > held:
+            n = held
+        if n <= 0:
+            return np.empty(0), np.empty(0)
+        end = self.n_seen % self.capacity
+        idx = (np.arange(end - n, end)) % self.capacity
+        return self._t[idx].copy(), self._v[idx].copy()
+
+    def window(self, seconds: float) -> tuple[np.ndarray, np.ndarray]:
+        """Retained samples no older than ``seconds`` before the newest."""
+        t, v = self.last(None)
+        if t.size == 0:
+            return t, v
+        keep = t >= t[-1] - seconds
+        return t[keep], v[keep]
+
+
+class EventRing:
+    """Last-``capacity`` structured events, preallocated slot list.
+
+    The slot list is allocated once; ``append`` assigns into the next
+    slot and advances the cursor, so a full ring overwrites the oldest
+    event rather than growing.  ``events()`` returns the retained events
+    oldest-first.
+    """
+
+    __slots__ = ("capacity", "n_seen", "_slots")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.n_seen = 0
+        self._slots: list[Any] = [None] * capacity
+
+    def __len__(self) -> int:
+        return min(self.n_seen, self.capacity)
+
+    @property
+    def n_dropped(self) -> int:
+        """Events overwritten since construction."""
+        return max(0, self.n_seen - self.capacity)
+
+    def append(self, event: Any) -> None:
+        self._slots[self.n_seen % self.capacity] = event
+        self.n_seen += 1
+
+    def events(self) -> list[Any]:
+        """Retained events, oldest first (a fresh list)."""
+        held = len(self)
+        if held < self.capacity:
+            return list(self._slots[:held])
+        start = self.n_seen % self.capacity
+        return self._slots[start:] + self._slots[:start]
+
+    def clear(self) -> None:
+        self.n_seen = 0

@@ -1,0 +1,220 @@
+"""Time-series sampler: periodic registry snapshots into bounded rings.
+
+The :class:`TimeSeriesSampler` turns the cumulative
+:class:`~repro.obs.registry.MetricsRegistry` of one rank into live time
+series: every ``sample()`` tick pushes the current value of each counter
+and gauge — and the running count/sum of each histogram — into a
+per-metric :class:`~repro.obs.live.rings.SeriesRing`.  Memory is bounded
+by ``capacity * n_metrics`` and writes are allocation-free once a
+metric's ring exists, so the sampler can stay on for the whole session.
+
+The query API (:meth:`last`, :meth:`rate`, :meth:`delta`,
+:meth:`percentiles`) is the contract the serving layer reads from; the
+``repro top`` view and the declarative health monitors are both clients
+of exactly these methods.
+
+The sampler may run on its own daemon thread (:meth:`start` /
+:meth:`stop`) while the instrumented rank keeps mutating the registry.
+Registry mutation is only ever metric *creation* plus scalar updates, so
+the sampler copies the dict items under a try/except and simply skips a
+tick if creation races the iteration — a missed tick is fine, a crashed
+sampler is not.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.obs.live.rings import EventRing, SeriesRing
+
+#: Default sampling interval in seconds (the check.sh overhead budget is
+#: measured at this rate).
+DEFAULT_INTERVAL = 0.05
+
+#: Default per-metric ring capacity (~30 s of history at the default rate).
+DEFAULT_CAPACITY = 600
+
+
+class TimeSeriesSampler:
+    """Samples one rank's registry into per-metric ring buffers.
+
+    Parameters
+    ----------
+    obs:
+        The rank's ``Obs`` handle (anything with ``.metrics`` exposing
+        ``counters`` / ``gauges`` / ``histograms`` dicts).
+    capacity:
+        Per-metric ring length.
+    health:
+        Optional :class:`~repro.obs.live.health.HealthMonitor` evaluated
+        after every tick; its events land in the :attr:`health_events`
+        ring (same bounded-memory rule as every other live series) and
+        are mirrored into the rank's flight recorder when one is attached.
+    """
+
+    __slots__ = (
+        "obs",
+        "capacity",
+        "series",
+        "health",
+        "health_events",
+        "n_samples",
+        "started_at",
+        "_thread",
+        "_stop",
+        "_lock",
+    )
+
+    def __init__(self, obs, capacity: int = DEFAULT_CAPACITY, health=None):
+        self.obs = obs
+        self.capacity = capacity
+        self.series: dict[str, SeriesRing] = {}
+        self.health = health
+        self.health_events = EventRing(capacity)
+        self.n_samples = 0
+        self.started_at: float | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- sampling -----------------------------------------------------------
+
+    def _ring(self, name: str) -> SeriesRing:
+        ring = self.series.get(name)
+        if ring is None:
+            ring = self.series[name] = SeriesRing(self.capacity)
+        return ring
+
+    def sample(self, now: float | None = None) -> None:
+        """Snapshot every registry metric at monotonic time ``now``.
+
+        Thread-safe against concurrent metric creation: a tick that races
+        a registry insert is skipped rather than crashed.
+        """
+        if now is None:
+            now = time.monotonic()
+        reg = self.obs.metrics
+        try:
+            counters = list(reg.counters.items())
+            gauges = list(reg.gauges.items())
+            hists = list(reg.histograms.items())
+        except RuntimeError:  # dict mutated during iteration; skip this tick
+            return
+        with self._lock:
+            for name, c in counters:
+                self._ring(name).push(now, c.value)
+            for name, g in gauges:
+                self._ring(name).push(now, g.last)
+            for name, h in hists:
+                values = h.values
+                self._ring(name + ".count").push(now, len(values))
+                self._ring(name + ".sum").push(now, sum(values))
+            self.n_samples += 1
+        if self.health is not None:
+            events = self.health.evaluate(self, now)
+            if events:
+                flight = getattr(self.obs, "flight", None)
+                for ev in events:
+                    self.health_events.append(ev)
+                    self.obs.metrics.counter(
+                        "obs.health.events[" + ev.rule + "]"
+                    ).inc()
+                    if flight is not None:
+                        flight.record_health(ev.rule, ev.metric, ev.fired)
+
+    # -- query API (the serving-layer contract) -----------------------------
+
+    def names(self) -> list[str]:
+        """Sampled series names, sorted."""
+        with self._lock:
+            return sorted(self.series)
+
+    def last(self, name: str, n: int | None = None):
+        """The newest ``n`` samples of ``name`` as ``(t, v)`` arrays."""
+        with self._lock:
+            ring = self.series.get(name)
+            if ring is None:
+                return np.empty(0), np.empty(0)
+            return ring.last(n)
+
+    def delta(self, name: str, window: float | None = None) -> float:
+        """Change in value over ``window`` seconds (whole ring if None)."""
+        t, v = self._windowed(name, window)
+        if v.size < 2:
+            return 0.0
+        return float(v[-1] - v[0])
+
+    def rate(self, name: str, window: float | None = None) -> float:
+        """Per-second rate of change over ``window`` seconds.
+
+        For counter series this is the event rate; for ``.sum`` series
+        the seconds-per-second duty cycle.  Returns 0.0 when fewer than
+        two samples span the window.
+        """
+        t, v = self._windowed(name, window)
+        if v.size < 2:
+            return 0.0
+        dt = float(t[-1] - t[0])
+        if dt <= 0.0:
+            return 0.0
+        return float(v[-1] - v[0]) / dt
+
+    def percentiles(
+        self,
+        name: str,
+        qs: Sequence[float] = (0.5, 0.95, 0.99),
+        window: float | None = None,
+    ) -> dict[float, float]:
+        """Windowed quantiles of the sampled values of ``name``."""
+        t, v = self._windowed(name, window)
+        if v.size == 0:
+            return {q: float("nan") for q in qs}
+        quantiles = np.quantile(v, list(qs))
+        return {q: float(x) for q, x in zip(qs, quantiles)}
+
+    def _windowed(self, name: str, window: float | None):
+        with self._lock:
+            ring = self.series.get(name)
+            if ring is None:
+                return np.empty(0), np.empty(0)
+            if window is None:
+                return ring.last(None)
+            return ring.window(window)
+
+    # -- background driver --------------------------------------------------
+
+    def start(self, interval: float = DEFAULT_INTERVAL) -> None:
+        """Run :meth:`sample` every ``interval`` seconds on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self.started_at = time.monotonic()
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                self.sample()
+
+        self._thread = threading.Thread(
+            target=loop, name="obs-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the driver thread and take one final sample."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self.sample()
+
+
+def sample_all(samplers: Iterable[TimeSeriesSampler]) -> None:
+    """Tick several samplers at one shared timestamp (cross-rank views)."""
+    now = time.monotonic()
+    for s in samplers:
+        s.sample(now)

@@ -1,0 +1,192 @@
+"""`repro top`: a live terminal view over per-rank samplers.
+
+The :class:`TelemetryHub` is the driver-side aggregation point: each SPMD
+rank registers its ``Obs`` handle as it starts (via the runner's
+``obs_hook``), the hub wraps it in a
+:class:`~repro.obs.live.sampler.TimeSeriesSampler`, and one background
+ticker samples every registered rank at a shared timestamp.
+:func:`render_top` turns the hub's current state into the frame the CLI
+repaints: a per-rank MPI table (messages, bytes, rates, queue depth), a
+per-component table (emits, handler duty cycle) and any health events.
+
+Everything here reads only the sampler query API — the hub is the first
+consumer of the contract the ROADMAP's serving layer will bind to.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.live.health import HealthMonitor
+from repro.obs.live.sampler import TimeSeriesSampler, sample_all
+
+
+class TelemetryHub:
+    """Aggregates per-rank samplers behind one register/sample surface."""
+
+    __slots__ = (
+        "capacity",
+        "rules",
+        "samplers",
+        "started_at",
+        "n_ticks",
+        "_lock",
+        "_thread",
+        "_stop",
+    )
+
+    def __init__(self, capacity: int = 600, rules=()):
+        self.capacity = capacity
+        self.rules = tuple(rules)
+        self.samplers: dict = {}
+        self.started_at = time.monotonic()
+        self.n_ticks = 0
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def register(self, rank, obs) -> TimeSeriesSampler:
+        """Adopt one rank's obs handle; thread-safe, idempotent per rank."""
+        with self._lock:
+            sampler = self.samplers.get(rank)
+            if sampler is None:
+                health = HealthMonitor(self.rules) if self.rules else None
+                sampler = TimeSeriesSampler(
+                    obs, capacity=self.capacity, health=health
+                )
+                self.samplers[rank] = sampler
+            return sampler
+
+    def sample(self) -> None:
+        """Tick every registered sampler at one shared timestamp."""
+        with self._lock:
+            samplers = list(self.samplers.values())
+        sample_all(samplers)
+        self.n_ticks += 1
+
+    def start(self, interval: float) -> None:
+        """Drive :meth:`sample` from a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("hub already started")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                self.sample()
+
+        self._thread = threading.Thread(
+            target=loop, name="obs-hub", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    # -- aggregate views ----------------------------------------------------
+
+    def health_events(self) -> list:
+        with self._lock:
+            samplers = list(self.samplers.items())
+        events = []
+        for rank, sampler in samplers:
+            events.extend((rank, ev) for ev in sampler.health_events.events())
+        return events
+
+
+def _fmt_count(x: float) -> str:
+    if x >= 1e6:
+        return f"{x / 1e6:.1f}M"
+    if x >= 1e4:
+        return f"{x / 1e3:.1f}k"
+    return f"{x:,.0f}"
+
+
+def _component_names(sampler: TimeSeriesSampler) -> list[str]:
+    names = set()
+    for series in sampler.names():
+        if series.startswith("component."):
+            rest = series[len("component."):]
+            names.add(rest.split(".", 1)[0])
+    return sorted(names)
+
+
+def render_top(hub: TelemetryHub, window: float = 5.0) -> str:
+    """One frame of the live view from the hub's current rings."""
+    uptime = time.monotonic() - hub.started_at
+    with hub._lock:
+        samplers = dict(hub.samplers)
+    lines = [
+        f"repro top — uptime {uptime:6.1f}s  ranks {len(samplers)}  "
+        f"ticks {hub.n_ticks}"
+    ]
+
+    # Per-rank MPI table.
+    lines.append("")
+    lines.append(
+        f"{'rank':<6} {'sent':>8} {'recv':>8} {'sent/s':>8} {'recv/s':>8} "
+        f"{'bytes':>9} {'pending':>8}"
+    )
+    for rank in sorted(samplers, key=str):
+        s = samplers[rank]
+        _, sent = s.last("mpi.sent.messages", 1)
+        _, recv = s.last("mpi.recv.messages", 1)
+        _, nbytes = s.last("mpi.sent.bytes", 1)
+        _, pending = s.last("mpi.pending.depth", 1)
+        lines.append(
+            f"{str(rank):<6} "
+            f"{_fmt_count(float(sent[-1]) if sent.size else 0):>8} "
+            f"{_fmt_count(float(recv[-1]) if recv.size else 0):>8} "
+            f"{s.rate('mpi.sent.messages', window):>8.1f} "
+            f"{s.rate('mpi.recv.messages', window):>8.1f} "
+            f"{_fmt_count(float(nbytes[-1]) if nbytes.size else 0):>9} "
+            f"{float(pending[-1]) if pending.size else 0:>8.0f}"
+        )
+
+    # Per-component table (merged across ranks; each component runs on
+    # exactly one rank, so summing is exact).
+    components: dict[str, dict[str, float]] = {}
+    for s in samplers.values():
+        for name in _component_names(s):
+            row = components.setdefault(
+                name, {"emits": 0.0, "handler_s": 0.0, "duty": 0.0}
+            )
+            for series in s.names():
+                if series.startswith(f"component.{name}.emit["):
+                    _, v = s.last(series, 1)
+                    if v.size:
+                        row["emits"] += float(v[-1])
+            for suffix in ("on_message.seconds.sum", "generate.seconds.sum"):
+                series = f"component.{name}.{suffix}"
+                _, v = s.last(series, 1)
+                if v.size:
+                    row["handler_s"] += float(v[-1])
+                row["duty"] += s.rate(series, window)
+    if components:
+        lines.append("")
+        lines.append(
+            f"{'component':<20} {'emits':>9} {'handler s':>10} {'duty':>7}"
+        )
+        for name in sorted(components):
+            row = components[name]
+            lines.append(
+                f"{name:<20} {_fmt_count(row['emits']):>9} "
+                f"{row['handler_s']:>9.2f}s {row['duty']:>6.1%}"
+            )
+
+    # Health events (most recent last).
+    events = hub.health_events()
+    if events:
+        lines.append("")
+        lines.append("health events:")
+        for rank, ev in events[-5:]:
+            state = "FIRED" if ev.fired else "resolved"
+            lines.append(
+                f"  rank {rank}: {state} {ev.rule} "
+                f"({ev.description}; value {ev.value:.3g})"
+            )
+    return "\n".join(lines)

@@ -10,7 +10,9 @@ and consumed by ``repro stats``.  Schema (``repro.obs/v1``)::
                                                    mean, p50, p95, p99}}}},
       "metrics": {...same shape, merged across ranks...},
       "spans":   [{"id", "name", "parent", "rank", "start",
-                   "wall", "cpu", "tags"}, ...]
+                   "wall", "cpu", "tags"}, ...],
+      "profile": {...optional: merged sampling profile (repro.profile/v1),
+                  present only when a run was profiled...}
     }
 
 ``ranks`` holds each rank's registry summarised independently (the
@@ -31,22 +33,35 @@ SCHEMA = "repro.obs/v1"
 
 
 def build_report(per_rank: dict) -> dict:
-    """Build the v1 report from ``{rank: Obs.to_dict()}`` interchange dicts."""
+    """Build the v1 report from ``{rank: Obs.to_dict()}`` interchange dicts.
+
+    When any rank carries a sampling profile, the cross-rank merge lands
+    under the optional ``profile`` key (schema stays v1: the key is
+    additive and absent for unprofiled runs).
+    """
     ranks: dict[str, dict] = {}
     merged = MetricsRegistry(enabled=True)
     spans_by_rank: dict = {}
+    profiles: list[dict] = []
     for rank in sorted(per_rank, key=str):
         payload = per_rank[rank]
         metrics_dict = payload.get("metrics", {})
         ranks[str(rank)] = MetricsRegistry.merged([metrics_dict]).summary()
         merged.merge_dict(metrics_dict)
         spans_by_rank[rank] = payload.get("spans", [])
-    return {
+        if payload.get("profile"):
+            profiles.append(payload["profile"])
+    report = {
         "schema": SCHEMA,
         "ranks": ranks,
         "metrics": merged.summary(),
         "spans": SpanTracer.merge_list(spans_by_rank),
     }
+    if profiles:
+        from repro.obs.live.profiler import merge_profiles
+
+        report["profile"] = merge_profiles(profiles)
+    return report
 
 
 def write_json(report: dict, path: str | Path) -> Path:
@@ -62,14 +77,44 @@ def write_json(report: dict, path: str | Path) -> Path:
 
 
 def load_report(path: str | Path) -> dict:
-    """Read a report written by :func:`write_json`."""
-    report = json.loads(Path(path).read_text())
+    """Read a report written by :func:`write_json`.
+
+    Raises :class:`ValueError` (with the offending path and reason) on
+    non-JSON input, a foreign/missing schema tag, or a structurally
+    invalid report — ``repro stats`` must fail loudly rather than render
+    empty tables from a payload it does not actually understand.
+    """
+    try:
+        report = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(report, dict):
+        raise ValueError(
+            f"{path}: not a repro.obs report (top level is "
+            f"{type(report).__name__}, expected an object)"
+        )
     schema = report.get("schema")
     if schema != SCHEMA:
         raise ValueError(
             f"{path}: not a repro.obs report (schema {schema!r}, "
             f"expected {SCHEMA!r})"
         )
+    for key, kind in (("ranks", dict), ("metrics", dict), ("spans", list)):
+        if key not in report:
+            raise ValueError(
+                f"{path}: invalid {SCHEMA} report: missing {key!r}"
+            )
+        if not isinstance(report[key], kind):
+            raise ValueError(
+                f"{path}: invalid {SCHEMA} report: {key!r} is "
+                f"{type(report[key]).__name__}, expected {kind.__name__}"
+            )
+    for family in ("counters", "gauges", "histograms"):
+        if not isinstance(report["metrics"].get(family, {}), dict):
+            raise ValueError(
+                f"{path}: invalid {SCHEMA} report: metrics.{family} is not "
+                f"a mapping"
+            )
     return report
 
 
@@ -134,4 +179,11 @@ def render_text(report: dict) -> str:
     if spans:
         lines.append("\nspan tree:")
         lines.append(render_flame(spans))
+
+    profile = report.get("profile")
+    if profile:
+        from repro.obs.live.profiler import render_flame_table
+
+        lines.append("")
+        lines.append(render_flame_table(profile))
     return "\n".join(lines)

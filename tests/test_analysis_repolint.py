@@ -360,3 +360,78 @@ class TestStatefulSnapshot:
                     self._rows = []
             """
         ) == []
+
+
+class TestObsBounded:
+    LIVE = "src/repro/obs/live/mod.py"
+
+    def test_unbounded_append_fires_in_live_tree(self):
+        diags = lint(
+            """
+            class Sampler:
+                def __init__(self):
+                    self.events = []
+
+                def tick(self, ev):
+                    self.events.append(ev)
+            """,
+            path=self.LIVE,
+        )
+        assert rules(diags) == ["repo.obs-bounded"]
+        assert diags[0].severity is Severity.ERROR
+        assert "Sampler.events" in diags[0].message
+
+    def test_ring_backed_attr_clean(self):
+        assert lint(
+            """
+            class Sampler:
+                def __init__(self):
+                    self.events = EventRing(600)
+                    self.values = rings.SeriesRing(600)
+
+                def tick(self, ev, t, v):
+                    self.events.append(ev)
+                    self.values.push(t, v)
+            """,
+            path=self.LIVE,
+        ) == []
+
+    def test_extend_also_fires(self):
+        diags = lint(
+            """
+            class Hub:
+                def __init__(self):
+                    self.frames = []
+
+                def flush(self, more):
+                    self.frames.extend(more)
+            """,
+            path=self.LIVE,
+        )
+        assert rules(diags) == ["repo.obs-bounded"]
+
+    def test_outside_live_tree_ignored(self):
+        assert lint(
+            """
+            class Sampler:
+                def __init__(self):
+                    self.events = []
+
+                def tick(self, ev):
+                    self.events.append(ev)
+            """,
+            path="src/repro/backtest/mod.py",
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert lint(
+            """
+            class Monitor:
+                def __init__(self):
+                    self.rules = []
+
+                def add(self, rule):
+                    self.rules.append(rule)  # repro-lint: disable=repo.obs-bounded
+            """,
+            path=self.LIVE,
+        ) == []

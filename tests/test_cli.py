@@ -107,11 +107,30 @@ class TestObservability:
         assert main(["stats", str(path)]) == 0
         assert "backtest.pair_day.seconds" in capsys.readouterr().out
 
-    def test_stats_rejects_foreign_json(self, tmp_path):
+    def test_stats_rejects_foreign_json(self, tmp_path, capsys):
         path = tmp_path / "not-obs.json"
         path.write_text('{"schema": "nope"}')
-        with pytest.raises(ValueError, match="repro.obs"):
-            main(["stats", str(path)])
+        assert main(["stats", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "stats:" in err
+        assert "repro.obs" in err
+
+    def test_stats_rejects_non_json(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all")
+        assert main(["stats", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_stats_rejects_structural_mismatch(self, tmp_path, capsys):
+        path = tmp_path / "hollow.json"
+        path.write_text('{"schema": "repro.obs/v1", "metrics": [], '
+                        '"ranks": {}, "spans": []}')
+        assert main(["stats", str(path)]) == 2
+        assert "invalid repro.obs/v1 report" in capsys.readouterr().err
+
+    def test_stats_missing_file(self, capsys):
+        assert main(["stats", "does/not/exist.json"]) == 2
+        assert "no such report" in capsys.readouterr().err
 
     def test_log_level_configures_repro_logger(self):
         import logging
@@ -167,6 +186,62 @@ class TestChaos:
         out = capsys.readouterr().out
         assert "restart(s)" in out
         assert "identical to fault-free run: True" in out
+
+    def test_figure1_flight_dump(self, capsys, tmp_path):
+        dump = tmp_path / "flight"
+        assert main(
+            ["chaos", *FAST, "--plan", "crash-mid", "--ranks", "2",
+             "--flight-dump", str(dump), "--timeout", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flight dump(s)" in out
+        files = sorted(dump.glob("rank*-attempt*.jsonl"))
+        assert files, "chaos --flight-dump produced no dumps"
+        from repro.obs.live import load_flight_dump
+
+        header, events = load_flight_dump(files[0])
+        assert header["schema"] == "repro.flight/v1"
+        assert events
+
+    def test_sweep_target_rejects_flight_dump(self, capsys):
+        assert main(
+            ["chaos", *FAST, "--plan", "crash-mid", "--target", "sweep",
+             "--flight-dump", "somewhere"]
+        ) == 2
+        assert "figure1" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_pipeline_renders_live_frames(self, capsys):
+        # capsys stdout is not a tty, so frames append (plain mode).
+        assert main(["top", *FAST, "--ranks", "2", "--refresh", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — uptime" in out
+        assert "sent/s" in out
+        assert "session complete" in out
+
+    def test_chaos_target_reports_recovery(self, capsys):
+        assert main(
+            ["top", *FAST, "--ranks", "2", "--target", "chaos",
+             "--refresh", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "session complete" in out
+        assert "restart(s)" in out
+
+    def test_rejects_bad_health_rule(self, capsys):
+        assert main(["top", *FAST, "--health", "nonsense rule"]) == 2
+        assert "bad --health rule" in capsys.readouterr().err
+
+    def test_obs_json_round_trips_through_stats(self, capsys, tmp_path):
+        path = tmp_path / "top-obs.json"
+        assert main(
+            ["top", *FAST, "--ranks", "2", "--refresh", "0.1",
+             "--obs-json", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        assert "mpi.sent.messages" in capsys.readouterr().out
 
 
 class TestReport:

@@ -1,0 +1,248 @@
+"""Flight recorder: unit behaviour, session dumps, backend determinism.
+
+Covers the per-stream indexing and canonical ordering that make dumps
+deterministic, the JSONL dump/load roundtrip, the per-rank dumps a
+Figure-1 session writes, the headline cross-backend identity invariant
+(the same seeded chaos session dumps byte-identical rings on the thread
+and the process backend), the supervised-recovery counter-merge
+invariant, and the attribution of recv-retry backoff time to the
+retrying span.
+"""
+
+import time
+
+import pytest
+
+from repro import mpi
+from repro.faults import (
+    BackoffPolicy,
+    fold_obs_counters,
+    named_plan,
+    run_supervised_session,
+)
+from repro.marketminer.session import (
+    build_figure1_workflow,
+    run_figure1_session,
+)
+from repro.obs import Obs
+from repro.obs.live import FLIGHT_SCHEMA, FlightRecorder, load_flight_dump
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+SECONDS = 23_400 // 16
+
+
+def tiny_workflow():
+    market = SyntheticMarket(
+        default_universe(4),
+        SyntheticMarketConfig(trading_seconds=SECONDS, quote_rate=0.9),
+        seed=33,
+    )
+    params = StrategyParams(m=20, w=10, y=4, rt=10, hp=8, st=4, d=0.002)
+    return build_figure1_workflow(
+        market,
+        TimeGrid(30, trading_seconds=SECONDS),
+        [(0, 1), (2, 3)],
+        [params],
+    )
+
+
+class TestFlightRecorderUnit:
+    def test_per_stream_indices(self):
+        fr = FlightRecorder(rank=0)
+        fr.record_send(peer=1, tag=5)
+        fr.record_send(peer=1, tag=5)
+        fr.record_send(peer=2, tag=5)
+        fr.record_recv(peer=1, tag=5)
+        by_stream = {
+            (e["kind"], e.get("peer"), e.get("tag")): []
+            for e in fr.events()
+        }
+        for e in fr.events():
+            by_stream[(e["kind"], e.get("peer"), e.get("tag"))].append(e["i"])
+        assert by_stream[("send", 1, 5)] == [0, 1]
+        assert by_stream[("send", 2, 5)] == [0]
+        assert by_stream[("recv", 1, 5)] == [0]
+
+    def test_canonical_order_ignores_cross_stream_interleave(self):
+        # The same per-stream traffic, arriving in two different global
+        # orders (what the thread and process backends legitimately do),
+        # must canonicalise identically.
+        a, b = FlightRecorder(rank=0), FlightRecorder(rank=0)
+        a.record_send(peer=1, tag=0)
+        a.record_emit("cleaning", "quotes")
+        a.record_send(peer=1, tag=0)
+        b.record_emit("cleaning", "quotes")
+        b.record_send(peer=1, tag=0)
+        b.record_send(peer=1, tag=0)
+        assert a.events() != b.events()  # arrival order differs...
+        assert a.canonical_events() == b.canonical_events()  # ...canon doesn't
+
+    def test_dump_roundtrip(self, tmp_path):
+        fr = FlightRecorder(rank=3)
+        fr.record_send(peer=0, tag=7)
+        fr.record_checkpoint(epoch=2)
+        path = fr.dump_jsonl(tmp_path / "rank3.jsonl", reason="unit-test")
+        header, events = load_flight_dump(path)
+        assert header["schema"] == FLIGHT_SCHEMA
+        assert header["rank"] == 3
+        assert header["reason"] == "unit-test"
+        assert header["n_seen"] == 2
+        assert header["n_dropped"] == 0
+        assert events == fr.canonical_events()
+
+    def test_load_rejects_foreign_and_empty(self, tmp_path):
+        foreign = tmp_path / "foreign.jsonl"
+        foreign.write_text('{"schema": "something/else"}\n')
+        with pytest.raises(ValueError, match="not a flight dump"):
+            load_flight_dump(foreign)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_flight_dump(empty)
+
+    def test_ring_bounds_memory_but_keeps_stream_indices(self):
+        fr = FlightRecorder(rank=0, capacity=3)
+        for _ in range(10):
+            fr.record_send(peer=1, tag=0)
+        assert fr.n_seen == 10
+        assert fr.n_dropped == 7
+        events = fr.events()
+        assert len(events) == 3
+        # Indices keep counting across overwrites: the retained tail is
+        # identifiably "the last 3 of 10", not a fresh sequence.
+        assert [e["i"] for e in events] == [7, 8, 9]
+
+    def test_typed_helpers_map_fields(self):
+        fr = FlightRecorder(rank=0)
+        fr.record_fault(("drop", 0, 1, 1))
+        fr.record_checkpoint()
+        fr.record_health("queue-depth", "mpi.pending.depth", fired=True)
+        kinds = {e["kind"]: e for e in fr.events()}
+        assert kinds["fault.drop"]["detail"] == [0, 1, 1]
+        assert "epoch" not in kinds["checkpoint"]
+        health = kinds["health"]
+        assert health["component"] == "queue-depth"
+        assert health["port"] == "fired"
+        assert health["peer"] == "mpi.pending.depth"
+
+
+class TestSessionFlightDump:
+    def test_figure1_session_dumps_every_rank(self, tmp_path):
+        run_figure1_session(
+            tiny_workflow(), size=2, flight_dump=str(tmp_path)
+        )
+        files = sorted(tmp_path.glob("rank*-attempt*.jsonl"))
+        assert [f.name for f in files] == [
+            "rank0-attempt0.jsonl", "rank1-attempt0.jsonl",
+        ]
+        kinds: set[str] = set()
+        for f in files:
+            header, events = load_flight_dump(f)
+            assert header["schema"] == FLIGHT_SCHEMA
+            assert header["reason"] == "end"
+            assert events
+            kinds.update(e["kind"] for e in events)
+        assert {"send", "recv", "emit"} <= kinds
+
+
+class TestCrossBackendDumpIdentity:
+    """The determinism contract the flight recorder is designed around."""
+
+    def test_thread_and_process_dumps_byte_identical(self, tmp_path):
+        dumps = {}
+        for backend in ("thread", "process"):
+            directory = tmp_path / backend
+            run = run_supervised_session(
+                tiny_workflow,
+                size=2,
+                backend=backend,
+                plan=named_plan("crash-mid", size=2),
+                checkpoint_every=20,
+                backend_options={"default_timeout": 2.0},
+                flight_dump=str(directory),
+            )
+            assert run.restarts >= 1, f"{backend}: crash-mid never fired"
+            dumps[backend] = {
+                f.name: f.read_bytes()
+                for f in directory.glob("rank*-attempt*.jsonl")
+            }
+        assert dumps["thread"].keys() == dumps["process"].keys()
+        assert dumps["thread"], "no flight dumps written"
+        for name in dumps["thread"]:
+            assert dumps["thread"][name] == dumps["process"][name], (
+                f"{name}: flight dump differs between backends"
+            )
+
+
+class TestRecoveryCounterMerge:
+    """Cumulative counters fold identically across a recovered session."""
+
+    def test_folded_counters_match_fault_free_run(self):
+        options = {"default_timeout": 10.0}
+        clean = run_supervised_session(
+            tiny_workflow, size=2, obs_enabled=True, backend_options=options
+        )
+        chaos = run_supervised_session(
+            tiny_workflow,
+            size=2,
+            obs_enabled=True,
+            plan=named_plan("crash-mid", size=2),
+            checkpoint_every=20,
+            backend_options={"default_timeout": 2.0},
+        )
+        assert chaos.restarts >= 1, "crash-mid never fired: test is vacuous"
+        assert clean.obs_reports and chaos.obs_reports
+        # Substrate counters (mpi.*, faults.*, recovery.*, obs.*) may
+        # legitimately differ under chaos — the fault plan itself adds
+        # collective traffic and bookkeeping.  The *domain* counters
+        # (what flowed through the pipeline) must fold identically.
+        exclude = ("mpi.", "faults.", "recovery.", "obs.")
+        folded_clean = fold_obs_counters(
+            clean.obs_reports, exclude_prefixes=exclude
+        )
+        folded_chaos = fold_obs_counters(
+            chaos.obs_reports, exclude_prefixes=exclude
+        )
+        assert folded_clean == folded_chaos
+        assert "pipeline.bar_accumulator.bars" in folded_clean
+        assert any(k.startswith("component.") for k in folded_clean)
+
+
+class TestRecvRetrySpanAttribution:
+    """Backoff sleeps inside recv are attributed to the retrying span."""
+
+    def test_retry_span_child_of_retrying_span(self):
+        policy = BackoffPolicy(retries=5, base=0.1, factor=1.0, cap=0.1)
+
+        def prog(comm):
+            if comm.rank == 0:
+                time.sleep(0.15)  # force >= 1 retry on the receiver
+                comm.send("late", 1, tag=0)
+                return None
+            obs = Obs(enabled=True)
+            comm.attach_obs(obs)
+            comm.attach_recv_retry(policy)
+            with obs.trace.span("consume"):
+                value = comm.recv(source=0, tag=0, timeout=0.05)
+            assert value == "late"
+            return obs
+
+        results = mpi.run_spmd(prog, size=2, default_timeout=10.0)
+        obs = results[1]
+        spans = obs.trace.to_list()
+        retries = [s for s in spans if s["name"] == "mpi.recv.retry"]
+        assert len(retries) == 1
+        span = retries[0]
+        assert span["tags"]["attempts"] >= 1
+        assert span["tags"]["source"] == 0
+        assert span["tags"]["tag"] == 0
+        assert span["wall"] > 0.0
+        parents = {s["id"]: s for s in spans}
+        assert parents[span["parent"]]["name"] == "consume"
+        hist = obs.metrics.histogram("mpi.recv.retry.seconds")
+        assert hist.count == 1
+        assert hist.total == pytest.approx(span["wall"])
+        assert obs.metrics.counter("mpi.recv.retries").value >= 1

@@ -1,0 +1,347 @@
+"""Unit tests for the live telemetry plane: rings, sampler, health, export.
+
+These cover the bounded-memory primitives (`SeriesRing` / `EventRing`),
+the registry sampler and its query API, the declarative health rules and
+their edge-triggered monitor, the Prometheus/JSONL exporters, and the
+`repro top` hub + renderer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import Obs
+from repro.obs.live import (
+    EventRing,
+    FlightRecorder,
+    HealthMonitor,
+    HealthRule,
+    JsonlWriter,
+    SeriesRing,
+    TelemetryHub,
+    TimeSeriesSampler,
+    render_prometheus,
+    render_top,
+    sample_all,
+)
+
+
+class TestSeriesRing:
+    def test_push_and_last_chronological(self):
+        ring = SeriesRing(4)
+        for i in range(3):
+            ring.push(float(i), float(i * 10))
+        t, v = ring.last(None)
+        assert t.tolist() == [0.0, 1.0, 2.0]
+        assert v.tolist() == [0.0, 10.0, 20.0]
+        assert len(ring) == 3
+        assert ring.n_dropped == 0
+
+    def test_wraparound_keeps_newest(self):
+        ring = SeriesRing(3)
+        for i in range(7):
+            ring.push(float(i), float(i))
+        t, v = ring.last(None)
+        assert t.tolist() == [4.0, 5.0, 6.0]
+        assert len(ring) == 3
+        assert ring.n_seen == 7
+        assert ring.n_dropped == 4
+
+    def test_last_n_subset_and_empty(self):
+        ring = SeriesRing(8)
+        for i in range(5):
+            ring.push(float(i), float(i))
+        t, v = ring.last(2)
+        assert t.tolist() == [3.0, 4.0]
+        t, v = ring.last(99)  # clamped to what's held
+        assert t.size == 5
+        empty = SeriesRing(4)
+        t, v = empty.last(None)
+        assert t.size == 0 and v.size == 0
+
+    def test_last_returns_copies(self):
+        ring = SeriesRing(4)
+        ring.push(0.0, 1.0)
+        t, v = ring.last(None)
+        ring.push(1.0, 2.0)
+        assert v.tolist() == [1.0]  # snapshot unaffected by later pushes
+
+    def test_window_filters_by_age(self):
+        ring = SeriesRing(16)
+        for i in range(10):
+            ring.push(float(i), float(i))
+        t, v = ring.window(3.0)
+        assert t.tolist() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SeriesRing(1)
+
+
+class TestEventRing:
+    def test_append_and_events_oldest_first(self):
+        ring = EventRing(4)
+        for i in range(3):
+            ring.append({"i": i})
+        assert [e["i"] for e in ring.events()] == [0, 1, 2]
+
+    def test_wraparound_overwrites_oldest(self):
+        ring = EventRing(3)
+        for i in range(8):
+            ring.append(i)
+        assert ring.events() == [5, 6, 7]
+        assert ring.n_dropped == 5
+
+    def test_clear(self):
+        ring = EventRing(3)
+        ring.append("x")
+        ring.clear()
+        assert ring.events() == []
+        assert len(ring) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventRing(0)
+
+
+def _obs_with_metrics() -> Obs:
+    obs = Obs(enabled=True)
+    obs.metrics.counter("mpi.sent.messages").inc(5)
+    obs.metrics.gauge("mpi.pending.depth").set(2.0)
+    obs.metrics.histogram("backtest.pair_day.seconds").observe(0.5)
+    return obs
+
+
+class TestTimeSeriesSampler:
+    def test_samples_all_metric_families(self):
+        obs = _obs_with_metrics()
+        sampler = TimeSeriesSampler(obs, capacity=8)
+        sampler.sample(now=1.0)
+        names = sampler.names()
+        assert "mpi.sent.messages" in names
+        assert "mpi.pending.depth" in names
+        assert "backtest.pair_day.seconds.count" in names
+        assert "backtest.pair_day.seconds.sum" in names
+        _, v = sampler.last("mpi.sent.messages", 1)
+        assert v.tolist() == [5.0]
+        _, v = sampler.last("backtest.pair_day.seconds.sum", 1)
+        assert v.tolist() == [0.5]
+
+    def test_delta_and_rate_from_counter_ticks(self):
+        obs = Obs(enabled=True)
+        counter = obs.metrics.counter("mpi.sent.messages")
+        sampler = TimeSeriesSampler(obs, capacity=8)
+        counter.inc(10)
+        sampler.sample(now=0.0)
+        counter.inc(30)
+        sampler.sample(now=2.0)
+        assert sampler.delta("mpi.sent.messages") == pytest.approx(30.0)
+        assert sampler.rate("mpi.sent.messages") == pytest.approx(15.0)
+
+    def test_rate_guards_degenerate_inputs(self):
+        obs = Obs(enabled=True)
+        obs.metrics.counter("c.n.total").inc()
+        sampler = TimeSeriesSampler(obs, capacity=8)
+        assert sampler.rate("missing.series") == 0.0
+        sampler.sample(now=1.0)
+        assert sampler.rate("c.n.total") == 0.0  # one sample, no slope
+        sampler.sample(now=1.0)
+        assert sampler.rate("c.n.total") == 0.0  # dt == 0
+
+    def test_windowed_percentiles(self):
+        obs = Obs(enabled=True)
+        gauge = obs.metrics.gauge("q.depth.now")
+        sampler = TimeSeriesSampler(obs, capacity=32)
+        for i in range(11):
+            gauge.set(float(i))
+            sampler.sample(now=float(i))
+        pct = sampler.percentiles("q.depth.now", qs=(0.5,))
+        assert pct[0.5] == pytest.approx(5.0)
+        pct = sampler.percentiles("q.depth.now", qs=(0.5,), window=4.0)
+        assert pct[0.5] == pytest.approx(8.0)
+        pct = sampler.percentiles("missing.series.x", qs=(0.5,))
+        assert np.isnan(pct[0.5])
+
+    def test_background_thread_ticks(self):
+        obs = _obs_with_metrics()
+        sampler = TimeSeriesSampler(obs, capacity=64)
+        sampler.start(interval=0.005)
+        try:
+            deadline = time.monotonic() + 2.0
+            while sampler.n_samples < 3 and time.monotonic() < deadline:
+                time.sleep(0.005)
+        finally:
+            sampler.stop()
+        assert sampler.n_samples >= 3
+        assert sampler._thread is None
+
+    def test_ring_capacity_bounds_memory(self):
+        obs = Obs(enabled=True)
+        obs.metrics.counter("a.b.n").inc()
+        sampler = TimeSeriesSampler(obs, capacity=4)
+        for i in range(20):
+            sampler.sample(now=float(i))
+        t, _ = sampler.last("a.b.n", None)
+        assert t.size == 4
+        assert t.tolist() == [16.0, 17.0, 18.0, 19.0]
+
+
+class TestHealthRule:
+    def test_parse_full_form(self):
+        rule = HealthRule.parse("mpi.pending.depth mean[5] > 100")
+        assert rule.metric == "mpi.pending.depth"
+        assert rule.agg == "mean"
+        assert rule.window == 5.0
+        assert rule.cmp == ">"
+        assert rule.threshold == 100.0
+
+    def test_parse_three_field_defaults_to_last(self):
+        rule = HealthRule.parse("strategy.stale.age > 30")
+        assert rule.agg == "last"
+        assert rule.window is None
+
+    @pytest.mark.parametrize("bad", [
+        "too few",
+        "a.b frobnicate > 1",
+        "a.b mean[5 > 1",
+        "a.b mean[5] ~ 1",
+        "way too many parts here now",
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            HealthRule.parse(bad)
+
+    def test_breached_and_nan_never_fires(self):
+        rule = HealthRule(name="r", metric="m", cmp=">=", threshold=5.0)
+        assert rule.breached(5.0)
+        assert not rule.breached(4.9)
+        assert not rule.breached(float("nan"))
+
+    def test_describe_round_trips_the_spec(self):
+        rule = HealthRule.parse("mpi.recv.retries rate[10] > 2")
+        assert rule.describe() == "mpi.recv.retries rate[10] > 2"
+
+
+class TestHealthMonitor:
+    def test_edge_triggered_fire_and_resolve(self):
+        obs = Obs(enabled=True)
+        gauge = obs.metrics.gauge("q.depth.now")
+        monitor = HealthMonitor(["q.depth.now last > 10"])
+        sampler = TimeSeriesSampler(obs, capacity=16, health=monitor)
+
+        gauge.set(1.0)
+        sampler.sample(now=0.0)
+        assert sampler.health_events.events() == []
+
+        gauge.set(50.0)
+        sampler.sample(now=1.0)
+        events = sampler.health_events.events()
+        assert len(events) == 1 and events[0].fired
+
+        gauge.set(60.0)  # still breached: no repeat event
+        sampler.sample(now=2.0)
+        assert len(sampler.health_events.events()) == 1
+
+        gauge.set(2.0)
+        sampler.sample(now=3.0)
+        events = sampler.health_events.events()
+        assert len(events) == 2 and not events[1].fired
+
+    def test_fire_increments_counter_and_flight(self):
+        obs = Obs(enabled=True)
+        obs.flight = FlightRecorder(rank=0)
+        gauge = obs.metrics.gauge("q.depth.now")
+        monitor = HealthMonitor([HealthRule.parse("q.depth.now last > 10")])
+        sampler = TimeSeriesSampler(obs, capacity=16, health=monitor)
+        gauge.set(99.0)
+        sampler.sample(now=0.0)
+        assert obs.metrics.counter(
+            "obs.health.events[q.depth.now]"
+        ).value == 1
+        kinds = [e["kind"] for e in obs.flight.events()]
+        assert "health" in kinds
+
+    def test_queue_depth_growth_fires(self):
+        """The acceptance scenario: induced queue-depth growth trips a rule."""
+        obs = Obs(enabled=True)
+        gauge = obs.metrics.gauge("mpi.pending.depth")
+        monitor = HealthMonitor(["mpi.pending.depth mean[3] > 25"])
+        sampler = TimeSeriesSampler(obs, capacity=64, health=monitor)
+        for i in range(10):  # depth grows 0, 10, 20, ... 90
+            gauge.set(float(i * 10))
+            sampler.sample(now=float(i))
+        fired = [e for e in sampler.health_events.events() if e.fired]
+        assert len(fired) == 1
+        assert fired[0].metric == "mpi.pending.depth"
+
+
+class TestExport:
+    def test_prometheus_rendering(self):
+        obs = _obs_with_metrics()
+        obs.metrics.counter("component.cleaning.emit[quotes]").inc(7)
+        text = render_prometheus(obs.metrics)
+        assert "# TYPE mpi_sent_messages counter" in text
+        assert "mpi_sent_messages 5" in text
+        assert 'component_cleaning_emit{label="quotes"} 7' in text
+        assert "mpi_pending_depth 2.0" in text
+        assert "backtest_pair_day_seconds_count 1" in text
+        assert 'backtest_pair_day_seconds{quantile="0.5"}' in text
+
+    def test_prometheus_accepts_summary_dict(self):
+        obs = _obs_with_metrics()
+        assert render_prometheus(obs.metrics.summary()) == render_prometheus(
+            obs.metrics
+        )
+
+    def test_jsonl_writer(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        with JsonlWriter(path) as writer:
+            writer.write({"b": 2, "a": 1})
+            writer.write({"kind": "x"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"a": 1, "b": 2}
+        # append mode by default
+        with JsonlWriter(path) as writer:
+            writer.write({"kind": "y"})
+        assert len(path.read_text().splitlines()) == 3
+
+
+class TestTelemetryHub:
+    def test_register_is_idempotent_per_rank(self):
+        hub = TelemetryHub()
+        obs = Obs(enabled=True)
+        s1 = hub.register(0, obs)
+        s2 = hub.register(0, obs)
+        assert s1 is s2
+        assert len(hub.samplers) == 1
+
+    def test_sample_all_shares_one_timestamp(self):
+        obs_a, obs_b = Obs(enabled=True), Obs(enabled=True)
+        obs_a.metrics.counter("c.x.n").inc()
+        obs_b.metrics.counter("c.x.n").inc()
+        a = TimeSeriesSampler(obs_a)
+        b = TimeSeriesSampler(obs_b)
+        sample_all([a, b])
+        (ta, _), (tb, _) = a.last("c.x.n", 1), b.last("c.x.n", 1)
+        assert ta.tolist() == tb.tolist()
+
+    def test_render_top_frame_structure(self):
+        hub = TelemetryHub(rules=["mpi.sent.messages last > 3"])
+        obs = Obs(enabled=True)
+        obs.metrics.counter("mpi.sent.messages").inc(10)
+        obs.metrics.counter("component.cleaning.emit[quotes]").inc(4)
+        obs.metrics.histogram(
+            "component.cleaning.on_message.seconds"
+        ).observe(0.2)
+        hub.register(0, obs)
+        hub.sample()
+        frame = render_top(hub)
+        assert "repro top" in frame
+        assert "ranks 1" in frame
+        assert "cleaning" in frame
+        assert "health events:" in frame  # rule fired on registered rank
