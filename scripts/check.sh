@@ -15,6 +15,32 @@ python -m compileall -q src
 echo "== repro lint (graph spec + repo AST rules) =="
 python -m repro.cli lint --strict --root src/repro
 
+echo "== repro analyze (deepcheck invariant analyzers + baseline) =="
+python - <<'EOF'
+"""Whole-repo deepcheck must pass --strict under the committed baseline
+and finish inside a 10 s wall-clock budget (it runs on every check)."""
+import subprocess
+import sys
+import time
+
+t0 = time.perf_counter()
+proc = subprocess.run(
+    [sys.executable, "-m", "repro.cli", "analyze", "--strict",
+     "--root", "src/repro", "--baseline", "analysis_baseline.json",
+     "--symbols", "4", "--seconds", "600"],
+)
+elapsed = time.perf_counter() - t0
+assert proc.returncode == 0, (
+    f"repro analyze --strict failed (exit {proc.returncode}): fix the "
+    f"finding or baseline it with a justification"
+)
+print(f"deepcheck clean in {elapsed:.2f}s")
+assert elapsed < 10.0, (
+    f"deepcheck took {elapsed:.2f}s >= 10s budget: the analyzers must "
+    f"stay cheap enough to run on every check"
+)
+EOF
+
 echo "== ruff/mypy (strict, scoped to src/repro/analysis) =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src/repro/analysis

@@ -9,9 +9,13 @@ Three coordinated passes over the same diagnostic model:
   substrate (message leaks, wildcard-receive races with deterministic
   replay confirmation, collective mismatches, sync-cycle deadlocks);
 * :mod:`repro.analysis.repolint` — AST rule pack the repository holds
-  its own sources to.
+  its own sources to;
+* :mod:`repro.analysis.deepcheck` — interprocedural invariant analyzers
+  (snapshot/restore state coverage, determinism hazards, emit/handle
+  protocol vs. the graph spec), surfaced as ``repro analyze``.
 
-All passes are surfaced through ``repro lint`` (see :mod:`repro.cli`).
+All passes are surfaced through ``repro lint`` / ``repro analyze`` (see
+:mod:`repro.cli`).
 """
 
 from repro.analysis.commcheck import (
@@ -41,6 +45,13 @@ from repro.analysis.diagnostics import (
     Location,
     Severity,
 )
+from repro.analysis.deepcheck import (
+    ModuleIndex,
+    check_determinism,
+    check_protocol,
+    check_state,
+    run_deepcheck,
+)
 from repro.analysis.graphlint import lint_graph
 from repro.analysis.replay import ReplayResult, replay_race
 from repro.analysis.repolint import lint_paths, lint_source, lint_tree
@@ -52,6 +63,7 @@ __all__ = [
     "Diagnostic",
     "DiagnosticReport",
     "Location",
+    "ModuleIndex",
     "Race",
     "RankTrace",
     "RecvEvent",
@@ -61,7 +73,10 @@ __all__ = [
     "TimeoutEvent",
     "TracedRun",
     "check_collectives",
+    "check_determinism",
     "check_leaks",
+    "check_protocol",
+    "check_state",
     "check_rank_errors",
     "check_sync_cycles",
     "check_timeouts",
@@ -72,5 +87,6 @@ __all__ = [
     "lint_source",
     "lint_tree",
     "replay_race",
+    "run_deepcheck",
     "run_traced",
 ]

@@ -1,0 +1,142 @@
+"""Baseline files: audited-OK findings that stay visible but don't fail.
+
+Some hazards are legitimate — telemetry timestamps in ``obs/``, latency
+probes in schedulers, an intentionally-unwired diagnostic tap.  Those
+sites are recorded in a committed JSON baseline with a one-line human
+justification, and ``repro analyze --baseline`` subtracts them from the
+report before deciding the exit code.
+
+Fingerprints are *content-addressed*, not line-addressed:
+
+* a file finding hashes ``rule | path | stripped source line text`` — so
+  the entry survives the line moving (re-indentation, code above it
+  changing) but **resurfaces** the moment the flagged line itself is
+  edited, forcing a re-audit;
+* a graph finding hashes ``rule | location | message``.
+
+Entries whose fingerprint no longer matches any current finding are
+reported as ``baseline.stale`` INFO diagnostics (visible housekeeping,
+never a failure), so the baseline cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+)
+from repro.analysis.deepcheck.core import ModuleIndex
+
+SCHEMA = "repro.analysis.baseline/v1"
+
+
+def _line_text(index: ModuleIndex, path: str, line: int | None) -> str:
+    mod = index.modules.get(path)
+    if mod is None or line is None or not (1 <= line <= len(mod.lines)):
+        return ""
+    return mod.lines[line - 1].strip()
+
+
+def fingerprint(diag: Diagnostic, index: ModuleIndex) -> str:
+    """Stable content hash of one diagnostic (see module docstring)."""
+    loc = diag.location
+    if loc.path is not None:
+        basis = f"{diag.rule}|{loc.path}|{_line_text(index, loc.path, loc.line)}"
+    else:
+        basis = f"{diag.rule}|{loc}|{diag.message}"
+    return hashlib.sha1(basis.encode("utf-8")).hexdigest()
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return {"schema": SCHEMA, "entries": []}
+    doc = json.loads(p.read_text(encoding="utf-8"))
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unknown baseline schema {doc.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    return doc
+
+
+def apply_baseline(
+    report: DiagnosticReport, doc: dict, index: ModuleIndex
+) -> tuple[DiagnosticReport, list[dict]]:
+    """Subtract baselined findings; return (kept report, stale entries).
+
+    Stale entries are appended to the kept report as ``baseline.stale``
+    INFO diagnostics so they surface without failing ``--strict``.
+    """
+    by_fp = {e["fingerprint"]: e for e in doc.get("entries", [])}
+    used: set[str] = set()
+    kept = DiagnosticReport()
+    for diag in report:
+        fp = fingerprint(diag, index)
+        if fp in by_fp:
+            used.add(fp)
+        else:
+            kept.add(diag)
+    stale = [e for fp, e in by_fp.items() if fp not in used]
+    for entry in sorted(stale, key=lambda e: (e["rule"], e["location"])):
+        kept.add(Diagnostic(
+            rule="baseline.stale",
+            severity=Severity.INFO,
+            location=Location(path="analysis baseline"),
+            message=(
+                f"baselined finding no longer matches: {entry['rule']} at "
+                f"{entry['location']} — the flagged code changed or the "
+                f"finding is gone; re-audit and refresh the baseline"
+            ),
+            hint="run `repro analyze --update-baseline` after re-auditing",
+        ))
+    return kept, stale
+
+
+def make_baseline(
+    report: DiagnosticReport, index: ModuleIndex, previous: dict | None = None
+) -> dict:
+    """Build a baseline doc covering every finding in ``report``.
+
+    Justifications from ``previous`` are preserved for unchanged
+    fingerprints; new entries get a TODO placeholder to hand-edit.
+    """
+    prev_just = {}
+    if previous:
+        prev_just = {
+            e["fingerprint"]: e.get("justification", "")
+            for e in previous.get("entries", [])
+        }
+    entries = []
+    seen: set[str] = set()
+    for diag in report.sorted():
+        fp = fingerprint(diag, index)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entry = {
+            "rule": diag.rule,
+            "location": str(diag.location),
+            "fingerprint": fp,
+            "justification": prev_just.get(fp, "TODO: justify this entry"),
+        }
+        if diag.location.path is not None:
+            entry["line_text"] = _line_text(
+                index, diag.location.path, diag.location.line
+            )
+        entries.append(entry)
+    entries.sort(key=lambda e: (e["rule"], e["location"]))
+    return {"schema": SCHEMA, "entries": entries}
+
+
+def save_baseline(doc: dict, path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )

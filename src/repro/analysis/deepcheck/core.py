@@ -1,0 +1,639 @@
+"""The interprocedural AST dataflow substrate for the deepcheck analyzers.
+
+Everything here is *bounded* static analysis: no symbolic execution, no
+type inference — just the structural facts the three analyzers need,
+computed from the AST and followed through a small call graph:
+
+* :class:`ModuleIndex` — every module under a root, parsed once, with
+  per-module classes, functions and import aliases;
+* class method resolution (:meth:`ModuleIndex.resolved_methods`) walks
+  base classes *within the index* in MRO-ish order, so analyzers see
+  inherited ``snapshot()``/helpers the way the runtime does;
+* a per-class **attribute-mutation model** (:func:`attr_mutations`)
+  that recognises ``self.x = ...``, augmented assigns, ``del self.x``,
+  ``self.x[k] = ...`` and mutating container calls (``.append``,
+  ``.update``, ``.setdefault``, ...);
+* bounded transitive closures over ``self``-method calls (and property
+  reads), so facts established in helpers flow to the handler/snapshot
+  that reaches them — the "interprocedural" in the package docstring;
+* a repo-wide **call graph** (:meth:`ModuleIndex.call_graph`) with
+  name-resolution limited to what is statically unambiguous: bare calls
+  to same-module or ``from``-imported functions, ``self.method()``,
+  ``module.function()`` through import aliases, and ``ClassName(...)``
+  to ``__init__``.  :meth:`ModuleIndex.reachable_from` BFS-walks it with
+  a depth bound.
+
+The model is deliberately conservative in both directions and the
+analyzers say so in their hints: what it cannot prove it either skips
+(dynamic emits) or reports for a human to baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Container-method names treated as mutations of their receiver.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "add", "insert",
+    "update", "setdefault", "pop", "popleft", "popitem", "clear",
+    "remove", "discard", "sort", "reverse", "push",
+})
+
+#: Constructors/literals that build a mutable container.
+MUTABLE_CTORS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter",
+})
+
+#: Calls whose depth is bounded when chasing helpers interprocedurally.
+CALL_DEPTH_LIMIT = 8
+
+
+def base_name(node: ast.expr) -> str | None:
+    """The trailing identifier of a Name/Attribute chain (``a.b.c`` → c)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` as a dotted string, or None for non-name expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def is_self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` → attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def is_mutable_ctor(node: ast.expr) -> bool:
+    """Does this initialiser expression build a mutable container?"""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = base_name(node.func)
+        return name in MUTABLE_CTORS
+    return False
+
+
+@dataclass
+class ClassInfo:
+    """One class definition as the analyzers see it."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    properties: frozenset[str] = frozenset()
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: AST plus the lookup tables analyzers need."""
+
+    relpath: str
+    tree: ast.Module
+    lines: list[str]
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: local alias -> imported module name (``import numpy as np``).
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, original name) (``from x import y [as z]``).
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+def _index_module(relpath: str, text: str) -> ModuleInfo | None:
+    try:
+        tree = ast.parse(text, filename=relpath)
+    except SyntaxError:
+        return None
+    info = ModuleInfo(relpath=relpath, tree=tree, lines=text.splitlines())
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                info.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                info.from_imports[alias.asname or alias.name] = (
+                    node.module, alias.name,
+                )
+        elif isinstance(node, ast.FunctionDef):
+            info.functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            methods: dict[str, ast.FunctionDef] = {}
+            props: set[str] = set()
+            for stmt in node.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    methods[stmt.name] = stmt
+                    for deco in stmt.decorator_list:
+                        if base_name(deco) == "property":
+                            props.add(stmt.name)
+            bases = tuple(
+                name for name in (base_name(b) for b in node.bases) if name
+            )
+            info.classes[node.name] = ClassInfo(
+                name=node.name, module=info, node=node, bases=bases,
+                methods=methods, properties=frozenset(props),
+            )
+    return info
+
+
+class ModuleIndex:
+    """All modules under one root, parsed once, with cross-module lookup."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]):
+        self.modules = modules
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        for mod in modules.values():
+            for cls in mod.classes.values():
+                self.classes_by_name.setdefault(cls.name, []).append(cls)
+        self._mro_cache: dict[tuple[str, str], tuple[ClassInfo, ...]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "ModuleIndex":
+        """Index in-memory sources: {reported path: module text}."""
+        modules = {}
+        for relpath in sorted(sources):
+            info = _index_module(relpath, sources[relpath])
+            if info is not None:
+                modules[relpath] = info
+        return cls(modules)
+
+    @classmethod
+    def from_tree(cls, root: Path) -> "ModuleIndex":
+        """Index every ``*.py`` under ``root`` (paths relative to its parent)."""
+        root = Path(root)
+        sources = {}
+        for p in sorted(root.rglob("*.py")):
+            if "__pycache__" in p.parts:
+                continue
+            rel = str(p.relative_to(root.parent))
+            sources[rel] = p.read_text(encoding="utf-8")
+        return cls.from_sources(sources)
+
+    # -- class resolution ----------------------------------------------------
+
+    def resolve_class(
+        self, name: str, near: ModuleInfo | None = None
+    ) -> ClassInfo | None:
+        """The class called ``name``, preferring ``near``'s own/imported one."""
+        if near is not None:
+            if name in near.classes:
+                return near.classes[name]
+            imported = near.from_imports.get(name)
+            if imported is not None:
+                name = imported[1]
+        candidates = self.classes_by_name.get(name)
+        if not candidates:
+            return None
+        return candidates[0]
+
+    def mro(self, cls: ClassInfo) -> tuple[ClassInfo, ...]:
+        """Linearised bases within the index (the class itself first)."""
+        key = (cls.module.relpath, cls.name)
+        cached = self._mro_cache.get(key)
+        if cached is not None:
+            return cached
+        order: list[ClassInfo] = []
+        seen: set[tuple[str, str]] = set()
+
+        def visit(c: ClassInfo) -> None:
+            ckey = (c.module.relpath, c.name)
+            if ckey in seen:
+                return
+            seen.add(ckey)
+            order.append(c)
+            for bname in c.bases:
+                b = self.resolve_class(bname, near=c.module)
+                if b is not None:
+                    visit(b)
+
+        visit(cls)
+        result = tuple(order)
+        self._mro_cache[key] = result
+        return result
+
+    def is_component(self, cls: ClassInfo) -> bool:
+        """Does the class (transitively) subclass something named Component?"""
+        if cls.name == "Component":
+            return False
+        pending = list(cls.bases)
+        seen: set[str] = set()
+        while pending:
+            bname = pending.pop()
+            if bname in seen:
+                continue
+            seen.add(bname)
+            if bname == "Component":
+                return True
+            b = self.resolve_class(bname, near=cls.module)
+            if b is not None:
+                pending.extend(b.bases)
+        return False
+
+    def component_classes(self) -> list[ClassInfo]:
+        """Every Component subclass in the index, in deterministic order."""
+        out = []
+        for relpath in sorted(self.modules):
+            for name in sorted(self.modules[relpath].classes):
+                cls = self.modules[relpath].classes[name]
+                if self.is_component(cls):
+                    out.append(cls)
+        return out
+
+    def resolved_methods(
+        self, cls: ClassInfo, stop_at: str | None = "Component"
+    ) -> dict[str, tuple[ast.FunctionDef, ClassInfo]]:
+        """Method table after inheritance: name → (def, defining class).
+
+        ``stop_at`` names a root base whose methods are *excluded* (the
+        abstract ``Component`` defaults don't count as implementations).
+        """
+        table: dict[str, tuple[ast.FunctionDef, ClassInfo]] = {}
+        for c in self.mro(cls):
+            if stop_at is not None and c.name == stop_at:
+                continue
+            for mname, fn in c.methods.items():
+                table.setdefault(mname, (fn, c))
+        return table
+
+    # -- interprocedural closures over self-methods --------------------------
+
+    def _expand(
+        self,
+        cls: ClassInfo,
+        roots: list[str],
+        collect,
+        follow_property_reads: bool = False,
+    ) -> None:
+        """Walk ``self.m()`` calls (and optionally property reads) from
+        ``roots``, invoking ``collect(fn)`` on each visited method body."""
+        methods = self.resolved_methods(cls, stop_at=None)
+        pending = [(name, 0) for name in roots]
+        visited: set[str] = set()
+        while pending:
+            name, depth = pending.pop()
+            if name in visited or name not in methods:
+                continue
+            visited.add(name)
+            fn = methods[name][0]
+            collect(fn)
+            if depth >= CALL_DEPTH_LIMIT:
+                continue
+            for callee in self_method_calls(fn):
+                pending.append((callee, depth + 1))
+            if follow_property_reads:
+                for attr in self_attr_reads(fn):
+                    if attr in methods:
+                        pending.append((attr, depth + 1))
+
+    def attrs_mutated_transitive(
+        self, cls: ClassInfo, roots: list[str]
+    ) -> set[str]:
+        """Instance attrs mutated in ``roots`` or any helper they reach."""
+        out: set[str] = set()
+        self._expand(cls, roots, lambda fn: out.update(attr_mutations(fn)))
+        return out
+
+    def attrs_read_transitive(
+        self, cls: ClassInfo, roots: list[str]
+    ) -> set[str]:
+        """Instance attrs read from ``roots``, chasing helpers *and*
+        properties (``self.prop`` expands to the property body's reads)."""
+        out: set[str] = set()
+        self._expand(
+            cls, roots, lambda fn: out.update(self_attr_reads(fn)),
+            follow_property_reads=True,
+        )
+        return out
+
+    def attrs_assigned_transitive(
+        self, cls: ClassInfo, roots: list[str]
+    ) -> set[str]:
+        """Instance attrs assigned in ``roots`` or any helper they reach."""
+        out: set[str] = set()
+        self._expand(cls, roots, lambda fn: out.update(attr_assignments(fn)))
+        return out
+
+    def init_only_methods(self, cls: ClassInfo) -> set[str]:
+        """Private helpers reachable *only* from ``__init__``.
+
+        Mutations inside them are construction wiring, not run state.  A
+        public method (no leading underscore) is assumed externally
+        callable and never init-only.
+        """
+        methods = self.resolved_methods(cls, stop_at=None)
+        callers: dict[str, set[str]] = {name: set() for name in methods}
+        for name, (fn, _owner) in methods.items():
+            for callee in self_method_calls(fn):
+                if callee in callers:
+                    callers[callee].add(name)
+        init_only = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in methods:
+                if name in init_only or name == "__init__":
+                    continue
+                if not name.startswith("_") or name.startswith("__"):
+                    continue
+                callsites = callers[name]
+                if callsites and callsites <= ({"__init__"} | init_only):
+                    init_only.add(name)
+                    changed = True
+        return init_only
+
+    # -- call graph / reachability -------------------------------------------
+
+    def call_graph(self) -> dict[str, set[str]]:
+        """Static call edges between ``module.py::qualname`` nodes."""
+        edges: dict[str, set[str]] = {}
+        for relpath in sorted(self.modules):
+            mod = self.modules[relpath]
+            for fname, fn in mod.functions.items():
+                edges[f"{relpath}::{fname}"] = self._callees(mod, None, fn)
+            for cname, cls in mod.classes.items():
+                for mname, fn in cls.methods.items():
+                    edges[f"{relpath}::{cname}.{mname}"] = self._callees(
+                        mod, cls, fn
+                    )
+        return edges
+
+    def _callees(
+        self, mod: ModuleInfo, cls: ClassInfo | None, fn: ast.FunctionDef
+    ) -> set[str]:
+        out: set[str] = set()
+
+        def add_function(target_mod: ModuleInfo, name: str) -> None:
+            if name in target_mod.functions:
+                out.add(f"{target_mod.relpath}::{name}")
+            elif name in target_mod.classes:
+                out.add(f"{target_mod.relpath}::{name}.__init__")
+
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                name = func.id
+                if name in mod.from_imports:
+                    src_mod, original = mod.from_imports[name]
+                    target = self._module_by_name(src_mod)
+                    if target is not None:
+                        add_function(target, original)
+                else:
+                    add_function(mod, name)
+                    resolved = self.resolve_class(name, near=mod)
+                    if resolved is not None and name in mod.from_imports:
+                        pass
+            elif isinstance(func, ast.Attribute):
+                owner = func.value
+                if isinstance(owner, ast.Name) and owner.id == "self":
+                    if cls is not None:
+                        table = self.resolved_methods(cls, stop_at=None)
+                        hit = table.get(func.attr)
+                        if hit is not None:
+                            _fn, owner_cls = hit
+                            out.add(
+                                f"{owner_cls.module.relpath}::"
+                                f"{owner_cls.name}.{func.attr}"
+                            )
+                elif isinstance(owner, ast.Name):
+                    alias = mod.module_aliases.get(owner.id)
+                    if alias is not None:
+                        target = self._module_by_name(alias)
+                        if target is not None:
+                            add_function(target, func.attr)
+        return out
+
+    def _module_by_name(self, dotted: str) -> ModuleInfo | None:
+        """``repro.sge.scheduler`` → its ModuleInfo, when indexed."""
+        tail = dotted.replace(".", "/") + ".py"
+        for relpath in self.modules:
+            if relpath.endswith(tail):
+                return self.modules[relpath]
+        return None
+
+    def entry_points(self) -> set[str]:
+        """Seed nodes for reachability: the places execution enters.
+
+        Component handlers plus everything conventionally invoked by a
+        driver: ``run*``/``main``/``simulate`` functions and methods and
+        the CLI's ``_cmd_*`` handlers.
+        """
+        roots: set[str] = set()
+        handler_names = {
+            "generate", "on_message", "on_stop", "on_pause",
+            "snapshot", "restore", "result",
+        }
+        for relpath in sorted(self.modules):
+            mod = self.modules[relpath]
+            for fname in mod.functions:
+                if (
+                    fname.startswith("run")
+                    or fname.startswith("_cmd_")
+                    or fname in ("main", "simulate")
+                ):
+                    roots.add(f"{relpath}::{fname}")
+            for cname, cls in mod.classes.items():
+                is_comp = self.is_component(cls)
+                for mname in cls.methods:
+                    if (
+                        mname.startswith("run")
+                        or mname in ("main", "simulate")
+                        or (is_comp and mname in handler_names)
+                    ):
+                        roots.add(f"{relpath}::{cname}.{mname}")
+        return roots
+
+    def reachable_from(
+        self, roots: set[str], depth_limit: int = 20
+    ) -> set[str]:
+        """BFS closure over the call graph, depth-bounded."""
+        graph = self.call_graph()
+        reachable = set()
+        frontier = [(r, 0) for r in sorted(roots)]
+        while frontier:
+            node, depth = frontier.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            if depth >= depth_limit:
+                continue
+            for callee in graph.get(node, ()):
+                frontier.append((callee, depth + 1))
+        return reachable
+
+
+# -- per-function AST facts ---------------------------------------------------
+
+
+def attr_assignments(fn: ast.FunctionDef) -> set[str]:
+    """Attrs directly assigned (``self.x = ...``, aug/ann assigns)."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                elements = target.elts
+            else:
+                elements = [target]
+            for el in elements:
+                attr = is_self_attr(el)
+                if attr is not None:
+                    out.add(attr)
+    return out
+
+
+def attr_mutations(fn: ast.FunctionDef) -> set[str]:
+    """Attrs *mutated* in one function body: assignments, ``del``,
+    item writes (``self.x[k] = v``) and container-mutator calls
+    (``self.x.append(...)``, ``self.x[k].update(...)``)."""
+    out = attr_assignments(fn)
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                node.targets if isinstance(node, (ast.Assign, ast.Delete))
+                else [node.target]
+            )
+            for target in targets:
+                # self.x[k] = / del self.x[k] / del self.x
+                if isinstance(target, ast.Subscript):
+                    attr = is_self_attr(target.value)
+                    if attr is not None:
+                        out.add(attr)
+                attr = is_self_attr(target)
+                if attr is not None:
+                    out.add(attr)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+            ):
+                receiver = func.value
+                # Unwrap one subscript layer: self.x[k].append(...).
+                if isinstance(receiver, ast.Subscript):
+                    receiver = receiver.value
+                attr = is_self_attr(receiver)
+                if attr is not None:
+                    out.add(attr)
+    return out
+
+
+def self_attr_reads(fn: ast.FunctionDef) -> set[str]:
+    """Attrs read (``Load`` context) anywhere in the body."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            out.add(node.attr)
+    return out
+
+
+def self_method_calls(fn: ast.FunctionDef) -> set[str]:
+    """Names of ``self.<m>(...)`` calls in the body."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            attr = is_self_attr(node.func)
+            if attr is not None:
+                out.add(attr)
+    return out
+
+
+def mutable_attrs(index: ModuleIndex, cls: ClassInfo) -> set[str]:
+    """Attrs that hold mutable containers: initialised to one in
+    ``__init__`` (or an init-only helper), or hit by a mutator call."""
+    methods = index.resolved_methods(cls, stop_at=None)
+    out: set[str] = set()
+    init_scope = {"__init__"} | index.init_only_methods(cls)
+    for name in init_scope:
+        hit = methods.get(name)
+        if hit is None:
+            continue
+        for node in ast.walk(hit[0]):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    attr = is_self_attr(target)
+                    if attr is not None and is_mutable_ctor(node.value):
+                        out.add(attr)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                attr = is_self_attr(node.target)
+                if attr is not None and is_mutable_ctor(node.value):
+                    out.add(attr)
+    for name, (fn, _owner) in methods.items():
+        if name in ("__init__", "restore"):
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                ):
+                    attr = is_self_attr(func.value)
+                    if attr is not None:
+                        out.add(attr)
+    return out
+
+
+def ordered_dict_attrs(cls: ClassInfo) -> set[str]:
+    """Attrs initialised to an ``OrderedDict`` in the class's own
+    ``__init__`` — their ``popitem`` is FIFO/LIFO-deterministic."""
+    fn = cls.methods.get("__init__")
+    if fn is None:
+        return set()
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if (
+                isinstance(value, ast.Call)
+                and base_name(value.func) == "OrderedDict"
+            ):
+                for target in targets:
+                    attr = is_self_attr(target)
+                    if attr is not None:
+                        out.add(attr)
+    return out

@@ -1,0 +1,287 @@
+"""detlint — nondeterminism hazards that threaten cross-backend identity.
+
+The paper's pipeline promises bitwise-identical results across thread,
+process and (simulated) MPI backends.  Anything that injects ambient
+state into the dataflow breaks that promise silently.  detlint flags
+the ambient-state reads statically:
+
+* ``det.wall-clock`` — ``time.time``/``perf_counter``/``monotonic``/
+  ``process_time`` (and friends), ``datetime.now``/``utcnow``/``today``;
+* ``det.unseeded-random`` — module-level ``random.*`` calls (the shared
+  global generator) and ``random.Random()`` / ``numpy``'s
+  ``default_rng()`` / ``SeedSequence()`` constructed *without* a seed.
+  Seeded constructions are deterministic and are not flagged;
+* ``det.entropy`` — ``os.urandom``, ``uuid.uuid1``/``uuid4``,
+  ``secrets.*``;
+* ``det.set-order`` — iteration over a set literal/constructor,
+  ``.popitem()`` on anything not locally provable as an ``OrderedDict``,
+  and ``id()`` (CPython address-derived, varies run to run);
+* ``det.env-read`` — ``os.environ`` / ``os.getenv``.
+
+Severity is reachability-scaled: a hazard inside code reachable from a
+pipeline/backtest entry point (component handlers, ``run*``/``main``/
+``simulate`` functions, CLI commands) is an ERROR; elsewhere it is a
+WARNING.  Audited-OK sites (telemetry timestamps in ``obs/``, scheduler
+latency probes) live in the committed baseline with a justification, or
+carry a ``# repro-lint: disable=det.<rule>`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Finding,
+    Severity,
+    findings_to_diagnostics,
+    parse_suppressions,
+)
+from repro.analysis.deepcheck.core import (
+    ModuleIndex,
+    ModuleInfo,
+    ordered_dict_attrs,
+)
+
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "time.asctime", "time.strftime",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+GLOBAL_RANDOM_CALLS = frozenset({
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.shuffle", "random.sample",
+    "random.uniform", "random.gauss", "random.normalvariate",
+    "random.betavariate", "random.expovariate", "random.triangular",
+    "random.getrandbits", "random.randbytes",
+})
+
+#: Constructors that are fine seeded, hazardous bare.
+SEEDABLE_CTORS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+})
+
+ENTROPY_CALLS = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+})
+
+
+def _resolved_call_name(mod: ModuleInfo, func: ast.expr) -> str | None:
+    """The fully-qualified name of a call target, via import tables.
+
+    ``time.perf_counter()`` under ``import time`` → ``time.perf_counter``;
+    ``perf_counter()`` under ``from time import perf_counter`` → same;
+    ``np.random.default_rng()`` under ``import numpy as np`` →
+    ``numpy.random.default_rng``; ``datetime.now()`` under ``from
+    datetime import datetime`` → ``datetime.datetime.now``.  ``None``
+    for anything whose root is not a known import (method calls on local
+    objects never match, so ``self.clock.time()`` is not flagged).
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = node.id
+    parts.reverse()
+    if root in mod.module_aliases:
+        return ".".join([mod.module_aliases[root]] + parts)
+    if root in mod.from_imports:
+        src_mod, original = mod.from_imports[root]
+        return ".".join([src_mod, original] + parts)
+    return None
+
+
+def _call_has_args(node: ast.Call) -> bool:
+    return bool(node.args) or bool(node.keywords)
+
+
+class _HazardVisitor:
+    """Collects hazard findings for one region (function body or module
+    top level), tagging each with the region's call-graph node."""
+
+    def __init__(self, mod: ModuleInfo, od_attrs: set[str]):
+        self.mod = mod
+        self.od_attrs = od_attrs
+        self.findings: list[Finding] = []
+
+    def visit_region(self, nodes: list[ast.stmt]) -> None:
+        for stmt in nodes:
+            for node in ast.walk(stmt):
+                self._inspect(node)
+
+    def _add(self, rule: str, line: int, message: str, hint: str) -> None:
+        # Severity is resolved later, once reachability is known.
+        self.findings.append(Finding(rule, Severity.ERROR, line, message, hint))
+
+    def _inspect(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self._inspect_call(node)
+        elif isinstance(node, ast.For):
+            self._inspect_iter(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                self._inspect_iter(gen.iter)
+        elif isinstance(node, ast.Attribute):
+            name = _resolved_call_name(self.mod, node)
+            if name == "os.environ":
+                self._add(
+                    "det.env-read", node.lineno,
+                    "os.environ read — environment-dependent behaviour "
+                    "breaks cross-machine reproducibility",
+                    "thread configuration through explicit parameters",
+                )
+
+    def _inspect_call(self, node: ast.Call) -> None:
+        name = _resolved_call_name(self.mod, node.func)
+        line = node.lineno
+        if name is None:
+            # Untyped receivers: still catch .popitem() and bare id().
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "id"
+                and "id" not in self.mod.from_imports
+                and "id" not in self.mod.module_aliases
+            ):
+                self._add(
+                    "det.set-order", line,
+                    "id() yields CPython object addresses — any ordering "
+                    "or keying derived from it varies run to run",
+                    "key on stable domain identity instead",
+                )
+            elif isinstance(func, ast.Attribute) and func.attr == "popitem":
+                receiver = func.value
+                if (
+                    isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                    and receiver.attr in self.od_attrs
+                ):
+                    return  # OrderedDict.popitem is FIFO/LIFO-deterministic
+                self._add(
+                    "det.set-order", line,
+                    ".popitem() order is insertion-dependent on dict and "
+                    "arbitrary on pre-3.7 semantics — ordering hazard",
+                    "use an OrderedDict (init-proven) or pop an explicit "
+                    "key",
+                )
+            return
+        if name in WALL_CLOCK_CALLS:
+            self._add(
+                "det.wall-clock", line,
+                f"{name}() reads the wall/CPU clock — values differ "
+                f"across runs and backends",
+                "use the session's virtual clock, or baseline if this "
+                "is telemetry that never feeds results",
+            )
+        elif name in GLOBAL_RANDOM_CALLS:
+            self._add(
+                "det.unseeded-random", line,
+                f"{name}() uses the shared global generator — seeding "
+                f"order varies with import/execution order",
+                "construct a seeded random.Random(seed) and thread it "
+                "through",
+            )
+        elif name in SEEDABLE_CTORS:
+            if not _call_has_args(node):
+                self._add(
+                    "det.unseeded-random", line,
+                    f"{name}() constructed without a seed — OS entropy "
+                    f"makes every run different",
+                    "pass an explicit seed",
+                )
+        elif name in ENTROPY_CALLS or name.startswith("secrets."):
+            self._add(
+                "det.entropy", line,
+                f"{name}() draws OS entropy — irreproducible by design",
+                "derive ids/values from seeded state instead",
+            )
+        elif name == "os.getenv":
+            self._add(
+                "det.env-read", line,
+                "os.getenv read — environment-dependent behaviour breaks "
+                "cross-machine reproducibility",
+                "thread configuration through explicit parameters",
+            )
+
+    def _inspect_iter(self, iter_expr: ast.expr) -> None:
+        hazard = False
+        if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+            hazard = True
+        elif isinstance(iter_expr, ast.Call):
+            func = iter_expr.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                hazard = True
+        if hazard:
+            self._add(
+                "det.set-order", iter_expr.lineno,
+                "iteration over a set — element order is hash-seed "
+                "dependent",
+                "wrap in sorted(...) before iterating",
+            )
+
+
+def _region_findings(
+    index: ModuleIndex,
+) -> list[tuple[str, str | None, Finding]]:
+    """(module relpath, call-graph node or None for toplevel, finding)."""
+    out: list[tuple[str, str | None, Finding]] = []
+    for relpath in sorted(index.modules):
+        mod = index.modules[relpath]
+        # Module top level: everything outside function/class bodies plus
+        # class bodies outside methods (default exprs run at import time).
+        visitor = _HazardVisitor(mod, set())
+        top: list[ast.stmt] = []
+        for stmt in mod.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            top.append(stmt)
+        visitor.visit_region(top)
+        out.extend((relpath, None, f) for f in visitor.findings)
+
+        for fname, fn in mod.functions.items():
+            v = _HazardVisitor(mod, set())
+            v.visit_region(fn.body)
+            out.extend((relpath, f"{relpath}::{fname}", f) for f in v.findings)
+        for cname, cls in mod.classes.items():
+            od_attrs = ordered_dict_attrs(cls)
+            for mname, fn in cls.methods.items():
+                v = _HazardVisitor(mod, od_attrs)
+                v.visit_region(fn.body)
+                node = f"{relpath}::{cname}.{mname}"
+                out.extend((relpath, node, f) for f in v.findings)
+    return out
+
+
+def check_determinism(index: ModuleIndex) -> list[Diagnostic]:
+    """Run detlint over the whole index, reachability-scaling severity."""
+    regions = _region_findings(index)
+    reachable = index.reachable_from(index.entry_points())
+    by_module: dict[str, list[Finding]] = {}
+    for relpath, node, f in regions:
+        in_hot_path = node is None or node in reachable
+        f.severity = Severity.ERROR if in_hot_path else Severity.WARNING
+        if not in_hot_path:
+            f.message += " (not reachable from any pipeline entry point)"
+        by_module.setdefault(relpath, []).append(f)
+    out: list[Diagnostic] = []
+    for relpath in sorted(by_module):
+        mod = index.modules[relpath]
+        suppressed = parse_suppressions(mod.lines)
+        out.extend(
+            findings_to_diagnostics(by_module[relpath], relpath, suppressed)
+        )
+    return out

@@ -1,0 +1,310 @@
+"""protocheck — the message plane checked against the graph contract.
+
+PR 2's graphlint validates a :class:`GraphSpec` topologically (cycles,
+orphans, fan caps).  protocheck deepens that to the *message plane*: it
+extracts, per component class, the set of output ports the code can
+statically emit (``ctx.emit("port", ...)`` through helper methods and
+same-module helper functions), and cross-checks those tag sets against
+the wiring:
+
+* ``proto.undeclared-emit`` (ERROR) — code emits on a port the
+  component never declared; the runtime raises at the first message;
+* ``proto.dead-edge`` (ERROR) — an edge whose source class provably
+  never emits on its source port: the downstream port only ever sees
+  end-of-stream, so whatever it computes from that edge is vacuous;
+* ``proto.dropped-emit`` (WARNING) — a statically-emitted, declared
+  port with no outbound edge: messages are silently discarded (either
+  dead code or a forgotten connection — baseline it if intentional);
+* ``proto.silent-port`` (WARNING) — a declared output port with no
+  edges *and* no emits: dead declaration;
+* ``proto.unhandled-input`` (ERROR) — the destination's ``on_message``
+  dispatches on a closed ``port == "..."`` chain that does not cover an
+  inbound port: those messages fall through and are silently dropped;
+* ``proto.eos-gap`` (ERROR) — an input port with no inbound edge: its
+  end-of-stream never arrives, so the component's ``on_stop`` blocks
+  the session forever;
+* ``proto.wait-cycle`` (ERROR) — a cycle through *live* edges (edges
+  that carry data per the emit analysis): a blocking-recv wait-for
+  cycle, the classic pipeline deadlock heuristic;
+* ``proto.dynamic-emit`` (INFO) — an emit whose port is not a string
+  literal: the analysis treats the component as able to emit on any
+  declared port (so dead-edge/dropped-emit stay silent for it).
+
+Findings are graph-located (``graph::element``), so they are baselined
+rather than pragma-suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import networkx as nx
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.deepcheck.core import ClassInfo, ModuleIndex
+
+HANDLER_METHODS = ("generate", "on_message", "on_stop", "on_pause")
+
+_EXPAND_LIMIT = 8
+
+
+def emit_ports(index: ModuleIndex, cls: ClassInfo) -> tuple[set[str], bool]:
+    """(statically-emitted port names, has dynamic emits) for one class.
+
+    Follows ``self.helper()`` calls and bare-name calls to functions in
+    the same module (or ``from``-imported ones the index can resolve) —
+    that is how collectors share ``_emit_by_interval``-style helpers.
+    """
+    methods = index.resolved_methods(cls, stop_at="Component")
+    ports: set[str] = set()
+    dynamic = False
+    visited: set[tuple[str, str, int]] = set()
+    pending: list[tuple] = []  # (function def, hosting module, depth)
+
+    def push(fn: ast.FunctionDef, mod, depth: int) -> None:
+        key = (mod.relpath, fn.name, fn.lineno)
+        if key not in visited:
+            visited.add(key)
+            pending.append((fn, mod, depth))
+
+    for name in HANDLER_METHODS:
+        hit = methods.get(name)
+        if hit is not None:
+            fn, owner = hit
+            push(fn, owner.module, 0)
+
+    while pending:
+        fn, mod, depth = pending.pop()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "emit":
+                # ctx.emit(port, payload) — receiver is a plain name
+                # (the ctx parameter), never self.<attr>.emit.
+                if isinstance(func.value, ast.Name):
+                    if node.args and isinstance(node.args[0], ast.Constant) \
+                            and isinstance(node.args[0].value, str):
+                        ports.add(node.args[0].value)
+                    else:
+                        dynamic = True
+            if depth >= _EXPAND_LIMIT:
+                continue
+            if isinstance(func, ast.Attribute):
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                ):
+                    table = index.resolved_methods(cls, stop_at=None)
+                    hit = table.get(func.attr)
+                    if hit is not None:
+                        push(hit[0], hit[1].module, depth + 1)
+            elif isinstance(func, ast.Name):
+                target_mod, fname = mod, func.id
+                if func.id in mod.from_imports:
+                    src_mod, original = mod.from_imports[func.id]
+                    resolved = index._module_by_name(src_mod)
+                    if resolved is None:
+                        continue
+                    target_mod, fname = resolved, original
+                target_fn = target_mod.functions.get(fname)
+                if target_fn is not None:
+                    push(target_fn, target_mod, depth + 1)
+    return ports, dynamic
+
+
+def handled_ports(cls_methods) -> set[str] | None:
+    """Ports a closed ``on_message`` dispatch covers, or None if open.
+
+    "Closed" means the body (after a docstring) is a single ``if``/
+    ``elif`` chain testing ``<port param> == "literal"`` whose final
+    ``else`` is absent or raises.  Anything else is an open dispatch
+    that we assume handles every port.
+    """
+    hit = cls_methods.get("on_message")
+    if hit is None:
+        return None
+    fn = hit[0]
+    params = [a.arg for a in fn.args.args if a.arg != "self"]
+    if len(params) < 2:
+        return None
+    port_param = params[1]  # (ctx, port, payload)
+
+    body = list(fn.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]
+    if len(body) != 1 or not isinstance(body[0], ast.If):
+        return None
+
+    handled: set[str] = set()
+    node: ast.stmt = body[0]
+    while isinstance(node, ast.If):
+        test = node.test
+        if not (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == port_param
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and isinstance(test.comparators[0], ast.Constant)
+            and isinstance(test.comparators[0].value, str)
+        ):
+            return None  # not a pure port dispatch — treat as open
+        handled.add(test.comparators[0].value)
+        orelse = node.orelse
+        if not orelse:
+            return handled
+        if len(orelse) == 1 and isinstance(orelse[0], ast.If):
+            node = orelse[0]
+            continue
+        if all(isinstance(s, ast.Raise) for s in orelse):
+            return handled
+        return None  # non-raising else: open dispatch
+    return handled
+
+
+def check_protocol(
+    workflow_or_spec,
+    index: ModuleIndex,
+    class_map: dict[str, str] | None = None,
+) -> list[Diagnostic]:
+    """Cross-check a workflow's wiring against its components' code.
+
+    ``workflow_or_spec`` is a :class:`Workflow` (class names inferred
+    from the live components) or a :class:`GraphSpec` plus an explicit
+    ``class_map`` of component name → class name.  Components whose
+    class the index cannot resolve are skipped (their ports are treated
+    as fully dynamic).
+    """
+    if hasattr(workflow_or_spec, "spec"):
+        spec = workflow_or_spec.spec()
+        class_map = {
+            name: type(comp).__name__
+            for name, comp in workflow_or_spec.components.items()
+        }
+    else:
+        spec = workflow_or_spec
+        class_map = class_map or {}
+
+    out: list[Diagnostic] = []
+
+    def diag(rule, severity, element, message, hint=None):
+        out.append(Diagnostic(
+            rule=rule, severity=severity,
+            location=Location(graph=spec.name, element=element),
+            message=message, hint=hint,
+        ))
+
+    emits: dict[str, tuple[set[str], bool]] = {}
+    classes: dict[str, ClassInfo] = {}
+    for name in spec.components:
+        cls_name = class_map.get(name)
+        cls = index.resolve_class(cls_name) if cls_name else None
+        if cls is None:
+            emits[name] = (set(), True)  # unknown code: assume anything
+        else:
+            classes[name] = cls
+            emits[name] = emit_ports(index, cls)
+
+    # -- emit side ----------------------------------------------------------
+    live_edges: list = []
+    for name, comp in sorted(spec.components.items()):
+        static_ports, dynamic = emits[name]
+        if dynamic and name in classes:
+            diag(
+                "proto.dynamic-emit", Severity.INFO, name,
+                f"{classes[name].name}: emits on a computed port — "
+                f"emit-set analysis is incomplete for this component",
+            )
+        for port in sorted(static_ports - set(comp.output_ports)):
+            diag(
+                "proto.undeclared-emit", Severity.ERROR, f"{name}.{port}",
+                f"code emits on undeclared output port {port!r} "
+                f"(declared: {sorted(comp.output_ports)}) — the runtime "
+                f"raises at the first message",
+                hint="declare the port or fix the emit",
+            )
+        for port in sorted(comp.output_ports):
+            edges = [e for e in spec.out_edges(name) if e.src_port == port]
+            emitted = port in static_ports
+            if edges and not emitted and not dynamic:
+                for e in edges:
+                    diag(
+                        "proto.dead-edge", Severity.ERROR,
+                        f"{e.src}.{e.src_port}->{e.dst}.{e.dst_port}",
+                        f"source {class_map.get(name, name)!r} never "
+                        f"emits on {port!r}: the edge carries only "
+                        f"end-of-stream",
+                        hint="emit on the port or remove the edge",
+                    )
+            elif not edges and (emitted or dynamic):
+                if emitted:
+                    diag(
+                        "proto.dropped-emit", Severity.WARNING,
+                        f"{name}.{port}",
+                        f"messages emitted on {port!r} have no edge and "
+                        f"are silently discarded",
+                        hint="connect the port, or baseline if the tap "
+                             "is intentionally unused in this wiring",
+                    )
+            elif not edges and not emitted and not dynamic:
+                diag(
+                    "proto.silent-port", Severity.WARNING,
+                    f"{name}.{port}",
+                    f"declared output port {port!r} has no edges and no "
+                    f"emits — dead declaration",
+                    hint="drop the port from the component declaration",
+                )
+            if edges and (emitted or dynamic):
+                live_edges.extend(edges)
+
+    # -- receive side -------------------------------------------------------
+    for name, comp in sorted(spec.components.items()):
+        inbound = spec.in_edges(name)
+        inbound_ports = {e.dst_port for e in inbound}
+        for port in sorted(set(comp.input_ports) - inbound_ports):
+            diag(
+                "proto.eos-gap", Severity.ERROR, f"{name}.{port}",
+                f"input port {port!r} has no inbound edge: its "
+                f"end-of-stream never arrives and on_stop() blocks the "
+                f"session forever",
+                hint="connect the port or drop it from the declaration",
+            )
+        cls = classes.get(name)
+        if cls is not None:
+            handled = handled_ports(
+                index.resolved_methods(cls, stop_at="Component")
+            )
+            if handled is not None:
+                for port in sorted(inbound_ports - handled):
+                    diag(
+                        "proto.unhandled-input", Severity.ERROR,
+                        f"{name}.{port}",
+                        f"{cls.name}.on_message dispatches on a closed "
+                        f"port chain that never handles inbound port "
+                        f"{port!r} — its messages are silently dropped",
+                        hint="add a dispatch arm for the port or reject "
+                             "unknown ports explicitly",
+                    )
+
+    # -- liveness ------------------------------------------------------------
+    g = nx.DiGraph()
+    g.add_nodes_from(spec.components)
+    for e in live_edges:
+        if e.src in spec.components and e.dst in spec.components:
+            g.add_edge(e.src, e.dst)
+    try:
+        cycle = nx.find_cycle(g)
+    except nx.NetworkXNoCycle:
+        cycle = None
+    if cycle:
+        path = " -> ".join([edge[0] for edge in cycle] + [cycle[0][0]])
+        diag(
+            "proto.wait-cycle", Severity.ERROR, path,
+            "live edges form a wait-for cycle: every component in it "
+            "blocks on its predecessor's messages — deadlock",
+            hint="break the cycle or make one edge non-blocking",
+        )
+    return out

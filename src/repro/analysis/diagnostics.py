@@ -1,18 +1,34 @@
 """The shared diagnostic model for every analysis pass.
 
-All three checkers — the graph linter, the dynamic comm checker and the
-repo-wide AST lint — report through one vocabulary: a :class:`Diagnostic`
-carries a stable rule id (``pass.rule`` form, e.g. ``graph.cycle`` or
-``comm.leak``), a :class:`Severity`, a :class:`Location` naming where the
-defect lives (a file line, a graph element, or a rank/event), a message,
-and an optional fix hint.  ``repro lint`` renders and aggregates them
-uniformly, and tests assert on rule ids instead of message text.
+All checkers — the graph linter, the dynamic comm checker, the repo-wide
+AST lint and the deepcheck analyzers — report through one vocabulary: a
+:class:`Diagnostic` carries a stable rule id (``pass.rule`` form, e.g.
+``graph.cycle`` or ``state.snapshot-missing``), a :class:`Severity`, a
+:class:`Location` naming where the defect lives (a file line, a graph
+element, or a rank/event), a message, and an optional fix hint.
+``repro lint`` and ``repro analyze`` render and aggregate them uniformly,
+and tests assert on rule ids instead of message text.
+
+This module also hosts the machinery every *source-level* linter shares,
+so suppression syntax and output formats are identical across repolint
+and the deepcheck analyzers:
+
+* :class:`Finding` — a pre-:class:`Diagnostic` working record (rule,
+  severity, line, message, hint) that rule implementations yield;
+* :func:`parse_suppressions` — the ``# repro-lint: disable=<rule>``
+  pragma parser (one syntax for every linter);
+* :func:`findings_to_diagnostics` — applies the pragmas and converts the
+  surviving findings to located diagnostics in one deterministic order;
+* :func:`report_to_json` — the ``--format json`` / ``--json`` document
+  shape shared by every CLI surface.
 """
 
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 class Severity(enum.IntEnum):
@@ -150,3 +166,83 @@ class DiagnosticReport:
             f"{n} diagnostic(s): {self.errors} error(s), "
             f"{self.warnings} warning(s), {self.count(Severity.INFO)} info"
         )
+
+
+# -- shared source-linter machinery -----------------------------------------
+
+#: The one suppression pragma every source linter honours:
+#: ``# repro-lint: disable=<rule>[,<rule>...]`` or ``disable=all``.
+SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([\w.,\s-]+)")
+
+
+class Finding:
+    """A rule hit before it is located: what repolint/deepcheck rules yield.
+
+    Rule implementations produce :class:`Finding` rows (line-relative,
+    path-agnostic); :func:`findings_to_diagnostics` applies suppression
+    pragmas and stamps the file path to produce :class:`Diagnostic` rows.
+    """
+
+    __slots__ = ("rule", "severity", "line", "message", "hint")
+
+    def __init__(self, rule, severity, line, message, hint=None):
+        self.rule = rule
+        self.severity = severity
+        self.line = line
+        self.message = message
+        self.hint = hint
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on them."""
+    out: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            out[i] = {part.strip() for part in m.group(1).split(",")}
+    return out
+
+
+def is_suppressed(rule: str, line: int, suppressed: dict[int, set[str]]) -> bool:
+    """Does a pragma on ``line`` disable ``rule`` (or ``all``)?"""
+    rules_off = suppressed.get(line, set())
+    return "all" in rules_off or rule in rules_off
+
+
+def findings_to_diagnostics(
+    findings: Iterable[Finding],
+    path: str,
+    suppressed: dict[int, set[str]] | None = None,
+) -> list[Diagnostic]:
+    """Apply pragmas and locate findings, in deterministic (line, rule) order."""
+    suppressed = suppressed or {}
+    out = []
+    for f in sorted(findings, key=lambda f: (f.line, f.rule, f.message)):
+        if is_suppressed(f.rule, f.line, suppressed):
+            continue
+        out.append(
+            Diagnostic(
+                rule=f.rule,
+                severity=f.severity,
+                location=Location(path=path, line=f.line),
+                message=f.message,
+                hint=f.hint,
+            )
+        )
+    return out
+
+
+def report_to_json(report: DiagnosticReport, **extra) -> dict:
+    """The JSON document shape shared by ``repro lint`` and ``repro analyze``."""
+    doc = {
+        "schema": "repro.analysis/v1",
+        "diagnostics": [d.to_dict() for d in report.sorted()],
+        "summary": {
+            "total": len(report),
+            "errors": report.errors,
+            "warnings": report.warnings,
+            "info": report.count(Severity.INFO),
+        },
+    }
+    doc.update(extra)
+    return doc

@@ -56,8 +56,11 @@ from typing import Iterator
 from repro.analysis.diagnostics import (
     Diagnostic,
     DiagnosticReport,
+    Finding,
     Location,
     Severity,
+    findings_to_diagnostics,
+    parse_suppressions,
 )
 
 #: Handler names that make a class "a component" for the wall-clock rule.
@@ -83,8 +86,6 @@ _METRIC_NAME_RE = re.compile(
 )
 _METRIC_PREFIX_RE = re.compile(r"^[a-z][a-z0-9_]*\.")
 
-_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([\w.,\s-]+)")
-
 #: Point-to-point entry points and the bound checks that absolve them.
 _P2P_METHODS = frozenset({"send", "isend", "recv", "irecv", "iprobe"})
 _BOUND_CHECKS = frozenset({"_check_peer", "_check_user_tag"})
@@ -97,25 +98,9 @@ _STORE_CHECKS = frozenset(
 )
 
 
-def _suppressions(lines: list[str]) -> dict[int, set[str]]:
-    """Map 1-based line numbers to the rule ids suppressed on them."""
-    out: dict[int, set[str]] = {}
-    for i, line in enumerate(lines, start=1):
-        m = _SUPPRESS_RE.search(line)
-        if m:
-            out[i] = {part.strip() for part in m.group(1).split(",")}
-    return out
-
-
-class _Finding:
-    __slots__ = ("rule", "severity", "line", "message", "hint")
-
-    def __init__(self, rule, severity, line, message, hint=None):
-        self.rule = rule
-        self.severity = severity
-        self.line = line
-        self.message = message
-        self.hint = hint
+#: Back-compat alias: repolint rules now yield the shared analysis-core
+#: :class:`repro.analysis.diagnostics.Finding`.
+_Finding = Finding
 
 
 def _check_bare_except(tree: ast.AST) -> Iterator[_Finding]:
@@ -448,8 +433,7 @@ def lint_source(text: str, path: str) -> list[Diagnostic]:
                 message=f"module does not parse: {exc.msg}",
             )
         ]
-    lines = text.splitlines()
-    suppressed = _suppressions(lines)
+    suppressed = parse_suppressions(text.splitlines())
     findings: list[_Finding] = []
     findings.extend(_check_bare_except(tree))
     findings.extend(_check_mutable_defaults(tree))
@@ -460,21 +444,7 @@ def lint_source(text: str, path: str) -> list[Diagnostic]:
     findings.extend(_check_stateful_snapshot(tree))
     findings.extend(_check_obs_bounded(tree, path))
 
-    out = []
-    for f in sorted(findings, key=lambda f: (f.line, f.rule)):
-        rules_off = suppressed.get(f.line, set())
-        if "all" in rules_off or f.rule in rules_off:
-            continue
-        out.append(
-            Diagnostic(
-                rule=f.rule,
-                severity=f.severity,
-                location=Location(path=path, line=f.line),
-                message=f.message,
-                hint=f.hint,
-            )
-        )
-    return out
+    return findings_to_diagnostics(findings, path, suppressed)
 
 
 def lint_paths(paths: list[Path], root: Path | None = None) -> DiagnosticReport:

@@ -150,11 +150,18 @@ class SgeScheduler:
         n_slots: int = 8,
         obs: Obs | None = None,
         retry: RetryPolicy | None = None,
+        clock=time.perf_counter,
     ):
         check_positive_int(n_slots, "n_slots")
         self.n_slots = n_slots
         self.obs = obs
         self.retry = retry
+        # Injectable time source for job-duration measurement.  Durations
+        # feed the *simulated* placement/makespan, so a virtual clock makes
+        # the whole schedule deterministic (tests inject one); the default
+        # measures real attempt cost and is the only ambient-clock read in
+        # this module.
+        self._clock = clock
         self._queue: list[Job] = []
 
     def _record(self, report: ScheduleReport, simulated: bool) -> None:
@@ -194,11 +201,11 @@ class SgeScheduler:
         wall = 0.0
         occupancy = 0.0
         for attempt in range(max_retries + 1):
-            t0 = time.perf_counter()
+            t0 = self._clock()
             try:
                 result = job.fn()
             except Exception as exc:
-                elapsed = time.perf_counter() - t0
+                elapsed = self._clock() - t0
                 wall += elapsed
                 occupancy += elapsed
                 if attempt >= max_retries:
@@ -207,7 +214,7 @@ class SgeScheduler:
                 if self.obs is not None and self.obs.enabled:
                     self.obs.metrics.counter("sge.job.retries").inc()
             else:
-                elapsed = time.perf_counter() - t0
+                elapsed = self._clock() - t0
                 wall += elapsed
                 occupancy += elapsed
                 return result, wall, occupancy, attempt + 1

@@ -1,0 +1,233 @@
+"""protocheck: static emit/handle tag sets vs. the graph contract."""
+
+from pathlib import Path
+
+from repro.analysis.deepcheck import ModuleIndex, check_protocol
+from repro.marketminer.graph import ComponentSpec, Edge, GraphSpec
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+FIXTURE = '''
+class Component:
+    pass
+
+class Producer(Component):
+    def generate(self, ctx):
+        ctx.emit("ticks", 1)
+        self._flush(ctx)
+    def _flush(self, ctx):
+        ctx.emit("summary", 2)
+
+class ModuleHelperProducer(Component):
+    def generate(self, ctx):
+        _emit_all(ctx)
+
+def _emit_all(ctx):
+    ctx.emit("ticks", 1)
+
+class ClosedConsumer(Component):
+    def on_message(self, ctx, port, payload):
+        if port == "ticks":
+            pass
+        elif port == "control":
+            pass
+        else:
+            raise ValueError(port)
+
+class OpenConsumer(Component):
+    def on_message(self, ctx, port, payload):
+        self.handle(port, payload)
+    def handle(self, port, payload):
+        pass
+
+class SilentProducer(Component):
+    def generate(self, ctx):
+        pass
+
+class DynamicProducer(Component):
+    def generate(self, ctx):
+        for port in ("a", "b"):
+            ctx.emit(port, 1)
+'''
+
+
+def index() -> ModuleIndex:
+    return ModuleIndex.from_sources({"repro/fixture.py": FIXTURE})
+
+
+def spec(components, edges, name="g") -> GraphSpec:
+    return GraphSpec(name=name, components=components, edges=tuple(edges))
+
+
+def rules(diags) -> set:
+    return {d.rule for d in diags}
+
+
+class TestEmitSide:
+    def test_clean_wiring_passes(self):
+        s = spec(
+            {
+                "prod": ComponentSpec("prod", output_ports=("ticks", "summary")),
+                "cons": ComponentSpec("cons", input_ports=("ticks", "control")),
+            },
+            [
+                Edge("prod", "ticks", "cons", "ticks"),
+                Edge("prod", "summary", "cons", "control"),
+            ],
+        )
+        diags = check_protocol(s, index(), {"prod": "Producer",
+                                            "cons": "ClosedConsumer"})
+        assert diags == []
+
+    def test_undeclared_emit_flagged(self):
+        s = spec(
+            {"prod": ComponentSpec("prod", output_ports=("ticks",))},
+            [],
+        )
+        diags = check_protocol(s, index(), {"prod": "Producer"})
+        assert "proto.undeclared-emit" in rules(diags)  # "summary"
+
+    def test_emit_through_module_helper_found(self):
+        s = spec(
+            {
+                "prod": ComponentSpec("prod", output_ports=("ticks",)),
+                "cons": ComponentSpec("cons", input_ports=("ticks",)),
+            },
+            [Edge("prod", "ticks", "cons", "ticks")],
+        )
+        diags = check_protocol(
+            s, index(), {"prod": "ModuleHelperProducer", "cons": "OpenConsumer"}
+        )
+        assert "proto.dead-edge" not in rules(diags)
+
+    def test_dead_edge_flagged_when_source_never_emits(self):
+        s = spec(
+            {
+                "prod": ComponentSpec("prod", output_ports=("ticks",)),
+                "cons": ComponentSpec("cons", input_ports=("ticks",)),
+            },
+            [Edge("prod", "ticks", "cons", "ticks")],
+        )
+        diags = check_protocol(
+            s, index(), {"prod": "SilentProducer", "cons": "OpenConsumer"}
+        )
+        assert "proto.dead-edge" in rules(diags)
+
+    def test_dropped_emit_flagged_without_edge(self):
+        s = spec(
+            {"prod": ComponentSpec("prod", output_ports=("ticks", "summary"))},
+            [],
+        )
+        diags = check_protocol(s, index(), {"prod": "Producer"})
+        dropped = [d for d in diags if d.rule == "proto.dropped-emit"]
+        assert {str(d.location) for d in dropped} == {
+            "g::prod.ticks", "g::prod.summary",
+        }
+
+    def test_dynamic_emit_reported_as_info_and_quiets_dead_edge(self):
+        s = spec(
+            {
+                "prod": ComponentSpec("prod", output_ports=("a", "b")),
+                "cons": ComponentSpec("cons", input_ports=("a",)),
+            },
+            [Edge("prod", "a", "cons", "a")],
+        )
+        diags = check_protocol(
+            s, index(), {"prod": "DynamicProducer", "cons": "OpenConsumer"}
+        )
+        assert rules(diags) == {"proto.dynamic-emit"}
+
+
+class TestReceiveSide:
+    def test_emitted_but_unhandled_tag_fails(self):
+        # Acceptance fixture: producer emits "summary" into the consumer's
+        # "summary" input, but the closed on_message dispatch only covers
+        # "ticks"/"control" — the message would be silently dropped.
+        s = spec(
+            {
+                "prod": ComponentSpec("prod", output_ports=("ticks", "summary")),
+                "cons": ComponentSpec(
+                    "cons", input_ports=("ticks", "summary")
+                ),
+            },
+            [
+                Edge("prod", "ticks", "cons", "ticks"),
+                Edge("prod", "summary", "cons", "summary"),
+            ],
+        )
+        diags = check_protocol(s, index(), {"prod": "Producer",
+                                            "cons": "ClosedConsumer"})
+        unhandled = [d for d in diags if d.rule == "proto.unhandled-input"]
+        assert len(unhandled) == 1
+        assert "'summary'" in unhandled[0].message
+
+    def test_open_dispatch_handles_everything(self):
+        s = spec(
+            {
+                "prod": ComponentSpec("prod", output_ports=("ticks",)),
+                "cons": ComponentSpec("cons", input_ports=("ticks",)),
+            },
+            [Edge("prod", "ticks", "cons", "ticks")],
+        )
+        diags = check_protocol(s, index(), {"prod": "Producer",
+                                            "cons": "OpenConsumer"})
+        assert "proto.unhandled-input" not in rules(diags)
+
+    def test_eos_gap_on_unconnected_input(self):
+        s = spec(
+            {"cons": ComponentSpec("cons", input_ports=("ticks",))},
+            [],
+        )
+        diags = check_protocol(s, index(), {"cons": "OpenConsumer"})
+        assert "proto.eos-gap" in rules(diags)
+
+
+class TestLiveness:
+    def test_wait_cycle_through_live_edges(self):
+        fixture = FIXTURE + '''
+class Echo(Component):
+    def on_message(self, ctx, port, payload):
+        ctx.emit("out", payload)
+'''
+        idx = ModuleIndex.from_sources({"repro/fixture.py": fixture})
+        s = spec(
+            {
+                "a": ComponentSpec("a", input_ports=("in",),
+                                   output_ports=("out",)),
+                "b": ComponentSpec("b", input_ports=("in",),
+                                   output_ports=("out",)),
+            },
+            [
+                Edge("a", "out", "b", "in"),
+                Edge("b", "out", "a", "in"),
+            ],
+        )
+        diags = check_protocol(s, idx, {"a": "Echo", "b": "Echo"})
+        assert "proto.wait-cycle" in rules(diags)
+
+
+class TestRealFigure1:
+    def _workflow(self):
+        from repro.marketminer.session import build_figure1_workflow
+        from repro.strategy.params import StrategyParams
+        from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+        from repro.taq.universe import default_universe
+        from repro.util.timeutil import TimeGrid
+
+        market = SyntheticMarket(
+            default_universe(4),
+            SyntheticMarketConfig(trading_seconds=600, quote_rate=0.9),
+            seed=7,
+        )
+        params = StrategyParams(m=20, w=10, y=4, rt=10, hp=8, st=5, d=0.001)
+        return build_figure1_workflow(
+            market, TimeGrid(30, trading_seconds=600),
+            list(market.universe.pairs()), [params],
+        )
+
+    def test_figure1_has_only_the_known_bars_tap(self):
+        index = ModuleIndex.from_tree(SRC_ROOT)
+        diags = check_protocol(self._workflow(), index)
+        assert [(d.rule, str(d.location)) for d in diags] == [
+            ("proto.dropped-emit", "figure1::bar_accumulator.bars"),
+        ]

@@ -188,3 +188,64 @@ class TestPaperExtrapolation:
         report = SgeScheduler(n_slots=50).simulate(durations)
         assert report.speedup == pytest.approx(50.0)
         assert report.makespan == pytest.approx(40.0)
+
+
+class TestClockSeam:
+    """The injectable time source (deepcheck satellite: det.wall-clock).
+
+    Durations feed the simulated placement, so with a virtual clock the
+    whole schedule — makespan, speedup, per-slot loads — is bitwise
+    deterministic.  The ambient default stays ``time.perf_counter`` but
+    only as a reference, so detlint sees no ambient clock *call* here.
+    """
+
+    @staticmethod
+    def ticking_clock(step=1.0):
+        state = {"t": 0.0}
+
+        def clock():
+            state["t"] += step
+            return state["t"]
+
+        return clock
+
+    def test_virtual_clock_makes_schedule_deterministic(self):
+        def run_once():
+            sched = SgeScheduler(n_slots=2, clock=self.ticking_clock(0.5))
+            sched.submit_many(
+                Job(name=f"j{i}", fn=lambda: None) for i in range(6)
+            )
+            report = sched.run()
+            return (
+                report.makespan,
+                report.speedup,
+                tuple(sorted(report.slot_loads().items())),
+                tuple(r.duration for r in report.results),
+            )
+
+        assert run_once() == run_once()
+        # Each job spans exactly one clock step: start and end reads are
+        # consecutive ticks 0.5 apart.
+        assert run_once()[3] == (0.5,) * 6
+
+    def test_virtual_clock_covers_retry_path(self):
+        sched = SgeScheduler(
+            n_slots=1,
+            retry=RetryPolicy(max_retries=2, jitter=0.0, base=1.0,
+                              factor=1.0, cap=1.0),
+            clock=self.ticking_clock(1.0),
+        )
+        sched.submit(Job(name="flaky", fn=flaky(1)))
+        report = sched.run()
+        result = report.results[0]
+        assert result.attempts == 2
+        # Two attempts, one clock step each; the 1.0 backoff is charged
+        # to slot occupancy (sim span), not to wall duration.
+        assert result.duration == pytest.approx(2.0)
+        assert result.sim_end - result.sim_start == pytest.approx(3.0)
+
+    def test_default_clock_still_measures_real_time(self):
+        import time as _time
+
+        sched = SgeScheduler(n_slots=1)
+        assert sched._clock is _time.perf_counter
