@@ -53,6 +53,12 @@ else
     echo "mypy not installed; skipping (config lives in pyproject.toml)"
 fi
 
+echo "== docs: internal links + CLI examples parse =="
+python scripts/checkdocs.py
+
+echo "== batch correlation bitwise smoke check =="
+python -m benchmarks.bench_corr --smoke
+
 echo "== pytest =="
 python -m pytest -x -q
 

@@ -1,0 +1,131 @@
+"""Validate the docs tree: internal links resolve, CLI examples parse.
+
+Two checks, run by scripts/check.sh:
+
+1. Every relative markdown link in ``docs/*.md`` and ``README.md``
+   points at a file that exists; a ``#fragment`` must match a heading
+   in the target file (GitHub slug rules: lowercase, spaces to
+   hyphens, punctuation stripped).
+2. Every ``repro ...`` command line inside a fenced code block of
+   ``docs/cli.md`` parses against the real argparse tree
+   (``repro.cli.build_parser``) without executing anything — worked
+   examples cannot drift from the implementation.
+
+Exits non-zero listing every failure; prints a one-line summary on
+success.
+"""
+
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def heading_slugs(path: Path) -> set:
+    """GitHub-style anchor slugs for every heading in ``path``."""
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        text = match.group(1).strip().lower()
+        text = re.sub(r"[^\w\s-]", "", text)
+        slugs.add(re.sub(r"\s+", "-", text))
+    return slugs
+
+
+def check_links(doc: Path, errors: list) -> int:
+    checked = 0
+    for target in LINK_RE.findall(doc.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        checked += 1
+        path_part, _, fragment = target.partition("#")
+        dest = doc if not path_part else (doc.parent / path_part).resolve()
+        if not dest.exists():
+            errors.append(f"{doc.relative_to(REPO)}: broken link {target!r}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in heading_slugs(dest):
+                errors.append(
+                    f"{doc.relative_to(REPO)}: link {target!r} — no such "
+                    f"heading in {dest.name}"
+                )
+    return checked
+
+
+def cli_lines(doc: Path) -> list:
+    """``repro ...`` lines inside fenced code blocks of ``doc``."""
+    lines, in_fence = [], False
+    for lineno, line in enumerate(
+        doc.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        stripped = line.strip()
+        if in_fence and stripped.startswith("repro "):
+            lines.append((lineno, stripped))
+    return lines
+
+
+def check_cli_examples(doc: Path, errors: list) -> int:
+    from repro.cli import build_parser
+
+    examples = cli_lines(doc)
+    for lineno, line in examples:
+        argv = shlex.split(line, comments=True)[1:]
+        try:
+            build_parser().parse_args(argv)
+        except SystemExit:
+            errors.append(
+                f"{doc.relative_to(REPO)}:{lineno}: example does not "
+                f"parse: {line!r}"
+            )
+        except Exception as exc:  # argparse should only SystemExit
+            errors.append(
+                f"{doc.relative_to(REPO)}:{lineno}: {type(exc).__name__} "
+                f"parsing {line!r}: {exc}"
+            )
+    return len(examples)
+
+
+def main() -> int:
+    docs = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+    required = {"architecture.md", "performance.md", "cli.md"}
+    present = {p.name for p in docs}
+    errors = [f"docs/: missing required file {name}"
+              for name in sorted(required - present)]
+
+    n_links = sum(check_links(doc, errors) for doc in docs if doc.exists())
+    cli_doc = REPO / "docs" / "cli.md"
+    n_cli = check_cli_examples(cli_doc, errors) if cli_doc.exists() else 0
+    if n_cli == 0:
+        errors.append("docs/cli.md: no `repro ...` examples found")
+
+    if errors:
+        print("checkdocs: FAILED", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(
+        f"checkdocs: ok — {len(docs)} file(s), {n_links} internal "
+        f"link(s), {n_cli} CLI example(s) parsed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,11 @@ repo.obs-bounded     error     code under ``repro/obs/live/`` grows instance
                                ``SeriesRing`` built in ``__init__`` — the live
                                plane's memory must stay bounded for
                                session-long sampling
+repo.public-         error     a module under ``repro/corr/`` or
+docstring                      ``repro/backtest/``, or a public class /
+                               function / method there, has no docstring —
+                               these packages carry the scalar/batch
+                               equivalence contract, which lives in prose
 ===================  ========  =================================================
 
 Suppression: append ``# repro-lint: disable=<rule>[,<rule>...]`` (or
@@ -420,6 +425,51 @@ def _check_obs_bounded(tree: ast.AST, path: str) -> Iterator[_Finding]:
                 )
 
 
+#: Packages whose public API must be documented: the correlation and
+#: backtest layers carry the scalar/batch bitwise-equivalence contract,
+#: and that contract is stated in docstrings (see docs/performance.md).
+_DOCSTRING_SCOPES = ("repro/corr/", "repro/backtest/")
+
+
+def _public_defs(
+    body: list[ast.stmt], prefix: str = ""
+) -> Iterator[tuple[str, ast.stmt]]:
+    """Public classes/functions in ``body``, plus public methods one deep."""
+    for stmt in body:
+        if not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if stmt.name.startswith("_"):
+            continue
+        yield prefix + stmt.name, stmt
+        if isinstance(stmt, ast.ClassDef):
+            yield from _public_defs(stmt.body, prefix=stmt.name + ".")
+
+
+def _check_public_docstring(tree: ast.Module, path: str) -> Iterator[_Finding]:
+    norm = path.replace("\\", "/")
+    if not any(scope in norm for scope in _DOCSTRING_SCOPES):
+        return
+    if ast.get_docstring(tree) is None:
+        yield _Finding(
+            "repo.public-docstring", Severity.ERROR, 1,
+            "module has no docstring",
+            hint="state what the module computes and, for corr/backtest "
+            "code, how it relates to the scalar/batch equivalence "
+            "contract",
+        )
+    for name, node in _public_defs(tree.body):
+        if ast.get_docstring(node) is None:
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            yield _Finding(
+                "repo.public-docstring", Severity.ERROR, node.lineno,
+                f"public {kind} {name!r} has no docstring",
+                hint="document the public API (one line is enough for "
+                "trivial accessors); prefix with '_' if it is internal",
+            )
+
+
 def lint_source(text: str, path: str) -> list[Diagnostic]:
     """Lint one module's source text; ``path`` is used for reporting."""
     try:
@@ -443,6 +493,7 @@ def lint_source(text: str, path: str) -> list[Diagnostic]:
     findings.extend(_check_store_bounds(tree, path))
     findings.extend(_check_stateful_snapshot(tree))
     findings.extend(_check_obs_bounded(tree, path))
+    findings.extend(_check_public_docstring(tree, path))
 
     return findings_to_diagnostics(findings, path, suppressed)
 

@@ -59,10 +59,12 @@ class BarProvider:
 
     @property
     def n_symbols(self) -> int:
+        """Number of symbols in the provider's universe."""
         return len(self.market.universe)
 
     @property
     def smax(self) -> int:
+        """Number of grid intervals per day (the paper's ``smax``)."""
         return self.grid.smax
 
     def prices(self, day: int) -> np.ndarray:
@@ -85,4 +87,5 @@ class BarProvider:
         return log_returns(self.prices(day))
 
     def clear_cache(self) -> None:
+        """Drop every cached per-day price matrix."""
         self._price_cache.clear()

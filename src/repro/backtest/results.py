@@ -58,6 +58,7 @@ class ResultStore:
         self._cells[key] = arr
 
     def has(self, pair, param_index: int, day: int) -> bool:
+        """Is there a recorded cell for (pair, parameter set, day)?"""
         return self._key(pair, param_index, day) in self._cells
 
     # -- views --------------------------------------------------------------
@@ -108,18 +109,22 @@ class ResultStore:
 
     @property
     def pairs(self) -> list[tuple[int, int]]:
+        """Sorted pairs with at least one recorded cell."""
         return sorted({p for (p, _, _) in self._cells})
 
     @property
     def param_indices(self) -> list[int]:
+        """Sorted parameter-set indices with at least one recorded cell."""
         return sorted({k for (_, k, _) in self._cells})
 
     @property
     def days(self) -> list[int]:
+        """Sorted day indices with at least one recorded cell."""
         return sorted({d for (_, _, d) in self._cells})
 
     @property
     def n_trades(self) -> int:
+        """Total round-trip trades across every recorded cell."""
         return sum(arr.size for arr in self._cells.values())
 
     # -- combination ----------------------------------------------------------
@@ -133,6 +138,7 @@ class ResultStore:
 
     @classmethod
     def merged(cls, stores: Iterable["ResultStore"]) -> "ResultStore":
+        """New store holding the union of ``stores`` (duplicates must agree)."""
         out = cls()
         for store in stores:
             out.merge(store)

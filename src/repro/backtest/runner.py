@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.backtest.data import BarProvider
 from repro.backtest.results import ResultStore
+from repro.corr.batch import BatchWorkspace, batch_pair_series, check_backend
 from repro.corr.maronna import MaronnaConfig
 from repro.corr.measures import corr_series
 from repro.obs import NULL_METRIC, Obs
@@ -52,9 +53,11 @@ class CellFailure:
 
     @property
     def sort_key(self) -> tuple:
+        """Deterministic (day, pair, param index) ordering key."""
         return (self.day, self.pair, self.param_index)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the failed cell."""
         return (
             f"pair={self.pair} day={self.day} k={self.param_index}: "
             f"{self.exc_type}: {self.message}"
@@ -114,7 +117,15 @@ def backtest_pair_day(
 
 
 class SequentialBacktester:
-    """Loop over (day, pair, parameter set) jobs on a single process."""
+    """Loop over (day, pair, parameter set) jobs on a single process.
+
+    ``corr_backend="batch"`` (requires ``share_correlation=True``)
+    replaces the per-pair correlation fills with one all-pairs batch
+    evaluation per (day, window, treatment) spec — the
+    :mod:`repro.corr.batch` kernels — leaving every trade bitwise
+    identical to the scalar path; with it, the per-job clock covers only
+    the strategy scan and the correlation cost lands in ``corr.batch.*``.
+    """
 
     def __init__(
         self,
@@ -125,12 +136,22 @@ class SequentialBacktester:
         obs: Obs | None = None,
         profile: bool = False,
         profile_interval: float = 0.005,
+        corr_backend: str = "scalar",
     ):
         self.provider = provider
         self.share_correlation = share_correlation
         self.maronna_config = maronna_config
         self.execution = execution
         self.obs = obs
+        self.corr_backend = check_backend(corr_backend)
+        if corr_backend == "batch" and not share_correlation:
+            raise ValueError(
+                "corr_backend='batch' computes each correlation series once "
+                "per (day, spec); it requires share_correlation=True (the "
+                "unshared mode exists to reproduce the paper's recompute-"
+                "per-cell cost profile, which batching would silently change)"
+            )
+        self._workspace = BatchWorkspace() if corr_backend == "batch" else None
         #: With ``profile=True`` (and an enabled obs), each run is stack-
         #: sampled and the profile folded into ``obs.profile``.
         self.profile = profile
@@ -185,6 +206,29 @@ class SequentialBacktester:
             obs.metrics.counter("backtest.jobs").inc(len(self.last_job_seconds))
         return store
 
+    def _prefill_corr_cache(
+        self, corr_cache, pairs, grid, returns, smax, record
+    ):
+        """Batch backend: one all-pairs evaluation per (window, treatment).
+
+        Fills the same ``(i, j, m, ctype)``-keyed cache the scalar path
+        fills lazily, with bitwise-identical series (the batch kernels'
+        equivalence contract), so the strategy loop below is unchanged.
+        """
+        obs = self.obs if record else None
+        specs = sorted(
+            {(p.m, p.ctype) for p in grid}, key=lambda s: (s[0], s[1].value)
+        )
+        for m, ctype in specs:
+            block = batch_pair_series(
+                returns, m, ctype, self.maronna_config, pairs=pairs,
+                obs=obs, workspace=self._workspace,
+            )
+            for p, (i, j) in enumerate(pairs):
+                corr_cache[(i, j, m, ctype)] = align_corr_series(
+                    block[:, p], smax, m
+                )
+
     def _run_cells(self, store, pairs, grid, days, span, on_error, record):
         obs = self.obs
         with span:
@@ -193,6 +237,10 @@ class SequentialBacktester:
                 smax = prices.shape[0]
                 returns = self.provider.returns(day)
                 corr_cache: dict[tuple, np.ndarray] = {}
+                if self.corr_backend == "batch":
+                    self._prefill_corr_cache(
+                        corr_cache, pairs, grid, returns, smax, record
+                    )
                 for i, j in pairs:
                     pair_prices = prices[:, [i, j]]
                     for k, params in enumerate(grid):

@@ -44,14 +44,17 @@ class WalkForwardReport:
 
     @property
     def mean_chosen_return(self) -> float:
+        """Mean out-of-sample return of the walk-forward-chosen set."""
         return float(np.mean([s.chosen_return for s in self.steps]))
 
     @property
     def mean_best_return(self) -> float:
+        """Mean out-of-sample return of the (hindsight) best set."""
         return float(np.mean([s.best_return for s in self.steps]))
 
     @property
     def mean_median_return(self) -> float:
+        """Mean out-of-sample return of the median set."""
         return float(np.mean([s.median_return for s in self.steps]))
 
     @property

@@ -1,0 +1,426 @@
+"""All-pairs batch correlation kernels behind the scalar/batch backend seam.
+
+The paper evaluates every pair of its 61-stock universe — N·(N−1)/2 = 1830
+rolling correlation series per (day, window, treatment) — and the engines
+historically looped over pairs in Python, calling
+:func:`repro.corr.measures.corr_series` once per pair.  This module computes
+the same ``(n_windows, n_pairs)`` matrix in a single batch evaluation:
+
+* **Pearson** — per-symbol centred cumulative moments are computed once
+  (O(T·n) instead of O(T·n²)), and only the pair cross-moments are formed
+  per pair, chunked to bound peak memory;
+* **Maronna / Combined** — every pair's windows are stacked into large
+  contiguous batches and driven through the vectorised robust kernels, so
+  the fixed-point iteration converges *all pairs and all windows
+  simultaneously* under one convergence mask instead of per-pair loops.
+
+Equivalence contract
+--------------------
+``batch`` results are **bitwise-identical** to the scalar per-pair path
+(:func:`scalar_pair_series`, which delegates to ``corr_series``) and to the
+per-window reference loop (:func:`reference_pair_series`):
+
+* the Pearson batch path reproduces :func:`repro.corr.pearson.pearson_series`
+  expression-for-expression (per-column ``.mean()``, columnwise ``cumsum``
+  — strictly sequential in NumPy — and the same elementwise
+  ``_corr_from_moments``);
+* the robust kernels freeze each window once converged, so every window's
+  trajectory is independent of which other windows share its batch — batch
+  composition and chunk boundaries cannot change any result (guaranteed by
+  :func:`repro.corr.maronna.maronna_corr_batched` and asserted by the
+  property tests in ``tests/test_corr_batch.py`` and the bench smoke).
+
+The scalar path stays in the tree as the oracle: every engine accepts
+``backend="scalar"|"batch"`` (see :func:`pair_series_matrix`) and the test
+suite asserts equality to the last ulp on both MPI backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bars.returns import sliding_windows
+from repro.corr.combined import combined_corr_batched
+from repro.corr.maronna import MaronnaConfig, maronna_corr_batched
+from repro.corr.measures import CorrelationType, corr_series
+from repro.corr.pearson import _corr_from_moments, pearson_series
+from repro.obs import NULL_METRIC, Obs
+from repro.util.validation import check_positive_int
+
+#: Valid values of the engine ``backend`` seam.
+BACKENDS = ("scalar", "batch")
+
+#: Cap on elements materialised per Pearson chunk — same budget as the
+#: scalar path's ``repro.corr.measures._CHUNK_ELEMENTS``.
+_CHUNK_ELEMENTS = 2_000_000
+
+#: Cap on elements per robust-kernel batch.  The fixed-point iteration
+#: touches ~10 temporaries of the batch's size every pass, so the batch
+#: must stay cache-resident: 64k elements (512 KiB per buffer) measured
+#: ~1.5x faster than megabyte-scale batches on the paper-day workload.
+_ROBUST_CHUNK_ELEMENTS = 65_536
+
+
+def check_backend(backend: str) -> str:
+    """Validate a correlation ``backend`` name and return it.
+
+    Parameters
+    ----------
+    backend : str
+        One of :data:`BACKENDS` (``"scalar"`` or ``"batch"``).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+def all_pairs(n: int) -> list[tuple[int, int]]:
+    """The ``n·(n-1)/2`` ordered symbol pairs ``(i, j)`` with ``i < j``."""
+    check_positive_int(n, "n")
+    return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+class BatchWorkspace:
+    """Preallocated scratch buffers reused across batch kernel calls.
+
+    The batch kernels allocate working arrays proportional to the chunk
+    budget; an engine sweeping many (day, spec) cells passes one workspace
+    so those buffers are allocated once and stay cache-warm instead of
+    being re-malloc'd per call.  Buffers are keyed by role and reallocated
+    only when a call needs a different shape.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """An uninitialised float64 buffer of exactly ``shape``."""
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape)
+            self._buffers[name] = buf
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the workspace."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
+def _validate(
+    returns: np.ndarray,
+    m: int,
+    ctype: CorrelationType | str,
+    pairs: list[tuple[int, int]] | None,
+) -> tuple[np.ndarray, CorrelationType, list[tuple[int, int]], int]:
+    ctype = CorrelationType.parse(ctype)
+    check_positive_int(m, "m")
+    if m < 2:
+        raise ValueError("window length must be >= 2")
+    returns = np.asarray(returns, dtype=float)
+    if returns.ndim != 2:
+        raise ValueError(f"need (T, n) returns, got shape {returns.shape}")
+    T, n = returns.shape
+    if T < m:
+        raise ValueError(f"need at least {m} return rows, got {T}")
+    if pairs is None:
+        pairs = all_pairs(n)
+    else:
+        pairs = [tuple(p) for p in pairs]
+        for i, j in pairs:
+            if not (0 <= i < n and 0 <= j < n and i != j):
+                raise ValueError(f"invalid pair ({i}, {j}) for n={n}")
+    return returns, ctype, pairs, T - m + 1
+
+
+def _out_buffer(
+    out: np.ndarray | None, n_win: int, n_pairs: int
+) -> np.ndarray:
+    if out is None:
+        return np.empty((n_win, n_pairs))
+    if out.shape != (n_win, n_pairs) or out.dtype != np.float64:
+        raise ValueError(
+            f"out must be float64 of shape {(n_win, n_pairs)}, got "
+            f"{out.dtype} {out.shape}"
+        )
+    return out
+
+
+def _pearson_batch(
+    returns: np.ndarray,
+    m: int,
+    pairs: list[tuple[int, int]],
+    out: np.ndarray,
+    ws: BatchWorkspace,
+) -> int:
+    """All-pairs rolling Pearson into ``out``; returns the chunk count.
+
+    Reproduces :func:`repro.corr.pearson.pearson_series` bitwise: the same
+    whole-series centring, the same cumulative-sum rolling moments (NumPy's
+    ``cumsum`` is strictly sequential, so a columnwise cumsum equals each
+    column's 1-D cumsum), and the same elementwise ``_corr_from_moments``.
+    """
+    T, n = returns.shape
+    idx_i = np.asarray([i for i, _ in pairs], dtype=np.intp)
+    idx_j = np.asarray([j for _, j in pairs], dtype=np.intp)
+
+    # Per-symbol means via 1-D column reductions: ``x.mean()`` of a strided
+    # column and an axis-0 reduction can differ in the last ulp, and the
+    # scalar oracle uses the former — so the batch path must too (n calls,
+    # negligible cost).
+    mu = np.zeros(n)
+    for s in sorted({int(i) for i, j in pairs} | {int(j) for i, j in pairs}):
+        mu[s] = returns[:, s].mean()
+    centred = ws.get("pearson.centred", (T, n))
+    np.subtract(returns, mu[None, :], out=centred)
+
+    # Rolling per-symbol sums S1 = Σx and S2 = Σx² via the cumsum identity.
+    cum = ws.get("pearson.cum", (T + 1, n))
+    cum[0] = 0.0
+    np.cumsum(centred, axis=0, out=cum[1:])
+    s1 = cum[m:] - cum[:-m]
+    sq = ws.get("pearson.sq", (T, n))
+    np.multiply(centred, centred, out=sq)
+    cum2 = ws.get("pearson.cum2", (T + 1, n))
+    cum2[0] = 0.0
+    np.cumsum(sq, axis=0, out=cum2[1:])
+    s2 = cum2[m:] - cum2[:-m]
+
+    # Pair cross-moments, chunked over pairs to bound peak memory.
+    n_pairs = len(pairs)
+    chunk = max(1, _CHUNK_ELEMENTS // T)
+    xy = ws.get("pearson.xy", (T, min(chunk, n_pairs)))
+    cxy = ws.get("pearson.cxy", (T + 1, min(chunk, n_pairs)))
+    n_chunks = 0
+    for lo in range(0, n_pairs, chunk):
+        hi = min(lo + chunk, n_pairs)
+        c = hi - lo
+        ii, jj = idx_i[lo:hi], idx_j[lo:hi]
+        np.multiply(centred[:, ii], centred[:, jj], out=xy[:, :c])
+        cxy[0, :c] = 0.0
+        np.cumsum(xy[:, :c], axis=0, out=cxy[1:, :c])
+        sxy = cxy[m:, :c] - cxy[: T + 1 - m, :c]
+        out[:, lo:hi] = _corr_from_moments(
+            s1[:, ii], s1[:, jj], s2[:, ii], s2[:, jj], sxy, m
+        )
+        n_chunks += 1
+    return n_chunks
+
+
+def _robust_batch(
+    returns: np.ndarray,
+    m: int,
+    ctype: CorrelationType,
+    config: MaronnaConfig | None,
+    pairs: list[tuple[int, int]],
+    out: np.ndarray,
+    ws: BatchWorkspace,
+) -> int:
+    """All-pairs robust/blended series into ``out``; returns chunk count.
+
+    Stacks every pair's sliding windows into contiguous ``(rows, m)``
+    batches spanning pair boundaries and drives them through the batched
+    kernels: one convergence mask over all pairs and windows at once.
+    Per-window convergence freezing makes each row's result independent of
+    the batch composition, so the flat-row chunking below cannot change
+    any value relative to the per-pair scalar path.
+    """
+    kernel = (
+        maronna_corr_batched
+        if ctype is CorrelationType.MARONNA
+        else combined_corr_batched
+    )
+    n_win = out.shape[0]
+    n_pairs = len(pairs)
+    wins = [
+        (sliding_windows(returns[:, i], m), sliding_windows(returns[:, j], m))
+        for i, j in pairs
+    ]
+    total_rows = n_pairs * n_win
+    chunk_rows = min(max(1, _ROBUST_CHUNK_ELEMENTS // m), total_rows)
+    bufx = ws.get("robust.bufx", (chunk_rows, m))
+    bufy = ws.get("robust.bufy", (chunk_rows, m))
+    n_chunks = 0
+    for lo in range(0, total_rows, chunk_rows):
+        hi = min(lo + chunk_rows, total_rows)
+        # Gather: copy each covered pair's window slice into the stack.
+        r, pos = 0, lo
+        while pos < hi:
+            p, w = divmod(pos, n_win)
+            take = min(hi - pos, n_win - w)
+            bufx[r : r + take] = wins[p][0][w : w + take]
+            bufy[r : r + take] = wins[p][1][w : w + take]
+            r += take
+            pos += take
+        vals = kernel(bufx[:r], bufy[:r], config)
+        # Scatter back to (window, pair) coordinates.
+        r, pos = 0, lo
+        while pos < hi:
+            p, w = divmod(pos, n_win)
+            take = min(hi - pos, n_win - w)
+            out[w : w + take, p] = vals[r : r + take]
+            r += take
+            pos += take
+        n_chunks += 1
+    return n_chunks
+
+
+def batch_pair_series(
+    returns: np.ndarray,
+    m: int,
+    ctype: CorrelationType | str = CorrelationType.PEARSON,
+    config: MaronnaConfig | None = None,
+    pairs: list[tuple[int, int]] | None = None,
+    obs: Obs | None = None,
+    workspace: BatchWorkspace | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Rolling correlation series of many pairs in one batch evaluation.
+
+    Parameters
+    ----------
+    returns : ndarray, shape (T, n)
+        Return rows for the whole universe (one column per symbol).
+    m : int
+        Rolling window length in return rows (>= 2; robust measures
+        require >= 3, enforced by the kernels).
+    ctype : CorrelationType or str, optional
+        Correlation treatment; one of the paper's three measures.
+    config : MaronnaConfig, optional
+        Robust-iteration tuning for the Maronna/Combined treatments.
+    pairs : list of (int, int), optional
+        Symbol pairs to evaluate; defaults to all ``n·(n-1)/2`` pairs.
+    obs : Obs, optional
+        Destination for ``corr.batch.*`` metrics and the ``corr.batch``
+        span (which is what `repro top` and the flame table attribute the
+        batch path's time to).  Disabled/absent obs costs nothing.
+    workspace : BatchWorkspace, optional
+        Preallocated scratch reused across calls; engines sweeping many
+        (day, spec) cells should pass one.
+    out : ndarray, shape (T - m + 1, len(pairs)), optional
+        Preallocated float64 output buffer.
+
+    Returns
+    -------
+    ndarray, shape (T - m + 1, len(pairs))
+        Column ``p`` is exactly ``corr_series(returns[:, i_p],
+        returns[:, j_p], m, ctype, config)`` — bitwise, not approximately
+        (see the module docstring for why).
+    """
+    returns, ctype, pairs, n_win = _validate(returns, m, ctype, pairs)
+    out = _out_buffer(out, n_win, len(pairs))
+    ws = workspace if workspace is not None else BatchWorkspace()
+    record = obs is not None and obs.enabled
+    span = (
+        obs.trace.span(
+            "corr.batch", pairs=len(pairs), m=m, ctype=ctype.value
+        )
+        if record
+        else NULL_METRIC
+    )
+    timer = (
+        obs.metrics.timer("corr.batch.pair_series.seconds")
+        if record
+        else NULL_METRIC
+    )
+    with span, timer:
+        if ctype is CorrelationType.PEARSON:
+            n_chunks = _pearson_batch(returns, m, pairs, out, ws)
+        else:
+            n_chunks = _robust_batch(
+                returns, m, ctype, config, pairs, out, ws
+            )
+    if record:
+        obs.metrics.counter("corr.batch.pairs").inc(len(pairs))
+        obs.metrics.counter("corr.batch.windows").inc(len(pairs) * n_win)
+        obs.metrics.counter("corr.batch.chunks").inc(n_chunks)
+    return out
+
+
+def scalar_pair_series(
+    returns: np.ndarray,
+    m: int,
+    ctype: CorrelationType | str = CorrelationType.PEARSON,
+    config: MaronnaConfig | None = None,
+    pairs: list[tuple[int, int]] | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """The scalar oracle: one :func:`corr_series` call per pair.
+
+    Same shape and semantics as :func:`batch_pair_series`; this is the
+    per-pair path the engines have always run and the reference the batch
+    backend is tested bitwise against.
+    """
+    returns, ctype, pairs, n_win = _validate(returns, m, ctype, pairs)
+    out = _out_buffer(out, n_win, len(pairs))
+    for p, (i, j) in enumerate(pairs):
+        out[:, p] = corr_series(returns[:, i], returns[:, j], m, ctype, config)
+    return out
+
+
+def reference_pair_series(
+    returns: np.ndarray,
+    m: int,
+    ctype: CorrelationType | str = CorrelationType.PEARSON,
+    config: MaronnaConfig | None = None,
+    pairs: list[tuple[int, int]] | None = None,
+) -> np.ndarray:
+    """The fully scalar per-pair/per-window loop — the bench baseline.
+
+    For the robust measures this really does run one fixed-point iteration
+    per window (batch size 1), i.e. the genuine scalar while-loop cost the
+    batch path replaces; per-window convergence freezing makes its results
+    bitwise-identical to both other paths.  Pearson has no per-window
+    scalar form in the tree (the rolling cumsum identity *is* the scalar
+    path), so it delegates to :func:`repro.corr.pearson.pearson_series`.
+    """
+    returns, ctype, pairs, n_win = _validate(returns, m, ctype, pairs)
+    out = np.empty((n_win, len(pairs)))
+    if ctype is CorrelationType.PEARSON:
+        for p, (i, j) in enumerate(pairs):
+            out[:, p] = pearson_series(returns[:, i], returns[:, j], m)
+        return out
+    kernel = (
+        maronna_corr_batched
+        if ctype is CorrelationType.MARONNA
+        else combined_corr_batched
+    )
+    for p, (i, j) in enumerate(pairs):
+        xw = sliding_windows(returns[:, i], m)
+        yw = sliding_windows(returns[:, j], m)
+        for w in range(n_win):
+            out[w, p] = kernel(xw[w : w + 1], yw[w : w + 1], config)[0]
+    return out
+
+
+def pair_series_matrix(
+    returns: np.ndarray,
+    m: int,
+    ctype: CorrelationType | str = CorrelationType.PEARSON,
+    config: MaronnaConfig | None = None,
+    pairs: list[tuple[int, int]] | None = None,
+    backend: str = "batch",
+    obs: Obs | None = None,
+    workspace: BatchWorkspace | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Backend-dispatching entry point for all-pairs correlation series.
+
+    Parameters
+    ----------
+    backend : {"batch", "scalar"}
+        ``"batch"`` runs :func:`batch_pair_series`; ``"scalar"`` runs the
+        per-pair oracle :func:`scalar_pair_series`.  Outputs are bitwise
+        identical; only the cost profile differs.
+
+    Other parameters are as in :func:`batch_pair_series`.
+    """
+    check_backend(backend)
+    if backend == "batch":
+        return batch_pair_series(
+            returns, m, ctype, config, pairs,
+            obs=obs, workspace=workspace, out=out,
+        )
+    return scalar_pair_series(returns, m, ctype, config, pairs, out=out)

@@ -147,11 +147,11 @@ def corr_matrix(
 
     out = np.zeros((n, n))
     if pairs:
-        xw = window.T[[i for i, _ in pairs]]
-        yw = window.T[[j for _, j in pairs]]
-        vals = _batched(ctype, xw, yw, config)
-        for (i, j), v in zip(pairs, vals):
-            out[i, j] = out[j, i] = v
+        idx_i = np.asarray([i for i, _ in pairs], dtype=np.intp)
+        idx_j = np.asarray([j for _, j in pairs], dtype=np.intp)
+        vals = _batched(ctype, window.T[idx_i], window.T[idx_j], config)
+        out[idx_i, idx_j] = vals
+        out[idx_j, idx_i] = vals
     if full:
         np.fill_diagonal(out, 1.0)
     return out
@@ -162,6 +162,7 @@ def corr_matrix_series(
     m: int,
     ctype: CorrelationType | str = CorrelationType.PEARSON,
     config: MaronnaConfig | None = None,
+    backend: str = "scalar",
 ) -> np.ndarray:
     """Series of full correlation matrices over a rolling window.
 
@@ -169,9 +170,19 @@ def corr_matrix_series(
     covers return rows ``k .. k + m - 1``.  This materialises what the
     paper's Approach 1 stored on disk — at full scale it is the memory
     hog the paper complains about, which is the point.
+
+    ``backend`` selects how the robust/blended entries are produced:
+    ``"scalar"`` loops one pair at a time (the oracle), ``"batch"`` runs
+    the all-pairs kernel of :mod:`repro.corr.batch`; outputs are bitwise
+    identical.  The Pearson branch is already a per-interval batch over
+    all pairs (one matrix product per window) and is shared by both
+    backends.
     """
+    from repro.corr.batch import batch_pair_series, check_backend
+
     ctype = CorrelationType.parse(ctype)
     check_positive_int(m, "m")
+    check_backend(backend)
     returns = np.asarray(returns, dtype=float)
     if returns.ndim != 2:
         raise ValueError(f"need (T, n) returns, got shape {returns.shape}")
@@ -184,13 +195,20 @@ def corr_matrix_series(
         for k in range(n_win):
             out[k] = pearson_matrix(returns[k : k + m])
         return out
-    # Robust/blended measures: compute each pair's whole series batched
-    # (the per-pair series kernel re-uses windows efficiently).
     out[:] = 0.0
     out[:, np.arange(n), np.arange(n)] = 1.0
-    for i in range(n):
-        for j in range(i + 1, n):
-            series = corr_series(returns[:, i], returns[:, j], m, ctype, config)
-            out[:, i, j] = series
-            out[:, j, i] = series
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if backend == "batch":
+        block = batch_pair_series(returns, m, ctype, config, pairs)
+        idx_i = np.asarray([i for i, _ in pairs], dtype=np.intp)
+        idx_j = np.asarray([j for _, j in pairs], dtype=np.intp)
+        out[:, idx_i, idx_j] = block
+        out[:, idx_j, idx_i] = block
+        return out
+    # Scalar oracle: compute each pair's whole series one pair at a time
+    # (the per-pair series kernel re-uses windows efficiently).
+    for i, j in pairs:
+        series = corr_series(returns[:, i], returns[:, j], m, ctype, config)
+        out[:, i, j] = series
+        out[:, j, i] = series
     return out

@@ -100,7 +100,13 @@ class OnlineCorrelationEngine:
         return np.vstack((self._buffer[self._head :], self._buffer[: self._head]))
 
     def matrix(self) -> np.ndarray:
-        """Correlation matrix of the current window, shape (n, n)."""
+        """Correlation matrix of the current window, shape (n, n).
+
+        The Pearson branch reuses the maintained rolling moments; the
+        robust branch delegates to :func:`corr_matrix`, which already
+        evaluates all N·(N−1)/2 pairs of the interval in one batched
+        kernel call — there is no per-pair loop to vectorize here.
+        """
         if not self.ready:
             raise ValueError(
                 f"window not full: {self._count}/{self.m} rows pushed"

@@ -420,7 +420,7 @@ class TestObsBounded:
                 def tick(self, ev):
                     self.events.append(ev)
             """,
-            path="src/repro/backtest/mod.py",
+            path="src/repro/taq/mod.py",
         ) == []
 
     def test_suppression_comment_works(self):
@@ -435,3 +435,82 @@ class TestObsBounded:
             """,
             path=self.LIVE,
         ) == []
+
+class TestPublicDocstring:
+    """The corr/backtest packages must document their public surface."""
+
+    DOCUMENTED = '''
+        """Module docstring."""
+
+        class Engine:
+            """Class docstring."""
+
+            def run(self):
+                """Method docstring."""
+
+            def _internal(self):
+                return 1
+
+        def helper():
+            """Function docstring."""
+    '''
+
+    def test_missing_module_docstring_fires(self):
+        diags = lint("x = 1\n", path="src/repro/corr/mod.py")
+        assert rules(diags) == ["repo.public-docstring"]
+        assert diags[0].severity is Severity.ERROR
+        assert "module" in diags[0].message
+
+    def test_missing_class_function_method_fire(self):
+        diags = lint(
+            '''
+            """Module docstring."""
+
+            class Engine:
+                def run(self):
+                    """Documented."""
+
+            def helper():
+                pass
+            ''',
+            path="src/repro/backtest/mod.py",
+        )
+        assert rules(diags) == [
+            "repo.public-docstring", "repo.public-docstring"
+        ]
+        assert "'Engine'" in diags[0].message
+        assert "'helper'" in diags[1].message
+
+    def test_documented_module_clean(self):
+        assert lint(self.DOCUMENTED, path="src/repro/corr/mod.py") == []
+
+    def test_private_names_exempt(self):
+        assert lint(
+            '''
+            """Module docstring."""
+
+            def _private():
+                pass
+
+            class _Hidden:
+                def run(self):
+                    pass
+            ''',
+            path="src/repro/corr/mod.py",
+        ) == []
+
+    def test_rule_scoped_to_corr_and_backtest(self):
+        assert lint("x = 1\n", path="src/repro/taq/mod.py") == []
+        assert lint("x = 1\n", path="src/repro/obs/mod.py") == []
+
+    def test_suppression_works(self):
+        diags = lint(
+            '''
+            """Module docstring."""
+
+            def helper():  # repro-lint: disable=repo.public-docstring
+                pass
+            ''',
+            path="src/repro/corr/mod.py",
+        )
+        assert diags == []

@@ -174,3 +174,52 @@ class TestEquivalence:
 
         with pytest.raises(SpmdFailure):
             mpi.run_spmd(spmd, size=1)
+
+
+class TestBatchBackendEquivalence:
+    """corr_backend="batch" must be bitwise-invisible in every engine."""
+
+    @pytest.fixture(scope="class")
+    def scalar_store(self, provider, small_setup):
+        pairs, grid, days = small_setup
+        return SequentialBacktester(provider, share_correlation=True).run(
+            pairs, grid, days
+        )
+
+    def test_sequential_batch(self, provider, small_setup, scalar_store):
+        pairs, grid, days = small_setup
+        got = SequentialBacktester(
+            provider, share_correlation=True, corr_backend="batch"
+        ).run(pairs, grid, days)
+        assert got == scalar_store
+
+    def test_matrix_series_batch(self, provider, small_setup, scalar_store):
+        pairs, grid, days = small_setup
+        got = MatrixSeriesBacktester(provider, corr_backend="batch").run(
+            pairs, grid, days
+        )
+        assert got == scalar_store
+
+    @pytest.mark.parametrize("mpi_backend", ["thread", "process"])
+    def test_distributed_batch_both_mpi_backends(
+        self, provider, small_setup, scalar_store, mpi_backend
+    ):
+        pairs, grid, days = small_setup
+
+        def spmd(comm):
+            return DistributedBacktester(provider, corr_backend="batch").run(
+                comm, pairs, grid, days
+            )
+
+        results = mpi.run_spmd(spmd, size=3, backend=mpi_backend)
+        assert all(r == scalar_store for r in results)
+
+    def test_engines_reject_unknown_backend(self, provider):
+        with pytest.raises(ValueError, match="backend"):
+            SequentialBacktester(
+                provider, share_correlation=True, corr_backend="vector"
+            )
+        with pytest.raises(ValueError, match="backend"):
+            MatrixSeriesBacktester(provider, corr_backend="vector")
+        with pytest.raises(ValueError, match="backend"):
+            DistributedBacktester(provider, corr_backend="vector")

@@ -1,0 +1,310 @@
+"""Tests for the all-pairs batch correlation kernels and the backend seam.
+
+The load-bearing invariant: ``backend="batch"`` is bitwise-identical to the
+per-pair scalar oracle (and, for the robust measures, to the genuine
+per-window scalar loop) — every equality below is ``np.array_equal``, never
+``allclose``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.backtest.data import BarProvider
+from repro.backtest.runner import SequentialBacktester
+from repro.corr.batch import (
+    BACKENDS,
+    BatchWorkspace,
+    all_pairs,
+    batch_pair_series,
+    check_backend,
+    pair_series_matrix,
+    reference_pair_series,
+    scalar_pair_series,
+)
+from repro.corr.maronna import MaronnaConfig
+from repro.corr.measures import corr_matrix_series, corr_series
+from repro.corr.parallel import ParallelCorrelationEngine
+from repro.obs import Obs
+from repro.strategy.engine import align_corr_series
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+CTYPES = ("pearson", "maronna", "combined")
+
+
+def random_returns(rng, T, n, outlier_prob=0.02, constant_col=False):
+    """Return rows with occasional fat-tailed outliers, optionally a
+    zero-variance column (the degenerate-window edge case)."""
+    r = rng.normal(0.0, 1e-3, (T, n))
+    r[rng.random((T, n)) < outlier_prob] *= 40.0
+    if constant_col:
+        r[:, 0] = 0.0
+    return r
+
+
+class TestHelpers:
+    def test_all_pairs(self):
+        assert all_pairs(3) == [(0, 1), (0, 2), (1, 2)]
+        assert len(all_pairs(61)) == 1830
+
+    def test_check_backend(self):
+        for b in BACKENDS:
+            assert check_backend(b) == b
+        with pytest.raises(ValueError, match="backend"):
+            check_backend("gpu")
+
+    def test_workspace_reuse_and_nbytes(self):
+        ws = BatchWorkspace()
+        a = ws.get("x", (4, 5))
+        assert ws.get("x", (4, 5)) is a
+        b = ws.get("x", (6, 5))
+        assert b is not a and b.shape == (6, 5)
+        assert ws.nbytes == b.nbytes
+
+
+class TestPropertyBatchEqualsScalar:
+    """Random shapes, windows and data: batch == scalar to the last ulp."""
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_random_universe(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        n = int(rng.integers(2, 8))
+        m = int(rng.integers(3, 30))
+        T = m + int(rng.integers(1, 90))
+        returns = random_returns(
+            rng, T, n, constant_col=bool(trial % 3 == 0)
+        )
+        ctype = CTYPES[trial % 3]
+        ws = BatchWorkspace()
+        batch = batch_pair_series(returns, m, ctype, workspace=ws)
+        scalar = scalar_pair_series(returns, m, ctype)
+        assert batch.shape == (T - m + 1, n * (n - 1) // 2)
+        np.testing.assert_array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("ctype", ["maronna", "combined"])
+    def test_matches_per_window_reference(self, ctype):
+        rng = np.random.default_rng(7)
+        returns = random_returns(rng, 40, 4)
+        batch = batch_pair_series(returns, 12, ctype)
+        ref = reference_pair_series(returns, 12, ctype)
+        np.testing.assert_array_equal(batch, ref)
+
+    def test_pearson_reference_is_the_rolling_series(self):
+        rng = np.random.default_rng(8)
+        returns = random_returns(rng, 60, 5)
+        np.testing.assert_array_equal(
+            reference_pair_series(returns, 20, "pearson"),
+            scalar_pair_series(returns, 20, "pearson"),
+        )
+
+    def test_subset_pairs_and_out_buffer(self):
+        rng = np.random.default_rng(9)
+        returns = random_returns(rng, 80, 6)
+        pairs = [(0, 5), (3, 1), (2, 4)]
+        out = np.empty((80 - 15 + 1, 3))
+        got = pair_series_matrix(
+            returns, 15, "combined", pairs=pairs, out=out, backend="batch"
+        )
+        assert got is out
+        for p, (i, j) in enumerate(pairs):
+            np.testing.assert_array_equal(
+                got[:, p], corr_series(returns[:, i], returns[:, j], 15, "combined")
+            )
+
+    def test_chunk_boundaries_cannot_change_results(self, monkeypatch):
+        """Shrink both chunk budgets to force many tiny, pair-straddling
+        chunks; results must not move by a single bit."""
+        import repro.corr.batch as batch_mod
+
+        rng = np.random.default_rng(10)
+        returns = random_returns(rng, 70, 5)
+        expected = {c: batch_pair_series(returns, 16, c) for c in CTYPES}
+        monkeypatch.setattr(batch_mod, "_CHUNK_ELEMENTS", 97)
+        monkeypatch.setattr(batch_mod, "_ROBUST_CHUNK_ELEMENTS", 97)
+        for c in CTYPES:
+            np.testing.assert_array_equal(
+                batch_pair_series(returns, 16, c), expected[c]
+            )
+
+    def test_nan_padding_alignment_matches_scalar(self):
+        """The aligned (NaN warm-up embedded) series the engines feed the
+        strategy are identical, NaNs included."""
+        rng = np.random.default_rng(11)
+        smax = 90
+        returns = random_returns(rng, smax - 1, 4)
+        m = 20
+        batch = batch_pair_series(returns, m, "maronna")
+        for p, (i, j) in enumerate(all_pairs(4)):
+            a = align_corr_series(batch[:, p], smax, m)
+            b = align_corr_series(
+                corr_series(returns[:, i], returns[:, j], m, "maronna"), smax, m
+            )
+            np.testing.assert_array_equal(a, b)
+            assert np.isnan(a[:m]).all()
+
+
+class TestMaronnaConvergenceMask:
+    def test_one_pair_never_converges(self):
+        """A pair whose fixed point can't settle within max_iter must hit
+        the cap without perturbing any other pair's trajectory."""
+        rng = np.random.default_rng(12)
+        returns = random_returns(rng, 30, 4, outlier_prob=0.0)
+        # Pair (0, 1) gets violent alternating outliers; a tight tolerance
+        # plus a tiny iteration cap leaves it unconverged.
+        returns[::2, 0] += 50.0
+        returns[1::2, 1] -= 50.0
+        capped = MaronnaConfig(max_iter=3, tol=1e-14)
+        loose = MaronnaConfig(max_iter=200, tol=1e-14)
+        m = 12
+        batch_capped = batch_pair_series(returns, m, "maronna", capped)
+        batch_loose = batch_pair_series(returns, m, "maronna", loose)
+        # The cap genuinely bit somewhere on the outlier pair (column 0)...
+        assert not np.array_equal(batch_capped[:, 0], batch_loose[:, 0])
+        # ...yet capped results still match scalar and per-window paths
+        # bitwise and stay valid correlations.
+        np.testing.assert_array_equal(
+            batch_capped, scalar_pair_series(returns, m, "maronna", capped)
+        )
+        np.testing.assert_array_equal(
+            batch_capped, reference_pair_series(returns, m, "maronna", capped)
+        )
+        assert np.isfinite(batch_capped).all()
+        assert (np.abs(batch_capped) <= 1.0).all()
+
+
+class TestObsAttribution:
+    def test_batch_metrics_and_span(self):
+        rng = np.random.default_rng(13)
+        returns = random_returns(rng, 60, 4)
+        obs = Obs(enabled=True)
+        with obs.trace.span("test-root"):
+            batch_pair_series(returns, 20, "pearson", obs=obs)
+        d = obs.to_dict()
+        counters = d["metrics"]["counters"]
+        assert counters["corr.batch.pairs"] == 6
+        assert counters["corr.batch.windows"] == 6 * (60 - 20 + 1)
+        assert counters["corr.batch.chunks"] >= 1
+        assert "corr.batch.pair_series.seconds" in d["metrics"]["histograms"]
+        assert "corr.batch" in json.dumps(d["spans"])
+
+    def test_disabled_obs_records_nothing(self):
+        rng = np.random.default_rng(14)
+        returns = random_returns(rng, 40, 3)
+        obs = Obs(enabled=False)
+        batch_pair_series(returns, 10, "pearson", obs=obs)
+        assert obs.to_dict()["metrics"]["counters"] == {}
+
+
+class TestValidation:
+    def test_rejects_bad_pairs(self):
+        returns = np.zeros((30, 3))
+        with pytest.raises(ValueError, match="invalid pair"):
+            batch_pair_series(returns, 10, "pearson", pairs=[(0, 3)])
+        with pytest.raises(ValueError, match="invalid pair"):
+            batch_pair_series(returns, 10, "pearson", pairs=[(1, 1)])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match=r"\(T, n\)"):
+            batch_pair_series(np.zeros(10), 5, "pearson")
+        with pytest.raises(ValueError, match="at least"):
+            batch_pair_series(np.zeros((4, 3)), 5, "pearson")
+        with pytest.raises(ValueError, match="out must be"):
+            batch_pair_series(
+                np.zeros((30, 3)), 10, "pearson", out=np.zeros((2, 2))
+            )
+
+    def test_sequential_batch_requires_sharing(self, small_market, small_grid):
+        provider = BarProvider(small_market, small_grid)
+        with pytest.raises(ValueError, match="share_correlation"):
+            SequentialBacktester(
+                provider, share_correlation=False, corr_backend="batch"
+            )
+
+
+class TestMatrixSeriesBackend:
+    @pytest.mark.parametrize("ctype", ["maronna", "combined"])
+    def test_batch_equals_scalar(self, correlated_returns, ctype):
+        r = correlated_returns[:50, :4]
+        np.testing.assert_array_equal(
+            corr_matrix_series(r, 20, ctype, backend="batch"),
+            corr_matrix_series(r, 20, ctype, backend="scalar"),
+        )
+
+    def test_rejects_unknown_backend(self, correlated_returns):
+        with pytest.raises(ValueError, match="backend"):
+            corr_matrix_series(correlated_returns[:50], 20, backend="simd")
+
+
+class TestParallelEngineBackend:
+    @pytest.mark.parametrize("mpi_backend", ["thread", "process"])
+    def test_pair_series_bitwise_across_backends(
+        self, correlated_returns, mpi_backend
+    ):
+        r = correlated_returns[:90]
+        pairs = [(0, 1), (2, 3), (1, 5), (0, 4), (3, 5)]
+
+        def prog(comm):
+            return ParallelCorrelationEngine("combined", backend="batch").pair_series(
+                comm, r, 25, pairs
+            )
+
+        results = mpi.run_spmd(prog, size=3, backend=mpi_backend)
+        for got in results:
+            assert set(got) == set(pairs)
+            for i, j in pairs:
+                np.testing.assert_array_equal(
+                    got[(i, j)], corr_series(r[:, i], r[:, j], 25, "combined")
+                )
+
+    def test_matrix_series_batch_matches_serial(self, correlated_returns):
+        r = correlated_returns[:50, :4]
+
+        def prog(comm):
+            return ParallelCorrelationEngine("maronna", backend="batch").matrix_series(
+                comm, r, 20
+            )
+
+        results = mpi.run_spmd(prog, size=2)
+        expected = corr_matrix_series(r, 20, "maronna")
+        np.testing.assert_array_equal(results[0], expected)
+        np.testing.assert_array_equal(results[1], expected)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelCorrelationEngine("pearson", backend="simd")
+
+
+class TestStoreFedBatchSession:
+    def test_store_fed_batch_equals_in_memory_scalar(self, tmp_path):
+        """The full seam: a store-backed provider (zero-copy memmap reader)
+        feeding the batch backend must reproduce the in-memory scalar
+        engine's results exactly."""
+        from repro.store import StoreQuoteSource, StoreReader, ingest_synthetic
+
+        cfg = SyntheticMarketConfig(trading_seconds=3600, quote_rate=0.8)
+        market = SyntheticMarket(default_universe(5), cfg, seed=77)
+        ingest_synthetic(tmp_path, market, n_days=2, n_shards=2)
+
+        grid_t = TimeGrid(30, trading_seconds=3600)
+        base = StrategyParams(m=20, w=10, y=4, rt=10, hp=8, st=5, d=0.002)
+        grid = [base, base.with_ctype("maronna"), base.with_ctype("combined")]
+        pairs = [(0, 1), (1, 2), (2, 4), (0, 3)]
+        days = [0, 1]
+
+        source = StoreQuoteSource(StoreReader(tmp_path))
+        store_fed = SequentialBacktester(
+            BarProvider(source, grid_t),
+            share_correlation=True,
+            corr_backend="batch",
+        ).run(pairs, grid, days)
+        in_memory = SequentialBacktester(
+            BarProvider(market, grid_t),
+            share_correlation=True,
+            corr_backend="scalar",
+        ).run(pairs, grid, days)
+        assert store_fed == in_memory
