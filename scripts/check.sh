@@ -59,6 +59,23 @@ python scripts/checkdocs.py
 echo "== batch correlation bitwise smoke check =="
 python -m benchmarks.bench_corr --smoke
 
+echo "== serve smoke check (boot server, 200-request burst, clean exit) =="
+python - <<'EOF'
+"""The serving layer must boot, absorb a 200-request mixed burst with
+zero read-path errors, and shut down cleanly — in well under 10 s."""
+import time
+
+from benchmarks.bench_serve import run_smoke
+
+t0 = time.perf_counter()
+run_smoke()
+elapsed = time.perf_counter() - t0
+assert elapsed < 10.0, (
+    f"serve smoke took {elapsed:.1f}s >= 10s budget: the stage must stay "
+    f"cheap enough to run on every check"
+)
+EOF
+
 echo "== pytest =="
 python -m pytest -x -q
 

@@ -38,6 +38,15 @@ repo.obs-bounded     error     code under ``repro/obs/live/`` grows instance
                                ``SeriesRing`` built in ``__init__`` — the live
                                plane's memory must stay bounded for
                                session-long sampling
+repo.serve-bounded   error     code under ``repro/serve/`` accumulates
+                               per-request/per-session state unboundedly: a
+                               ``self.<attr>.append/.extend/.add`` on an attr
+                               that is not a ring / capped queue / capped
+                               deque, a ``Queue``/``deque`` built without a
+                               positive bound, or dict-style growth with no
+                               eviction (``del``/``.pop``/``.clear``) in the
+                               class — a long-lived server's memory must stay
+                               flat under tenant traffic
 repo.public-         error     a module under ``repro/corr/`` or
 docstring                      ``repro/backtest/``, or a public class /
                                function / method there, has no docstring —
@@ -425,6 +434,160 @@ def _check_obs_bounded(tree: ast.AST, path: str) -> Iterator[_Finding]:
                 )
 
 
+#: Queue constructors: bounded only with a positive ``maxsize``.
+_QUEUE_TYPES = frozenset({"Queue", "LifoQueue", "PriorityQueue"})
+
+#: Constructors that can never be bounded; serving code must not hold one.
+_UNBOUNDABLE_TYPES = frozenset({"SimpleQueue"})
+
+
+def _ctor_name(value: ast.expr) -> str | None:
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _has_positive_bound(call: ast.Call, keyword: str) -> bool:
+    """True when the ctor passes a bound that is not literally 0/None.
+
+    Non-literal bounds (``maxsize=self.slots``) are accepted — the rule
+    checks intent, not arithmetic.
+    """
+    candidates = [kw.value for kw in call.keywords if kw.arg == keyword]
+    if not candidates and call.args:
+        candidates = [call.args[0]]
+    for value in candidates:
+        if isinstance(value, ast.Constant):
+            if isinstance(value.value, int) and value.value > 0:
+                return True
+        else:
+            return True
+    return False
+
+
+def _evicted_attrs(node: ast.ClassDef) -> set[str]:
+    """Attrs with eviction evidence: ``del self.a[...]``, ``.pop()`` etc."""
+    evicted: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Delete):
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and isinstance(target.value.value, ast.Name)
+                    and target.value.value.id == "self"
+                ):
+                    evicted.add(target.value.attr)
+        elif isinstance(sub, ast.Call):
+            func = sub.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("pop", "popitem", "popleft", "clear")
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"
+            ):
+                evicted.add(func.value.attr)
+    return evicted
+
+
+def _check_serve_bounded(tree: ast.AST, path: str) -> Iterator[_Finding]:
+    if "repro/serve/" not in path.replace("\\", "/"):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bounded = _ring_attrs(node)
+        evicted = _evicted_attrs(node)
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                for attr, value in _self_attr_targets(stmt):
+                    name = _ctor_name(value)
+                    if name is None:
+                        continue
+                    if name in _UNBOUNDABLE_TYPES:
+                        yield _Finding(
+                            "repo.serve-bounded", Severity.ERROR,
+                            value.lineno,
+                            f"{node.name}.{attr} is a {name}, which cannot "
+                            f"be bounded",
+                            hint="use queue.Queue(maxsize=N) so tenant "
+                            "backlog rejects (429) instead of growing",
+                        )
+                    elif name in _QUEUE_TYPES:
+                        if _has_positive_bound(value, "maxsize"):
+                            bounded.add(attr)
+                        else:
+                            yield _Finding(
+                                "repo.serve-bounded", Severity.ERROR,
+                                value.lineno,
+                                f"{node.name}.{attr} is a {name} without a "
+                                f"positive maxsize",
+                                hint="pass maxsize=N; an unbounded command/"
+                                "work queue lets one tenant exhaust server "
+                                "memory",
+                            )
+                    elif name == "deque":
+                        if _has_positive_bound(value, "maxlen"):
+                            bounded.add(attr)
+            for call in ast.walk(stmt):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in ("append", "extend", "add"):
+                    continue
+                target = func.value
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if target.attr in bounded or target.attr in evicted:
+                    continue
+                yield _Finding(
+                    "repo.serve-bounded", Severity.ERROR, call.lineno,
+                    f"serving-layer state {node.name}.{target.attr} grows "
+                    f"via .{func.attr}() without a bound",
+                    hint="back per-request/per-session accumulation with an "
+                    "EventRing/SeriesRing, a maxsize'd Queue or a maxlen'd "
+                    "deque; suppress in place only for add-once config",
+                )
+            if stmt.name == "__init__":
+                continue
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                for target in sub.targets:
+                    if not (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and isinstance(target.value.value, ast.Name)
+                        and target.value.value.id == "self"
+                    ):
+                        continue
+                    attr = target.value.attr
+                    if attr in bounded or attr in evicted:
+                        continue
+                    yield _Finding(
+                        "repo.serve-bounded", Severity.ERROR, sub.lineno,
+                        f"serving-layer mapping {node.name}.{attr} grows "
+                        f"by key without any eviction path",
+                        hint="evict somewhere in the class (del/.pop/"
+                        ".clear) or cap insertion; per-tenant keyed state "
+                        "must not grow for the server's lifetime",
+                    )
+
+
 #: Packages whose public API must be documented: the correlation and
 #: backtest layers carry the scalar/batch bitwise-equivalence contract,
 #: and that contract is stated in docstrings (see docs/performance.md).
@@ -493,6 +656,7 @@ def lint_source(text: str, path: str) -> list[Diagnostic]:
     findings.extend(_check_store_bounds(tree, path))
     findings.extend(_check_stateful_snapshot(tree))
     findings.extend(_check_obs_bounded(tree, path))
+    findings.extend(_check_serve_bounded(tree, path))
     findings.extend(_check_public_docstring(tree, path))
 
     return findings_to_diagnostics(findings, path, suppressed)

@@ -15,6 +15,7 @@ One executable, ``repro``, with a subcommand per common workflow::
     repro store ingest --root DIR     # build a partitioned tick store
     repro store verify --root DIR     # checksum (and --deep re-derive) it
     repro store scan --root DIR       # pushdown column scans over it
+    repro serve --port 8972           # multi-tenant HTTP/JSON server
 
 Every command is deterministic given ``--seed`` and prints plain text, so
 the CLI doubles as a smoke test of the whole stack.  ``pipeline``,
@@ -764,6 +765,45 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return _STORE_COMMANDS[args.store_command](args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import secrets
+
+    from repro.obs import Obs
+    from repro.serve import ServeApp, SessionManager, make_server
+
+    token = args.token
+    if token is None:
+        token = secrets.token_hex(16)
+        print(f"generated bearer token: {token}")
+    store = None
+    if args.store_root is not None:
+        from repro.store import StoreReader
+
+        store = StoreReader(args.store_root)
+        print(f"store attached: {args.store_root} "
+              f"({len(store.days)} days, {len(store.universe)} symbols)")
+    manager = SessionManager(
+        max_live=args.max_sessions,
+        retain=max(args.retain, args.max_sessions + 1),
+        flight_root=args.flight_root,
+    )
+    app = ServeApp(manager, token=token, obs=Obs(enabled=True), store=store)
+    server = make_server(app, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(max {args.max_sessions} live sessions)")
+    print("routes: GET /health | GET /telemetry | GET /metrics | "
+          "POST /sessions | ...  (see docs/serving.md)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down: killing live sessions...")
+    finally:
+        manager.kill_all()
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -996,6 +1036,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--measure", choices=("pearson", "maronna", "combined"),
                    default="pearson")
+
+    p = sub.add_parser(
+        "serve", help="multi-tenant HTTP/JSON session server (stdlib-only)"
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8972,
+                   help="bind port; 0 picks an ephemeral port")
+    p.add_argument("--token", default=None,
+                   help="bearer token clients must send; generated and "
+                   "printed when omitted")
+    p.add_argument("--store-root", metavar="DIR", default=None,
+                   help="attach this tick store for /store/* routes")
+    p.add_argument("--max-sessions", type=int, default=8,
+                   help="concurrent live sessions before submits 429")
+    p.add_argument("--retain", type=int, default=64,
+                   help="total sessions kept before terminal ones are pruned")
+    p.add_argument("--flight-root", metavar="DIR", default=None,
+                   help="write per-session flight-recorder dumps under here")
     return parser
 
 
@@ -1012,6 +1071,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,
     "store": _cmd_store,
+    "serve": _cmd_serve,
 }
 
 

@@ -149,6 +149,7 @@ def run_supervised_session(
     backend_options: dict | None = None,
     flight_dump: str | None = None,
     obs_hook=None,
+    control=None,
 ) -> SupervisedRun:
     """Run a Figure-1 session under supervision (and optionally chaos).
 
@@ -171,6 +172,14 @@ def run_supervised_session(
     :meth:`~repro.marketminer.scheduler.WorkflowRunner.run` so a live
     telemetry hub can re-register each rebuilt rank's registry (thread
     backend only).
+
+    ``control`` is an optional
+    :class:`~repro.marketminer.session.SessionControl`: its ``gate`` is
+    called before every epoch attempt (the consistent-cut boundary where
+    pause/kill take effect — a kill raises
+    :class:`~repro.marketminer.session.SessionKilled` out of this
+    function) and ``on_checkpoint`` receives every checkpoint, which is
+    what the serving layer's live position/signal queries read.
     """
     options = dict(backend_options or {})
     smax = _session_smax(build())
@@ -188,6 +197,8 @@ def run_supervised_session(
         final = stop == smax
         epoch_failures = 0
         while True:
+            if control is not None:
+                control.gate(epoch)
             workflow = build()
             if checkpoint is not None:
                 for name, state in checkpoint.items():
@@ -255,6 +266,8 @@ def run_supervised_session(
                 )
             checkpoint = results.pop("_snapshots")
             checkpoints += 1
+            if control is not None:
+                control.on_checkpoint(epoch, checkpoint)
             if metrics is not None:
                 metrics.counter("recovery.checkpoints").inc()
             break

@@ -10,6 +10,9 @@ counts) on every rank.
 
 from __future__ import annotations
 
+import threading
+from typing import Any, Callable
+
 from repro.corr.maronna import MaronnaConfig
 from repro.marketminer.component import Component
 from repro.marketminer.components.bar_accumulator import BarAccumulatorComponent
@@ -213,6 +216,93 @@ def collect_multi_spec_trades(results: dict) -> dict:
                 raise ValueError(f"duplicate trades for {key}")
             merged[key] = trades
     return merged
+
+
+class SessionKilled(RuntimeError):
+    """A supervised session was killed by its controller at an epoch gate."""
+
+
+class SessionControl:
+    """Pause/resume/kill handle for a supervised Figure-1 session.
+
+    The serving layer owns one per live session; the supervisor
+    (:func:`repro.faults.run_supervised_session`) calls :meth:`gate`
+    before every epoch attempt and :meth:`on_checkpoint` after every
+    successful checkpoint.  Epoch boundaries are the only consistent
+    cuts of the stream (end-of-stream has drained all in-flight
+    traffic), so they are where control takes effect: a pause parks the
+    session at the gate, a resume releases it, a kill raises
+    :class:`SessionKilled` out of the gate — which means kill works both
+    on a running session (at its next boundary) and on one already
+    parked in pause.
+
+    ``on_gate`` is invoked on every gate pass (including each poll while
+    parked): the serving layer uses it to drain the session's bounded
+    command queue, so commands issued mid-pause — including the kill —
+    are still consumed.  All flags are :class:`threading.Event`-backed;
+    every method is safe to call from any thread.
+    """
+
+    def __init__(
+        self,
+        poll_interval: float = 0.05,
+        on_gate: "Callable[[SessionControl], None] | None" = None,
+    ):
+        self.poll_interval = poll_interval
+        self.on_gate = on_gate
+        self.n_gates = 0
+        self.n_checkpoints = 0
+        self._pause = threading.Event()
+        self._kill = threading.Event()
+        self._lock = threading.Lock()
+        self._checkpoint: "tuple[int, dict[str, Any]] | None" = None
+
+    # -- controller side (HTTP threads) --------------------------------------
+
+    def pause(self) -> None:
+        """Park the session at its next epoch gate until :meth:`resume`."""
+        self._pause.set()
+
+    def resume(self) -> None:
+        """Release a paused session."""
+        self._pause.clear()
+
+    def kill(self) -> None:
+        """Terminate the session at its next gate pass (even mid-pause)."""
+        self._kill.set()
+
+    @property
+    def paused(self) -> bool:
+        return self._pause.is_set()
+
+    @property
+    def killed(self) -> bool:
+        return self._kill.is_set()
+
+    # -- session side (the supervisor's worker thread) ------------------------
+
+    def gate(self, epoch: int) -> None:
+        """Block while paused; raise :class:`SessionKilled` when killed."""
+        self.n_gates += 1
+        while True:
+            if self.on_gate is not None:
+                self.on_gate(self)
+            if self._kill.is_set():
+                raise SessionKilled(f"session killed at epoch {epoch} gate")
+            if not self._pause.is_set():
+                return
+            self._kill.wait(self.poll_interval)
+
+    def on_checkpoint(self, epoch: int, snapshots: "dict[str, Any]") -> None:
+        """Publish the latest consistent checkpoint for live queries."""
+        with self._lock:
+            self._checkpoint = (epoch, snapshots)
+            self.n_checkpoints += 1
+
+    def latest_checkpoint(self) -> "tuple[int, dict[str, Any]] | None":
+        """The newest ``(epoch, component snapshots)`` cut, if any yet."""
+        with self._lock:
+            return self._checkpoint
 
 
 def run_figure1_session(

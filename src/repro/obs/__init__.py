@@ -39,6 +39,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_METRIC,
     payload_nbytes,
+    registry_snapshot,
 )
 from repro.obs.report import (
     SCHEMA,
@@ -175,6 +176,7 @@ __all__ = [
     "ensure_obs",
     "load_report",
     "payload_nbytes",
+    "registry_snapshot",
     "render_flame",
     "render_text",
     "resolve",

@@ -16,9 +16,10 @@ of exactly these methods.
 The sampler may run on its own daemon thread (:meth:`start` /
 :meth:`stop`) while the instrumented rank keeps mutating the registry.
 Registry mutation is only ever metric *creation* plus scalar updates, so
-the sampler copies the dict items under a try/except and simply skips a
-tick if creation races the iteration — a missed tick is fine, a crashed
-sampler is not.
+each tick takes one :func:`~repro.obs.registry.registry_snapshot` (the
+shared race-tolerant walk the serving layer's ``/telemetry`` route also
+uses) and simply skips the tick if creation races the snapshot — a
+missed tick is fine, a crashed sampler is not.
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.obs.live.rings import EventRing, SeriesRing
+from repro.obs.registry import registry_snapshot
 
 #: Default sampling interval in seconds (the check.sh overhead budget is
 #: measured at this rate).
@@ -97,22 +99,17 @@ class TimeSeriesSampler:
         """
         if now is None:
             now = time.monotonic()
-        reg = self.obs.metrics
-        try:
-            counters = list(reg.counters.items())
-            gauges = list(reg.gauges.items())
-            hists = list(reg.histograms.items())
-        except RuntimeError:  # dict mutated during iteration; skip this tick
+        snap = registry_snapshot(self.obs.metrics)
+        if snap is None:  # raced a concurrent metric insert; skip this tick
             return
         with self._lock:
-            for name, c in counters:
-                self._ring(name).push(now, c.value)
-            for name, g in gauges:
-                self._ring(name).push(now, g.last)
-            for name, h in hists:
-                values = h.values
-                self._ring(name + ".count").push(now, len(values))
-                self._ring(name + ".sum").push(now, sum(values))
+            for name, value in snap["counters"].items():
+                self._ring(name).push(now, value)
+            for name, g in snap["gauges"].items():
+                self._ring(name).push(now, g["last"])
+            for name, h in snap["histograms"].items():
+                self._ring(name + ".count").push(now, h["count"])
+                self._ring(name + ".sum").push(now, h["sum"])
             self.n_samples += 1
         if self.health is not None:
             events = self.health.evaluate(self, now)

@@ -153,6 +153,65 @@ class Histogram:
         return list(self.values)
 
 
+def registry_snapshot(
+    registry: "MetricsRegistry",
+    quantiles: bool = False,
+    retries: int = 0,
+) -> dict | None:
+    """Race-tolerant point-in-time snapshot of a live registry.
+
+    Both consumers of live telemetry — the
+    :class:`~repro.obs.live.sampler.TimeSeriesSampler` tick and the
+    serving layer's ``/telemetry`` route — need the same thing: the
+    current value of every counter and gauge plus per-histogram
+    ``count``/``sum`` (and optionally the p50/p95/p99 trio with
+    ``quantiles=True``), read while the instrumented rank keeps mutating
+    the registry.  Registry mutation is only ever metric *creation* plus
+    scalar updates, so one ``list(dict.items())`` copy per family under
+    try/except is enough: an attempt that races a concurrent insert is
+    retried up to ``retries`` times; if every attempt races, ``None`` is
+    returned and the caller decides (the sampler skips the tick, the
+    route retries on its next request).
+
+    With ``quantiles=True`` histogram statistics are computed over a
+    shallow copy of the sample list, so a concurrent ``observe`` can
+    never shift data under the quantile scan.  The lean default path
+    reads ``count``/``sum`` without copying — histogram sample lists
+    only ever grow by append, and the sampler ticks at 20 Hz, so the
+    per-tick copy would be the single largest cost of live sampling.
+    """
+    for _ in range(retries + 1):
+        try:
+            counters = list(registry.counters.items())
+            gauges = list(registry.gauges.items())
+            hists = list(registry.histograms.items())
+        except RuntimeError:  # dict mutated during iteration; retry/give up
+            continue
+        histograms: dict[str, dict] = {}
+        for name, h in hists:
+            values = list(h.values) if quantiles else h.values
+            entry: dict[str, float] = {
+                "count": len(values),
+                "sum": float(sum(values)),
+            }
+            if quantiles and values:
+                copy = Histogram(name)
+                copy.values = values
+                entry["p50"] = copy.quantile(0.50)
+                entry["p95"] = copy.quantile(0.95)
+                entry["p99"] = copy.quantile(0.99)
+            histograms[name] = entry
+        return {
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {
+                name: {"last": g.last, "max": g.max, "n_sets": g.n_sets}
+                for name, g in gauges
+            },
+            "histograms": histograms,
+        }
+    return None
+
+
 class _NullMetric:
     """Shared no-op stand-in handed out by disabled registries."""
 

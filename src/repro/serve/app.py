@@ -1,0 +1,382 @@
+"""Route table, auth and handlers: the serving layer's application core.
+
+:class:`ServeApp` binds a :class:`~repro.serve.sessions.SessionManager`
+(and optionally a :class:`~repro.store.StoreReader`) to a declarative
+route table.  The transport (:mod:`repro.serve.http`) hands it one
+normalised :class:`~repro.serve.http.Request`; dispatch here matches the
+path, checks the bearer token (constant-time compare; only ``/health``
+is open), validates every query parameter against the route's allow
+list, and maps :class:`~repro.serve.sessions.ServeError` subclasses to
+their HTTP statuses.  Handlers therefore only ever see well-formed
+requests and return plain JSON-safe payloads.
+
+Routes
+------
+
+====== ================================ ===========================
+GET    /health                          liveness + session counts
+GET    /telemetry                       registry snapshot + sessions
+GET    /metrics                         Prometheus exposition text
+GET    /sessions                        list all sessions
+POST   /sessions                        submit a session (201)
+GET    /sessions/{id}                   one session's status
+POST   /sessions/{id}/{pause|resume|kill} queue a command (202)
+DELETE /sessions/{id}                   kill alias (202)
+GET    /sessions/{id}/audit             append-only audit tail
+GET    /sessions/{id}/positions         open positions (checkpointed)
+GET    /sessions/{id}/signals           latest pair correlations
+GET    /users/{user}/watchlist          a user's watchlist
+PUT    /users/{user}/watchlist          replace it
+GET    /store/days                      store manifest summary
+GET    /store/scan                      predicate-pushdown scan
+====== ================================ ===========================
+"""
+
+from __future__ import annotations
+
+import hmac
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs import Obs, registry_snapshot
+from repro.obs.live.export import render_prometheus
+from repro.serve.http import Request, Response
+from repro.serve.sessions import BadRequest, ServeError, SessionManager
+
+#: Hard ceiling on rows a single /store/scan response may carry.
+SCAN_LIMIT_MAX = 10_000
+
+
+class NotFound(ServeError):
+    """No route matches the request path (404)."""
+
+    status = 404
+
+
+class MethodNotAllowed(ServeError):
+    """The path exists but not under this method (405)."""
+
+    status = 405
+
+
+@dataclass(frozen=True)
+class Route:
+    """One endpoint: method, path template, handler and its allow list."""
+
+    method: str
+    #: Path split into segments; ``{name}`` segments capture into
+    #: ``request.vars[name]``.
+    template: tuple[str, ...]
+    name: str
+    handler: Callable[["ServeApp", Request], Response]
+    #: Query parameters this route accepts (anything else is a 400).
+    params: tuple[str, ...] = ()
+    auth: bool = True
+
+    def match(self, parts: tuple[str, ...]) -> dict[str, str] | None:
+        if len(parts) != len(self.template):
+            return None
+        captured: dict[str, str] = {}
+        for pattern, part in zip(self.template, parts):
+            if pattern.startswith("{") and pattern.endswith("}"):
+                captured[pattern[1:-1]] = part
+            elif pattern != part:
+                return None
+        return captured
+
+
+class ServeApp:
+    """The serving application: one manager, one token, one route table."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        token: str,
+        obs: Obs | None = None,
+        store=None,
+    ):
+        self.manager = manager
+        self.token = token
+        self.obs = obs if obs is not None else Obs(enabled=True)
+        self.store = store
+        self.routes: tuple[Route, ...] = tuple(_build_routes())
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, request: Request) -> Response:
+        """Match, authenticate, validate, run — or map the failure."""
+        try:
+            route, captured = self._match(request)
+            request.route = route.name
+            request.vars = captured
+            if route.auth and not self._authorized(request.token):
+                return Response(
+                    401,
+                    {
+                        "error": "missing or invalid bearer token; send "
+                        "'Authorization: Bearer <token>'"
+                    },
+                )
+            request.require_known_params(route.params)
+            return route.handler(self, request)
+        except ServeError as exc:
+            return Response(exc.status, {"error": str(exc)})
+
+    def _match(self, request: Request) -> tuple[Route, dict[str, str]]:
+        other_methods = []
+        for route in self.routes:
+            captured = route.match(request.parts)
+            if captured is None:
+                continue
+            if route.method == request.method:
+                return route, captured
+            other_methods.append(route.method)
+        if other_methods:
+            raise MethodNotAllowed(
+                f"{request.method} not allowed on {request.path}; "
+                f"allowed: {sorted(set(other_methods))}"
+            )
+        known = sorted(
+            {f"{r.method} /{'/'.join(r.template)}" for r in self.routes}
+        )
+        raise NotFound(
+            f"no route {request.method} {request.path}; routes: {known}"
+        )
+
+    def _authorized(self, token: str | None) -> bool:
+        if token is None:
+            return False
+        return hmac.compare_digest(token.encode(), self.token.encode())
+
+    # -- handlers ------------------------------------------------------------
+
+    def _health(self, request: Request) -> Response:
+        return Response(
+            200,
+            {
+                "status": "ok",
+                "uptime": time.time() - self.manager.started_at,
+                "sessions": self.manager.counts(),
+                "store": self.store is not None,
+            },
+        )
+
+    def _telemetry(self, request: Request) -> Response:
+        window = request.float_param("window", 5.0)
+        snap = registry_snapshot(self.obs.metrics, quantiles=True, retries=4)
+        return Response(
+            200,
+            {
+                "server": snap or {},
+                "sessions": self.manager.telemetry(window),
+            },
+        )
+
+    def _metrics(self, request: Request) -> Response:
+        return Response(200, render_prometheus(self.obs.metrics))
+
+    def _sessions_list(self, request: Request) -> Response:
+        return Response(200, {"sessions": self.manager.list_sessions()})
+
+    def _sessions_submit(self, request: Request) -> Response:
+        body = request.body
+        if body is None:
+            raise BadRequest(
+                "POST /sessions needs a JSON body: "
+                "{\"id\": ..., \"kind\": ..., \"spec\": {...}, \"user\": ...}"
+            )
+        unknown = sorted(set(body) - {"id", "kind", "spec", "user"})
+        if unknown:
+            raise BadRequest(
+                f"unknown body key {unknown[0]!r}; "
+                f"allowed: ['id', 'kind', 'spec', 'user']"
+            )
+        for key in ("id", "kind"):
+            if not isinstance(body.get(key), str):
+                raise BadRequest(f"body key {key!r} must be a string")
+        spec = body.get("spec")
+        if spec is not None and not isinstance(spec, dict):
+            raise BadRequest("body key 'spec' must be a JSON object")
+        user = body.get("user", "anonymous")
+        if not isinstance(user, str):
+            raise BadRequest("body key 'user' must be a string")
+        status = self.manager.submit(body["id"], body["kind"], spec, user)
+        return Response(201, status)
+
+    def _session_get(self, request: Request) -> Response:
+        return Response(200, self.manager.get(request.vars["sid"]).status())
+
+    def _session_command(self, request: Request) -> Response:
+        actor = request.query.get("actor", "api")
+        status = self.manager.command(
+            request.vars["sid"], request.vars["cmd"], actor
+        )
+        return Response(202, status)
+
+    def _session_delete(self, request: Request) -> Response:
+        actor = request.query.get("actor", "api")
+        status = self.manager.command(request.vars["sid"], "kill", actor)
+        return Response(202, status)
+
+    def _session_audit(self, request: Request) -> Response:
+        limit = request.int_param("limit", None, lo=1)
+        session = self.manager.get(request.vars["sid"])
+        return Response(200, session.audit_entries(limit))
+
+    def _session_positions(self, request: Request) -> Response:
+        return Response(200, self.manager.get(request.vars["sid"]).positions())
+
+    def _session_signals(self, request: Request) -> Response:
+        limit = request.int_param("limit", 100, lo=1, hi=10_000)
+        session = self.manager.get(request.vars["sid"])
+        return Response(200, session.signals(limit))
+
+    def _watchlist_get(self, request: Request) -> Response:
+        return Response(200, self.manager.watchlist(request.vars["user"]))
+
+    def _watchlist_put(self, request: Request) -> Response:
+        body = request.body
+        if body is None or "symbols" not in body:
+            raise BadRequest(
+                "PUT watchlist needs a JSON body: {\"symbols\": [...]}"
+            )
+        return Response(
+            200,
+            self.manager.set_watchlist(request.vars["user"], body["symbols"]),
+        )
+
+    # -- store routes --------------------------------------------------------
+
+    def _require_store(self):
+        if self.store is None:
+            raise BadRequest(
+                "no store attached to this server; restart with "
+                "--store-root pointing at an ingested store"
+            )
+        return self.store
+
+    def _store_days(self, request: Request) -> Response:
+        store = self._require_store()
+        return Response(
+            200,
+            {
+                "days": list(store.days),
+                "symbols": list(store.universe.symbols),
+                "trading_seconds": store.trading_seconds,
+            },
+        )
+
+    def _store_scan(self, request: Request) -> Response:
+        store = self._require_store()
+        days = request.int_list_param("days")
+        symbols = request.list_param("symbols")
+        columns = request.list_param("columns")
+        t_min = request.float_param("t_min", None)
+        t_max = request.float_param("t_max", None)
+        limit = request.int_param("limit", 1000, lo=1, hi=SCAN_LIMIT_MAX)
+        cached = request.bool_param("cached", False)
+        out: dict[str, list] = {}
+        rows = 0
+        truncated = False
+        try:
+            for batch in store.scan(
+                columns=columns,
+                days=days,
+                symbols=symbols,
+                t_min=t_min,
+                t_max=t_max,
+                cached=cached,
+            ):
+                take = min(batch.rows, limit - rows)
+                for name, values in batch.columns.items():
+                    out.setdefault(name, []).extend(
+                        values[:take].tolist()
+                    )
+                rows += take
+                if rows >= limit:
+                    truncated = take < batch.rows
+                    break
+        except (KeyError, ValueError) as exc:
+            raise BadRequest(f"bad scan predicate: {exc}") from None
+        return Response(
+            200,
+            {"rows": rows, "truncated": truncated, "columns": out},
+        )
+
+
+def _build_routes() -> list[Route]:
+    return [
+        Route("GET", ("health",), "health", ServeApp._health, auth=False),
+        Route(
+            "GET", ("telemetry",), "telemetry", ServeApp._telemetry,
+            params=("window",),
+        ),
+        Route("GET", ("metrics",), "metrics", ServeApp._metrics),
+        Route("GET", ("sessions",), "sessions_list", ServeApp._sessions_list),
+        Route(
+            "POST", ("sessions",), "sessions_submit", ServeApp._sessions_submit
+        ),
+        Route(
+            "GET", ("sessions", "{sid}"), "session_get", ServeApp._session_get
+        ),
+        Route(
+            "POST",
+            ("sessions", "{sid}", "{cmd}"),
+            "session_command",
+            ServeApp._session_command,
+            params=("actor",),
+        ),
+        Route(
+            "DELETE",
+            ("sessions", "{sid}"),
+            "session_delete",
+            ServeApp._session_delete,
+            params=("actor",),
+        ),
+        Route(
+            "GET",
+            ("sessions", "{sid}", "audit"),
+            "session_audit",
+            ServeApp._session_audit,
+            params=("limit",),
+        ),
+        Route(
+            "GET",
+            ("sessions", "{sid}", "positions"),
+            "session_positions",
+            ServeApp._session_positions,
+        ),
+        Route(
+            "GET",
+            ("sessions", "{sid}", "signals"),
+            "session_signals",
+            ServeApp._session_signals,
+            params=("limit",),
+        ),
+        Route(
+            "GET",
+            ("users", "{user}", "watchlist"),
+            "watchlist_get",
+            ServeApp._watchlist_get,
+        ),
+        Route(
+            "PUT",
+            ("users", "{user}", "watchlist"),
+            "watchlist_put",
+            ServeApp._watchlist_put,
+        ),
+        Route("GET", ("store", "days"), "store_days", ServeApp._store_days),
+        Route(
+            "GET",
+            ("store", "scan"),
+            "store_scan",
+            ServeApp._store_scan,
+            params=(
+                "days", "symbols", "columns", "t_min", "t_max", "limit",
+                "cached",
+            ),
+        ),
+    ]
+
+

@@ -1,0 +1,259 @@
+"""Dependency-free HTTP/1.1 JSON transport for the serving layer.
+
+Built entirely on the stdlib: a :class:`ThreadingHTTPServer` subclass
+(one daemon thread per connection, so a slow client never blocks the
+accept loop) plus a :class:`BaseHTTPRequestHandler` that parses the
+request envelope — method, path, query string, JSON body, bearer token —
+and hands a normalised :class:`Request` to the application's
+``dispatch``.  No routing, auth or domain logic lives here; the handler
+only speaks wire format and telemetry.
+
+Every request, matched or not, lands in two obs metrics::
+
+    serve.http.<route>.seconds                  # latency histogram
+    serve.http.requests[route=<route>,status=<code>]  # outcome counter
+
+which is what the bench harness and the check.sh smoke stage gate on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.serve.sessions import BadRequest
+
+#: Request bodies past this size are rejected outright (413): every
+#: legitimate payload (a session spec, a watchlist) is tiny.
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass
+class Request:
+    """One parsed request: what a route handler actually consumes."""
+
+    method: str
+    path: str
+    parts: tuple[str, ...]
+    query: dict[str, str]
+    body: dict | None
+    token: str | None
+    #: Filled in by the router so telemetry can label the request.
+    route: str = "unmatched"
+    #: Named path captures (session id, user) set during matching.
+    vars: dict[str, str] = field(default_factory=dict)
+
+    # -- pointed query-parameter accessors (each 400s with specifics) --------
+
+    def require_known_params(self, allowed: tuple[str, ...]) -> None:
+        unknown = sorted(set(self.query) - set(allowed))
+        if unknown:
+            raise BadRequest(
+                f"unknown query parameter {unknown[0]!r} for {self.route}; "
+                f"allowed: {sorted(allowed)}"
+            )
+
+    def int_param(
+        self,
+        name: str,
+        default: int | None,
+        lo: int | None = None,
+        hi: int | None = None,
+    ) -> int | None:
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise BadRequest(
+                f"query parameter {name!r} must be an integer, got {raw!r}"
+            ) from None
+        if lo is not None and value < lo:
+            raise BadRequest(f"query parameter {name!r} must be >= {lo}")
+        if hi is not None and value > hi:
+            raise BadRequest(f"query parameter {name!r} must be <= {hi}")
+        return value
+
+    def float_param(self, name: str, default: float | None) -> float | None:
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise BadRequest(
+                f"query parameter {name!r} must be a number, got {raw!r}"
+            ) from None
+
+    def bool_param(self, name: str, default: bool) -> bool:
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        if raw in ("1", "true", "yes"):
+            return True
+        if raw in ("0", "false", "no"):
+            return False
+        raise BadRequest(
+            f"query parameter {name!r} must be one of "
+            f"1/0/true/false/yes/no, got {raw!r}"
+        )
+
+    def list_param(self, name: str) -> list[str] | None:
+        raw = self.query.get(name)
+        if raw is None or raw == "":
+            return None
+        return [part.strip() for part in raw.split(",") if part.strip()]
+
+    def int_list_param(self, name: str) -> list[int] | None:
+        parts = self.list_param(name)
+        if parts is None:
+            return None
+        try:
+            return [int(part) for part in parts]
+        except ValueError:
+            raise BadRequest(
+                f"query parameter {name!r} must be comma-separated "
+                f"integers, got {self.query[name]!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Response:
+    """Status plus payload; dict payloads go out as JSON, str as text."""
+
+    status: int
+    payload: dict | list | str
+
+
+def _json_default(obj):
+    """Coerce numpy scalars (and other oddballs) for json.dumps."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    return str(obj)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Wire-format adapter: envelope in, JSON out, metrics always."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    # The stdlib handler logs every request to stderr; the obs registry
+    # is the serving layer's log, so silence the side channel.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+    def do_PUT(self) -> None:
+        self._handle("PUT")
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE")
+
+    def _read_body(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise BadRequest(
+                f"request body must be a JSON object, "
+                f"got {type(body).__name__}"
+            )
+        return body
+
+    def _token(self) -> str | None:
+        header = self.headers.get("Authorization")
+        if header is None:
+            return None
+        scheme, _, credential = header.partition(" ")
+        if scheme.lower() != "bearer" or not credential:
+            return None
+        return credential.strip()
+
+    def _handle(self, method: str) -> None:
+        app = self.server.app
+        t0 = time.perf_counter()
+        request: Request | None = None
+        try:
+            split = urlsplit(self.path)
+            path = unquote(split.path)
+            parts = tuple(part for part in path.split("/") if part)
+            query = dict(parse_qsl(split.query, keep_blank_values=True))
+            request = Request(
+                method=method,
+                path=path,
+                parts=parts,
+                query=query,
+                body=self._read_body(),
+                token=self._token(),
+            )
+            response = app.dispatch(request)
+        except BadRequest as exc:
+            response = Response(exc.status, {"error": str(exc)})
+        except Exception as exc:  # wire/handler bug: never drop the socket
+            response = Response(
+                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            )
+        route = request.route if request is not None else "unmatched"
+        self._send(response)
+        elapsed = time.perf_counter() - t0
+        metrics = app.obs.metrics
+        metrics.histogram(f"serve.http.{route}.seconds").observe(elapsed)
+        metrics.counter(
+            f"serve.http.requests[route={route},status={response.status}]"
+        ).inc()
+        if response.status >= 500:
+            metrics.counter("serve.http.errors").inc()
+
+    def _send(self, response: Response) -> None:
+        payload = response.payload
+        if isinstance(payload, str):
+            data = payload.encode()
+            content_type = "text/plain; charset=utf-8"
+        else:
+            data = json.dumps(payload, default=_json_default).encode()
+            content_type = "application/json"
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-reply; nothing to salvage
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threading server bound to one :class:`~repro.serve.app.ServeApp`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], app):
+        self.app = app
+        super().__init__(address, _Handler)
+
+
+def make_server(app, host: str = "127.0.0.1", port: int = 0) -> ServeHTTPServer:
+    """Bind the app to ``host:port`` (port 0 picks an ephemeral port)."""
+    return ServeHTTPServer((host, port), app)

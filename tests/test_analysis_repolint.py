@@ -514,3 +514,184 @@ class TestPublicDocstring:
             path="src/repro/corr/mod.py",
         )
         assert diags == []
+
+
+class TestServeBounded:
+    """Serving-layer state must be ring-backed, capped or evicted."""
+
+    SERVE = "src/repro/serve/mod.py"
+
+    def test_unbounded_append_fires(self):
+        diags = lint(
+            """
+            class Session:
+                def __init__(self):
+                    self.audit = []
+
+                def record(self, entry):
+                    self.audit.append(entry)
+            """,
+            path=self.SERVE,
+        )
+        assert rules(diags) == ["repo.serve-bounded"]
+        assert diags[0].severity is Severity.ERROR
+        assert "Session.audit" in diags[0].message
+
+    def test_ring_backed_attr_clean(self):
+        assert lint(
+            """
+            class Session:
+                def __init__(self):
+                    self.audit = EventRing(1024)
+
+                def record(self, entry):
+                    self.audit.append(entry)
+            """,
+            path=self.SERVE,
+        ) == []
+
+    def test_queue_without_maxsize_fires(self):
+        diags = lint(
+            """
+            import queue
+
+            class Session:
+                def __init__(self):
+                    self.commands = queue.Queue()
+            """,
+            path=self.SERVE,
+        )
+        assert rules(diags) == ["repo.serve-bounded"]
+        assert "without a positive maxsize" in diags[0].message
+
+    def test_queue_with_zero_maxsize_fires(self):
+        diags = lint(
+            """
+            import queue
+
+            class Session:
+                def __init__(self):
+                    self.commands = queue.Queue(maxsize=0)
+            """,
+            path=self.SERVE,
+        )
+        assert rules(diags) == ["repo.serve-bounded"]
+
+    def test_queue_with_maxsize_clean(self):
+        assert lint(
+            """
+            import queue
+
+            class Session:
+                def __init__(self, slots):
+                    self.commands = queue.Queue(maxsize=slots)
+                    self.other = queue.Queue(32)
+            """,
+            path=self.SERVE,
+        ) == []
+
+    def test_simple_queue_always_fires(self):
+        diags = lint(
+            """
+            import queue
+
+            class Session:
+                def __init__(self):
+                    self.commands = queue.SimpleQueue()
+            """,
+            path=self.SERVE,
+        )
+        assert rules(diags) == ["repo.serve-bounded"]
+        assert "cannot be bounded" in diags[0].message
+
+    def test_deque_with_maxlen_clean_without_fires(self):
+        diags = lint(
+            """
+            from collections import deque
+
+            class Session:
+                def __init__(self):
+                    self.recent = deque(maxlen=64)
+                    self.all_time = deque()
+
+                def push(self, x):
+                    self.recent.append(x)
+                    self.all_time.append(x)
+            """,
+            path=self.SERVE,
+        )
+        assert rules(diags) == ["repo.serve-bounded"]
+        assert "all_time" in diags[0].message
+
+    def test_dict_growth_without_eviction_fires(self):
+        diags = lint(
+            """
+            class Manager:
+                def __init__(self):
+                    self.sessions = {}
+
+                def submit(self, sid, session):
+                    self.sessions[sid] = session
+            """,
+            path=self.SERVE,
+        )
+        assert rules(diags) == ["repo.serve-bounded"]
+        assert "without any eviction path" in diags[0].message
+
+    def test_dict_growth_with_eviction_clean(self):
+        assert lint(
+            """
+            class Manager:
+                def __init__(self):
+                    self.sessions = {}
+
+                def submit(self, sid, session):
+                    self.sessions[sid] = session
+
+                def prune(self, sid):
+                    del self.sessions[sid]
+            """,
+            path=self.SERVE,
+        ) == []
+
+    def test_pop_counts_as_eviction(self):
+        assert lint(
+            """
+            class Manager:
+                def __init__(self):
+                    self.jobs = {}
+
+                def put(self, k, v):
+                    self.jobs[k] = v
+
+                def take(self, k):
+                    return self.jobs.pop(k)
+            """,
+            path=self.SERVE,
+        ) == []
+
+    def test_outside_serve_tree_ignored(self):
+        assert lint(
+            """
+            class Manager:
+                def __init__(self):
+                    self.items = []
+
+                def add(self, x):
+                    self.items.append(x)
+            """,
+            path="src/repro/taq/mod.py",
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert lint(
+            """
+            class Manager:
+                def __init__(self):
+                    self.caps = {}
+
+                def set(self, user, v):
+                    self.caps[user] = v  # repro-lint: disable=repo.serve-bounded
+            """,
+            path=self.SERVE,
+        ) == []

@@ -301,3 +301,28 @@ class TestLint:
         assert main(
             ["lint", *FAST, "--skip-graph", "--root", "/no/such/dir"]
         ) == 2
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8972
+        assert args.token is None and args.store_root is None
+        assert args.max_sessions == 8 and args.retain == 64
+        assert args.flight_root is None
+
+    def test_all_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0",
+            "--token", "s3cret", "--store-root", "/tmp/store",
+            "--max-sessions", "2", "--retain", "8",
+            "--flight-root", "/tmp/flight",
+        ])
+        assert args.port == 0 and args.token == "s3cret"
+        assert args.max_sessions == 2 and args.flight_root == "/tmp/flight"
+
+    def test_serve_is_wired_into_main(self):
+        from repro.cli import _COMMANDS
+
+        assert "serve" in _COMMANDS

@@ -345,3 +345,79 @@ class TestTelemetryHub:
         assert "ranks 1" in frame
         assert "cleaning" in frame
         assert "health events:" in frame  # rule fired on registered rank
+
+
+class TestRegistrySnapshot:
+    """The shared race-tolerant walk behind the sampler and /telemetry."""
+
+    def test_snapshot_shape_and_quantiles(self):
+        from repro.obs import registry_snapshot
+
+        obs = Obs(enabled=True)
+        obs.metrics.counter("a.b").inc(3)
+        obs.metrics.gauge("c.d").set(7.0)
+        h = obs.metrics.histogram("e.f.seconds")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        snap = registry_snapshot(obs.metrics, quantiles=True)
+        assert snap["counters"]["a.b"] == 3
+        assert snap["gauges"]["c.d"]["last"] == 7.0
+        entry = snap["histograms"]["e.f.seconds"]
+        assert entry["count"] == 4 and entry["sum"] == 10.0
+        assert entry["p50"] <= entry["p95"] <= entry["p99"]
+
+    def test_snapshot_without_quantiles_is_lean(self):
+        from repro.obs import registry_snapshot
+
+        obs = Obs(enabled=True)
+        obs.metrics.histogram("e.f.seconds").observe(1.0)
+        entry = registry_snapshot(obs.metrics)["histograms"]["e.f.seconds"]
+        assert "p99" not in entry
+
+    def test_race_with_sampler_and_metric_creation(self):
+        """Sampler ticking + writer creating metrics + snapshot reader,
+        all concurrently: nothing crashes, snapshots stay well-formed."""
+        import threading
+
+        from repro.obs import registry_snapshot
+
+        obs = Obs(enabled=True)
+        sampler = TimeSeriesSampler(obs, capacity=64)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                obs.metrics.counter(f"race.metric{i}").inc()
+                obs.metrics.histogram(f"race.hist{i}.seconds").observe(0.01)
+                i += 1
+
+        def ticker():
+            while not stop.is_set():
+                try:
+                    sampler.sample()
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, daemon=True),
+            threading.Thread(target=ticker, daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        snapshots = 0
+        deadline = time.monotonic() + 1.0
+        while time.monotonic() < deadline:
+            snap = registry_snapshot(obs.metrics, quantiles=True, retries=4)
+            if snap is not None:
+                snapshots += 1
+                assert set(snap) == {"counters", "gauges", "histograms"}
+                for entry in snap["histograms"].values():
+                    assert entry["count"] >= 0
+        stop.set()
+        for t in threads:
+            t.join(5.0)
+        assert not errors, errors
+        assert snapshots > 0
+        assert sampler.n_samples > 0

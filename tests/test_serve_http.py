@@ -1,0 +1,285 @@
+"""End-to-end HTTP tests: real sockets, real threads, ephemeral port.
+
+Every test drives the actual :class:`~repro.serve.http.ServeHTTPServer`
+through ``http.client`` — no handler-level shortcuts — so the wire
+format, auth, content types and status codes are what a tenant would
+see.  The module-scoped server is shared; tests use distinct session
+ids and users to stay independent.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import Obs
+from repro.serve import ServeApp, SessionManager, make_server
+from repro.store import StoreReader, ingest_synthetic
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+
+TOKEN = "test-token"
+
+FIG1_SPEC = {"seconds": 1200, "ranks": 2, "checkpoint_every": 20}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("store")
+    market = SyntheticMarket(
+        default_universe(4),
+        SyntheticMarketConfig(trading_seconds=1800),
+        seed=13,
+    )
+    ingest_synthetic(root, market, n_days=2, n_shards=2, block_rows=512)
+    manager = SessionManager(max_live=6, retain=32)
+    app = ServeApp(
+        manager, token=TOKEN, obs=Obs(enabled=True),
+        store=StoreReader(root),
+    )
+    srv = make_server(app)
+    threading.Thread(target=srv.serve_forever, daemon=True).start()
+    yield srv
+    manager.kill_all()
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    import http.client
+
+    host, port = server.server_address[:2]
+
+    def request(method, path, body=None, token=TOKEN):
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        headers = {}
+        if token is not None:
+            headers["Authorization"] = f"Bearer {token}"
+        payload = json.dumps(body) if body is not None else None
+        conn.request(method, path, body=payload, headers=headers)
+        resp = conn.getresponse()
+        raw = resp.read()
+        content_type = resp.getheader("Content-Type", "")
+        conn.close()
+        if content_type.startswith("application/json"):
+            return resp.status, json.loads(raw)
+        return resp.status, raw.decode()
+
+    return request
+
+
+def wait_done(client, sid, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = client("GET", f"/sessions/{sid}")
+        assert status == 200
+        if body["state"] in ("done", "failed", "killed"):
+            return body
+        time.sleep(0.05)
+    raise AssertionError(f"session {sid} never terminated")
+
+
+class TestAuth:
+    def test_missing_token_is_401(self, client):
+        status, body = client("GET", "/sessions", token=None)
+        assert status == 401 and "bearer token" in body["error"]
+
+    def test_wrong_token_is_401(self, client):
+        assert client("GET", "/sessions", token="wr0ng")[0] == 401
+
+    def test_health_is_open(self, client):
+        status, body = client("GET", "/health", token=None)
+        assert status == 200
+        assert body["status"] == "ok" and body["store"] is True
+
+
+class TestRouting:
+    def test_unknown_path_404_lists_routes(self, client):
+        status, body = client("GET", "/nope")
+        assert status == 404 and "GET /health" in body["error"]
+
+    def test_wrong_method_is_405(self, client):
+        status, body = client("PUT", "/sessions")
+        assert status == 405 and "POST" in body["error"]
+
+    def test_unknown_query_param_is_400_with_allow_list(self, client):
+        status, body = client("GET", "/telemetry?depth=3")
+        assert status == 400
+        assert "'depth'" in body["error"] and "window" in body["error"]
+
+    def test_non_integer_param_is_400(self, client):
+        status, body = client("GET", "/sessions/x/audit?limit=soon")
+        assert status == 400 and "must be an integer" in body["error"]
+
+    def test_missing_body_is_400(self, client):
+        status, body = client("POST", "/sessions", body=None)
+        assert status == 400 and "JSON body" in body["error"]
+
+    def test_malformed_json_body_is_400(self, server):
+        import http.client
+
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request(
+            "POST", "/sessions", body=b"{not json",
+            headers={"Authorization": f"Bearer {TOKEN}"},
+        )
+        resp = conn.getresponse()
+        body = json.loads(resp.read())
+        conn.close()
+        assert resp.status == 400
+        assert "not valid JSON" in body["error"]
+
+
+class TestSessionRoutes:
+    def test_submit_status_audit_command_roundtrip(self, client):
+        status, body = client(
+            "POST", "/sessions",
+            {"id": "h1", "kind": "figure1", "spec": FIG1_SPEC,
+             "user": "alice"},
+        )
+        assert status == 201 and body["id"] == "h1"
+        status, listing = client("GET", "/sessions")
+        assert status == 200
+        assert "h1" in {s["id"] for s in listing["sessions"]}
+        final = wait_done(client, "h1")
+        assert final["state"] == "done", final["error"]
+        status, audit = client("GET", "/sessions/h1/audit?limit=10")
+        assert status == 200
+        assert audit["entries"][0]["actor"] == "alice"
+        status, body = client("POST", "/sessions/h1/pause")
+        assert status == 409  # terminal session: dead, not a hang
+        status, positions = client("GET", "/sessions/h1/positions")
+        assert status == 200 and positions["epoch"] == 0
+        status, signals = client("GET", "/sessions/h1/signals?limit=5")
+        assert status == 200 and len(signals["signals"]) <= 5
+
+    def test_submit_validation_is_pointed(self, client):
+        status, body = client("POST", "/sessions", {"id": "x"})
+        assert status == 400 and "'kind'" in body["error"]
+        status, body = client(
+            "POST", "/sessions", {"id": "x", "kind": "figure1", "nope": 1}
+        )
+        assert status == 400 and "unknown body key" in body["error"]
+        status, body = client(
+            "POST", "/sessions",
+            {"id": "x", "kind": "figure1", "spec": {"seconds": 10}},
+        )
+        assert status == 400 and ">= 1200" in body["error"]
+
+    def test_duplicate_submit_is_409(self, client):
+        client("POST", "/sessions",
+               {"id": "h2", "kind": "backtest",
+                "spec": {"days": 1, "symbols": 3, "levels": 1}})
+        status, body = client(
+            "POST", "/sessions", {"id": "h2", "kind": "backtest"}
+        )
+        assert status == 409 and "already exists" in body["error"]
+        wait_done(client, "h2")
+
+    def test_pause_kill_via_http(self, client):
+        client("POST", "/sessions",
+               {"id": "h3", "kind": "figure1",
+                "spec": {"seconds": 4800, "ranks": 2,
+                         "checkpoint_every": 10}})
+        status, body = client("POST", "/sessions/h3/pause?actor=ops")
+        assert status == 202
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if client("GET", "/sessions/h3")[1]["state"] == "paused":
+                break
+            time.sleep(0.05)
+        status, body = client("DELETE", "/sessions/h3?actor=ops")
+        assert status == 202
+        final = wait_done(client, "h3", timeout=15.0)
+        assert final["state"] == "killed"
+        ops_entries = [
+            e for e in client("GET", "/sessions/h3/audit")[1]["entries"]
+            if e["actor"] == "ops"
+        ]
+        assert {e["op"] for e in ops_entries} == {"pause", "kill"}
+
+    def test_unknown_session_is_404(self, client):
+        assert client("GET", "/sessions/ghost")[0] == 404
+        assert client("POST", "/sessions/ghost/kill")[0] == 404
+
+    def test_unknown_command_is_400(self, client):
+        assert client("POST", "/sessions/ghost/explode")[0] == 400
+
+
+class TestWatchlistRoutes:
+    def test_put_get_roundtrip(self, client):
+        status, body = client(
+            "PUT", "/users/carol/watchlist", {"symbols": ["XOM", "CVX"]}
+        )
+        assert status == 200
+        status, body = client("GET", "/users/carol/watchlist")
+        assert status == 200 and body["symbols"] == ["XOM", "CVX"]
+
+    def test_bad_body_is_400(self, client):
+        status, body = client("PUT", "/users/carol/watchlist", {"nope": 1})
+        assert status == 400 and "symbols" in body["error"]
+
+
+class TestTelemetryRoutes:
+    def test_telemetry_reports_server_and_sessions(self, client):
+        status, body = client("GET", "/telemetry")
+        assert status == 200
+        hists = body["server"]["histograms"]
+        assert any(k.startswith("serve.http.") for k in hists)
+        sample = next(iter(hists.values()))
+        assert {"count", "sum", "p50", "p95", "p99"} <= set(sample)
+
+    def test_metrics_is_prometheus_text(self, client):
+        status, text = client("GET", "/metrics")
+        assert status == 200 and isinstance(text, str)
+        assert "serve_http_requests" in text
+
+
+class TestStoreRoutes:
+    def test_days_lists_manifest(self, client):
+        status, body = client("GET", "/store/days")
+        assert status == 200
+        assert body["days"] == [0, 1] and len(body["symbols"]) == 4
+
+    def test_scan_with_pushdown_and_limit(self, client):
+        status, body = client(
+            "GET",
+            "/store/scan?days=0&columns=t,bid,ask&t_min=0&t_max=600"
+            "&limit=50",
+        )
+        assert status == 200
+        assert set(body["columns"]) == {"t", "bid", "ask"}
+        assert body["rows"] <= 50
+        assert all(0 <= t < 600 for t in body["columns"]["t"])
+
+    def test_scan_bad_predicate_is_400(self, client):
+        status, body = client("GET", "/store/scan?days=7")
+        assert status == 400 and "bad scan predicate" in body["error"]
+        status, body = client("GET", "/store/scan?days=zero")
+        assert status == 400 and "comma-separated integers" in body["error"]
+        status, body = client("GET", "/store/scan?limit=999999")
+        assert status == 400 and "<=" in body["error"]
+
+    def test_no_store_is_a_pointed_400(self):
+        manager = SessionManager(max_live=2, retain=8)
+        app = ServeApp(manager, token="t")
+        srv = make_server(app)
+        threading.Thread(target=srv.serve_forever, daemon=True).start()
+        try:
+            import http.client
+
+            host, port = srv.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/store/days",
+                         headers={"Authorization": "Bearer t"})
+            resp = conn.getresponse()
+            body = json.loads(resp.read())
+            assert resp.status == 400
+            assert "--store-root" in body["error"]
+            conn.close()
+        finally:
+            srv.shutdown()
+            srv.server_close()

@@ -1,0 +1,322 @@
+"""SessionManager lifecycle: submit/pause/resume/kill, audit, isolation.
+
+The edge cases here are the serving layer's contract with its tenants:
+a kill lands even while the session is parked in pause, a re-used id is
+a 409 not a clobber, a command against a dead session returns
+immediately (409) instead of hanging, the audit log survives a session
+crash (and the flight-recorder dump is still on disk), and — the
+multi-tenancy headline — one killed or paused session never blocks
+another tenant's work.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.serve import (
+    CommandBacklog,
+    DuplicateSession,
+    ManagerFull,
+    Session,
+    SessionDead,
+    SessionManager,
+    BadRequest,
+    UnknownSession,
+    validate_spec,
+)
+
+#: Smallest legal live session: 1200 s -> 40 intervals, 2 epochs.
+FIG1_SPEC = {"seconds": 1200, "ranks": 2, "checkpoint_every": 20}
+
+#: A long session (16 epochs) that stays alive while tests poke at it.
+SLOW_SPEC = {"seconds": 4800, "ranks": 2, "checkpoint_every": 10}
+
+
+def wait_for(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def wait_terminal(manager, sid, timeout=60.0):
+    assert wait_for(
+        lambda: manager.get(sid).status()["state"]
+        in ("done", "failed", "killed"),
+        timeout,
+    ), f"session {sid} never terminated: {manager.get(sid).status()}"
+    return manager.get(sid).status()
+
+
+@pytest.fixture()
+def manager():
+    m = SessionManager(max_live=4, retain=16)
+    yield m
+    m.kill_all()
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BadRequest, match="unknown session kind"):
+            validate_spec("alpha", {})
+
+    def test_unknown_key_names_allowed(self):
+        with pytest.raises(BadRequest, match="allowed keys"):
+            validate_spec("figure1", {"symbolz": 4})
+
+    def test_type_error_is_pointed(self):
+        with pytest.raises(BadRequest, match="'symbols' must be int"):
+            validate_spec("figure1", {"symbols": "four"})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(BadRequest, match="'symbols' must be int"):
+            validate_spec("figure1", {"symbols": True})
+
+    def test_bounds_checked_both_ways(self):
+        with pytest.raises(BadRequest, match="must be >= 1200"):
+            validate_spec("figure1", {"seconds": 60})
+        with pytest.raises(BadRequest, match="must be <= 8"):
+            validate_spec("figure1", {"ranks": 64})
+
+    def test_defaults_fill_in(self):
+        spec = validate_spec("backtest", None)
+        assert spec["symbols"] == 6 and spec["days"] == 2
+        assert spec["store_root"] is None
+
+    def test_unknown_fault_plan_rejected(self):
+        with pytest.raises(BadRequest, match="no such plan"):
+            validate_spec("figure1", {"fault_plan": "meteor-strike"})
+
+    def test_missing_store_root_rejected(self):
+        with pytest.raises(BadRequest, match="not a directory"):
+            validate_spec("backtest", {"store_root": "/no/such/store"})
+
+    def test_bad_session_id_rejected(self, manager):
+        with pytest.raises(BadRequest, match="bad session id"):
+            manager.submit("no spaces!", "figure1", None, "u")
+
+
+class TestLifecycle:
+    def test_figure1_runs_to_done(self, manager):
+        status = manager.submit("f1", "figure1", FIG1_SPEC, "alice")
+        assert status["state"] in ("pending", "running")
+        final = wait_terminal(manager, "f1")
+        assert final["state"] == "done", final["error"]
+        assert final["summary"]["bars"] == 40
+        assert final["summary"]["checkpoints"] == 1
+        assert final["progress"]["gates"] >= 2
+
+    def test_backtest_runs_to_done(self, manager):
+        manager.submit(
+            "b1", "backtest", {"days": 1, "symbols": 4, "levels": 1}, "bob"
+        )
+        final = wait_terminal(manager, "b1")
+        assert final["state"] == "done", final["error"]
+        assert final["summary"] == {
+            "days": 1, "pairs": 6, "param_sets": 1,
+            "trades": final["summary"]["trades"],
+        }
+
+    def test_double_submit_is_409_even_after_done(self, manager):
+        manager.submit("dup", "figure1", FIG1_SPEC, "alice")
+        with pytest.raises(DuplicateSession):
+            manager.submit("dup", "figure1", FIG1_SPEC, "mallory")
+        wait_terminal(manager, "dup")
+        with pytest.raises(DuplicateSession):
+            manager.submit("dup", "backtest", None, "alice")
+
+    def test_pause_then_kill_lands_while_paused(self, manager):
+        manager.submit("pk", "figure1", SLOW_SPEC, "alice")
+        manager.command("pk", "pause", "alice")
+        assert wait_for(lambda: manager.get("pk").status()["state"] == "paused")
+        # The worker is parked at a gate; the kill must still land.
+        manager.command("pk", "kill", "ops")
+        final = wait_terminal(manager, "pk", timeout=10.0)
+        assert final["state"] == "killed"
+
+    def test_pause_resume_roundtrip(self, manager):
+        manager.submit("pr", "figure1", SLOW_SPEC, "alice")
+        manager.command("pr", "pause", "alice")
+        assert wait_for(lambda: manager.get("pr").status()["state"] == "paused")
+        manager.command("pr", "resume", "alice")
+        assert wait_for(
+            lambda: manager.get("pr").status()["state"] == "running"
+        )
+        manager.command("pr", "kill", "alice")
+        wait_terminal(manager, "pr", timeout=10.0)
+
+    def test_command_on_dead_session_is_409_not_a_hang(self, manager):
+        manager.submit("dead", "figure1", FIG1_SPEC, "alice")
+        manager.command("dead", "kill", "alice")
+        wait_terminal(manager, "dead", timeout=10.0)
+        t0 = time.monotonic()
+        with pytest.raises(SessionDead):
+            manager.command("dead", "pause", "alice")
+        assert time.monotonic() - t0 < 1.0
+
+    def test_unknown_session_404(self, manager):
+        with pytest.raises(UnknownSession):
+            manager.get("ghost")
+        with pytest.raises(UnknownSession):
+            manager.command("ghost", "kill", "alice")
+
+    def test_unknown_command_400(self, manager):
+        manager.submit("cmd", "figure1", FIG1_SPEC, "alice")
+        with pytest.raises(BadRequest, match="unknown command"):
+            manager.command("cmd", "explode", "alice")
+
+
+class TestIsolation:
+    def test_killed_session_never_blocks_another_tenant(self, manager):
+        """The acceptance headline: tenant B completes while A is wedged."""
+        manager.submit("a", "figure1", SLOW_SPEC, "alice")
+        manager.command("a", "pause", "alice")
+        assert wait_for(lambda: manager.get("a").status()["state"] == "paused")
+        # With A parked, B must submit, run and finish unimpeded.
+        manager.submit("b", "figure1", FIG1_SPEC, "bob")
+        final_b = wait_terminal(manager, "b")
+        assert final_b["state"] == "done", final_b["error"]
+        assert manager.get("a").status()["state"] == "paused"
+        # And every control-plane read against A stays fast.
+        t0 = time.monotonic()
+        manager.get("a").status()
+        manager.get("a").audit_entries()
+        manager.list_sessions()
+        assert time.monotonic() - t0 < 1.0
+        manager.command("a", "kill", "ops")
+        assert wait_terminal(manager, "a", timeout=10.0)["state"] == "killed"
+
+    def test_manager_full_is_429(self):
+        m = SessionManager(max_live=1, retain=8)
+        try:
+            m.submit("one", "figure1", SLOW_SPEC, "alice")
+            with pytest.raises(ManagerFull):
+                m.submit("two", "figure1", FIG1_SPEC, "bob")
+        finally:
+            m.kill_all()
+
+    def test_command_backlog_is_429(self):
+        # A pending (never-started) session drains nothing, so the
+        # bounded queue fills and the next command rejects immediately.
+        s = Session("s", "figure1", validate_spec("figure1", None), "u",
+                    command_slots=2)
+        s.submit_command("pause", "u")
+        s.submit_command("resume", "u")
+        with pytest.raises(CommandBacklog):
+            s.submit_command("kill", "u")
+        audit = s.audit_entries()
+        assert [e["detail"] for e in audit["entries"]] == [
+            "queued", "queued", "rejected: command queue full",
+        ]
+
+
+class TestAudit:
+    def test_audit_orders_actor_and_op(self, manager):
+        manager.submit("aud", "figure1", FIG1_SPEC, "alice")
+        manager.command("aud", "pause", "alice")
+        manager.command("aud", "resume", "ops")
+        manager.command("aud", "kill", "security")
+        wait_terminal(manager, "aud", timeout=15.0)
+        entries = manager.get("aud").audit_entries()["entries"]
+        pairs = [(e["actor"], e["op"]) for e in entries]
+        assert pairs[0] == ("alice", "submit")
+        assert ("ops", "resume") in pairs
+        assert ("security", "kill") in pairs
+        assert pairs[-1] == ("worker", "exit")
+        seqs = [e["seq"] for e in entries]
+        assert seqs == sorted(seqs)
+
+    def test_audit_survives_crash_and_flight_dump_written(self, tmp_path):
+        m = SessionManager(max_live=2, retain=8, flight_root=str(tmp_path))
+        try:
+            # crash-mid with a zero restart budget: the session dies.
+            m.submit(
+                "boom", "figure1",
+                dict(FIG1_SPEC, fault_plan="crash-mid", max_restarts=0),
+                "alice",
+            )
+            final = wait_terminal(m, "boom")
+            assert final["state"] == "failed"
+            assert "ChaosUnrecoverable" in final["error"]
+            entries = m.get("boom").audit_entries()["entries"]
+            assert entries[0]["op"] == "submit"
+            assert entries[-1]["op"] == "exit"
+            assert entries[-1]["detail"].startswith("failed:")
+            dumps = os.listdir(tmp_path / "boom")
+            assert any(f.endswith(".jsonl") for f in dumps), dumps
+        finally:
+            m.kill_all()
+
+    def test_audit_ring_is_bounded_but_sequence_is_not(self):
+        s = Session("s", "backtest", validate_spec("backtest", None), "u",
+                    audit_capacity=4)
+        for i in range(10):
+            s.record_audit("u", f"op{i}")
+        audit = s.audit_entries()
+        assert len(audit["entries"]) == 4
+        assert audit["total"] == 10 and audit["dropped"] == 6
+        assert [e["seq"] for e in audit["entries"]] == [6, 7, 8, 9]
+
+
+class TestQueries:
+    def test_positions_and_signals_read_checkpoints(self, manager):
+        manager.submit("q", "figure1", FIG1_SPEC, "alice")
+        final = wait_terminal(manager, "q")
+        assert final["state"] == "done", final["error"]
+        session = manager.get("q")
+        positions = session.positions()
+        assert positions["epoch"] == 0
+        assert positions["trades"] >= 0
+        for row in positions["positions"]:
+            assert len(row["pair"]) == 2 and row["n_long"] > 0
+        signals = session.signals(limit=3)
+        assert len(signals["signals"]) <= 3
+        for row in signals["signals"]:
+            assert -1.0 <= row["corr"] <= 1.0
+
+    def test_positions_reject_backtest_sessions(self, manager):
+        manager.submit("bt", "backtest", {"days": 1, "symbols": 4}, "bob")
+        wait_terminal(manager, "bt")
+        with pytest.raises(BadRequest, match="only for kind 'figure1'"):
+            manager.get("bt").positions()
+        with pytest.raises(BadRequest, match="only for kind 'figure1'"):
+            manager.get("bt").signals()
+
+    def test_terminal_sessions_pruned_oldest_first(self):
+        m = SessionManager(max_live=2, retain=3)
+        try:
+            for i in range(4):
+                m.submit(f"s{i}", "backtest",
+                         {"days": 1, "symbols": 3, "levels": 1}, "u")
+                wait_terminal(m, f"s{i}")
+            ids = {s["id"] for s in m.list_sessions()}
+            assert len(ids) <= 3 and "s3" in ids and "s0" not in ids
+        finally:
+            m.kill_all()
+
+
+class TestWatchlists:
+    def test_roundtrip_and_caps(self, manager):
+        manager.set_watchlist("alice", ["XOM", "CVX"])
+        assert manager.watchlist("alice")["symbols"] == ["XOM", "CVX"]
+        assert manager.watchlist("nobody")["symbols"] == []
+        with pytest.raises(BadRequest, match="ticker strings"):
+            manager.set_watchlist("alice", ["", "CVX"])
+        with pytest.raises(BadRequest, match="ticker strings"):
+            manager.set_watchlist("alice", "XOM")
+
+    def test_user_cap_is_429_but_updates_pass(self):
+        m = SessionManager(max_live=2, retain=8, watchlist_users=2)
+        m.set_watchlist("a", ["XOM"])
+        m.set_watchlist("b", ["CVX"])
+        with pytest.raises(ManagerFull):
+            m.set_watchlist("c", ["BP"])
+        m.set_watchlist("a", ["BP"])  # replacing an entry is always fine
+        assert m.watchlist("a")["symbols"] == ["BP"]
+
+    def test_item_cap(self, manager):
+        with pytest.raises(BadRequest, match="at most"):
+            manager.set_watchlist("alice", ["S"] * 1000)
