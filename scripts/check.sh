@@ -325,6 +325,83 @@ print(f"ok: crash-mid recovered bitwise-identical "
       f"({chaos.restarts} restart(s), {chaos.checkpoints} checkpoint(s))")
 EOF
 
+echo "== elastic resize smoke check (grow 2->4, shrink 4->2, bitwise) =="
+python - <<'EOF'
+"""Assert the elastic runtime's headline invariant on a live run.
+
+Runs one Figure-1 session at a fixed pool size and once under a resize
+plan that grows 2 -> 4 then shrinks 4 -> 2 at epoch boundaries: the
+resizes must actually apply, and the rescaled session must be
+bitwise-identical to the fixed-size one (results and folded domain
+counters; transport counters scale with the pool by design).
+"""
+import time
+
+from repro.elastic import ResizePlan, ResizeRequest
+from repro.faults import (
+    fold_obs_counters,
+    run_supervised_session,
+    session_results_equal,
+)
+from repro.marketminer.session import build_figure1_workflow
+from repro.strategy.params import StrategyParams
+from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+from repro.taq.universe import default_universe
+from repro.util.timeutil import TimeGrid
+
+SECONDS = 23_400 // 16
+
+
+def build():
+    market = SyntheticMarket(
+        default_universe(4),
+        SyntheticMarketConfig(trading_seconds=SECONDS, quote_rate=0.9),
+        seed=33,
+    )
+    params = StrategyParams(m=20, w=10, y=4, rt=10, hp=8, st=4, d=0.002)
+    return build_figure1_workflow(
+        market,
+        TimeGrid(30, trading_seconds=SECONDS),
+        [(0, 1), (2, 3)],
+        [params],
+    )
+
+
+t0 = time.perf_counter()
+options = {"default_timeout": 2.0}
+fixed = run_supervised_session(
+    build, size=2, checkpoint_every=20,
+    obs_enabled=True, backend_options=options,
+)
+elastic = run_supervised_session(
+    build, size=2, checkpoint_every=20,
+    resize=ResizePlan((ResizeRequest(1, 4), ResizeRequest(2, 2))),
+    obs_enabled=True, backend_options=options,
+)
+elapsed = time.perf_counter() - t0
+assert elastic.pool_sizes == (2, 4, 2), (
+    f"resize plan never applied: pool sizes {elastic.pool_sizes}"
+)
+assert session_results_equal(fixed.results, elastic.results), (
+    "rescaled session diverged from the fixed-size run"
+)
+exclude = ("mpi.",)
+assert fold_obs_counters(
+    fixed.obs_reports, exclude_prefixes=exclude
+) == fold_obs_counters(elastic.obs_reports, exclude_prefixes=exclude), (
+    "rescaled session's folded domain counters diverged"
+)
+assert elapsed < 10.0, (
+    f"elastic smoke took {elapsed:.1f}s >= 10s budget: the stage must "
+    f"stay cheap enough to run on every check"
+)
+print(f"ok: session resized 2->4->2 bitwise-identical to fixed size "
+      f"({len(elastic.resizes)} resize(s), {elapsed:.1f}s)")
+EOF
+
+echo "== work-stealing makespan smoke check =="
+python -m benchmarks.bench_elastic --smoke
+
 echo "== detached-faults overhead smoke check =="
 python - <<'EOF'
 """Assert the detached fault-injection seam stays (near-)free.

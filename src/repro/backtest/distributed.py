@@ -31,7 +31,8 @@ from repro.backtest.results import ResultStore
 from repro.backtest.runner import CellFailure, _capture_cell_failure
 from repro.corr.batch import check_backend
 from repro.corr.maronna import MaronnaConfig
-from repro.corr.parallel import ParallelCorrelationEngine, partition_pairs
+from repro.corr.parallel import ParallelCorrelationEngine
+from repro.elastic.sharding import shard_pairs
 from repro.mpi.api import Comm
 from repro.obs import NULL_METRIC, Obs, comm_obs
 from repro.strategy.costs import ExecutionModel, execution_salt
@@ -106,7 +107,10 @@ class DistributedBacktester:
         store = ResultStore()
         failures: list[CellFailure] = []
         self.last_failures = []
-        my_pairs = partition_pairs(pairs, comm.size)[comm.rank]
+        # Stable-hash sharding (not contiguous blocks): a pair's shard is a
+        # pure function of its id, so membership survives pool resizes and
+        # the merged store is identical at any rank count.
+        my_pairs = shard_pairs(pairs, comm.size)[comm.rank]
         specs = sorted(
             {(p.m, p.ctype) for p in grid}, key=lambda s: (s[0], s[1].value)
         )

@@ -308,6 +308,94 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return _chaos_sweep(args, plan)
 
 
+def _parse_resize_specs(specs) -> list[tuple[int, int]]:
+    """Parse repeated ``--resize EPOCH:SIZE`` flags, with pointed errors."""
+    out = []
+    for text in specs or ():
+        epoch, sep, size = text.partition(":")
+        if not sep or not epoch.isdigit() or not size.isdigit():
+            raise ValueError(
+                f"bad --resize {text!r}: expected EPOCH:SIZE with two "
+                f"non-negative integers, e.g. --resize 1:4"
+            )
+        out.append((int(epoch), int(size)))
+    return out
+
+
+def _cmd_elastic(args: argparse.Namespace) -> int:
+    """Run a supervised session under a resize plan; optionally verify the
+    headline invariant (rescaled run == fixed-size run, bitwise)."""
+    from repro.elastic import ResizePlan, ResizeRequest
+    from repro.faults import (
+        fold_obs_counters,
+        run_supervised_session,
+        session_results_equal,
+    )
+    from repro.marketminer.session import build_figure1_workflow
+    from repro.strategy.params import StrategyParams
+    from repro.taq.synthetic import SyntheticMarket, SyntheticMarketConfig
+    from repro.taq.universe import default_universe
+    from repro.util.timeutil import TimeGrid
+
+    try:
+        resizes = _parse_resize_specs(args.resize)
+    except ValueError as exc:
+        print(f"elastic: {exc}", file=sys.stderr)
+        return 2
+    plan = ResizePlan(tuple(ResizeRequest(e, s) for e, s in resizes))
+
+    # Short-session parameters (the chaos/top builder's Table-I values
+    # need a near-full trading day before any signal fires).
+    params = StrategyParams(m=20, w=10, y=4, rt=10, hp=8, st=4, d=0.002)
+
+    def build():
+        market = SyntheticMarket(
+            default_universe(args.symbols),
+            SyntheticMarketConfig(
+                trading_seconds=args.seconds, quote_rate=0.9
+            ),
+            seed=args.seed,
+        )
+        return build_figure1_workflow(
+            market,
+            TimeGrid(30, trading_seconds=args.seconds),
+            list(market.universe.pairs()),
+            [params],
+        )
+
+    options = {"default_timeout": args.timeout}
+    run = run_supervised_session(
+        build, size=args.ranks, backend=args.backend, resize=plan,
+        checkpoint_every=args.checkpoint_every, obs_enabled=True,
+        backend_options=options,
+    )
+    pools = "->".join(str(p) for p in run.pool_sizes)
+    n_trades = sum(
+        len(v) for v in run.results["pair_trading"]["trades"].values()
+    )
+    print(f"elastic session: pool {pools}, "
+          f"{len(run.resizes)} resize(s) applied, "
+          f"{run.checkpoints} checkpoint(s), {n_trades} trades")
+    for epoch, old, new in run.resizes:
+        print(f"  epoch {epoch}: {old} -> {new} ranks")
+
+    if args.compare_fixed is None:
+        return 0
+    fixed = run_supervised_session(
+        build, size=args.compare_fixed, backend=args.backend,
+        checkpoint_every=args.checkpoint_every, obs_enabled=True,
+        backend_options=options,
+    )
+    exclude = ("mpi.",)  # transport counters scale with the pool by design
+    results_ok = session_results_equal(fixed.results, run.results)
+    counters_ok = fold_obs_counters(
+        fixed.obs_reports, exclude_prefixes=exclude
+    ) == fold_obs_counters(run.obs_reports, exclude_prefixes=exclude)
+    print(f"bitwise vs fixed size {args.compare_fixed}: "
+          f"results={results_ok} domain_counters={counters_ok}")
+    return 0 if results_ok and counters_ok else 1
+
+
 def _build_figure1_from_args(args: argparse.Namespace):
     from repro.marketminer.session import build_figure1_workflow
     from repro.strategy.params import StrategyParams
@@ -356,6 +444,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
             return 2
     hub = TelemetryHub(rules=rules)
     outcome: dict = {}
+    supervisor = None
 
     def session() -> None:
         try:
@@ -368,6 +457,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
                     size=args.ranks, plan=plan,
                     checkpoint_every=args.checkpoint_every,
                     obs_enabled=True, obs_hook=hub.register,
+                    control=supervisor,
                     backend_options={"default_timeout": args.timeout},
                 )
                 outcome["results"] = outcome["run"].results
@@ -382,13 +472,19 @@ def _cmd_top(args: argparse.Namespace) -> int:
         except BaseException as exc:  # reported after the final frame
             outcome["error"] = exc
 
+    if args.target == "chaos":
+        from repro.marketminer.session import SessionControl
+
+        supervisor = SessionControl(poll_interval=0.02)
     worker = threading.Thread(target=session, name="repro-top", daemon=True)
     plain = args.plain or not sys.stdout.isatty()
     worker.start()
     while worker.is_alive():
         worker.join(timeout=args.refresh)
         hub.sample()
-        _top_frame(render_top(hub, window=args.window), plain)
+        _top_frame(
+            render_top(hub, window=args.window, supervisor=supervisor), plain
+        )
 
     error = outcome.get("error")
     if error is not None:
@@ -402,8 +498,10 @@ def _cmd_top(args: argparse.Namespace) -> int:
           f"{n_trades} trades")
     run = outcome.get("run")
     if run is not None:
+        pools = "->".join(str(p) for p in run.pool_sizes) or "-"
         print(f"  {run.restarts} restart(s), {run.checkpoints} "
-              f"checkpoint(s), {run.attempts} attempt(s)")
+              f"checkpoint(s), {run.attempts} attempt(s), "
+              f"pool {pools}")
     _dump_obs(args, results.get("_obs"))
     return 0
 
@@ -870,6 +968,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump every attempt's per-rank flight-recorder "
                    "rings here as rank<r>-attempt<a>.jsonl (figure1 target)")
 
+    p = sub.add_parser(
+        "elastic",
+        help="run a session under an epoch-boundary resize plan and "
+        "verify the rescaled run matches a fixed-size run bitwise",
+    )
+    _add_market_args(p, symbols=4)
+    p.add_argument("--ranks", type=int, default=2,
+                   help="starting rank-pool size")
+    p.add_argument("--resize", metavar="EPOCH:SIZE", action="append",
+                   default=None,
+                   help="resize the pool to SIZE at epoch EPOCH's boundary "
+                   "(repeatable, e.g. --resize 1:4 --resize 2:3)")
+    p.add_argument("--checkpoint-every", type=int, default=20,
+                   help="intervals per checkpoint epoch")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread")
+    p.add_argument("--compare-fixed", type=int, metavar="RANKS",
+                   default=None,
+                   help="also run at this fixed size and exit 1 unless the "
+                   "results and folded domain counters match bitwise")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="per-recv timeout for the session's communicators")
+
     p = sub.add_parser("pipeline", help="stream a Figure-1 live session")
     _add_market_args(p, symbols=6)
     p.add_argument("--ranks", type=int, default=3)
@@ -1063,6 +1184,7 @@ _COMMANDS = {
     "taq-sample": _cmd_taq_sample,
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
+    "elastic": _cmd_elastic,
     "pipeline": _cmd_pipeline,
     "top": _cmd_top,
     "report": _cmd_report,

@@ -1,0 +1,96 @@
+"""Declarative resize schedules for supervised sessions.
+
+A :class:`ResizeRequest` names one voluntary topology change — "run at
+``size`` ranks from epoch ``epoch`` on" — and a :class:`ResizePlan` is an
+ordered, validated set of them.  Epochs are the only consistent cuts of
+the stream (end-of-stream drains all in-flight traffic before the
+checkpoint), so they are the only points a plan can name; a request that
+arrives mid-epoch through the live control channel is deferred to the
+next boundary by the supervisor, never applied in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ResizeRequest:
+    """Grow or shrink the rank pool to ``size`` at epoch ``epoch``.
+
+    The request takes effect *before* the named epoch runs: its intervals
+    are the first streamed by the rebuilt, resized world.  ``epoch`` 0 is
+    legal and simply overrides the session's starting size.
+    """
+
+    epoch: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(
+                f"resize epoch must be >= 0, got {self.epoch}"
+            )
+        if self.size < 1:
+            raise ValueError(
+                f"cannot shrink the pool below 1 rank "
+                f"(resize at epoch {self.epoch} asked for {self.size})"
+            )
+
+
+@dataclass(frozen=True)
+class ResizePlan:
+    """An ordered schedule of :class:`ResizeRequest` entries.
+
+    At most one request per epoch: two resizes at the same boundary are
+    a contradiction, not a sequence (the supervisor applies a request
+    before the epoch runs, so there is no "between" for a second one).
+    """
+
+    requests: tuple[ResizeRequest, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.requests, key=lambda r: r.epoch)
+        )
+        epochs = [r.epoch for r in ordered]
+        if len(set(epochs)) != len(epochs):
+            dupes = sorted({e for e in epochs if epochs.count(e) > 1})
+            raise ValueError(
+                f"resize plan names epoch(s) {dupes} more than once; "
+                f"one resize per epoch boundary"
+            )
+        object.__setattr__(self, "requests", ordered)
+
+    @classmethod
+    def of(cls, resize) -> "ResizePlan":
+        """Coerce ``None`` / a request / an iterable / a plan to a plan."""
+        if resize is None:
+            return cls()
+        if isinstance(resize, ResizePlan):
+            return resize
+        if isinstance(resize, ResizeRequest):
+            return cls((resize,))
+        if isinstance(resize, Iterable):
+            requests = tuple(resize)
+            for r in requests:
+                if not isinstance(r, ResizeRequest):
+                    raise TypeError(
+                        f"resize entries must be ResizeRequest, "
+                        f"got {type(r).__name__}"
+                    )
+            return cls(requests)
+        raise TypeError(
+            f"resize must be a ResizePlan, ResizeRequest, iterable of "
+            f"requests, or None; got {type(resize).__name__}"
+        )
+
+    def by_epoch(self) -> dict[int, int]:
+        """``{epoch: target size}`` for the supervisor's boundary lookup."""
+        return {r.epoch: r.size for r in self.requests}
+
+    @property
+    def max_epoch(self) -> int:
+        """Largest epoch named (-1 for an empty plan)."""
+        return max((r.epoch for r in self.requests), default=-1)

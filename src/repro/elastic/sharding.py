@@ -1,0 +1,80 @@
+"""Rank-count-independent pair sharding.
+
+Placement must never leak into results.  Contiguous block splits
+(:func:`repro.corr.parallel.partition_pairs`) and ``i % size`` round-
+robin both assign a pair to a *different* shard when the pool resizes,
+which is harmless where the merge is exact (dict-union of per-pair
+series, SUM-allreduce of zero-padded partials, ``ResultStore.merged``)
+but makes any placement-sensitive consumer a latent bitwise break.  The
+elastic audit of the repo's ``% size``-style placement found:
+
+- ``backtest/distributed.py`` strategy stage — moved to
+  :func:`shard_pairs` (this module): the shard a pair lands on is a pure
+  function of the pair id, so shard *membership* is stable under pool
+  resizes and only the grouping changes.
+- ``corr/parallel.py`` pair blocks — kept contiguous deliberately: the
+  batch kernels gather a rank's block into cache-resident chunks, so
+  contiguity is a locality win, and the block merge (dict-union /
+  SUM-allreduce of disjoint zero-padded partials) is exact regardless of
+  grouping.
+- ``marketminer/scheduler.py`` component placement — not pair-based at
+  all (weighted topological ``contract_dag``); results are placement-
+  independent because components exchange the full stream regardless of
+  which rank hosts them.
+
+The hash is FNV-1a (64-bit) over the pair id's canonical text — stable
+across processes, platforms and Python versions (unlike ``hash()``,
+which is salted per process for strings).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _fnv1a(data: bytes) -> int:
+    h = _FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * _FNV_PRIME) & _MASK
+    return h
+
+
+def stable_shard(pair: Hashable, size: int) -> int:
+    """The shard (0-based) hosting ``pair`` in a ``size``-shard split.
+
+    A pure function of ``(pair, size)``: independent of the pair list it
+    came from, its position in that list, and the process computing it.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if isinstance(pair, tuple):
+        key = ",".join(repr(p) for p in pair)
+    else:
+        key = repr(pair)
+    return _fnv1a(key.encode()) % size
+
+
+def shard_pairs(
+    pairs: list[tuple[int, int]], size: int
+) -> list[list[tuple[int, int]]]:
+    """Split ``pairs`` into ``size`` shards by stable hash.
+
+    Every pair lands in exactly one shard (the union over shards is the
+    input, order preserved within each shard), and which shard is a pure
+    function of the pair id — so resizing the pool regroups the shards
+    without ever re-deriving a pair's identity from its position.
+
+    Drop-in placement replacement for
+    :func:`repro.corr.parallel.partition_pairs` wherever the downstream
+    merge is placement-exact.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    shards: list[list[tuple[int, int]]] = [[] for _ in range(size)]
+    for pair in pairs:
+        shards[stable_shard(pair, size)].append(pair)
+    return shards

@@ -1,0 +1,62 @@
+"""The epoch-boundary comm-world seam.
+
+Every comm world the elastic runtime builds goes through this module —
+the ``repo.topology-epoch`` lint rule makes direct ``MailboxComm`` /
+backend / ``run_spmd`` use anywhere else under ``repro/elastic/`` an
+error.  The point of the chokepoint: a world only ever changes size
+*between* epochs, when the previous world has fully drained (end-of-
+stream reached every component) and been torn down, and the checkpoint
+is the sole state that crosses the boundary.  Code that could rebuild a
+world mid-epoch would silently break the bitwise rescale invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.mpi.launcher import available_backends, backend_capacity, run_spmd
+
+
+def world_capacity(backend: str) -> int:
+    """Largest pool ``backend`` can host (see ``backend_capacity``)."""
+    return backend_capacity(backend)
+
+
+def check_pool_size(size: int, backend: str) -> None:
+    """Validate a requested pool size with pointed errors.
+
+    Shrinking below one rank or growing past the launcher's capacity is
+    rejected here, before any teardown, so an illegal resize never costs
+    the session its current world.
+    """
+    if backend not in available_backends():
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {available_backends()}"
+        )
+    if size < 1:
+        raise ValueError(
+            f"cannot shrink the rank pool below 1 (requested size={size})"
+        )
+    cap = backend_capacity(backend)
+    if size > cap:
+        raise ValueError(
+            f"cannot grow the rank pool to {size}: the {backend!r} backend "
+            f"launches at most {cap} ranks"
+        )
+
+
+def run_epoch(
+    spmd: Callable[..., Any],
+    size: int,
+    backend: str,
+    options: dict[str, Any],
+) -> list[Any]:
+    """Build a fresh ``size``-rank world, run one epoch, tear it down.
+
+    This is the only call site in :mod:`repro.elastic` that constructs
+    communicators; ``run_spmd`` builds fresh mailboxes/processes per call
+    and joins them before returning, so by the time this function
+    returns, the world is gone and the pool size is free to change.
+    """
+    check_pool_size(size, backend)
+    return run_spmd(spmd, size=size, backend=backend, **options)

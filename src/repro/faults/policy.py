@@ -24,16 +24,29 @@ class DegradePolicy:
     ``flatten``: on a stale matrix the strategy closes any open
     positions (reason ``DEGRADED``) in addition to refusing new entries;
     with ``flatten=False`` it only refuses entries.
+
+    ``shrink_on_crash``: when a supervised epoch exhausts its restart
+    budget, drop one rank from the pool and retry (crash-as-shrink)
+    instead of raising :class:`ChaosUnrecoverable` — the elastic
+    runtime's answer to a rank that keeps dying with no spare to take
+    its place.  ``min_ranks`` is the floor the pool never shrinks below;
+    at the floor, the restart budget re-raises as usual.
     """
 
     serve_stale: bool = True
     max_stale_age: int | None = None
     flatten: bool = True
+    shrink_on_crash: bool = False
+    min_ranks: int = 1
 
     def __post_init__(self) -> None:
         if self.max_stale_age is not None and self.max_stale_age < 1:
             raise ValueError(
                 f"max_stale_age must be >= 1 or None, got {self.max_stale_age}"
+            )
+        if self.min_ranks < 1:
+            raise ValueError(
+                f"min_ranks must be >= 1, got {self.min_ranks}"
             )
 
 

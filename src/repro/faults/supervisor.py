@@ -30,9 +30,6 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.faults.plan import FaultPlan
-from repro.marketminer.scheduler import WorkflowRunner
-from repro.mpi.api import MpiError
-from repro.mpi.launcher import run_spmd
 
 #: Exception types whose messages are deterministic by construction and
 #: therefore safe to include verbatim in the chaos log.
@@ -40,7 +37,28 @@ _DETERMINISTIC_DETAILS = frozenset({"InjectedCrash", "FaultDetected"})
 
 
 class ChaosUnrecoverable(RuntimeError):
-    """An epoch kept failing past the restart budget."""
+    """An epoch kept failing past the restart budget.
+
+    Carries the last failure's deterministic classification plus the
+    attempt/restart counts at the point of giving up, so a caller (or an
+    operator reading the serving layer's error string) sees *what* kept
+    dying and *how hard* the supervisor tried without parsing the log.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failure: tuple = (),
+        attempts: int = 0,
+        restarts: int = 0,
+    ):
+        super().__init__(message)
+        #: Last failure's ``(rank, exc type, detail)`` classification.
+        self.failure = failure
+        #: Total attempts (successful + failed) before giving up.
+        self.attempts = attempts
+        #: Total restarts across all epochs before giving up.
+        self.restarts = restarts
 
 
 @dataclass(frozen=True)
@@ -61,6 +79,12 @@ class SupervisedRun:
     restarts: int
     checkpoints: int
     obs_reports: tuple = ()
+    #: Pool size each successful epoch ran at, in epoch order.  Constant
+    #: for a fixed-size session; steps at resize/shrink boundaries.
+    pool_sizes: tuple = ()
+    #: Applied pool changes as ``(epoch, old, new)``, voluntary and
+    #: crash-as-shrink alike, in application order.
+    resizes: tuple = ()
 
 
 def _classify_failure(exc: BaseException) -> tuple:
@@ -150,6 +174,8 @@ def run_supervised_session(
     flight_dump: str | None = None,
     obs_hook=None,
     control=None,
+    resize=None,
+    degrade=None,
 ) -> SupervisedRun:
     """Run a Figure-1 session under supervision (and optionally chaos).
 
@@ -180,99 +206,36 @@ def run_supervised_session(
     :class:`~repro.marketminer.session.SessionKilled` out of this
     function) and ``on_checkpoint`` receives every checkpoint, which is
     what the serving layer's live position/signal queries read.
+
+    ``resize`` (a :class:`~repro.elastic.ResizePlan`, a single
+    :class:`~repro.elastic.ResizeRequest`, or an iterable of requests)
+    schedules voluntary pool resizes at epoch boundaries, and
+    ``degrade`` (a :class:`~repro.faults.DegradePolicy` with
+    ``shrink_on_crash=True``) lets an epoch that exhausts its restart
+    budget shed a rank and retry instead of giving up.  The epoch loop
+    itself lives in :func:`repro.elastic.run_elastic_session`; a
+    fixed-size call is simply the elastic loop with an empty plan, and
+    produces byte-identical logs to the pre-elastic supervisor.
     """
-    options = dict(backend_options or {})
-    smax = _session_smax(build())
-    epochs = _epochs(smax, checkpoint_every)
-    metrics = obs.metrics if obs is not None and obs.enabled else None
+    from repro.elastic.supervisor import run_elastic_session
 
-    log: list[tuple] = []
-    obs_reports: list[dict] = []
-    checkpoint: dict[str, Any] | None = None
-    attempt = 0
-    restarts = 0
-    checkpoints = 0
-
-    for epoch, (start, stop) in enumerate(epochs):
-        final = stop == smax
-        epoch_failures = 0
-        while True:
-            if control is not None:
-                control.gate(epoch)
-            workflow = build()
-            if checkpoint is not None:
-                for name, state in checkpoint.items():
-                    workflow.component(name).restore(state)
-            for name, comp in _session_sources(workflow).items():
-                if len(epochs) > 1 or start > 0:
-                    if not hasattr(comp, "set_interval_range"):
-                        raise TypeError(
-                            f"source {name!r} is not resumable "
-                            f"(no set_interval_range); cannot checkpoint"
-                        )
-                    comp.set_interval_range(start, stop)
-            runner = WorkflowRunner(workflow)
-            this_attempt = attempt
-            attempt += 1
-
-            def spmd(comm, _runner=runner, _attempt=this_attempt,
-                     _pause=not final):
-                return _runner.run(
-                    comm,
-                    collect_stats=collect_stats,
-                    obs_enabled=obs_enabled,
-                    pause=_pause,
-                    fault_plan=plan,
-                    fault_attempt=_attempt,
-                    flight_dump=flight_dump,
-                    obs_hook=obs_hook,
-                )
-
-            try:
-                results = run_spmd(spmd, size=size, backend=backend,
-                                   **options)[0]
-            except MpiError as exc:
-                restarts += 1
-                epoch_failures += 1
-                log.append(
-                    ("restart", epoch, this_attempt, _classify_failure(exc))
-                )
-                if metrics is not None:
-                    metrics.counter("recovery.restarts").inc()
-                if epoch_failures > max_restarts:
-                    raise ChaosUnrecoverable(
-                        f"epoch {epoch} (intervals [{start}, {stop})) "
-                        f"failed {epoch_failures} times; giving up"
-                    ) from exc
-                continue
-
-            fault_events = results.pop("_faults", None)
-            log.append(
-                (
-                    "run", epoch, this_attempt, "ok",
-                    _freeze_fault_events(fault_events),
-                )
-            )
-            if "_obs" in results:
-                obs_reports.append(results["_obs"])
-            if final:
-                return SupervisedRun(
-                    results=results,
-                    log=tuple(log),
-                    attempts=attempt,
-                    restarts=restarts,
-                    checkpoints=checkpoints,
-                    obs_reports=tuple(obs_reports),
-                )
-            checkpoint = results.pop("_snapshots")
-            checkpoints += 1
-            if control is not None:
-                control.on_checkpoint(epoch, checkpoint)
-            if metrics is not None:
-                metrics.counter("recovery.checkpoints").inc()
-            break
-
-    raise AssertionError("unreachable: the final epoch returns")
+    return run_elastic_session(
+        build,
+        size=size,
+        backend=backend,
+        plan=plan,
+        checkpoint_every=checkpoint_every,
+        max_restarts=max_restarts,
+        collect_stats=collect_stats,
+        obs_enabled=obs_enabled,
+        obs=obs,
+        backend_options=backend_options,
+        flight_dump=flight_dump,
+        obs_hook=obs_hook,
+        control=control,
+        resize=resize,
+        degrade=degrade,
+    )
 
 
 # -- result comparison ------------------------------------------------------

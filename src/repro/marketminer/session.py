@@ -241,21 +241,40 @@ class SessionControl:
     command queue, so commands issued mid-pause — including the kill —
     are still consumed.  All flags are :class:`threading.Event`-backed;
     every method is safe to call from any thread.
+
+    Elasticity rides the same seam: :meth:`request_resize` queues a
+    target pool size (latest request wins — a single pending slot, not a
+    queue) which the elastic supervisor consumes at its next rebuild via
+    :meth:`take_resize`; a request landing mid-epoch is therefore
+    *deferred to the boundary*, never applied in place.  The supervisor
+    reports back through :meth:`resize_applied` and
+    :meth:`note_restart`, so the serving layer's status/telemetry read
+    pool size, resize history and restart counts straight off the
+    control handle.
     """
+
+    #: Retained (epoch, old, new) resize-history entries; older rotate out.
+    RESIZE_HISTORY_CAP = 64
 
     def __init__(
         self,
         poll_interval: float = 0.05,
         on_gate: "Callable[[SessionControl], None] | None" = None,
+        on_resize: "Callable[[int, int, int], None] | None" = None,
     ):
         self.poll_interval = poll_interval
         self.on_gate = on_gate
+        self.on_resize = on_resize
         self.n_gates = 0
         self.n_checkpoints = 0
+        self.n_restarts = 0
         self._pause = threading.Event()
         self._kill = threading.Event()
         self._lock = threading.Lock()
         self._checkpoint: "tuple[int, dict[str, Any]] | None" = None
+        self._resize_target: "int | None" = None
+        self._pool_size: "int | None" = None
+        self._resize_history: "list[tuple[int, int, int]]" = []
 
     # -- controller side (HTTP threads) --------------------------------------
 
@@ -278,6 +297,69 @@ class SessionControl:
     @property
     def killed(self) -> bool:
         return self._kill.is_set()
+
+    def request_resize(self, target: int) -> None:
+        """Ask for a pool resize at the session's next rebuild boundary.
+
+        One pending slot, latest wins: issuing ``resize 4`` then
+        ``resize 2`` before a boundary applies only the 2.  Validation
+        against backend capacity happens at intake (serving layer) and
+        again at the boundary (supervisor); this method only records
+        intent.
+        """
+        target = int(target)
+        if target < 1:
+            raise ValueError(
+                f"cannot resize the pool below 1 rank, got {target}"
+            )
+        with self._lock:
+            self._resize_target = target
+
+    @property
+    def pending_resize(self) -> "int | None":
+        """The queued-but-not-yet-applied target size, if any."""
+        with self._lock:
+            return self._resize_target
+
+    # -- session side: elasticity reporting ------------------------------------
+
+    def take_resize(self) -> "int | None":
+        """Consume the pending resize target (supervisor, at a boundary)."""
+        with self._lock:
+            target = self._resize_target
+            self._resize_target = None
+            return target
+
+    def note_pool(self, size: int) -> None:
+        """Record the pool size the session is currently running at."""
+        with self._lock:
+            self._pool_size = size
+
+    def note_restart(self, epoch: int, attempt: int) -> None:
+        """Count one supervisor restart (crash recovery, not resize)."""
+        with self._lock:
+            self.n_restarts += 1
+
+    def resize_applied(self, epoch: int, old: int, new: int) -> None:
+        """Record an applied resize; invoke ``on_resize`` for audit."""
+        with self._lock:
+            self._pool_size = new
+            self._resize_history.append((epoch, old, new))
+            if len(self._resize_history) > self.RESIZE_HISTORY_CAP:
+                del self._resize_history[0]
+        if self.on_resize is not None:
+            self.on_resize(epoch, old, new)
+
+    @property
+    def pool_size(self) -> "int | None":
+        """Current pool size (``None`` until the session first runs)."""
+        with self._lock:
+            return self._pool_size
+
+    def resize_history(self) -> "list[tuple[int, int, int]]":
+        """Applied resizes as (epoch, old, new), oldest first (capped)."""
+        with self._lock:
+            return list(self._resize_history)
 
     # -- session side (the supervisor's worker thread) ------------------------
 

@@ -51,6 +51,11 @@ class ThreadBackend:
 
     name = "thread"
 
+    #: Largest world this backend will launch.  Threads are cheap but a
+    #: mailbox world is all-to-all; past this the queue fan-out (and the
+    #: GIL) make more ranks strictly slower, so growth must stop here.
+    max_world_size = 64
+
     def __init__(
         self,
         default_timeout: float | None = 60.0,
@@ -77,6 +82,11 @@ class ThreadBackend:
         """
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
+        if size > self.max_world_size:
+            raise ValueError(
+                f"thread backend launches at most {self.max_world_size} "
+                f"ranks, got size={size}"
+            )
         kwargs = dict(kwargs or {})
         inboxes: list[queue.Queue] = [queue.Queue() for _ in range(size)]
 

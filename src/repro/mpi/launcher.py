@@ -25,6 +25,22 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_BACKENDS))
 
 
+def backend_capacity(backend: str) -> int:
+    """Largest world size ``backend`` will launch (its ``max_world_size``).
+
+    The elastic runtime validates grow requests against this before
+    tearing anything down, so an over-capacity resize is a pointed
+    ``ValueError`` at the boundary, not a half-built world.
+    """
+    try:
+        backend_cls = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {available_backends()}"
+        ) from None
+    return backend_cls.max_world_size
+
+
 def run_spmd(
     fn: Callable[..., Any],
     size: int,

@@ -126,6 +126,10 @@ class ProcessBackend:
 
     name = "process"
 
+    #: Largest world this backend will launch: each rank is an OS process
+    #: with size-1 pipes to every peer, so fan-out is quadratic in ranks.
+    max_world_size = 32
+
     def __init__(
         self,
         start_method: str | None = None,
@@ -159,6 +163,11 @@ class ProcessBackend:
         """
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
+        if size > self.max_world_size:
+            raise ValueError(
+                f"process backend launches at most {self.max_world_size} "
+                f"ranks, got size={size}"
+            )
         ctx = mp.get_context(self.start_method)
         kwargs = dict(kwargs or {})
         inboxes = [ctx.Queue() for _ in range(size)]

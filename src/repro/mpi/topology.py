@@ -96,3 +96,32 @@ def contract_dag(
         assignment[node] = rank
         load[rank] += float(weights.get(node, 1.0))
     return RankMap(assignment=assignment, size=size)
+
+
+def placement_moves(
+    old: RankMap, new: RankMap
+) -> tuple[tuple[Hashable, int, int], ...]:
+    """Components whose host rank changes between two placements.
+
+    Returns deterministic ``(component, old_rank, new_rank)`` triples,
+    sorted by component name — the elastic supervisor logs these when a
+    pool resize re-contracts the workflow DAG, so an operator can see
+    exactly which components migrated at each boundary.  Both maps must
+    cover the same component set (they come from the same workflow).
+    """
+    if set(old.assignment) != set(new.assignment):
+        only_old = sorted(
+            str(c) for c in set(old.assignment) - set(new.assignment)
+        )
+        only_new = sorted(
+            str(c) for c in set(new.assignment) - set(old.assignment)
+        )
+        raise ValueError(
+            f"rank maps disagree on the component set "
+            f"(only in old: {only_old}; only in new: {only_new})"
+        )
+    return tuple(
+        (component, old.rank_of(component), new.rank_of(component))
+        for component in sorted(old.assignment, key=str)
+        if old.rank_of(component) != new.rank_of(component)
+    )

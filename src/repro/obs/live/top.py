@@ -115,8 +115,17 @@ def _component_names(sampler: TimeSeriesSampler) -> list[str]:
     return sorted(names)
 
 
-def render_top(hub: TelemetryHub, window: float = 5.0) -> str:
-    """One frame of the live view from the hub's current rings."""
+def render_top(
+    hub: TelemetryHub, window: float = 5.0, supervisor=None
+) -> str:
+    """One frame of the live view from the hub's current rings.
+
+    ``supervisor`` is an optional
+    :class:`~repro.marketminer.session.SessionControl` attached to an
+    elastic supervised session; when given, the header grows a pool
+    line (current rank-pool size, restart count, applied resizes and
+    any resize pending at the next epoch boundary).
+    """
     uptime = time.monotonic() - hub.started_at
     with hub._lock:
         samplers = dict(hub.samplers)
@@ -124,6 +133,15 @@ def render_top(hub: TelemetryHub, window: float = 5.0) -> str:
         f"repro top — uptime {uptime:6.1f}s  ranks {len(samplers)}  "
         f"ticks {hub.n_ticks}"
     ]
+    if supervisor is not None:
+        pool = supervisor.pool_size
+        pending = supervisor.pending_resize
+        lines.append(
+            f"pool {pool if pool is not None else '?':>4}  "
+            f"restarts {supervisor.n_restarts}  "
+            f"resizes {len(supervisor.resize_history())}"
+            + (f"  pending resize -> {pending}" if pending is not None else "")
+        )
 
     # Per-rank MPI table.
     lines.append("")

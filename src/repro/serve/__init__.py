@@ -26,11 +26,14 @@ from repro.serve.http import ServeHTTPServer, make_server
 from repro.serve.sessions import (
     COMMANDS,
     KINDS,
+    RESIZE_MAX,
     TERMINAL,
     BadRequest,
     CommandBacklog,
+    CommandUnsupported,
     DuplicateSession,
     ManagerFull,
+    ResizePending,
     ServeError,
     Session,
     SessionDead,
@@ -43,9 +46,12 @@ __all__ = [
     "BadRequest",
     "COMMANDS",
     "CommandBacklog",
+    "CommandUnsupported",
     "DuplicateSession",
     "KINDS",
     "ManagerFull",
+    "RESIZE_MAX",
+    "ResizePending",
     "ServeApp",
     "ServeError",
     "ServeHTTPServer",

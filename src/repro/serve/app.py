@@ -21,6 +21,7 @@ GET    /sessions                        list all sessions
 POST   /sessions                        submit a session (201)
 GET    /sessions/{id}                   one session's status
 POST   /sessions/{id}/{pause|resume|kill} queue a command (202)
+POST   /sessions/{id}/resize?target=N    queue a pool resize (202)
 DELETE /sessions/{id}                   kill alias (202)
 GET    /sessions/{id}/audit             append-only audit tail
 GET    /sessions/{id}/positions         open positions (checkpointed)
@@ -209,8 +210,9 @@ class ServeApp:
 
     def _session_command(self, request: Request) -> Response:
         actor = request.query.get("actor", "api")
+        target = request.int_param("target", None)
         status = self.manager.command(
-            request.vars["sid"], request.vars["cmd"], actor
+            request.vars["sid"], request.vars["cmd"], actor, target=target
         )
         return Response(202, status)
 
@@ -325,7 +327,7 @@ def _build_routes() -> list[Route]:
             ("sessions", "{sid}", "{cmd}"),
             "session_command",
             ServeApp._session_command,
-            params=("actor",),
+            params=("actor", "target"),
         ),
         Route(
             "DELETE",

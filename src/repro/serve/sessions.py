@@ -47,7 +47,11 @@ KILLED = "killed"
 TERMINAL = frozenset({DONE, FAILED, KILLED})
 
 #: The command verbs a live session accepts.
-COMMANDS = ("pause", "resume", "kill")
+COMMANDS = ("pause", "resume", "kill", "resize")
+
+#: Largest pool a served session may resize to (mirrors the spec
+#: schema's ``ranks`` ceiling; the MPI backend capacity is far higher).
+RESIZE_MAX = 8
 
 KINDS = ("figure1", "backtest")
 
@@ -83,6 +87,29 @@ class DuplicateSession(ServeError):
 
 class SessionDead(ServeError):
     """Command sent to a session in a terminal state (409)."""
+
+    status = 409
+
+
+class CommandUnsupported(ServeError):
+    """The session's kind cannot perform this command (409).
+
+    Distinct from :class:`BadRequest`: the verb is well-formed and the
+    session exists, but the transition is illegal for it — e.g. resizing
+    a backtest session, whose worker has no rank pool to resize.
+    """
+
+    status = 409
+
+
+class ResizePending(ServeError):
+    """A resize is already queued and not yet applied (409).
+
+    The control handle holds a single pending-resize slot consumed at
+    the next epoch boundary; a second resize before that boundary would
+    silently overwrite the first, so the API rejects it instead —
+    retry after the boundary applies the pending one.
+    """
 
     status = 409
 
@@ -225,7 +252,9 @@ class Session:
         self.audit = EventRing(audit_capacity)
         self.commands: queue.Queue = queue.Queue(maxsize=command_slots)
         self.control = SessionControl(
-            poll_interval=poll_interval, on_gate=self._on_gate
+            poll_interval=poll_interval,
+            on_gate=self._on_gate,
+            on_resize=self._on_resize,
         )
         self.hub = None
         if kind == "figure1":
@@ -262,23 +291,29 @@ class Session:
 
     # -- command intake (HTTP threads) ---------------------------------------
 
-    def submit_command(self, op: str, actor: str) -> None:
-        """Queue a command; 429 (not a hang) when the queue is full."""
+    def submit_command(self, op: str, actor: str, arg=None) -> None:
+        """Queue a command; 429 (not a hang) when the queue is full.
+
+        ``arg`` carries the command's operand — today only ``resize``
+        has one (the target pool size, already validated by the
+        manager).
+        """
         try:
-            self.commands.put_nowait((op, actor))
+            self.commands.put_nowait((op, actor, arg))
         except queue.Full:
             self.record_audit(actor, op, detail="rejected: command queue full")
             raise CommandBacklog(
                 f"session {self.id!r} has {self.commands.maxsize} commands "
                 f"pending; retry once the session reaches its next gate"
             ) from None
-        self.record_audit(actor, op, detail="queued")
+        detail = "queued" if arg is None else f"queued target={arg}"
+        self.record_audit(actor, op, detail=detail)
 
     def _on_gate(self, control: SessionControl) -> None:
         """Drain queued commands at a control gate; sync visible state."""
         while True:
             try:
-                op, actor = self.commands.get_nowait()
+                op, actor, arg = self.commands.get_nowait()
             except queue.Empty:
                 break
             if op == "pause":
@@ -287,12 +322,24 @@ class Session:
                 control.resume()
             elif op == "kill":
                 control.kill()
-            self.record_audit(actor, op, detail="applied")
+            elif op == "resize":
+                # Records intent only; the supervisor consumes it at the
+                # next epoch boundary and reports back via _on_resize.
+                control.request_resize(arg)
+            detail = "applied" if arg is None else f"applied target={arg}"
+            self.record_audit(actor, op, detail=detail)
         with self._lock:
             if self.state == RUNNING and control.paused:
                 self.state = PAUSED
             elif self.state == PAUSED and not control.paused:
                 self.state = RUNNING
+
+    def _on_resize(self, epoch: int, old: int, new: int) -> None:
+        """Audit an applied pool change (voluntary or crash-as-shrink)."""
+        self.record_audit(
+            "supervisor", "resize-applied",
+            detail=f"epoch={epoch} {old}->{new}",
+        )
 
     # -- worker --------------------------------------------------------------
 
@@ -367,6 +414,8 @@ class Session:
             "attempts": run.attempts,
             "restarts": run.restarts,
             "checkpoints": run.checkpoints,
+            "pool_sizes": list(run.pool_sizes),
+            "resizes": [list(r) for r in run.resizes],
         }
 
     def _build_workflow(self):
@@ -471,6 +520,16 @@ class Session:
                 "kill_requested": self.control.killed,
                 "commands_pending": self.commands.qsize(),
                 "audit_entries": self.audit.n_seen,
+                "pool": {
+                    "size": (
+                        self.control.pool_size
+                        if self.control.pool_size is not None
+                        else self.spec.get("ranks")
+                    ),
+                    "pending_resize": self.control.pending_resize,
+                    "restarts": self.control.n_restarts,
+                    "resizes": self.control.resize_history(),
+                },
             }
 
     def positions(self) -> dict:
@@ -549,6 +608,13 @@ class Session:
         hub = self.hub
         if hub is None:
             return entry
+        entry["pool_size"] = (
+            self.control.pool_size
+            if self.control.pool_size is not None
+            else self.spec.get("ranks")
+        )
+        entry["restarts"] = self.control.n_restarts
+        entry["resizes"] = len(self.control.resize_history())
         with hub._lock:
             samplers = dict(hub.samplers)
         entry["ranks"] = len(samplers)
@@ -675,8 +741,19 @@ class SessionManager:
             )
         return session
 
-    def command(self, session_id: str, op: str, actor: str) -> dict:
-        """Route one command verb to a live session's bounded queue."""
+    def command(
+        self, session_id: str, op: str, actor: str, target: int | None = None
+    ) -> dict:
+        """Route one command verb to a live session's bounded queue.
+
+        ``resize`` carries its ``target`` pool size and has its own
+        rejection ladder: kind must be ``figure1`` (409
+        :class:`CommandUnsupported` — backtest jobs have no rank pool),
+        target must be an int in ``1..RESIZE_MAX`` (400), and at most
+        one resize may be pending at a time (409 :class:`ResizePending`
+        — a second request before the epoch boundary would silently
+        clobber the first).
+        """
         if op not in COMMANDS:
             raise BadRequest(
                 f"unknown command {op!r}; expected one of {list(COMMANDS)}"
@@ -687,7 +764,34 @@ class SessionManager:
                 f"session {session_id!r} is {session.state}; "
                 f"commands apply only to live sessions"
             )
-        session.submit_command(op, actor)
+        arg = None
+        if op == "resize":
+            if session.kind != "figure1":
+                raise CommandUnsupported(
+                    f"session {session_id!r} is a {session.kind} job; only "
+                    f"kind 'figure1' runs on a resizable rank pool"
+                )
+            if not isinstance(target, int) or isinstance(target, bool):
+                raise BadRequest(
+                    "resize requires an integer 'target' pool size "
+                    "(e.g. ?target=4)"
+                )
+            if not 1 <= target <= RESIZE_MAX:
+                raise BadRequest(
+                    f"resize target must be in 1..{RESIZE_MAX}, got {target}"
+                )
+            if session.control.pending_resize is not None:
+                raise ResizePending(
+                    f"session {session_id!r} already has a resize to "
+                    f"{session.control.pending_resize} pending; wait for "
+                    f"the next epoch boundary to apply it"
+                )
+            arg = target
+        elif target is not None:
+            raise BadRequest(
+                f"command {op!r} takes no 'target' parameter"
+            )
+        session.submit_command(op, actor, arg)
         return session.status()
 
     def kill_all(self, join_timeout: float = 5.0) -> None:

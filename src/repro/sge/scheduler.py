@@ -17,6 +17,17 @@ Real grids requeue transiently-failed jobs; :class:`RetryPolicy` models
 that with capped exponential backoff plus seeded jitter.  The backoff is
 *simulated* — added to the slot occupancy like ``qsub`` hold time, never
 slept — so retrying runs stay fast and deterministic.
+
+Two placement disciplines are simulated.  FIFO (:meth:`SgeScheduler.run`
+/ :meth:`~SgeScheduler.simulate`) dispatches each finished job to the
+earliest-free slot.  Partitioned (:meth:`~SgeScheduler.run_partitioned`
+/ :meth:`~SgeScheduler.simulate_partitioned`) pre-assigns job ``i`` to
+slot ``i % n_slots`` — a grid array job's static split — and optionally
+lets idle slots *steal* from the tail of the most-loaded queue, so one
+straggler-heavy queue no longer sets the makespan.  Results are bitwise
+identical across all four (execution is always serial); only the
+simulated schedule differs, which is exactly the elastic runtime's
+losing-or-adding-a-worker-never-changes-results contract.
 """
 
 from __future__ import annotations
@@ -101,7 +112,12 @@ class JobFailure(RuntimeError):
 
 @dataclass(frozen=True)
 class JobResult:
-    """Execution record of one job."""
+    """Execution record of one job.
+
+    ``home_slot`` is set by the partitioned schedules: the slot the job
+    was pre-assigned to.  When it differs from ``slot``, an idle slot
+    stole the job from its home queue's tail.
+    """
 
     name: str
     result: Any
@@ -110,6 +126,12 @@ class JobResult:
     sim_start: float
     sim_end: float
     attempts: int = 1
+    home_slot: int | None = None
+
+    @property
+    def stolen(self) -> bool:
+        """True when a work-steal moved this job off its home slot."""
+        return self.home_slot is not None and self.home_slot != self.slot
 
 
 @dataclass
@@ -140,6 +162,16 @@ class ScheduleReport:
         for r in self.results:
             loads[r.slot] += r.duration
         return loads
+
+    @property
+    def n_stolen(self) -> int:
+        """Jobs a work-steal moved off their home slot (0 for FIFO runs)."""
+        return sum(1 for r in self.results if r.stolen)
+
+    @property
+    def stolen_seconds(self) -> float:
+        """Total duration of stolen jobs — the load the steal rebalanced."""
+        return sum(r.duration for r in self.results if r.stolen)
 
 
 class SgeScheduler:
@@ -175,6 +207,11 @@ class SgeScheduler:
             hist.observe(r.duration)
         obs.metrics.gauge("sge.makespan.seconds").set(report.makespan)
         obs.metrics.gauge("sge.speedup").set(report.speedup)
+        if report.n_stolen:
+            obs.metrics.counter("sge.steal.jobs").inc(report.n_stolen)
+            obs.metrics.counter("sge.steal.seconds").inc(
+                report.stolen_seconds
+            )
 
     def submit(self, job: Job) -> None:
         """Queue a job (``qsub``)."""
@@ -277,6 +314,133 @@ class SgeScheduler:
                     slot=slot,
                     sim_start=free_at,
                     sim_end=free_at + duration,
+                )
+            )
+        self._record(report, simulated=True)
+        return report
+
+    # -- partitioned queues and work-stealing ---------------------------------
+
+    def _partitioned_placement(
+        self, durations: list[float], steal: bool
+    ) -> list[tuple[int, int, float, float]]:
+        """Place jobs pre-assigned round-robin to per-slot queues.
+
+        Job ``i`` is queued on home slot ``i % n_slots`` (the static
+        partition a real grid's array job produces).  Slots drain their
+        own queue front-first; with ``steal`` an idle slot instead takes
+        a job from the *tail* of the victim with the most remaining
+        queued work (ties toward the lowest slot id), which is the
+        classic steal-from-the-back discipline: the tail is the work its
+        owner would reach last, so a steal never races the owner's next
+        dequeue.  The whole placement is a pure function of
+        ``(durations, n_slots, steal)`` — no clock, no randomness — so
+        stolen and unstolen schedules are exactly reproducible.
+
+        Returns ``(slot, home_slot, sim_start, sim_end)`` per job index.
+        """
+        n_slots = self.n_slots
+        queues: list[list[int]] = [[] for _ in range(n_slots)]
+        for idx in range(len(durations)):
+            queues[idx % n_slots].append(idx)
+        heads = [0] * n_slots  # queue fronts (owner side)
+        remaining = [
+            sum(durations[idx] for idx in queue) for queue in queues
+        ]
+        free = [0.0] * n_slots
+        placed: list[tuple[int, int, float, float]] = [
+            (0, 0, 0.0, 0.0)
+        ] * len(durations)
+        pending = len(durations)
+        while pending:
+            slot = min(range(n_slots), key=lambda s: (free[s], s))
+            if heads[slot] < len(queues[slot]):
+                victim = slot
+                idx = queues[slot][heads[slot]]
+                heads[slot] += 1
+            elif steal:
+                victims = [
+                    v for v in range(n_slots) if heads[v] < len(queues[v])
+                ]
+                victim = max(victims, key=lambda v: (remaining[v], -v))
+                idx = queues[victim].pop()  # tail, away from the owner
+            else:
+                free[slot] = float("inf")  # drained; owner-only mode
+                continue
+            start = free[slot]
+            end = start + durations[idx]
+            free[slot] = end
+            remaining[victim] -= durations[idx]
+            placed[idx] = (slot, idx % n_slots, start, end)
+            pending -= 1
+        return placed
+
+    def run_partitioned(self, steal: bool = False) -> ScheduleReport:
+        """Execute queued jobs under static per-slot queues (± stealing).
+
+        Execution is identical to :meth:`run` — jobs run serially in
+        submission order, so results and exceptions are the same objects
+        regardless of placement; only the *simulated* schedule changes.
+        That is the work-stealing contract: stolen and unstolen runs are
+        bitwise-equal in results and differ only in makespan.
+        """
+        executed = []
+        rng = random.Random(self.retry.seed if self.retry is not None else 0)
+        for job in self._queue:
+            result, wall, occupancy, attempts = self._run_with_retry(job, rng)
+            executed.append((job.name, result, wall, occupancy, attempts))
+        self._queue.clear()
+        placed = self._partitioned_placement(
+            [occ for _, _, _, occ, _ in executed], steal
+        )
+        report = ScheduleReport(n_slots=self.n_slots)
+        for (name, result, wall, _occ, attempts), (
+            slot, home, start, end,
+        ) in zip(executed, placed):
+            report.results.append(
+                JobResult(
+                    name=name,
+                    result=result,
+                    duration=wall,
+                    slot=slot,
+                    sim_start=start,
+                    sim_end=end,
+                    attempts=attempts,
+                    home_slot=home,
+                )
+            )
+        self._record(report, simulated=False)
+        return report
+
+    def simulate_partitioned(
+        self, durations: dict[str, float], steal: bool = False
+    ) -> ScheduleReport:
+        """Partitioned-queue placement from declared durations.
+
+        The straggler benchmark runs this twice — ``steal=False`` then
+        ``steal=True`` on the same durations — and gates on the makespan
+        ratio; determinism of :meth:`_partitioned_placement` makes the
+        comparison exact.
+        """
+        names = list(durations)
+        values = [durations[name] for name in names]
+        for name, duration in zip(names, values):
+            if duration < 0:
+                raise ValueError(f"job {name!r}: duration must be >= 0")
+        placed = self._partitioned_placement(values, steal)
+        report = ScheduleReport(n_slots=self.n_slots)
+        for name, duration, (slot, home, start, end) in zip(
+            names, values, placed
+        ):
+            report.results.append(
+                JobResult(
+                    name=name,
+                    result=None,
+                    duration=duration,
+                    slot=slot,
+                    sim_start=start,
+                    sim_end=end,
+                    home_slot=home,
                 )
             )
         self._record(report, simulated=True)

@@ -201,6 +201,48 @@ class TestSessionRoutes:
         ]
         assert {e["op"] for e in ops_entries} == {"pause", "kill"}
 
+    def test_resize_via_http(self, client):
+        client("POST", "/sessions",
+               {"id": "h4", "kind": "figure1",
+                "spec": {"seconds": 4800, "ranks": 2,
+                         "checkpoint_every": 10}})
+        # Missing and malformed targets are pointed 400s.
+        status, body = client("POST", "/sessions/h4/resize?actor=alice")
+        assert status == 400 and "target" in body["error"]
+        status, body = client(
+            "POST", "/sessions/h4/resize?actor=alice&target=zero"
+        )
+        assert status == 400
+        status, body = client(
+            "POST", "/sessions/h4/resize?actor=alice&target=99"
+        )
+        assert status == 400 and "1..8" in body["error"]
+        # A well-formed resize queues (202) and lands at the next epoch
+        # boundary, surfacing in the status pool block.
+        status, body = client(
+            "POST", "/sessions/h4/resize?actor=alice&target=3"
+        )
+        assert status == 202
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            pool = client("GET", "/sessions/h4")[1]["pool"]
+            if pool["resizes"]:
+                break
+            time.sleep(0.05)
+        assert pool["size"] == 3 and pool["resizes"][-1][1:] == [2, 3]
+        client("DELETE", "/sessions/h4?actor=ops")
+        wait_done(client, "h4", timeout=15.0)
+
+    def test_resize_backtest_is_409(self, client):
+        client("POST", "/sessions",
+               {"id": "h5", "kind": "backtest",
+                "spec": {"days": 1, "symbols": 4, "levels": 1}})
+        status, body = client(
+            "POST", "/sessions/h5/resize?actor=bob&target=3"
+        )
+        assert status == 409 and "figure1" in body["error"]
+        wait_done(client, "h5")
+
     def test_unknown_session_is_404(self, client):
         assert client("GET", "/sessions/ghost")[0] == 404
         assert client("POST", "/sessions/ghost/kill")[0] == 404

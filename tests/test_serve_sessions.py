@@ -320,3 +320,120 @@ class TestWatchlists:
     def test_item_cap(self, manager):
         with pytest.raises(BadRequest, match="at most"):
             manager.set_watchlist("alice", ["S"] * 1000)
+
+
+class TestResize:
+    """The elastic pool over HTTP: the resize ladder, surfacing, audit.
+
+    A resize queues at the manager, lands at the next ``on_gate`` epoch
+    boundary as a :class:`SessionControl` request, and is applied by the
+    elastic supervisor — the ``resize-applied`` audit entry plus the
+    ``pool`` status block are the tenant-visible proof.
+    """
+
+    def test_resize_requires_integer_target(self, manager):
+        manager.submit("rz0", "figure1", SLOW_SPEC, "alice")
+        with pytest.raises(BadRequest, match="integer 'target'"):
+            manager.command("rz0", "resize", "alice")
+        with pytest.raises(BadRequest, match="integer 'target'"):
+            manager.command("rz0", "resize", "alice", target=True)
+        manager.command("rz0", "kill", "alice")
+        wait_terminal(manager, "rz0", timeout=10.0)
+
+    def test_resize_target_bounds(self, manager):
+        manager.submit("rz1", "figure1", SLOW_SPEC, "alice")
+        with pytest.raises(BadRequest, match=r"must be in 1\.\.8, got 0"):
+            manager.command("rz1", "resize", "alice", target=0)
+        with pytest.raises(BadRequest, match=r"must be in 1\.\.8, got 99"):
+            manager.command("rz1", "resize", "alice", target=99)
+        manager.command("rz1", "kill", "alice")
+        wait_terminal(manager, "rz1", timeout=10.0)
+
+    def test_target_on_non_resize_command_rejected(self, manager):
+        manager.submit("rz2", "figure1", SLOW_SPEC, "alice")
+        with pytest.raises(BadRequest, match="takes no 'target'"):
+            manager.command("rz2", "pause", "alice", target=3)
+        manager.command("rz2", "kill", "alice")
+        wait_terminal(manager, "rz2", timeout=10.0)
+
+    def test_resize_unsupported_for_backtest(self, manager):
+        from repro.serve import CommandUnsupported
+
+        manager.submit(
+            "rzb", "backtest", {"days": 1, "symbols": 4, "levels": 1}, "bob"
+        )
+        with pytest.raises(CommandUnsupported, match="backtest"):
+            manager.command("rzb", "resize", "bob", target=3)
+        wait_terminal(manager, "rzb")
+
+    def test_second_resize_before_boundary_is_409(self, manager):
+        from repro.serve import ResizePending
+
+        manager.submit("rzp", "figure1", SLOW_SPEC, "alice")
+        # Plant the pending request directly (deterministic: no race
+        # against the gate consuming a queued command first).
+        manager.get("rzp").control.request_resize(4)
+        with pytest.raises(ResizePending, match="resize to 4 pending"):
+            manager.command("rzp", "resize", "alice", target=3)
+        manager.command("rzp", "kill", "alice")
+        wait_terminal(manager, "rzp", timeout=10.0)
+
+    def test_resize_on_dead_session_is_409(self, manager):
+        manager.submit("rzd", "figure1", FIG1_SPEC, "alice")
+        manager.command("rzd", "kill", "alice")
+        wait_terminal(manager, "rzd", timeout=10.0)
+        with pytest.raises(SessionDead):
+            manager.command("rzd", "resize", "alice", target=3)
+
+    def test_applied_resize_surfaces_in_status_audit_and_summary(
+        self, manager
+    ):
+        manager.submit("rza", "figure1", SLOW_SPEC, "alice")
+        manager.command("rza", "resize", "alice", target=3)
+        # The supervisor applies the request at the next epoch boundary.
+        assert wait_for(
+            lambda: manager.get("rza").status()["pool"]["resizes"]
+        ), manager.get("rza").status()
+        status = manager.get("rza").status()
+        assert status["pool"]["size"] == 3
+        assert status["pool"]["pending_resize"] is None
+        assert status["pool"]["resizes"][-1][1:] == (2, 3)
+
+        ops = [(e["actor"], e["op"], e["detail"])
+               for e in manager.get("rza").audit_entries()["entries"]]
+        assert ("alice", "resize", "queued target=3") in ops
+        assert ("alice", "resize", "applied target=3") in ops
+        assert any(
+            actor == "supervisor" and op == "resize-applied"
+            and detail.endswith("2->3")
+            for actor, op, detail in ops
+        )
+
+        telem = manager.telemetry()["rza"]
+        assert telem["pool_size"] == 3
+        assert telem["resizes"] == 1
+
+        final = wait_terminal(manager, "rza")
+        assert final["state"] == "done", final["error"]
+        assert final["summary"]["pool_sizes"][-1] == 3
+        assert final["summary"]["resizes"][-1][1:] == [2, 3]
+
+    def test_kill_during_pending_resize_keeps_audit_consistent(
+        self, manager
+    ):
+        """A kill racing a queued resize must not forge a resize-applied."""
+        manager.submit("rzk", "figure1", SLOW_SPEC, "alice")
+        manager.command("rzk", "pause", "alice")
+        assert wait_for(
+            lambda: manager.get("rzk").status()["state"] == "paused"
+        )
+        # Queue the resize while paused (it can't land at a gate), then
+        # kill: the session dies with the resize still queued/pending.
+        manager.command("rzk", "resize", "alice", target=4)
+        manager.command("rzk", "kill", "ops")
+        final = wait_terminal(manager, "rzk", timeout=10.0)
+        assert final["state"] == "killed"
+        ops = [(e["op"], e["detail"]) for e in manager.get("rzk").audit_entries()["entries"]]
+        assert ("resize", "queued target=4") in ops
+        assert not any(op == "resize-applied" for op, _ in ops)
+        assert final["pool"]["resizes"] == []

@@ -249,3 +249,106 @@ class TestClockSeam:
 
         sched = SgeScheduler(n_slots=1)
         assert sched._clock is _time.perf_counter
+
+
+class TestWorkStealing:
+    """Partitioned queues ± tail-stealing (the straggler discipline).
+
+    The contract mirrors the elastic runtime's: placement never changes
+    what a job computes, so stolen and unstolen runs are bitwise equal
+    in results and differ only in the simulated schedule.
+    """
+
+    # One straggler-heavy home queue: round-robin over 2 slots parks
+    # all the long jobs on slot 0, so without stealing slot 0 sets the
+    # makespan while slot 1 idles.
+    SKEWED = {
+        "long0": 8.0, "short0": 1.0,
+        "long1": 8.0, "short1": 1.0,
+        "long2": 8.0, "short2": 1.0,
+    }
+
+    def test_round_robin_home_slots(self):
+        report = SgeScheduler(n_slots=2).simulate_partitioned(
+            {f"j{i}": 1.0 for i in range(5)}
+        )
+        assert [r.home_slot for r in report.results] == [0, 1, 0, 1, 0]
+
+    def test_no_steal_never_moves_jobs(self):
+        report = SgeScheduler(n_slots=2).simulate_partitioned(
+            self.SKEWED, steal=False
+        )
+        assert all(r.slot == r.home_slot for r in report.results)
+        assert report.n_stolen == 0
+        assert report.stolen_seconds == 0.0
+
+    def test_steal_moves_tail_work_and_cuts_makespan(self):
+        sched = SgeScheduler(n_slots=2)
+        no_steal = sched.simulate_partitioned(self.SKEWED, steal=False)
+        steal = sched.simulate_partitioned(self.SKEWED, steal=True)
+        assert steal.n_stolen >= 1
+        assert steal.stolen_seconds > 0.0
+        stolen = [r for r in steal.results if r.stolen]
+        assert all(r.slot != r.home_slot for r in stolen)
+        assert steal.makespan < no_steal.makespan
+        # The straggler queue holds 3*8.0 = 24.0s of the 27.0s total, so
+        # the unstolen makespan is 24.0 while a steal approaches 27/2.
+        assert no_steal.makespan == pytest.approx(24.0)
+        assert steal.makespan <= 0.75 * no_steal.makespan
+
+    def test_partitioned_placement_is_deterministic(self):
+        def once(steal):
+            report = SgeScheduler(n_slots=3).simulate_partitioned(
+                self.SKEWED, steal=steal
+            )
+            return tuple(
+                (r.name, r.slot, r.home_slot, r.sim_start, r.sim_end)
+                for r in report.results
+            )
+
+        assert once(False) == once(False)
+        assert once(True) == once(True)
+
+    def test_run_partitioned_results_bitwise_equal_with_and_without_steal(self):
+        def run_once(steal):
+            sched = SgeScheduler(
+                n_slots=2, clock=TestClockSeam.ticking_clock(0.5)
+            )
+            sched.submit_many(
+                Job(name=f"j{i}", fn=lambda i=i: i * i) for i in range(7)
+            )
+            return sched.run_partitioned(steal=steal)
+
+        plain = run_once(False)
+        stolen = run_once(True)
+        assert [r.result for r in plain.results] == [
+            r.result for r in stolen.results
+        ]
+        assert [r.name for r in plain.results] == [
+            r.name for r in stolen.results
+        ]
+        assert [r.duration for r in plain.results] == [
+            r.duration for r in stolen.results
+        ]
+
+    def test_steal_counters_emitted_only_when_stealing_happened(self):
+        obs = Obs(enabled=True)
+        sched = SgeScheduler(n_slots=2, obs=obs)
+        report = sched.simulate_partitioned(self.SKEWED, steal=True)
+        assert obs.metrics.counter("sge.steal.jobs").value == report.n_stolen
+        assert obs.metrics.counter("sge.steal.seconds").value == (
+            pytest.approx(report.stolen_seconds)
+        )
+
+        quiet = Obs(enabled=True)
+        SgeScheduler(n_slots=2, obs=quiet).simulate_partitioned(
+            self.SKEWED, steal=False
+        )
+        assert "sge.steal.jobs" not in quiet.metrics.counters
+        assert "sge.steal.seconds" not in quiet.metrics.counters
+
+    def test_simulate_partitioned_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="duration must be >= 0"):
+            SgeScheduler(n_slots=2).simulate_partitioned(
+                {"ok": 1.0, "bad": -0.5}
+            )
